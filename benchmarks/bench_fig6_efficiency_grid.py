@@ -1,0 +1,117 @@
+"""Figure 6 — the 12-panel 10-core efficiency grid.
+
+Paper: GFLOPS vs d (log scale, 4..1028) for every combination of
+m = n ∈ {2048, 4096, 8192} and k ∈ {16, 128, 512, 2048}; Var#1 used for
+k ≤ 512, Var#6 for 2048. Trends: efficiency grows with m, n, d and
+degrades with k; 80% of peak for k ≤ 128 at d ≥ 512; GSKNN up to ~5x
+the GEMM kernel for d ∈ [10, 100], k ≤ 128.
+
+Reproduced as (a) the exact model grid at paper sizes and (b) a
+measured grid on this host at scaled sizes (m = n ∈ {512, 1024, 2048},
+k ∈ {16, 128, 512}) reporting achieved GFLOPS and the speedup over the
+GEMM-based kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gsknn import gsknn
+from repro.core.ref_kernel import ref_knn
+from repro.machine.params import IVY_BRIDGE
+from repro.model import PerformanceModel
+from repro.perf.gflops import gflops
+
+from .conftest import run_report, SCALE, best_time, uniform_problem
+
+MODEL_SIZES = [2048, 4096, 8192]
+MODEL_KS = [16, 128, 512, 2048]
+MODEL_DIMS = [4, 16, 64, 256, 1024]
+
+MEASURED_SIZES = [1024 * SCALE, 2048 * SCALE, 4096 * SCALE]
+MEASURED_KS = [16, 128, 512]
+MEASURED_DIMS = [4, 16, 64, 256]
+
+
+def test_fig6_model_grid(benchmark, report):
+    def _run():
+        model = PerformanceModel(IVY_BRIDGE.scaled(10, 3.10e9))
+        rep = report(
+            "fig6_model_grid",
+            "Figure 6, model grid (p=10; GFLOPS, peak 248)\n"
+            f"{'panel':>16} " + "".join(f"{f'd={d}':>8}" for d in MODEL_DIMS),
+        )
+        for size in MODEL_SIZES:
+            for k in MODEL_KS:
+                kernel = "var1" if k <= 512 else "var6"
+                series = [
+                    model.predict(kernel, size, size, d, min(k, size)).gflops
+                    for d in MODEL_DIMS
+                ]
+                rep.row(
+                    f"{f'm=n={size} k={k}':>16} "
+                    + "".join(f"{g:>8.1f}" for g in series)
+                )
+
+
+    run_report(benchmark, _run)
+
+
+def test_fig6_measured_grid(benchmark, report):
+    def _run():
+        rep = report(
+            "fig6_measured_grid",
+            "Figure 6, measured on this host (GSKNN GFLOPS / speedup vs GEMM)\n"
+            f"{'panel':>16} " + "".join(f"{f'd={d}':>14}" for d in MEASURED_DIMS),
+        )
+        for size in MEASURED_SIZES:
+            for k in MEASURED_KS:
+                if k >= size:
+                    continue
+                cells = []
+                for d in MEASURED_DIMS:
+                    X, q, r = uniform_problem(size, size, d, seed=0)
+                    t_ours = best_time(lambda: gsknn(X, q, r, k), repeats=2)
+                    t_ref = best_time(lambda: ref_knn(X, q, r, k), repeats=2)
+                    cells.append(
+                        f"{gflops(size, size, d, t_ours):>6.2f}/{t_ref / t_ours:>5.2f}x"
+                    )
+                rep.row(f"{f'm=n={size} k={k}':>16} " + " ".join(cells))
+
+
+    run_report(benchmark, _run)
+
+
+class TestFigure6Trends:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return PerformanceModel(IVY_BRIDGE.scaled(10, 3.10e9))
+
+    def test_efficiency_grows_with_problem_size(self, model):
+        g = [
+            model.predict("var1", s, s, 64, 16).gflops for s in MODEL_SIZES
+        ]
+        assert g == sorted(g)
+
+    def test_efficiency_degrades_with_k(self, model):
+        g = [
+            model.predict("var1", 8192, 8192, 64, k).gflops
+            for k in (16, 128, 512)
+        ]
+        assert g == sorted(g, reverse=True)
+
+    def test_80pct_peak_claim(self, model):
+        """§4: for m large enough, 80% of peak at high d for k <= 128."""
+        for k in (16, 128):
+            assert model.predict("var1", 8192, 8192, 512, k).gflops > 0.8 * 248
+
+    def test_65pct_peak_at_k2048(self, model):
+        assert model.predict("var6", 8192, 8192, 1024, 2048).gflops > 0.65 * 248
+
+    def test_measured_speedup_positive_low_d_small_k(self):
+        size = MEASURED_SIZES[-1]
+        X, q, r = uniform_problem(size, size, 16, seed=5)
+        t_ours = best_time(lambda: gsknn(X, q, r, 16), repeats=2)
+        t_ref = best_time(lambda: ref_knn(X, q, r, 16), repeats=2)
+        assert t_ref / t_ours > 1.0

@@ -1,0 +1,88 @@
+"""The §4 headline — "up to 5x more efficient than the GEMM kernel for
+d ∈ [10, 100]", and the abstract's "over 4 times faster" for k = 16,
+d = 64 inside the tree solver.
+
+Reproduced as a sweep of the kernel-level speedup over d ∈ [8, 128] for
+k ∈ {16, 128}: the *peak* speedup and its location are reported, and
+the shape requirement (the best speedup lives in the low-d band) is
+asserted. The model's predicted ratio at paper scale is printed next to
+the measured ratio at host scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gsknn import gsknn
+from repro.core.ref_kernel import ref_knn
+from repro.model import PerformanceModel
+
+from .conftest import run_report, SCALE, best_time, uniform_problem
+
+SIZE = 2048 * SCALE
+DIMS = [8, 16, 32, 64, 128, 512]
+KS = [16, 128]
+
+
+def _speedups(k):
+    out = {}
+    for d in DIMS:
+        X, q, r = uniform_problem(SIZE, SIZE, d, seed=0)
+        t_ours = best_time(lambda: gsknn(X, q, r, k), repeats=3)
+        t_ref = best_time(lambda: ref_knn(X, q, r, k), repeats=3)
+        out[d] = t_ref / t_ours
+    return out
+
+
+def test_headline_rows(benchmark, report):
+    def _run():
+        model = PerformanceModel()
+        rep = report(
+            "headline_speedup",
+            f"Headline speedup sweep (m=n={SIZE}; T_gemm / T_gsknn)\n"
+            f"{'series':>18} " + "".join(f"{f'd={d}':>8}" for d in DIMS),
+        )
+        for k in KS:
+            measured = _speedups(k)
+            rep.row(
+                f"{f'k={k} measured':>18} "
+                + "".join(f"{measured[d]:>8.2f}" for d in DIMS)
+            )
+            modeled = {
+                d: model.speedup_over_gemm("var1", 8192, 8192, d, k) for d in DIMS
+            }
+            rep.row(
+                f"{f'k={k} model@8192':>18} "
+                + "".join(f"{modeled[d]:>8.2f}" for d in DIMS)
+            )
+            best_d = max(measured, key=measured.get)
+            rep.row(
+                f"  k={k}: peak measured speedup {measured[best_d]:.2f}x at d={best_d}"
+            )
+
+
+    run_report(benchmark, _run)
+
+
+class TestHeadlineShape:
+    def test_speedup_exceeds_one_in_low_d_band(self):
+        speedups = _speedups(16)
+        assert max(speedups[d] for d in (8, 16, 32, 64)) > 1.0
+
+    def test_peak_speedup_is_in_low_d_band(self):
+        """'especially well for small k, d in [10, 100]': the best ratio
+        must not be at d=512."""
+        speedups = _speedups(16)
+        best_d = max(speedups, key=speedups.get)
+        assert best_d <= 128
+
+    def test_model_predicts_five_x_class_speedup_at_paper_scale(self):
+        """At the paper's sizes and constants the model itself yields the
+        ~5x class advantage in the low-d band."""
+        model = PerformanceModel()
+        peak = max(
+            model.speedup_over_gemm("var1", 8192, 8192, d, 16)
+            for d in range(10, 101, 10)
+        )
+        assert peak > 3.0

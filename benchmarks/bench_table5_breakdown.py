@@ -1,0 +1,106 @@
+"""Table 5 — runtime breakdown: T_coll + T_gemm + T_sq2d + T_heap.
+
+Paper setup: m = n = 8192, d ∈ {16, 64, 256, 1024}, k ∈ {16, 128, 512,
+2048}; the GEMM-based kernel's time is split into its four phases, and
+GSKNN (which cannot be phase-timed from inside the fused loop) reports a
+total plus a heap estimate via the k = 1 subtraction trick.
+
+Here: m = n = 2048 * sqrt(SCALE)-ish, same d/k grid scaled, same
+subtraction trick. The shapes to reproduce:
+
+* the GEMM kernel's non-GEMM overhead (coll + sq2d + heap) is a large
+  fraction at low d and fades by d = 256+;
+* GSKNN's total beats the GEMM kernel's at low d, converging at high d;
+* GSKNN's heap time (k=1 subtraction) stays small for small k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gsknn import gsknn
+from repro.core.ref_kernel import ref_knn_timed
+
+from .conftest import run_report, SCALE, best_time, uniform_problem
+
+M = N_REFS = 2048 * SCALE
+DIMS = [16, 64, 256, 1024]
+KS = [16, 128, 512]
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return {d: uniform_problem(M, N_REFS, d, seed=0) for d in DIMS}
+
+
+def _ref_breakdown(problem, k):
+    X, q, r = problem
+    # warm-up then measured run (matches the paper's 3-run averaging)
+    ref_knn_timed(X, q, r, k)
+    _, timer = ref_knn_timed(X, q, r, k)
+    return timer.breakdown()
+
+
+def _gsknn_total(problem, k):
+    X, q, r = problem
+    return best_time(lambda: gsknn(X, q, r, k), repeats=2)
+
+
+def test_table5_rows(benchmark, report, problems):
+    def _run():
+        rep = report(
+            "table5_breakdown",
+            f"Table 5 (scaled: m=n={M}; times in ms)\n"
+            f"{'d':>5} {'k':>5} | {'coll':>7} {'gemm':>7} {'sq2d':>7} "
+            f"{'heap':>7} {'REF tot':>8} | {'GSKNN':>7} {'g-heap':>7} {'ratio':>6}",
+        )
+        for d in DIMS:
+            base_total = _gsknn_total(problems[d], 1)  # the k=1 subtraction base
+            for k in KS:
+                b = _ref_breakdown(problems[d], k).as_millis()
+                ours = _gsknn_total(problems[d], k) * 1e3
+                heap_est = max(ours - base_total * 1e3, 0.0)
+                rep.row(
+                    f"{d:>5} {k:>5} | {b['coll']:>7.1f} {b['gemm']:>7.1f} "
+                    f"{b['sq2d']:>7.1f} {b['heap']:>7.1f} {b['total']:>8.1f} | "
+                    f"{ours:>7.1f} {heap_est:>7.1f} {b['total'] / ours:>6.2f}"
+                )
+
+
+    run_report(benchmark, _run)
+
+
+class TestBreakdownShapes:
+    def test_gemm_dominates_at_high_d(self, problems):
+        b = _ref_breakdown(problems[1024], 16)
+        assert b.gemm > 0.6 * b.total
+
+    def test_overhead_fraction_larger_at_low_d(self, problems):
+        low = _ref_breakdown(problems[16], 16)
+        high = _ref_breakdown(problems[1024], 16)
+        overhead = lambda b: (b.coll + b.sq2d + b.heap) / b.total
+        assert overhead(low) > overhead(high)
+
+    def test_gsknn_wins_at_low_d(self, problems):
+        ref = _ref_breakdown(problems[16], 16).total
+        ours = _gsknn_total(problems[16], 16)
+        assert ours < ref
+
+    def test_heap_estimate_grows_with_k(self, problems):
+        base = _gsknn_total(problems[64], 1)
+        small = _gsknn_total(problems[64], 16) - base
+        large = _gsknn_total(problems[64], 512) - base
+        assert large > small
+
+
+@pytest.mark.parametrize("d", [16, 256])
+@pytest.mark.parametrize("kernel", ["gemm", "gsknn"])
+def test_bench_kernels(benchmark, problems, d, kernel):
+    X, q, r = problems[d]
+    benchmark.group = f"table5 m=n={M} d={d} k=16"
+    benchmark.name = kernel
+    if kernel == "gsknn":
+        benchmark(lambda: gsknn(X, q, r, 16))
+    else:
+        benchmark(lambda: ref_knn_timed(X, q, r, 16))

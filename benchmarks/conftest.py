@@ -1,0 +1,97 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper.
+Each prints its rows/series to stdout (run with ``pytest -s`` to watch)
+*and* appends them to ``benchmarks/results/<experiment>.txt`` so the
+output survives pytest's capture and can be diffed across runs.
+
+Problem sizes are scaled down from the paper's (this substrate is a
+single-core numpy stack, not a 20-core Ivy Bridge node with AVX
+assembly); the scale factor is recorded in every report header. Set
+``REPRO_BENCH_SCALE=2`` (or higher) to move closer to paper sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: 1 = quick CI-friendly sizes; larger values approach the paper's sizes.
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    return SCALE
+
+
+class Report:
+    """Accumulates table rows, then prints and persists them."""
+
+    def __init__(self, experiment: str, header: str) -> None:
+        self.experiment = experiment
+        self.lines: list[str] = [header]
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def finish(self) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        body = "\n".join(self.lines) + "\n"
+        path = RESULTS_DIR / f"{self.experiment}.txt"
+        path.write_text(body)
+        print(f"\n=== {self.experiment} ===\n{body}", flush=True)
+        return body
+
+
+@pytest.fixture
+def report(request):
+    """Per-test Report factory; finished automatically at teardown."""
+    created: list[Report] = []
+
+    def make(experiment: str, header: str) -> Report:
+        rep = Report(experiment, header)
+        created.append(rep)
+        return rep
+
+    yield make
+    for rep in created:
+        rep.finish()
+
+
+def run_report(benchmark, fn) -> None:
+    """Run a table-generator exactly once under pytest-benchmark.
+
+    The report tests must also execute under ``--benchmark-only`` (the
+    canonical invocation), so each is registered as a single-round
+    benchmark whose measured quantity is the whole experiment.
+    """
+    benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def best_time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall clock of ``fn()`` in seconds (paper: average of 3
+    consecutive kernels; min is the lower-noise choice on a busy host)."""
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def uniform_problem(m: int, n: int, d: int, seed: int = 0):
+    """The paper's kernel benchmark setup: uniform [0,1]^d points with
+    query/reference index sets drawn from one table."""
+    rng = np.random.default_rng(seed)
+    N = max(m, n)
+    X = rng.random((N, d))
+    q = rng.permutation(N)[:m]
+    r = rng.permutation(N)[:n]
+    return X, q, r

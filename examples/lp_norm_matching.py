@@ -1,0 +1,67 @@
+"""General lp-norm matching — beyond the GEMM expansion.
+
+The GEMM-based kernel only supports distances with an inner-product
+expansion (Euclidean, cosine). GSKNN's micro-kernel owns its inner
+loop, so any lp norm works (paper §2.4). This example runs the same
+matching task under l2, l1 (robust to outlier coordinates) and l-inf
+(worst-coordinate matching) and shows how the answers differ — then
+verifies each against scipy's reference distances.
+
+Run:  python examples/lp_norm_matching.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro import gsknn
+from repro.data import gaussian_mixture
+
+
+def main() -> None:
+    k = 5
+    dataset = gaussian_mixture(3000, 16, n_clusters=8, seed=2)
+    X = dataset.points.copy()
+    # inject heavy-tailed corruption into a few coordinates of some
+    # points — the situation where l1 matching beats l2
+    rng = np.random.default_rng(0)
+    corrupt = rng.choice(len(X), size=len(X) // 10, replace=False)
+    X[corrupt, rng.integers(0, 16, size=corrupt.size)] += rng.normal(
+        scale=5.0, size=corrupt.size
+    )
+
+    queries = np.arange(50)
+    refs = np.arange(len(X))
+
+    results = {}
+    for norm in ("l2", "l1", "linf", 3.0):
+        results[norm] = gsknn(X, queries, refs, k, norm=norm)
+
+    # verify against scipy for the first few queries
+    metrics = {"l2": "sqeuclidean", "l1": "cityblock", "linf": "chebyshev"}
+    for norm, metric in metrics.items():
+        want = np.sort(cdist(X[queries[:5]], X), axis=1)[:, :k]
+        got = results[norm].distances[:5]
+        ref = np.sort(cdist(X[queries[:5]], X, metric), axis=1)[:, :k]
+        assert np.allclose(got, ref, atol=1e-9), norm
+    print("scipy cross-check passed for l2 / l1 / linf")
+
+    overlap_12 = overlap_2inf = 0
+    for i in range(len(queries)):
+        s2 = set(results["l2"].indices[i].tolist())
+        s1 = set(results["l1"].indices[i].tolist())
+        sinf = set(results["linf"].indices[i].tolist())
+        overlap_12 += len(s2 & s1)
+        overlap_2inf += len(s2 & sinf)
+    total = len(queries) * k
+    print(f"neighbor overlap l2 vs l1:   {overlap_12 / total:.0%}")
+    print(f"neighbor overlap l2 vs linf: {overlap_2inf / total:.0%}")
+    print(
+        "(the corrupted coordinates push l2 and l-inf toward different\n"
+        " neighbors, while l1 discounts single-coordinate outliers)"
+    )
+
+
+if __name__ == "__main__":
+    main()

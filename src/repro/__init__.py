@@ -1,0 +1,57 @@
+"""repro — a reproduction of GSKNN (Yu et al., SC '15).
+
+*Performance Optimization for the K-Nearest Neighbors Kernel on x86
+Architectures*: a fused blocked-GEMM + neighbor-selection kernel, its
+GEMM-based baseline, the paper's performance model, a simulated memory
+hierarchy standing in for the Ivy Bridge testbed, and the approximate
+all-nearest-neighbor solvers (randomized KD-trees, LSH) that consume the
+kernel.
+
+Quickstart::
+
+    import numpy as np
+    from repro import gsknn
+
+    X = np.random.default_rng(0).random((10_000, 64))
+    idx = np.arange(len(X))
+    result = gsknn(X, q_idx=idx[:512], r_idx=idx, k=16)
+    result.indices  # (512, 16) global neighbor ids
+"""
+
+from .core.gsknn import gsknn, gsknn_exact_loops
+from .core.neighbors import KnnResult, merge_neighbor_lists, recall
+from .core.ref_kernel import ref_knn, ref_knn_timed
+from .errors import (
+    ConfigurationError,
+    ConvergenceError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "gsknn",
+    "gsknn_exact_loops",
+    "ref_knn",
+    "ref_knn_timed",
+    "KnnResult",
+    "merge_neighbor_lists",
+    "recall",
+    "all_nearest_neighbors",
+    "ReproError",
+    "ValidationError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "__version__",
+]
+
+
+def all_nearest_neighbors(X, k, **kwargs):
+    """Convenience alias for :func:`repro.trees.allknn.all_nearest_neighbors`.
+
+    Imported lazily so ``import repro`` stays light.
+    """
+    from .trees.allknn import all_nearest_neighbors as _impl
+
+    return _impl(X, k, **kwargs)

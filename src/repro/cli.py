@@ -1,0 +1,295 @@
+"""Command-line interface: ``repro-gsknn``.
+
+Subcommands:
+
+* ``kernel`` — run one kNN kernel (gsknn / gemm) on synthetic data and
+  report timing + achieved GFLOPS;
+* ``compare`` — run both kernels on the same problem and print the
+  speedup (a one-problem slice of the Figure 6 grid);
+* ``allknn`` — run the approximate all-NN solver and report recall;
+* ``model`` — print the performance model's prediction (and the
+  Var#1/Var#6 threshold) for a problem size;
+* ``trace`` — run the cache-trace simulator and print DRAM traffic per
+  kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from . import __version__
+from .config import BlockingParams, IVY_BRIDGE_BLOCKING
+from .machine import IVY_BRIDGE, TINY_MACHINE, KnnTraceSimulator
+from .perf.gflops import gflops
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gsknn",
+        description="GSKNN reproduction (Yu et al., SC'15) command line",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_problem_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-m", type=int, default=2048, help="queries")
+        p.add_argument("-n", type=int, default=2048, help="references")
+        p.add_argument("-d", type=int, default=64, help="dimension")
+        p.add_argument("-k", type=int, default=16, help="neighbors")
+        p.add_argument("--seed", type=int, default=0)
+
+    kern = sub.add_parser("kernel", help="run one kernel on synthetic data")
+    add_problem_args(kern)
+    kern.add_argument(
+        "--kernel", choices=("gsknn", "gemm"), default="gsknn"
+    )
+    kern.add_argument("--norm", default="l2")
+    kern.add_argument("--variant", default="auto")
+
+    comp = sub.add_parser("compare", help="GSKNN vs GEMM approach")
+    add_problem_args(comp)
+    comp.add_argument("--repeats", type=int, default=3)
+
+    aknn = sub.add_parser("allknn", help="approximate all-NN solver")
+    aknn.add_argument("-N", type=int, default=8192)
+    aknn.add_argument("-d", type=int, default=32)
+    aknn.add_argument("-k", type=int, default=16)
+    aknn.add_argument("--method", choices=("rkdtree", "lsh"), default="rkdtree")
+    aknn.add_argument("--kernel", choices=("gsknn", "gemm"), default="gsknn")
+    aknn.add_argument("--leaf-size", type=int, default=512)
+    aknn.add_argument("--iterations", type=int, default=8)
+    aknn.add_argument("--seed", type=int, default=0)
+    aknn.add_argument(
+        "--evaluate", action="store_true", help="also compute exact recall"
+    )
+
+    model = sub.add_parser("model", help="performance-model prediction")
+    add_problem_args(model)
+    model.add_argument("--cores", type=int, default=1)
+
+    trace = sub.add_parser("trace", help="cache-trace simulation")
+    add_problem_args(trace)
+
+    tune = sub.add_parser("tune", help="variant decision table + thresholds")
+    add_problem_args(tune)
+    tune.add_argument(
+        "--measured",
+        action="store_true",
+        help="build the table from timings instead of the model",
+    )
+    tune.add_argument("--save", type=str, default=None, help="JSON output path")
+
+    dist = sub.add_parser(
+        "distributed", help="simulated multi-rank all-NN projection"
+    )
+    dist.add_argument("-N", type=int, default=8192)
+    dist.add_argument("-d", type=int, default=32)
+    dist.add_argument("-k", type=int, default=16)
+    dist.add_argument("--ranks", type=int, default=8)
+    dist.add_argument("--leaf-size", type=int, default=512)
+    dist.add_argument("--iterations", type=int, default=2)
+    dist.add_argument("--kernel", choices=("gsknn", "gemm"), default="gsknn")
+    dist.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from .core.gsknn import gsknn
+    from .core.ref_kernel import ref_knn
+    from .data import uniform_hypercube
+
+    ds = uniform_hypercube(max(args.m, args.n), args.d, seed=args.seed)
+    q = np.arange(args.m)
+    r = np.arange(args.n)
+    runner = gsknn if args.kernel == "gsknn" else ref_knn
+    kwargs = {"norm": args.norm}
+    if args.kernel == "gsknn":
+        kwargs["variant"] = args.variant
+    t0 = time.perf_counter()
+    result = runner(ds.points, q, r, args.k, **kwargs)
+    elapsed = time.perf_counter() - t0
+    print(
+        f"{args.kernel}: m={args.m} n={args.n} d={args.d} k={args.k} "
+        f"time={elapsed * 1e3:.1f} ms "
+        f"gflops={gflops(args.m, args.n, args.d, elapsed):.2f}"
+    )
+    print(f"first query neighbors: {result.indices[0][: min(args.k, 8)]}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .core.gsknn import gsknn
+    from .core.ref_kernel import ref_knn
+    from .data import uniform_hypercube
+
+    ds = uniform_hypercube(max(args.m, args.n), args.d, seed=args.seed)
+    q = np.arange(args.m)
+    r = np.arange(args.n)
+
+    def best_of(fn) -> float:
+        times = []
+        for _ in range(args.repeats):
+            t0 = time.perf_counter()
+            fn(ds.points, q, r, args.k)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_gsknn = best_of(gsknn)
+    t_gemm = best_of(ref_knn)
+    print(
+        f"m={args.m} n={args.n} d={args.d} k={args.k}  "
+        f"gsknn={t_gsknn * 1e3:.1f} ms  gemm={t_gemm * 1e3:.1f} ms  "
+        f"speedup={t_gemm / t_gsknn:.2f}x"
+    )
+    return 0
+
+
+def _cmd_allknn(args: argparse.Namespace) -> int:
+    from .data import embedded_gaussian
+    from .trees import all_nearest_neighbors, exact_all_knn
+    from .core.neighbors import recall
+
+    ds = embedded_gaussian(
+        args.N, args.d, intrinsic_dim=min(10, args.d), seed=args.seed
+    )
+    truth = exact_all_knn(ds.points, args.k) if args.evaluate else None
+    report = all_nearest_neighbors(
+        ds.points,
+        args.k,
+        method=args.method,
+        kernel=args.kernel,
+        leaf_size=args.leaf_size,
+        iterations=args.iterations,
+        seed=args.seed,
+        truth=truth,
+    )
+    print(
+        f"{args.method}+{args.kernel}: N={args.N} d={args.d} k={args.k} "
+        f"iters={report.iterations} total={report.total_seconds:.2f}s "
+        f"kernel={report.kernel_seconds:.2f}s "
+        f"({report.kernel_fraction:.0%} in kernel)"
+    )
+    if truth is not None:
+        print(f"final recall: {recall(report.result, truth):.4f}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from .model import PerformanceModel, predict_variant_threshold
+
+    machine = IVY_BRIDGE.scaled(args.cores, 3.10e9 if args.cores > 1 else None)
+    model = PerformanceModel(machine, IVY_BRIDGE_BLOCKING)
+    print(
+        f"machine: {machine.name} x{args.cores} cores, "
+        f"peak {machine.peak_gflops:.0f} GFLOPS"
+    )
+    for kernel in ("var1", "var6", "gemm"):
+        pred = model.predict(kernel, args.m, args.n, args.d, args.k)
+        print(
+            f"  {kernel:5s}: {pred.seconds * 1e3:8.2f} ms  "
+            f"{pred.gflops:7.1f} GFLOPS"
+        )
+    thr = predict_variant_threshold(
+        args.m, args.n, args.d, machine=machine, k_max=min(args.n, 4096)
+    )
+    print(f"predicted Var#1->Var#6 threshold: k = {thr}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    blk = BlockingParams(m_r=4, n_r=4, d_c=16, m_c=32, n_c=64)
+    sim = KnnTraceSimulator(TINY_MACHINE, blk)
+    for kernel in ("gsknn-var1", "gsknn-var6", "gemm"):
+        res = sim.run(kernel, m=args.m, n=args.n, d=args.d, k=args.k)
+        print(
+            f"  {kernel:10s}: DRAM {res.dram_total_bytes / 1024:8.1f} KiB  "
+            f"micro-kernels {res.counts['microkernels']}"
+        )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .core.autotune import DecisionTable
+    from .model import predict_variant_threshold
+
+    d_grid = sorted({16, 64, 256, args.d})
+    k_grid = sorted({16, 128, 1024, args.k} & set(range(1, args.n + 1)))
+    if args.measured:
+        table = DecisionTable.from_measurements(
+            args.m, args.n, d_grid, k_grid, repeats=2
+        )
+    else:
+        table = DecisionTable.from_model(args.m, args.n, d_grid, k_grid)
+    print(f"decision table ({table.source}) for m={args.m}, n={args.n}:")
+    header = "      " + "".join(f"{f'k={k}':>8}" for k in k_grid)
+    print(header)
+    for d in d_grid:
+        row = "".join(
+            f"{('v' + str(table.choices[(d, k)])) if (d, k) in table.choices else '-':>8}"
+            for k in k_grid
+        )
+        print(f"d={d:>4}{row}")
+    thr = predict_variant_threshold(args.m, args.n, args.d, k_max=args.n)
+    print(f"model threshold at d={args.d}: k* = {thr}")
+    print(f"this problem (d={args.d}, k={args.k}): {table.lookup(args.d, args.k)}")
+    if args.save:
+        path = table.save(args.save)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    from .data import embedded_gaussian
+    from .distributed import DistributedAllKnn
+
+    ds = embedded_gaussian(
+        args.N, args.d, intrinsic_dim=min(10, args.d), seed=args.seed
+    )
+    solver = DistributedAllKnn(
+        args.ranks,
+        leaf_size=args.leaf_size,
+        iterations=args.iterations,
+        kernel=args.kernel,
+        seed=args.seed,
+    )
+    report = solver.solve(ds.points, args.k)
+    print(
+        f"{args.kernel} on {args.ranks} simulated ranks: "
+        f"N={args.N} d={args.d} k={args.k}"
+    )
+    print(
+        f"  serial kernel time:   {report.serial_kernel_seconds:7.2f} s\n"
+        f"  busiest rank kernel:  {max(report.rank_kernel_seconds):7.2f} s\n"
+        f"  communication (a-b):  {report.comm_seconds:7.4f} s "
+        f"({report.comm_bytes / 1e6:.1f} MB moved)\n"
+        f"  projected wall clock: {report.projected_seconds:7.2f} s "
+        f"({report.projected_speedup:.1f}x over serial)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "kernel": _cmd_kernel,
+    "compare": _cmd_compare,
+    "allknn": _cmd_allknn,
+    "model": _cmd_model,
+    "trace": _cmd_trace,
+    "tune": _cmd_tune,
+    "distributed": _cmd_distributed,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: the fused GSKNN kernel and baseline.
+
+Public surface:
+
+* :func:`~repro.core.gsknn.gsknn` — the fused kernel (Algorithm 2.2);
+* :func:`~repro.core.gsknn.gsknn_exact_loops` — the faithful six-loop
+  reference implementation with packed micro-panels and scalar heaps;
+* :func:`~repro.core.ref_kernel.ref_knn` — the GEMM-based baseline
+  (Algorithm 2.1), with phase timing via
+  :func:`~repro.core.ref_kernel.ref_knn_timed`;
+* :class:`~repro.core.neighbors.KnnResult` and merge/recall utilities;
+* :mod:`repro.core.tuning` — blocking-parameter derivation and variant
+  switching (imported lazily to keep the model package optional at
+  import time).
+"""
+
+from .gsknn import DEFAULT_VARIANT_SWITCH_K, GsknnStats, gsknn, gsknn_exact_loops
+from .neighbors import KnnResult, merge_neighbor_lists, recall
+from .norms import Norm, pairwise_block, pairwise_lp, pairwise_sq_l2, resolve_norm
+from .ref_kernel import ref_knn, ref_knn_timed
+from .variants import Variant, VariantInfo, VARIANT_INFO, resolve_variant
+
+__all__ = [
+    "gsknn",
+    "gsknn_exact_loops",
+    "GsknnStats",
+    "DEFAULT_VARIANT_SWITCH_K",
+    "KnnResult",
+    "merge_neighbor_lists",
+    "recall",
+    "Norm",
+    "resolve_norm",
+    "pairwise_sq_l2",
+    "pairwise_lp",
+    "pairwise_block",
+    "ref_knn",
+    "ref_knn_timed",
+    "Variant",
+    "VariantInfo",
+    "VARIANT_INFO",
+    "resolve_variant",
+]
+
+
+def __getattr__(name: str):
+    # tuning imports the performance model, which imports this package;
+    # resolving it lazily breaks the cycle.
+    if name == "tuning":
+        from . import tuning
+
+        return tuning
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

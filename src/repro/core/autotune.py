@@ -1,0 +1,244 @@
+"""Auto-tuning: decision tables and model-narrowed threshold search.
+
+§2.4 names two ways to choose the variant and block sizes — exhaustive
+search and modeling — and §2.6 shows the model shrinking the search
+("help quickly narrow down a small region for fine tuning and prevent
+an exhaustive search"). This module implements all three pieces:
+
+* :func:`measure_kernel_seconds` — the timing primitive (best-of-N on
+  synthetic uniform data, the paper's benchmark distribution);
+* :class:`DecisionTable` — a (d, k)-gridded variant table built either
+  from the model (cheap) or from measurements (exhaustive), with
+  nearest-gridpoint lookup and JSON persistence;
+* :func:`refine_threshold` — Figure 5's procedure: take the model's
+  predicted k*, then measure only a geometric neighbourhood around it
+  instead of the whole k axis;
+* :func:`tune_block_n` — block-size sweep for the fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..model.perf_model import PerformanceModel
+from ..model.threshold import predict_variant_threshold
+from .gsknn import gsknn
+from .variants import Variant
+
+__all__ = [
+    "measure_kernel_seconds",
+    "DecisionTable",
+    "refine_threshold",
+    "tune_block_n",
+]
+
+
+def measure_kernel_seconds(
+    m: int,
+    n: int,
+    d: int,
+    k: int,
+    variant: int,
+    *,
+    repeats: int = 2,
+    seed: int = 0,
+    block_n: int | None = None,
+) -> float:
+    """Best-of-N wall clock of one kernel configuration on uniform data."""
+    if min(m, n, d, k) < 1 or k > n:
+        raise ValidationError("invalid problem sizes")
+    rng = np.random.default_rng(seed)
+    X = rng.random((max(m, n), d))
+    q = np.arange(m)
+    r = np.arange(n)
+    kwargs = {} if block_n is None else {"block_n": block_n}
+    gsknn(X, q, r, k, variant=variant, **kwargs)  # warm-up
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        gsknn(X, q, r, k, variant=variant, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@dataclass
+class DecisionTable:
+    """Variant choice on a (d, k) grid, queried by nearest gridpoint.
+
+    The paper: "A two dimensional threshold can be set on the (d, k)
+    space ... a tuning based decision table would need to search the
+    whole (d, k) space which can be time consuming." Build it cheaply
+    from the model (:meth:`from_model`) or exhaustively from timings
+    (:meth:`from_measurements`).
+    """
+
+    m: int
+    n: int
+    d_grid: list[int]
+    k_grid: list[int]
+    choices: dict[tuple[int, int], int] = field(default_factory=dict)
+    source: str = "unset"
+
+    def __post_init__(self) -> None:
+        if not self.d_grid or not self.k_grid:
+            raise ValidationError("decision table needs non-empty grids")
+        if sorted(self.d_grid) != list(self.d_grid) or sorted(
+            self.k_grid
+        ) != list(self.k_grid):
+            raise ValidationError("grids must be sorted ascending")
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_model(
+        cls,
+        m: int,
+        n: int,
+        d_grid: list[int],
+        k_grid: list[int],
+        model: PerformanceModel | None = None,
+    ) -> "DecisionTable":
+        model = model if model is not None else PerformanceModel()
+        table = cls(m, n, list(d_grid), list(k_grid), source="model")
+        for d in d_grid:
+            for k in k_grid:
+                if k > n:
+                    continue
+                table.choices[(d, k)] = int(model.select_variant(m, n, d, k))
+        return table
+
+    @classmethod
+    def from_measurements(
+        cls,
+        m: int,
+        n: int,
+        d_grid: list[int],
+        k_grid: list[int],
+        *,
+        repeats: int = 2,
+    ) -> "DecisionTable":
+        """Exhaustive tuning: time Var#1 and Var#6 at every gridpoint."""
+        table = cls(m, n, list(d_grid), list(k_grid), source="measured")
+        for d in d_grid:
+            for k in k_grid:
+                if k > n:
+                    continue
+                t1 = measure_kernel_seconds(m, n, d, k, 1, repeats=repeats)
+                t6 = measure_kernel_seconds(m, n, d, k, 6, repeats=repeats)
+                table.choices[(d, k)] = 1 if t1 <= t6 else 6
+        return table
+
+    # -- lookup ------------------------------------------------------------
+
+    @staticmethod
+    def _nearest(grid: list[int], value: int) -> int:
+        return min(grid, key=lambda g: abs(np.log2(max(g, 1)) - np.log2(max(value, 1))))
+
+    def lookup(self, d: int, k: int) -> Variant:
+        """Variant for a problem at (d, k): nearest gridpoint in log space."""
+        if not self.choices:
+            raise ValidationError("decision table is empty")
+        key = (self._nearest(self.d_grid, d), self._nearest(self.k_grid, k))
+        if key not in self.choices:
+            # nearest gridpoint may have been skipped (k > n); fall back
+            # to any populated k on that d row
+            candidates = [c for c in self.choices if c[0] == key[0]]
+            if not candidates:
+                raise ValidationError(f"no decision for d={d}")
+            key = min(candidates, key=lambda c: abs(c[1] - k))
+        return Variant(self.choices[key])
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        payload = {
+            "m": self.m,
+            "n": self.n,
+            "d_grid": self.d_grid,
+            "k_grid": self.k_grid,
+            "source": self.source,
+            "choices": [
+                {"d": d, "k": k, "variant": v}
+                for (d, k), v in sorted(self.choices.items())
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DecisionTable":
+        path = Path(path)
+        if not path.exists():
+            raise ValidationError(f"decision table not found: {path}")
+        payload = json.loads(path.read_text())
+        table = cls(
+            payload["m"],
+            payload["n"],
+            payload["d_grid"],
+            payload["k_grid"],
+            source=payload.get("source", "loaded"),
+        )
+        for entry in payload["choices"]:
+            table.choices[(entry["d"], entry["k"])] = entry["variant"]
+        return table
+
+
+def refine_threshold(
+    m: int,
+    n: int,
+    d: int,
+    *,
+    span: float = 4.0,
+    points: int = 5,
+    repeats: int = 2,
+) -> int | None:
+    """Figure 5's model-narrowed search for the real Var#1/Var#6 crossover.
+
+    The model's predicted k* seeds a geometric grid of ``points`` values
+    in ``[k*/span, k* x span]``; only those are measured. Returns the
+    smallest measured k at which Var#6 wins, or None if Var#1 wins on
+    the whole refined grid.
+    """
+    if span <= 1.0 or points < 2:
+        raise ValidationError("need span > 1 and points >= 2")
+    predicted = predict_variant_threshold(m, n, d, k_max=n)
+    if predicted is None:
+        return None
+    lo = max(1, int(predicted / span))
+    hi = min(n, int(predicted * span))
+    grid = sorted(
+        {int(round(g)) for g in np.geomspace(lo, hi, points)} | {predicted}
+    )
+    for k in grid:
+        t1 = measure_kernel_seconds(m, n, d, k, 1, repeats=repeats)
+        t6 = measure_kernel_seconds(m, n, d, k, 6, repeats=repeats)
+        if t6 <= t1:
+            return k
+    return None
+
+
+def tune_block_n(
+    m: int,
+    n: int,
+    d: int,
+    k: int,
+    *,
+    candidates: tuple[int, ...] = (256, 512, 1024, 2048, 4096),
+    repeats: int = 2,
+) -> int:
+    """Pick the fastest ``block_n`` for the fast path at this problem size."""
+    viable = [c for c in candidates if c <= n] or [n]
+    times = {
+        c: measure_kernel_seconds(
+            m, n, d, k, 1, repeats=repeats, block_n=c
+        )
+        for c in viable
+    }
+    return min(times, key=times.get)

@@ -1,0 +1,158 @@
+"""Register-transfer-level simulation of the AVX rank-1 update (Figure 3).
+
+The paper's Figure 3 shows how one rank-1 update of a 4 x 4 register
+tile is computed with four VFMA instructions interleaved with register
+permutations: load ``Q_r = (q0..q3)`` and ``R_r = (r0..r3)``, then each
+VFMA multiplies ``Q_r`` element-wise with a *permutation* of ``R_r``,
+accumulating one (wrapped) diagonal of ``C_r`` per step. After the
+rank-d_c loop the four accumulators are permuted back to row order.
+
+This module executes that instruction sequence literally — vector
+registers are length-4 arrays, and the only operations used are the
+SIMD primitives the hardware has (element-wise FMA, in-lane SHUFFLE,
+cross-lane PERMUTE2F128) — so the tests can verify that the paper's
+shuffle choreography really computes the outer product, and count
+instructions per update (4 FMAs + 3 permutes per rank-1, the basis of
+the §2.4 latency argument).
+
+Lane bookkeeping: with the rotation sequence used here, accumulator
+``acc_s`` holds ``C[i, (i + s) mod 4]`` in lane ``i`` — the wrapped
+diagonals — and :func:`diagonals_to_tile` inverts that mapping (the
+"permute C_r back to original order" step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["AvxSim", "rank1_update_4x4", "diagonals_to_tile", "rank_dc_update_4x4"]
+
+_WIDTH = 4  # 4 doubles per 256-bit AVX register
+
+
+@dataclass
+class AvxSim:
+    """Counts the SIMD instructions a simulated sequence issues."""
+
+    vfma: int = 0
+    shuffle: int = 0  # in-lane swaps (VSHUFPD-class)
+    permute2f128: int = 0  # cross-lane 128-bit swaps
+    vload: int = 0
+
+    # -- primitive instructions -------------------------------------------
+
+    def load(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (_WIDTH,):
+            raise ValidationError(
+                f"a vector register holds {_WIDTH} doubles, got {values.shape}"
+            )
+        self.vload += 1
+        return values.copy()
+
+    def fma(
+        self, acc: np.ndarray, a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """acc + a * b, element-wise — one VFMA (or VMUL+VADD pair)."""
+        self.vfma += 1
+        return acc + a * b
+
+    def shuffle_in_lane(self, reg: np.ndarray) -> np.ndarray:
+        """Swap the two doubles inside each 128-bit lane (imm 0x5):
+        (a, b, c, d) -> (b, a, d, c)."""
+        self.shuffle += 1
+        return reg[[1, 0, 3, 2]]
+
+    def swap_lanes(self, reg: np.ndarray) -> np.ndarray:
+        """Exchange the 128-bit halves (VPERM2F128 imm 0x1):
+        (a, b, c, d) -> (c, d, a, b)."""
+        self.permute2f128 += 1
+        return reg[[2, 3, 0, 1]]
+
+    @property
+    def total(self) -> int:
+        return self.vfma + self.shuffle + self.permute2f128 + self.vload
+
+
+def rank1_update_4x4(
+    sim: AvxSim,
+    accumulators: list[np.ndarray],
+    q: np.ndarray,
+    r: np.ndarray,
+) -> list[np.ndarray]:
+    """One Figure 3 rank-1 step: 4 VFMAs over rotations of ``R_r``.
+
+    ``accumulators[s]`` carries the wrapped diagonal ``C[i, (i+s)%4]``.
+    The rotation schedule (identity, in-lane swap, lane swap, both)
+    produces, in lane ``i``, the ``r`` element at column ``(i+s) % 4``:
+
+    ======  =================  ==========================
+    step s  permutation        lane i multiplies r[...]
+    ======  =================  ==========================
+    0       identity           r[i]
+    1       shuffle (0x5)      r[i xor 1]
+    2       lanes  (0x1)       r[i xor 2]
+    3       shuffle of step 2  r[i xor 3]
+    ======  =================  ==========================
+
+    (xor-indexed rather than rotate-indexed — the standard AVX trick,
+    since xor patterns are what single shuffle instructions provide.)
+    """
+    if len(accumulators) != _WIDTH:
+        raise ValidationError(f"need {_WIDTH} accumulators")
+    perm0 = r
+    perm1 = sim.shuffle_in_lane(perm0)
+    perm2 = sim.swap_lanes(perm0)
+    perm3 = sim.shuffle_in_lane(perm2)
+    perms = [perm0, perm1, perm2, perm3]
+    return [sim.fma(acc, q, perm) for acc, perm in zip(accumulators, perms)]
+
+
+def diagonals_to_tile(accumulators: list[np.ndarray]) -> np.ndarray:
+    """Un-permute the xor-diagonal accumulators into the 4 x 4 tile.
+
+    ``accumulators[s]`` lane ``i`` holds ``C[i, i xor s]``.
+    """
+    if len(accumulators) != _WIDTH:
+        raise ValidationError(f"need {_WIDTH} accumulators")
+    tile = np.empty((_WIDTH, _WIDTH), dtype=np.float64)
+    for s, acc in enumerate(accumulators):
+        for i in range(_WIDTH):
+            tile[i, i ^ s] = acc[i]
+    return tile
+
+
+def rank_dc_update_4x4(
+    Q_panel: np.ndarray,
+    R_panel: np.ndarray,
+    sim: AvxSim | None = None,
+) -> tuple[np.ndarray, AvxSim]:
+    """Full rank-``d_b`` update of a 4 x 4 tile via the Figure 3 sequence.
+
+    ``Q_panel``/``R_panel`` are ``(d_b, 4)`` packed micro-panels (one
+    register load per depth step per side). Returns ``(C_tile, sim)``
+    with ``C_tile = Q_panel^T @ R_panel`` computed purely through the
+    simulated SIMD instructions.
+    """
+    Q_panel = np.asarray(Q_panel, dtype=np.float64)
+    R_panel = np.asarray(R_panel, dtype=np.float64)
+    if (
+        Q_panel.ndim != 2
+        or Q_panel.shape[1] != _WIDTH
+        or R_panel.shape != Q_panel.shape
+    ):
+        raise ValidationError(
+            f"panels must both be (d_b, {_WIDTH}), got "
+            f"{Q_panel.shape} and {R_panel.shape}"
+        )
+    sim = sim if sim is not None else AvxSim()
+    accumulators = [np.zeros(_WIDTH) for _ in range(_WIDTH)]
+    for p in range(Q_panel.shape[0]):
+        q = sim.load(Q_panel[p])
+        r = sim.load(R_panel[p])
+        accumulators = rank1_update_4x4(sim, accumulators, q, r)
+    return diagonals_to_tile(accumulators), sim

@@ -1,0 +1,98 @@
+"""Batch kNN: many independent kernels, model-scheduled (§2.5).
+
+The approximate solvers generate exactly this workload — hundreds of
+small (m, n, k) kernels with no dependencies — and §2.5 prescribes the
+treatment: estimate each kernel's runtime with the §2.6 model, sort
+descending, and greedily assign to the least-loaded worker (LPT). This
+module makes that a public API instead of driver-internal machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..model.perf_model import PerformanceModel
+from ..parallel.scheduler import ScheduledTask, execute_schedule, lpt_schedule
+from ..validation import as_coordinate_table, check_finite
+from .gsknn import gsknn
+from .neighbors import KnnResult
+from .norms import Norm, squared_norms
+
+__all__ = ["KnnProblem", "gsknn_batch"]
+
+
+@dataclass(frozen=True)
+class KnnProblem:
+    """One kernel invocation of a batch: indices into the shared table."""
+
+    q_idx: np.ndarray
+    r_idx: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        q = np.asarray(self.q_idx, dtype=np.intp)
+        r = np.asarray(self.r_idx, dtype=np.intp)
+        if q.ndim != 1 or r.ndim != 1 or q.size == 0 or r.size == 0:
+            raise ValidationError("q_idx and r_idx must be non-empty 1-D")
+        if not 1 <= self.k <= r.size:
+            raise ValidationError(
+                f"k={self.k} out of range for {r.size} references"
+            )
+        object.__setattr__(self, "q_idx", q)
+        object.__setattr__(self, "r_idx", r)
+
+
+def gsknn_batch(
+    X: np.ndarray,
+    problems: list[KnnProblem],
+    *,
+    p: int = 1,
+    norm: str | float | Norm = "l2",
+    variant: int | str = "auto",
+) -> list[KnnResult]:
+    """Solve a batch of independent kNN kernels over one coordinate table.
+
+    Results are returned in problem order. With ``p > 1`` the kernels
+    are LPT-scheduled onto ``p`` worker threads by model-estimated
+    runtime; the squared-norm side table is computed once and shared
+    (the paper's global ``X2``).
+    """
+    if p < 1:
+        raise ValidationError(f"need p >= 1 workers, got {p}")
+    if not problems:
+        return []
+    X = as_coordinate_table(X)
+    check_finite(X)
+    for prob in problems:
+        if prob.q_idx.max() >= X.shape[0] or prob.r_idx.max() >= X.shape[0]:
+            raise ValidationError("problem indices exceed the table size")
+
+    norm_obj = norm
+    X2 = squared_norms(X)
+
+    def solve(prob: KnnProblem) -> KnnResult:
+        return gsknn(
+            X, prob.q_idx, prob.r_idx, prob.k, norm=norm_obj,
+            variant=variant, X2=X2,
+        )
+
+    if p == 1 or len(problems) == 1:
+        return [solve(prob) for prob in problems]
+
+    model = PerformanceModel()
+    tasks = [
+        ScheduledTask(
+            i,
+            model.estimate_kernel_runtime(
+                prob.q_idx.size, prob.r_idx.size, X.shape[1], prob.k
+            ),
+            payload=prob,
+        )
+        for i, prob in enumerate(problems)
+    ]
+    schedule = lpt_schedule(tasks, p)
+    results = execute_schedule(schedule, lambda t: solve(t.payload))
+    return [results[i] for i in range(len(problems))]

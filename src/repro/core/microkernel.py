@@ -1,0 +1,159 @@
+"""Micro-kernel semantics: the m_r x n_r register tile (Algorithm 2.3).
+
+The paper's architecture-dependent core is a tile of vector registers
+``C_r`` updated by a rank-``d_c`` sequence of FMAs over one packed
+``Q_c`` micro-panel and one packed ``R_c`` micro-panel (Figure 3), then
+— on the final depth block only — finalized into squared distances and
+fed straight into the per-query heaps (Var#1's fused tail).
+
+This module reproduces those semantics exactly over the packed-panel
+layout of :func:`repro.gemm.packing.pack_micropanels`, in three steps
+that mirror the paper's four (its steps 2 and 3 merge here):
+
+1. :func:`rank_update` — accumulate one depth block into the tile;
+2. :func:`finalize_tile` — turn accumulators into distances (applying
+   the ``-2`` scale and the ``Q2 + R2`` norm terms for l2, or the
+   root/identity for lp norms);
+3. :func:`fused_select` — root-filter the tile against the heaps and
+   insert survivors (the Var#1 placement).
+
+The exact-loop GSKNN implementation composes these; the fast numpy path
+uses block-level equivalents but is tested against this one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..select.heap import BinaryMaxHeap, DHeap
+from .norms import Norm
+
+__all__ = ["rank_update", "finalize_tile", "fused_select", "init_tile"]
+
+Heap = BinaryMaxHeap | DHeap
+
+
+def init_tile(m_r: int, n_r: int, norm: Norm) -> np.ndarray:
+    """Fresh accumulator tile: zeros, except -inf-free max-identity for linf.
+
+    l2 accumulates inner products, lp (p < inf) accumulates sums of
+    powered differences — both start at 0. l-inf accumulates a running
+    max of absolute differences, whose identity is also 0 (distances are
+    non-negative).
+    """
+    if m_r < 1 or n_r < 1:
+        raise ValidationError("tile dimensions must be >= 1")
+    return np.zeros((m_r, n_r), dtype=np.float64)
+
+
+def rank_update(
+    c_tile: np.ndarray,
+    q_panel: np.ndarray,
+    r_panel: np.ndarray,
+    norm: Norm,
+) -> None:
+    """Accumulate one depth block into the register tile, in place.
+
+    ``q_panel`` is ``(d_b, m_r)`` and ``r_panel`` is ``(d_b, n_r)`` — one
+    length-m_r / length-n_r register vector per depth step, the packed
+    layout's natural slices.
+
+    * l2: ``C_r += sum_p q[p] outer r[p]`` (the -2 scale is deferred to
+      finalization, as in the paper);
+    * lp, p < inf: ``C_r += sum_p |q[p] - r[p]|^p`` (VSUB+VAND+VPOW+VADD);
+    * l-inf: ``C_r = max(C_r, max_p |q[p] - r[p]|)`` (VSUB+VAND+VMAX).
+    """
+    if q_panel.shape[0] != r_panel.shape[0]:
+        raise ValidationError(
+            f"depth mismatch: q panel {q_panel.shape}, r panel {r_panel.shape}"
+        )
+    if c_tile.shape != (q_panel.shape[1], r_panel.shape[1]):
+        raise ValidationError(
+            f"tile shape {c_tile.shape} does not match panels "
+            f"{q_panel.shape} x {r_panel.shape}"
+        )
+    if norm.is_l2 or norm.is_cosine:
+        c_tile += q_panel.T @ r_panel
+        return
+    diff = np.abs(q_panel.T[:, None, :] - r_panel.T[None, :, :])  # (m_r, n_r, d_b)
+    if norm.is_linf:
+        np.maximum(c_tile, diff.max(axis=2), out=c_tile)
+    elif norm.p == 1.0:
+        c_tile += diff.sum(axis=2)
+    else:
+        c_tile += np.power(diff, norm.p).sum(axis=2)
+
+
+def finalize_tile(
+    c_tile: np.ndarray,
+    q2: np.ndarray | None,
+    r2: np.ndarray | None,
+    norm: Norm,
+) -> np.ndarray:
+    """Convert a fully accumulated tile into distances.
+
+    For l2: ``dist = q2 + r2 - 2 * acc`` (clamped at 0). For p < inf:
+    ``dist = acc^(1/p)`` (identity for p = 1). For l-inf the accumulator
+    already is the distance.
+    """
+    if norm.is_cosine:
+        if q2 is None or r2 is None:
+            raise ValidationError("cosine finalization requires q2 and r2 norms")
+        denom = np.sqrt(np.maximum(q2[:, None] * r2[None, :], 0.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = c_tile / denom
+        sim = np.where(denom > 0.0, sim, 0.0)
+        np.clip(sim, -1.0, 1.0, out=sim)
+        return 1.0 - sim
+    if norm.is_l2:
+        if q2 is None or r2 is None:
+            raise ValidationError("l2 finalization requires q2 and r2 norms")
+        dist = q2[:, None] + r2[None, :] - 2.0 * c_tile
+        np.maximum(dist, 0.0, out=dist)
+        return dist
+    if norm.is_linf or norm.p == 1.0:
+        return c_tile.copy()
+    return np.power(c_tile, 1.0 / norm.p)
+
+
+def fused_select(
+    dist_tile: np.ndarray,
+    heaps: list[Heap],
+    row0: int,
+    ref_ids: np.ndarray,
+    live_rows: int | None = None,
+    live_cols: int | None = None,
+) -> int:
+    """Var#1's fused tail: root-filter the tile, insert survivors.
+
+    ``heaps[row0 + i]`` receives row ``i`` of the tile. ``live_rows`` /
+    ``live_cols`` restrict to the non-padded part of a ragged edge tile.
+    Returns the number of accepted insertions. The per-row vectorized
+    compare against the heap root is the paper's broadcast-VCMP
+    early-discard: rows whose minimum beats nothing are skipped whole.
+    """
+    m_r, n_r = dist_tile.shape
+    rows = m_r if live_rows is None else live_rows
+    cols = n_r if live_cols is None else live_cols
+    if rows > m_r or cols > n_r:
+        raise ValidationError("live region exceeds tile size")
+    if len(ref_ids) < cols:
+        raise ValidationError(
+            f"need at least {cols} reference ids, got {len(ref_ids)}"
+        )
+    accepted = 0
+    for i in range(rows):
+        heap = heaps[row0 + i]
+        root = heap.root
+        row = dist_tile[i, :cols]
+        # broadcast compare against the root: if nothing survives, the
+        # whole row is discarded without storing a single distance
+        survivors = np.flatnonzero(row < root)
+        heap.stats.comparisons += 1
+        if survivors.size == 0:
+            continue
+        for j in survivors:
+            if heap.update(float(row[j]), int(ref_ids[j])):
+                accepted += 1
+    return accepted

@@ -1,0 +1,201 @@
+"""Neighbor-list result container and merge utilities.
+
+Every kernel returns a :class:`KnnResult`: per-query distances and
+*global* reference ids (values of the caller's ``r_idx``, exactly like
+the paper's ``N(i, :)`` holds global indices ``r(j)``). The approximate
+outer solvers (:mod:`repro.trees`) repeatedly merge kernel results from
+different groupings — :func:`merge_neighbor_lists` implements that
+update with id-level deduplication so a reference seen in two iterations
+cannot occupy two slots of the same list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "KnnResult",
+    "merge_neighbor_lists",
+    "merge_neighbor_lists_fast",
+    "recall",
+]
+
+
+@dataclass(frozen=True)
+class KnnResult:
+    """k nearest neighbors for ``m`` queries.
+
+    Attributes
+    ----------
+    distances:
+        ``(m, k)`` float64, each row ascending. Squared distances for
+        the l2 kernel; natural distances otherwise. Unfilled slots (only
+        possible mid-iteration in approximate solvers) hold ``+inf``.
+    indices:
+        ``(m, k)`` intp of global reference ids; ``-1`` marks unfilled.
+    """
+
+    distances: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        dist = np.asarray(self.distances, dtype=np.float64)
+        idx = np.asarray(self.indices, dtype=np.intp)
+        if dist.ndim != 2 or dist.shape != idx.shape:
+            raise ValidationError(
+                f"distances {dist.shape} and indices {idx.shape} must be "
+                "equal 2-D shapes"
+            )
+        object.__setattr__(self, "distances", dist)
+        object.__setattr__(self, "indices", idx)
+
+    @property
+    def m(self) -> int:
+        return self.distances.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.distances.shape[1]
+
+    def is_sorted(self) -> bool:
+        # direct comparison, not np.diff: inf - inf is nan, but
+        # inf >= inf is True (unfilled tails are legitimately "sorted")
+        return bool(
+            (self.distances[:, 1:] >= self.distances[:, :-1]).all()
+        )
+
+    def sorted(self) -> "KnnResult":
+        """Rows re-sorted ascending by distance (stable)."""
+        order = np.argsort(self.distances, axis=1, kind="stable")
+        rows = np.arange(self.m)[:, None]
+        return KnnResult(self.distances[rows, order], self.indices[rows, order])
+
+    def save(self, path) -> "Path":
+        """Persist to an ``.npz`` archive (see :meth:`load`)."""
+        from pathlib import Path
+
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        np.savez_compressed(
+            path, distances=self.distances, indices=self.indices
+        )
+        return path
+
+    @classmethod
+    def load(cls, path) -> "KnnResult":
+        """Reload a result written by :meth:`save`."""
+        from pathlib import Path
+
+        path = Path(path)
+        if not path.exists():
+            raise ValidationError(f"result file not found: {path}")
+        with np.load(path) as archive:
+            if "distances" not in archive or "indices" not in archive:
+                raise ValidationError(f"{path} is not a KnnResult archive")
+            return cls(archive["distances"], archive["indices"])
+
+
+def merge_neighbor_lists(a: KnnResult, b: KnnResult) -> KnnResult:
+    """Merge two neighbor lists for the same queries, deduplicating ids.
+
+    Keeps, per query, the k smallest-distance entries over the union of
+    both lists, counting each reference id at most once (the smaller
+    distance wins; for exact kernels duplicates agree anyway). ``-1``
+    (unfilled) entries never win over real candidates.
+    """
+    if a.distances.shape != b.distances.shape:
+        raise ValidationError(
+            f"cannot merge neighbor lists of shapes {a.distances.shape} "
+            f"and {b.distances.shape}"
+        )
+    m, k = a.distances.shape
+    cat_dist = np.concatenate([a.distances, b.distances], axis=1)
+    cat_idx = np.concatenate([a.indices, b.indices], axis=1)
+
+    # Sort each row by distance, then mask out repeated ids keeping the
+    # first (= smallest-distance) occurrence.
+    order = np.argsort(cat_dist, axis=1, kind="stable")
+    rows = np.arange(m)[:, None]
+    sorted_dist = cat_dist[rows, order]
+    sorted_idx = cat_idx[rows, order]
+
+    out_dist = np.full((m, k), np.inf, dtype=np.float64)
+    out_idx = np.full((m, k), -1, dtype=np.intp)
+    for i in range(m):
+        seen: set[int] = set()
+        pos = 0
+        for dist, ident in zip(sorted_dist[i], sorted_idx[i]):
+            if ident < 0 or ident in seen:
+                continue
+            seen.add(int(ident))
+            out_dist[i, pos] = dist
+            out_idx[i, pos] = ident
+            pos += 1
+            if pos == k:
+                break
+    return KnnResult(out_dist, out_idx)
+
+
+def merge_neighbor_lists_fast(a: KnnResult, b: KnnResult) -> KnnResult:
+    """Vectorized dedup-merge — the hot path of the iterative solvers.
+
+    Semantics match :func:`merge_neighbor_lists` whenever duplicate ids
+    carry equal distances (always true when both lists come from exact
+    kernels over the same coordinate table, the solvers' case): rows are
+    merged, each id kept once, the k smallest survive.
+
+    Strategy: concatenate, sort each row by id so duplicates are
+    adjacent, blank repeats (id == previous and not the -1 sentinel) to
+    +inf, then top-k by distance.
+    """
+    if a.distances.shape != b.distances.shape:
+        raise ValidationError(
+            f"cannot merge neighbor lists of shapes {a.distances.shape} "
+            f"and {b.distances.shape}"
+        )
+    m, k = a.distances.shape
+    cat_dist = np.concatenate([a.distances, b.distances], axis=1)
+    cat_idx = np.concatenate([a.indices, b.indices], axis=1)
+    rows = np.arange(m)[:, None]
+
+    by_id = np.argsort(cat_idx, axis=1, kind="stable")
+    id_sorted = cat_idx[rows, by_id]
+    dist_sorted = cat_dist[rows, by_id]
+    dup = np.zeros_like(id_sorted, dtype=bool)
+    dup[:, 1:] = (id_sorted[:, 1:] == id_sorted[:, :-1]) & (id_sorted[:, 1:] >= 0)
+    dist_sorted = np.where(dup, np.inf, dist_sorted)
+    # -1 sentinels must never beat real candidates
+    dist_sorted = np.where(id_sorted < 0, np.inf, dist_sorted)
+
+    part = np.argpartition(dist_sorted, k - 1, axis=1)[:, :k]
+    top_dist = dist_sorted[rows, part]
+    top_idx = id_sorted[rows, part]
+    order = np.argsort(top_dist, axis=1, kind="stable")
+    out_dist = top_dist[rows, order]
+    out_idx = np.where(np.isinf(out_dist), -1, top_idx[rows, order])
+    return KnnResult(out_dist, out_idx)
+
+
+def recall(candidate: KnnResult, truth: KnnResult) -> float:
+    """Mean fraction of true neighbors present in the candidate lists.
+
+    The standard accuracy metric for approximate all-NN solvers; id-based
+    (hit iff the true neighbor's id appears anywhere in the row).
+    """
+    if candidate.indices.shape != truth.indices.shape:
+        raise ValidationError(
+            "candidate and truth must have identical shapes, got "
+            f"{candidate.indices.shape} and {truth.indices.shape}"
+        )
+    hits = 0
+    m, k = truth.indices.shape
+    for i in range(m):
+        hits += len(
+            set(truth.indices[i].tolist()) & set(candidate.indices[i].tolist())
+        )
+    return hits / (m * k)

@@ -1,0 +1,106 @@
+"""Blocking-parameter selection and variant switching (paper §2.4).
+
+The analytical recipe (following Low et al., "Analytical modeling is
+enough for high performance BLIS"):
+
+* ``m_r x n_r`` — sized so enough independent FMAs are in flight to hide
+  the FMA latency (8 cycles of mul+add on Ivy Bridge ⇒ >= 8 tiles of 4
+  doubles ⇒ 8 x 4 with an AVX register file of 16 x 256-bit);
+* ``d_c`` — micro-panels ``(m_r + n_r) x d_c`` fill ~3/4 of L1, keeping
+  a quarter free for streaming;
+* ``m_c`` — ``Q_c = m_c x d_c`` fills ~3/4 of L2;
+* ``n_c`` — ``R_c = n_c x d_c`` fills L3.
+
+Variant switching uses either the paper's simple production rule
+(Var#1 for k <= 512, §3) or the performance model's prediction.
+"""
+
+from __future__ import annotations
+
+from ..config import BlockingParams
+from ..errors import ValidationError
+from ..machine.params import MachineParams
+from ..model.perf_model import PerformanceModel
+from .gsknn import DEFAULT_VARIANT_SWITCH_K
+from .variants import Variant
+
+__all__ = [
+    "select_blocking",
+    "select_variant_heuristic",
+    "select_variant_model",
+    "dynamic_m_c",
+]
+
+_DOUBLE = 8
+
+
+def _round_down_multiple(value: int, multiple: int) -> int:
+    return max((value // multiple) * multiple, multiple)
+
+
+def select_blocking(
+    machine: MachineParams,
+    *,
+    m_r: int = 8,
+    n_r: int = 4,
+    l1_fill: float = 0.75,
+    l2_fill: float = 0.75,
+    l3_fill: float = 1.0,
+) -> BlockingParams:
+    """Derive the five block sizes from a machine's cache geometry.
+
+    Applied to :data:`~repro.machine.params.IVY_BRIDGE` this reproduces
+    the paper's published parameters up to the m_c rounding (the paper
+    uses 104 = 13 x m_r where 3/4 L2 gives 96-128 depending on how much
+    is reserved for R_c micro-panels and C; we keep the same
+    neighbourhood and round to a multiple of m_r).
+    """
+    if not machine.caches:
+        raise ValidationError(
+            f"machine {machine.name!r} has no cache levels to size against"
+        )
+    if len(machine.caches) < 3:
+        raise ValidationError(
+            "blocking derivation needs at least three cache levels"
+        )
+    l1, l2, l3 = machine.caches[0], machine.caches[1], machine.caches[2]
+
+    d_c = int(l1_fill * l1.size_bytes / ((m_r + n_r) * _DOUBLE))
+    d_c = _round_down_multiple(d_c, 8)
+    m_c = int(l2_fill * l2.size_bytes / (d_c * _DOUBLE))
+    m_c = _round_down_multiple(m_c, m_r)
+    n_c = int(l3_fill * l3.size_bytes / (d_c * _DOUBLE))
+    n_c = _round_down_multiple(n_c, n_r)
+    return BlockingParams(m_r=m_r, n_r=n_r, d_c=d_c, m_c=m_c, n_c=n_c)
+
+
+def select_variant_heuristic(k: int, d: int) -> Variant:
+    """The paper's production rule (§3): Var#1 for k <= 512, else Var#6."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    return Variant.VAR1 if k <= DEFAULT_VARIANT_SWITCH_K else Variant.VAR6
+
+
+def select_variant_model(
+    m: int, n: int, d: int, k: int, model: PerformanceModel
+) -> Variant:
+    """Model-predicted variant choice (the Figure 5 threshold rule)."""
+    return model.select_variant(m, n, d, k)
+
+
+def dynamic_m_c(m: int, p: int, base: BlockingParams) -> int:
+    """Load-balanced ``m_c`` for ``p`` cores (paper §2.5).
+
+    The 4th loop is the parallel loop; static scheduling balances only
+    when the number of ``m_c``-blocks is a multiple of ``p``. Shrink
+    ``m_c`` (never grow — it must still fit L2) so every core gets the
+    same number of blocks, rounded to the register block ``m_r``.
+    """
+    if m < 1 or p < 1:
+        raise ValidationError(f"need m >= 1 and p >= 1, got m={m}, p={p}")
+    blocks = -(-m // base.m_c)  # blocks at the base size
+    rounds = -(-blocks // p)
+    target_blocks = rounds * p
+    m_c = -(-m // target_blocks)
+    m_c = -(-m_c // base.m_r) * base.m_r  # round UP to a multiple of m_r
+    return min(max(m_c, base.m_r), base.m_c)

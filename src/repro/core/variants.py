@@ -1,0 +1,127 @@
+"""The six GSKNN variants (paper §2.3, "Other variants").
+
+The variant index names the loop after which heap selection runs.
+Var#1 (after the micro-kernel's 1st loop) and Var#6 (after everything,
+i.e. the classic two-phase structure but still with fused packing) are
+the two the paper keeps; the others are enumerated with the reasons they
+lose, and the model in :mod:`repro.model` can cost them all so the
+ablation bench can show *why* they lose rather than assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..errors import ValidationError
+
+__all__ = ["Variant", "VariantInfo", "VARIANT_INFO", "resolve_variant"]
+
+
+class Variant(IntEnum):
+    """Heap-selection placement: after loop 1..6 of Algorithm 2.2."""
+
+    VAR1 = 1
+    VAR2 = 2
+    VAR3 = 3
+    VAR4 = 4
+    VAR5 = 5
+    VAR6 = 6
+
+
+@dataclass(frozen=True)
+class VariantInfo:
+    """Qualitative record of one placement's behaviour."""
+
+    variant: Variant
+    selection_scope: str  # what slice of C is complete when selection runs
+    stored_distances: str  # how much of C must be materialized
+    viable: bool
+    notes: str
+
+
+VARIANT_INFO: dict[Variant, VariantInfo] = {
+    Variant.VAR1: VariantInfo(
+        Variant.VAR1,
+        selection_scope="m_r x n_r register tile",
+        stored_distances="none (C_r discarded from registers)",
+        viable=True,
+        notes=(
+            "Greatest reuse: distances consumed in registers/L1, no C "
+            "write-back. Heap may evict Q_c/R_c from L1/L2 when k is "
+            "large — the reason Var#6 wins at large k."
+        ),
+    ),
+    Variant.VAR2: VariantInfo(
+        Variant.VAR2,
+        selection_scope="m_r x n_c macro-row",
+        stored_distances="m_r x n_c buffer",
+        viable=False,
+        notes=(
+            "Stores more of C than Var#1 for small k, and for large k "
+            "keeps the heap hot in L1/L2 where R_c/Q_c panels belong, "
+            "forcing their reloads from L3 — slower than Var#6."
+        ),
+    ),
+    Variant.VAR3: VariantInfo(
+        Variant.VAR3,
+        selection_scope="m_c x n_c cache block",
+        stored_distances="m_c x n_c buffer",
+        viable=False,
+        notes="Same two failure modes as Var#2 at a larger block size.",
+    ),
+    Variant.VAR4: VariantInfo(
+        Variant.VAR4,
+        selection_scope="m x n_c at partial depth",
+        stored_distances="n/a",
+        viable=False,
+        notes=(
+            "Not viable at all: the 5th loop blocks the d dimension, so "
+            "distances are incomplete when the 4th loop finishes — there "
+            "is nothing correct to select on."
+        ),
+    ),
+    Variant.VAR5: VariantInfo(
+        Variant.VAR5,
+        selection_scope="m x n_c column slab",
+        stored_distances="m x n_c buffer",
+        viable=True,
+        notes=(
+            "Stores only m x n_c instead of m x n (useful under DRAM "
+            "pressure), but every heap is reloaded from memory n/n_c "
+            "times, doubling (or worse) the selection latency."
+        ),
+    ),
+    Variant.VAR6: VariantInfo(
+        Variant.VAR6,
+        selection_scope="full m x n matrix",
+        stored_distances="m x n matrix",
+        viable=True,
+        notes=(
+            "The classic placement (Algorithm 2.1's structure, minus its "
+            "redundant gather). Pays tau_b * m * n to store C but keeps "
+            "the rank-d_c pipeline undisturbed — preferred for large k."
+        ),
+    ),
+}
+
+
+def resolve_variant(variant: int | str | Variant) -> Variant:
+    """Accept 1..6, "var1".."var6", or a Variant; reject non-viable ones lazily.
+
+    Non-viable variants *resolve* fine (the model needs to cost them);
+    kernels that cannot execute them raise at execution time.
+    """
+    if isinstance(variant, Variant):
+        return variant
+    if isinstance(variant, str):
+        key = variant.lower().removeprefix("var").lstrip("#")
+        if not key.isdigit():
+            raise ValidationError(f"unknown variant {variant!r}")
+        variant = int(key)
+    try:
+        return Variant(int(variant))
+    except ValueError:
+        raise ValidationError(
+            f"variant must be 1..6, got {variant!r}"
+        ) from None

@@ -1,0 +1,28 @@
+"""Synthetic dataset generators used by the paper's experiments.
+
+Two generators matter:
+
+* :func:`uniform_hypercube` — the ``U[0,1]^d`` sampler used for every
+  kernel-level experiment (Table 5, Figures 4-6);
+* :func:`embedded_gaussian` — the Table 1 dataset: a 10-dimensional
+  Gaussian mixture embedded (via a random rotation) into a
+  ``d``-dimensional ambient space, which gives the randomized-KD-tree
+  outer solver realistic low intrinsic dimensionality.
+"""
+
+from .synthetic import (
+    Dataset,
+    embedded_gaussian,
+    gaussian_mixture,
+    uniform_hypercube,
+)
+from .loaders import load_dataset, save_dataset
+
+__all__ = [
+    "Dataset",
+    "uniform_hypercube",
+    "gaussian_mixture",
+    "embedded_gaussian",
+    "save_dataset",
+    "load_dataset",
+]

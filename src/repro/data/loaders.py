@@ -1,0 +1,58 @@
+"""Persist and reload :class:`~repro.data.synthetic.Dataset` objects.
+
+Datasets are stored as ``.npz`` archives carrying the coordinate table plus
+the generator provenance, so a benchmark run can be re-executed on exactly
+the same points.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ValidationError
+from .synthetic import Dataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Write ``dataset`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(
+        path,
+        points=dataset.points,
+        meta=np.frombuffer(
+            json.dumps(
+                {
+                    "name": dataset.name,
+                    "intrinsic_dim": dataset.intrinsic_dim,
+                    "params": dataset.params,
+                }
+            ).encode("utf-8"),
+            dtype=np.uint8,
+        ),
+    )
+    return path
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"dataset file not found: {path}")
+    with np.load(path) as archive:
+        if "points" not in archive:
+            raise ValidationError(f"{path} is not a repro dataset archive")
+        points = archive["points"]
+        meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
+    return Dataset(
+        points,
+        name=meta["name"],
+        intrinsic_dim=meta["intrinsic_dim"],
+        params=meta["params"],
+    )

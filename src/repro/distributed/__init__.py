@@ -1,0 +1,24 @@
+"""Simulated distributed-memory all-NN solver (Table 1's 8-node setting).
+
+The paper's integrated experiment runs a randomized-KD-tree all-NN
+solver over MPI on 8 NUMA nodes. This package reproduces that setting
+without MPI hardware: a deterministic single-process message-passing
+simulation (:mod:`repro.distributed.comm`) carries exact point and
+neighbor-list payloads between simulated ranks, an alpha-beta cost
+model prices the transfers, and the solver
+(:mod:`repro.distributed.solver`) combines measured per-rank kernel
+time with modeled communication into a projected multi-node wall
+clock. Results are bit-exact against the single-process solver — only
+the time is projected.
+"""
+
+from .comm import AlphaBetaModel, CommStats, SimComm
+from .solver import DistributedAllKnn, DistributedReport
+
+__all__ = [
+    "SimComm",
+    "CommStats",
+    "AlphaBetaModel",
+    "DistributedAllKnn",
+    "DistributedReport",
+]

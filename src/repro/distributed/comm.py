@@ -1,0 +1,148 @@
+"""Simulated message passing with alpha-beta cost accounting.
+
+A :class:`SimComm` is a deterministic, single-process stand-in for an
+MPI communicator: ranks post typed messages into each other's inboxes
+(payloads are real numpy arrays — the solver's correctness rides on
+them), and every transfer is tallied per rank. An
+:class:`AlphaBetaModel` then prices the tallies with the classic
+``T = n_messages * alpha + n_bytes * beta`` model, so the distributed
+solver can report a projected communication time alongside its
+measured kernel time.
+
+Default constants approximate the FDR InfiniBand fabric of the paper's
+testbed era: ``alpha = 2 microseconds`` per message, ``beta`` for
+~5 GB/s effective per-rank bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["CommStats", "AlphaBetaModel", "SimComm"]
+
+
+@dataclass
+class CommStats:
+    """Per-rank transfer tallies (sends only; receives mirror them)."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+@dataclass(frozen=True)
+class AlphaBetaModel:
+    """``T = messages * alpha + bytes * beta`` communication pricing."""
+
+    alpha: float = 2e-6
+    beta: float = 2e-10  # s/byte ~ 5 GB/s per rank
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValidationError("alpha and beta must be non-negative")
+
+    def seconds(self, stats: CommStats) -> float:
+        return stats.messages * self.alpha + stats.bytes_sent * self.beta
+
+
+def _payload_bytes(payload) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_bytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(_payload_bytes(item) for item in payload.values())
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    raise ValidationError(
+        f"unsupported payload type {type(payload).__name__}"
+    )
+
+
+class SimComm:
+    """A simulated communicator over ``n_ranks`` ranks.
+
+    Messages are delivered in FIFO order per (source, destination, tag)
+    channel; :meth:`recv` blocks conceptually but, this being a
+    single-process simulation, simply raises if nothing is pending —
+    the solver's send/recv schedule must be deadlock-free by
+    construction, which the tests assert.
+    """
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValidationError(f"need n_ranks >= 1, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self.stats = [CommStats() for _ in range(self.n_ranks)]
+        self._channels: dict[tuple[int, int, str], deque] = defaultdict(deque)
+
+    def _check_rank(self, rank: int, name: str) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValidationError(
+                f"{name}={rank} out of range for {self.n_ranks} ranks"
+            )
+
+    def send(self, src: int, dst: int, payload, tag: str = "") -> None:
+        """Post ``payload`` from ``src`` to ``dst`` (self-sends are free)."""
+        self._check_rank(src, "src")
+        self._check_rank(dst, "dst")
+        self._channels[(src, dst, tag)].append(payload)
+        if src != dst:
+            self.stats[src].messages += 1
+            self.stats[src].bytes_sent += _payload_bytes(payload)
+
+    def recv(self, dst: int, src: int, tag: str = ""):
+        """Pop the oldest pending message on the (src, dst, tag) channel."""
+        self._check_rank(src, "src")
+        self._check_rank(dst, "dst")
+        channel = self._channels[(src, dst, tag)]
+        if not channel:
+            raise ValidationError(
+                f"rank {dst} has no pending message from {src} (tag {tag!r})"
+            )
+        return channel.popleft()
+
+    # -- collectives (expressed via point-to-point so costs accrue) --------
+
+    def gather(self, root: int, rank_payloads: list, tag: str = "gather") -> list:
+        """All ranks send to root; returns the payload list at root."""
+        if len(rank_payloads) != self.n_ranks:
+            raise ValidationError(
+                f"gather needs one payload per rank, got {len(rank_payloads)}"
+            )
+        for rank, payload in enumerate(rank_payloads):
+            self.send(rank, root, payload, tag)
+        return [self.recv(root, rank, tag) for rank in range(self.n_ranks)]
+
+    def broadcast(self, root: int, payload, tag: str = "bcast") -> list:
+        """Root sends to all ranks; returns each rank's received copy."""
+        for rank in range(self.n_ranks):
+            self.send(root, rank, payload, tag)
+        return [self.recv(rank, root, tag) for rank in range(self.n_ranks)]
+
+    def alltoallv(self, chunks: list[list], tag: str = "a2a") -> list[list]:
+        """chunks[i][j] goes from rank i to rank j; returns per-rank inboxes."""
+        if len(chunks) != self.n_ranks or any(
+            len(row) != self.n_ranks for row in chunks
+        ):
+            raise ValidationError("alltoallv needs an n_ranks x n_ranks grid")
+        for src, row in enumerate(chunks):
+            for dst, payload in enumerate(row):
+                self.send(src, dst, payload, tag)
+        return [
+            [self.recv(dst, src, tag) for src in range(self.n_ranks)]
+            for dst in range(self.n_ranks)
+        ]
+
+    # -- accounting ----------------------------------------------------------
+
+    def max_rank_seconds(self, model: AlphaBetaModel) -> float:
+        """Communication time of the busiest rank under ``model``."""
+        return max(model.seconds(s) for s in self.stats)
+
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)

@@ -1,0 +1,267 @@
+"""Simulated distributed randomized-KD-tree all-NN (the Table 1 solver).
+
+One iteration of the distributed algorithm, following the structure of
+the paper's outer solver ([34], Xiao & Biros):
+
+1. rank 0 builds this iteration's randomized tree over the global point
+   ids and assigns whole leaves to ranks with LPT scheduling on modeled
+   kernel runtimes (§2.5's task-parallel scheme across nodes);
+2. every rank ships the coordinates of points whose leaves it was
+   assigned but whose *home* rank (block distribution) is elsewhere —
+   the alltoallv that dominates the real solver's communication;
+3. each rank solves one exact kNN kernel per assigned leaf (measured
+   wall-clock, attributed to that rank);
+4. updated neighbor lists travel back to the points' home ranks and
+   merge into the global table.
+
+Everything computes for real in one process, so results are bit-exact
+against the shared-memory solver; the *projection* combines the
+busiest rank's measured kernel seconds with the alpha-beta-priced
+communication to estimate multi-node wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.gsknn import gsknn
+from ..core.neighbors import KnnResult, merge_neighbor_lists_fast
+from ..core.norms import squared_norms
+from ..core.ref_kernel import ref_knn
+from ..errors import ValidationError
+from ..model.perf_model import PerformanceModel
+from ..parallel.scheduler import ScheduledTask, lpt_schedule
+from ..trees.rkdtree import RandomizedKDTree
+from ..validation import as_coordinate_table, check_finite, check_k
+from .comm import AlphaBetaModel, SimComm
+
+__all__ = ["DistributedAllKnn", "DistributedReport"]
+
+
+@dataclass
+class DistributedReport:
+    """Outcome of a simulated distributed solve."""
+
+    result: KnnResult
+    n_ranks: int
+    iterations: int
+    rank_kernel_seconds: list[float]
+    comm_seconds: float
+    comm_bytes: int
+    serial_kernel_seconds: float = 0.0
+    schedule_imbalance: float = 1.0
+
+    @property
+    def projected_seconds(self) -> float:
+        """Estimated multi-node wall clock: busiest rank + communication."""
+        return max(self.rank_kernel_seconds) + self.comm_seconds
+
+    @property
+    def projected_speedup(self) -> float:
+        """Serial kernel time over the projection — the multi-node gain."""
+        if self.projected_seconds <= 0:
+            return 1.0
+        return self.serial_kernel_seconds / self.projected_seconds
+
+
+class DistributedAllKnn:
+    """Simulated multi-rank randomized-KD-tree all-NN solver."""
+
+    def __init__(
+        self,
+        n_ranks: int = 8,
+        *,
+        leaf_size: int = 512,
+        iterations: int = 2,
+        kernel: str = "gsknn",
+        comm_model: AlphaBetaModel | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValidationError(f"need n_ranks >= 1, got {n_ranks}")
+        if leaf_size < 2:
+            raise ValidationError("leaf_size must be >= 2")
+        if iterations < 1:
+            raise ValidationError("iterations must be >= 1")
+        if kernel not in ("gsknn", "gemm"):
+            raise ValidationError(
+                f"kernel must be 'gsknn' or 'gemm', got {kernel!r}"
+            )
+        self.n_ranks = int(n_ranks)
+        self.leaf_size = int(leaf_size)
+        self.iterations = int(iterations)
+        self.kernel = kernel
+        self.comm_model = comm_model if comm_model is not None else AlphaBetaModel()
+        self.seed = 0 if seed is None else int(seed)
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _home_rank(self, n: int) -> np.ndarray:
+        """Block distribution: point i lives on rank i * n_ranks // n."""
+        return (np.arange(n) * self.n_ranks // n).astype(np.intp)
+
+    def _assign_leaves(
+        self, leaves: list[np.ndarray], d: int, k: int, model: PerformanceModel
+    ) -> list[list[np.ndarray]]:
+        """LPT-schedule whole leaves onto ranks by modeled kernel time."""
+        tasks = [
+            ScheduledTask(
+                i,
+                model.estimate_kernel_runtime(
+                    leaf.size, leaf.size, d, min(k, leaf.size)
+                ),
+                payload=leaf,
+            )
+            for i, leaf in enumerate(leaves)
+        ]
+        schedule = lpt_schedule(tasks, self.n_ranks)
+        self._last_imbalance = schedule.imbalance
+        return [[t.payload for t in rank] for rank in schedule.assignments]
+
+    def _run_kernel(
+        self, X: np.ndarray, group: np.ndarray, k: int, X2: np.ndarray
+    ) -> KnnResult:
+        k_eff = min(k, group.size)
+        if self.kernel == "gsknn":
+            res = gsknn(X, group, group, k_eff, X2=X2)
+        else:
+            res = ref_knn(X, group, group, k_eff, X2=X2)
+        if k_eff == k:
+            return res
+        pad = k - k_eff
+        return KnnResult(
+            np.pad(res.distances, ((0, 0), (0, pad)), constant_values=np.inf),
+            np.pad(res.indices, ((0, 0), (0, pad)), constant_values=-1),
+        )
+
+    # -- the solve ---------------------------------------------------------------
+
+    def solve(self, X: np.ndarray, k: int) -> DistributedReport:
+        X = as_coordinate_table(X)
+        check_finite(X)
+        n, d = X.shape
+        k = check_k(k, n)
+        if self.leaf_size <= k:
+            raise ValidationError(
+                f"leaf_size ({self.leaf_size}) must exceed k ({k})"
+            )
+
+        comm = SimComm(self.n_ranks)
+        model = PerformanceModel()
+        home = self._home_rank(n)
+        X2 = squared_norms(X)
+        current = KnnResult(
+            np.full((n, k), np.inf), np.full((n, k), -1, dtype=np.intp)
+        )
+        rank_kernel_seconds = [0.0] * self.n_ranks
+        serial_kernel = 0.0
+        imbalances: list[float] = []
+        rng = np.random.default_rng(self.seed)
+
+        for _ in range(self.iterations):
+            tree = RandomizedKDTree(
+                leaf_size=self.leaf_size,
+                seed=int(rng.integers(0, 2**63 - 1)),
+            ).fit(X)
+            # rank 0 owns the tree; leaf assignments are broadcast
+            assignments = self._assign_leaves(tree.leaves, d, k, model)
+            imbalances.append(self._last_imbalance)
+            comm.broadcast(
+                0, np.concatenate([leaf for leaf in tree.leaves]), tag="tree"
+            )
+
+            # coordinate exchange: each solving rank receives the rows of
+            # its leaves that live on other home ranks
+            shuffle: list[list] = [
+                [np.empty((0, d)) for _ in range(self.n_ranks)]
+                for _ in range(self.n_ranks)
+            ]
+            for solver_rank, rank_leaves in enumerate(assignments):
+                for leaf in rank_leaves:
+                    owners = home[leaf]
+                    for src in np.unique(owners):
+                        if src == solver_rank:
+                            continue
+                        rows = leaf[owners == src]
+                        shuffle[src][solver_rank] = np.vstack(
+                            [shuffle[src][solver_rank], X[rows]]
+                        )
+            comm.alltoallv(shuffle, tag="coords")
+
+            # each rank solves its leaves (measured, attributed per rank);
+            # list updates destined for other home ranks accumulate per
+            # (solver, dst) pair and travel in one alltoallv
+            pending: list[list[list]] = [
+                [[] for _ in range(self.n_ranks)] for _ in range(self.n_ranks)
+            ]
+            for solver_rank, rank_leaves in enumerate(assignments):
+                for leaf in rank_leaves:
+                    t0 = time.perf_counter()
+                    local = self._run_kernel(X, leaf, k, X2)
+                    elapsed = time.perf_counter() - t0
+                    rank_kernel_seconds[solver_rank] += elapsed
+                    serial_kernel += elapsed
+                    owners = home[leaf]
+                    for dst in np.unique(owners):
+                        mask = owners == dst
+                        payload = (
+                            leaf[mask],
+                            local.distances[mask],
+                            local.indices[mask],
+                        )
+                        if dst == solver_rank:
+                            self._merge_rows(current, *payload)
+                        else:
+                            pending[solver_rank][dst].append(payload)
+            results_back = [
+                [self._stack_payloads(cell, k) for cell in row]
+                for row in pending
+            ]
+            inboxes = comm.alltoallv(results_back, tag="lists")
+            for dst in range(self.n_ranks):
+                for payload in inboxes[dst]:
+                    rows, dists, ids = payload
+                    if rows.size:
+                        self._merge_rows(current, rows, dists, ids)
+
+        return DistributedReport(
+            result=current,
+            n_ranks=self.n_ranks,
+            iterations=self.iterations,
+            rank_kernel_seconds=rank_kernel_seconds,
+            comm_seconds=comm.max_rank_seconds(self.comm_model),
+            comm_bytes=comm.total_bytes(),
+            serial_kernel_seconds=serial_kernel,
+            schedule_imbalance=max(imbalances) if imbalances else 1.0,
+        )
+
+    @staticmethod
+    def _stack_payloads(cell: list, k: int):
+        """Concatenate a (solver, dst) cell's leaf payloads into one message."""
+        if not cell:
+            return (
+                np.empty(0, dtype=np.intp),
+                np.empty((0, k)),
+                np.empty((0, k), dtype=np.intp),
+            )
+        rows = np.concatenate([p[0] for p in cell])
+        dists = np.vstack([p[1] for p in cell])
+        ids = np.vstack([p[2] for p in cell])
+        return rows, dists, ids
+
+    @staticmethod
+    def _merge_rows(
+        current: KnnResult,
+        rows: np.ndarray,
+        dists: np.ndarray,
+        ids: np.ndarray,
+    ) -> None:
+        merged = merge_neighbor_lists_fast(
+            KnnResult(current.distances[rows], current.indices[rows]),
+            KnnResult(dists, ids),
+        )
+        current.distances[rows] = merged.distances
+        current.indices[rows] = merged.indices

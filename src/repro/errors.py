@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError`` and friends still propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input array or parameter failed validation.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` call sites
+    keep working.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object is internally inconsistent.
+
+    Raised e.g. when blocking parameters do not satisfy the constraints of
+    the Goto partitioning (``m_r`` must divide into ``m_c`` panels, cache
+    capacities must be positive, ...).
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach its target within its budget."""

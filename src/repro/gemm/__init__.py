@@ -1,0 +1,38 @@
+"""Goto-algorithm blocked GEMM substrate (paper §2.1, §2.3).
+
+GSKNN is a refactoring of the Goto/BLIS GEMM loop nest, so this package
+provides that loop nest in reusable form:
+
+* :mod:`repro.gemm.packing` — gathering rows of the coordinate table into
+  contiguous "Z-shaped" micro-panel buffers (the paper's ``Qc``/``Rc``
+  packing, which GSKNN performs *directly from X* using index arrays);
+* :mod:`repro.gemm.blocked` — the five-loop blocked matrix multiply with
+  the same ``(n_c, d_c, m_c, n_r, m_r)`` partitioning GSKNN inherits;
+* :mod:`repro.gemm.reference` — naive and BLAS-backed reference products.
+
+The blocked implementation exists to expose the loop *structure* (it is
+what the machine simulator walks and what the fused kernel refactors); for
+raw throughput the library calls the platform BLAS via ``numpy.dot``.
+"""
+
+from .blocked import BlockedGemm, blocked_gemm
+from .parallel import parallel_blocked_gemm
+from .packing import (
+    gather_panel,
+    pack_micropanels,
+    pack_block,
+    unpack_micropanels,
+)
+from .reference import blas_gemm, naive_gemm
+
+__all__ = [
+    "BlockedGemm",
+    "blocked_gemm",
+    "parallel_blocked_gemm",
+    "gather_panel",
+    "pack_block",
+    "pack_micropanels",
+    "unpack_micropanels",
+    "naive_gemm",
+    "blas_gemm",
+]

@@ -1,0 +1,164 @@
+"""Five-loop Goto-algorithm blocked GEMM over packed micro-panels.
+
+This is the loop nest GSKNN refactors (remove the fused statements from
+the paper's Algorithm 2.2 and this is what remains). It computes
+``C = A @ B^T`` for row-major operands ``A (m, d)`` and ``B (n, d)`` —
+the transpose-B form because both GEMM operands in the kNN kernel are
+point sets stored one-point-per-row, and ``C[i, j] = <a_i, b_j>``.
+
+Loop structure (outer to inner), matching Algorithm 2.2's numbering:
+
+* 6th loop ``j_c``: columns of C in blocks of ``n_c`` (B panel → "L3");
+* 5th loop ``p_c``: depth in blocks of ``d_c``, packing ``B_c``;
+* 4th loop ``i_c``: rows of C in blocks of ``m_c``, packing ``A_c``;
+* 3rd loop ``j_r``: ``n_r``-wide micro-panels of ``B_c``;
+* 2nd loop ``i_r``: ``m_r``-tall micro-panels of ``A_c``;
+* 1st loop (micro-kernel): rank-``d_c`` update of an ``m_r x n_r`` tile.
+
+An optional observer receives one event per packing operation and per
+micro-kernel call; the machine simulator plugs in there to count cache
+traffic without duplicating the loop nest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..config import BlockingParams, IVY_BRIDGE_BLOCKING, iter_blocks
+from ..errors import ValidationError
+from .packing import pack_micropanels
+
+__all__ = ["BlockedGemm", "blocked_gemm", "GemmObserver"]
+
+
+class GemmObserver(Protocol):
+    """Hook interface for instrumenting the blocked loop nest."""
+
+    def on_pack(self, which: str, rows: int, depth: int) -> None:
+        """A panel of ``rows`` points x ``depth`` coordinates was packed."""
+
+    def on_microkernel(self, m_r: int, n_r: int, depth: int) -> None:
+        """One rank-``depth`` micro-kernel tile of size m_r x n_r ran."""
+
+    def on_c_block(self, rows: int, cols: int, is_first_depth: bool) -> None:
+        """An ``rows x cols`` block of C was read-modify-written."""
+
+
+class _NullObserver:
+    def on_pack(self, which: str, rows: int, depth: int) -> None:
+        pass
+
+    def on_microkernel(self, m_r: int, n_r: int, depth: int) -> None:
+        pass
+
+    def on_c_block(self, rows: int, cols: int, is_first_depth: bool) -> None:
+        pass
+
+
+def _microkernel(
+    a_panel: np.ndarray,
+    b_panel: np.ndarray,
+    c_tile: np.ndarray,
+) -> None:
+    """Rank-``depth`` update of one register tile: ``C_r += A_r^T B_r``.
+
+    ``a_panel`` is ``(depth, m_r)``, ``b_panel`` is ``(depth, n_r)``;
+    the sum over depth of outer products is exactly the paper's sequence
+    of VFMA rank-1 updates (Figure 3), expressed as one small GEMM.
+    """
+    c_tile += a_panel.T @ b_panel
+
+
+class BlockedGemm:
+    """Reusable blocked-GEMM engine with pluggable instrumentation."""
+
+    def __init__(
+        self,
+        blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
+        observer: GemmObserver | None = None,
+    ) -> None:
+        self.blocking = blocking
+        self.observer = observer if observer is not None else _NullObserver()
+
+    def multiply_nt(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Compute ``C = A @ B^T`` through the full packed loop nest."""
+        A = np.ascontiguousarray(A, dtype=np.float64)
+        B = np.ascontiguousarray(B, dtype=np.float64)
+        if A.ndim != 2 or B.ndim != 2:
+            raise ValidationError("operands must be 2-D")
+        if A.shape[1] != B.shape[1]:
+            raise ValidationError(
+                f"depth mismatch: A is {A.shape}, B is {B.shape}"
+            )
+        m, d = A.shape
+        n = B.shape[0]
+        blk = self.blocking
+        obs = self.observer
+        C = np.zeros((m, n), dtype=np.float64)
+
+        for j_c, n_b in iter_blocks(n, blk.n_c):  # 6th loop
+            for p_c, d_b in iter_blocks(d, blk.d_c):  # 5th loop
+                b_block = B[j_c : j_c + n_b, p_c : p_c + d_b]
+                b_packed = pack_micropanels(b_block, blk.n_r)
+                obs.on_pack("R", n_b, d_b)
+                for i_c, m_b in iter_blocks(m, blk.m_c):  # 4th loop
+                    a_block = A[i_c : i_c + m_b, p_c : p_c + d_b]
+                    a_packed = pack_micropanels(a_block, blk.m_r)
+                    obs.on_pack("Q", m_b, d_b)
+                    obs.on_c_block(m_b, n_b, is_first_depth=(p_c == 0))
+                    self._macro_kernel(
+                        a_packed,
+                        b_packed,
+                        C[i_c : i_c + m_b, j_c : j_c + n_b],
+                        m_b,
+                        n_b,
+                        d_b,
+                    )
+        return C
+
+    def _macro_kernel(
+        self,
+        a_packed: np.ndarray,
+        b_packed: np.ndarray,
+        c_block: np.ndarray,
+        m_b: int,
+        n_b: int,
+        d_b: int,
+    ) -> None:
+        """3rd/2nd loops: sweep micro-panels, firing the micro-kernel."""
+        blk = self.blocking
+        obs = self.observer
+        m_r, n_r = blk.m_r, blk.n_r
+        for jp in range(b_packed.shape[0]):  # 3rd loop
+            j0 = jp * n_r
+            cols = min(n_r, n_b - j0)
+            for ip in range(a_packed.shape[0]):  # 2nd loop
+                i0 = ip * m_r
+                rows = min(m_r, m_b - i0)
+                # Register tile is full m_r x n_r (padded lanes are zero);
+                # only the live rows/cols land in C.
+                c_tile = np.zeros((m_r, n_r), dtype=np.float64)
+                c_tile[:rows, :cols] = c_block[i0 : i0 + rows, j0 : j0 + cols]
+                _microkernel(a_packed[ip], b_packed[jp], c_tile)
+                obs.on_microkernel(m_r, n_r, d_b)
+                c_block[i0 : i0 + rows, j0 : j0 + cols] = c_tile[:rows, :cols]
+
+
+def blocked_gemm(
+    A: np.ndarray,
+    B: np.ndarray,
+    *,
+    blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
+    observer: GemmObserver | None = None,
+    transpose_b: bool = True,
+) -> np.ndarray:
+    """Convenience wrapper: ``A @ B^T`` (default) or ``A @ B`` blocked."""
+    engine = BlockedGemm(blocking, observer)
+    if transpose_b:
+        return engine.multiply_nt(A, B)
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ValidationError("operands must be 2-D")
+    return engine.multiply_nt(A, np.ascontiguousarray(B.T))

@@ -1,0 +1,121 @@
+"""Memory packing: gathering general-stride points into contiguous panels.
+
+The Goto algorithm never multiplies operands in place; it first copies
+("packs") each cache block into a contiguous buffer whose element order is
+exactly the order the micro-kernel will stream it — micro-panels of
+``m_r`` (or ``n_r``) rows laid out side by side, the "Z shape" of the
+paper's Figure 2. Packing buys three things: contiguous access in the
+macro-kernel, alignment, and — crucially for GSKNN — a free gather: since
+GEMM repacks anyway, GSKNN packs *directly from the global table X via the
+index arrays q/r*, skipping the separate coordinate-collection pass the
+GEMM-based kernel needs (the ``T_coll`` term of Table 5).
+
+Layout convention: a packed micro-panel buffer for a block of ``rows``
+points and ``depth`` coordinates has shape ``(n_panels, depth, r)`` where
+``r`` is the register block size; element ``[p, j, i]`` is coordinate
+``j`` of point ``p*r + i``. Ragged final panels are zero-padded — zeros
+contribute nothing to inner products, so padded lanes are harmless (the
+corresponding C entries are simply never read).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "gather_panel",
+    "pack_block",
+    "pack_micropanels",
+    "unpack_micropanels",
+]
+
+
+def gather_panel(
+    X: np.ndarray,
+    idx: np.ndarray,
+    col_start: int = 0,
+    col_stop: int | None = None,
+) -> np.ndarray:
+    """Gather ``X[idx, col_start:col_stop]`` into a fresh contiguous array.
+
+    This is the plain coordinate-collection step (``Q(:, i) = X(:, q(i))``
+    in the paper's notation) that the GEMM-based kernel must perform
+    before calling BLAS. Returns a C-contiguous ``(len(idx), cols)`` array.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise ValidationError(f"X must be 2-D, got ndim={X.ndim}")
+    idx = np.asarray(idx, dtype=np.intp)
+    stop = X.shape[1] if col_stop is None else col_stop
+    if not (0 <= col_start <= stop <= X.shape[1]):
+        raise ValidationError(
+            f"column range [{col_start}, {stop}) invalid for d={X.shape[1]}"
+        )
+    return np.ascontiguousarray(X[idx, col_start:stop], dtype=np.float64)
+
+
+def pack_block(
+    X: np.ndarray,
+    idx: np.ndarray,
+    col_start: int,
+    col_stop: int,
+    X2: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Pack a cache block plus (optionally) its squared norms.
+
+    Mirrors the 5th/4th-loop packing of Algorithm 2.2: gather the
+    ``[col_start, col_stop)`` coordinate slice of the indexed points, and
+    when the slice is the *last* d-block also gather the squared norms
+    ``X2[idx]`` (the paper only collects ``Q2``/``R2`` on the final
+    ``p_c`` iteration because that is when distances are completed).
+    """
+    panel = gather_panel(X, idx, col_start, col_stop)
+    norms = None
+    if X2 is not None:
+        X2 = np.asarray(X2, dtype=np.float64)
+        if X2.ndim != 1 or X2.shape[0] != X.shape[0]:
+            raise ValidationError(
+                f"X2 must be 1-D of length {X.shape[0]}, got shape {X2.shape}"
+            )
+        norms = np.ascontiguousarray(X2[idx])
+    return panel, norms
+
+
+def pack_micropanels(panel: np.ndarray, r: int) -> np.ndarray:
+    """Re-lay a ``(rows, depth)`` block into Z-shaped micro-panels.
+
+    Output shape is ``(ceil(rows / r), depth, r)``: panel ``p`` holds
+    points ``p*r .. p*r + r - 1`` *column-major within the panel* so the
+    micro-kernel reads one length-``r`` vector of distinct points per
+    depth step — exactly the vector-register load pattern of the paper's
+    Figure 3. The ragged tail is zero-padded.
+    """
+    panel = np.asarray(panel, dtype=np.float64)
+    if panel.ndim != 2:
+        raise ValidationError(f"panel must be 2-D, got ndim={panel.ndim}")
+    if r < 1:
+        raise ValidationError(f"register block size must be >= 1, got {r}")
+    rows, depth = panel.shape
+    n_panels = -(-rows // r)
+    packed = np.zeros((n_panels, depth, r), dtype=np.float64)
+    padded = np.zeros((n_panels * r, depth), dtype=np.float64)
+    padded[:rows] = panel
+    # [p, j, i] = padded[p*r + i, j]
+    packed[:] = padded.reshape(n_panels, r, depth).transpose(0, 2, 1)
+    return packed
+
+
+def unpack_micropanels(packed: np.ndarray, rows: int) -> np.ndarray:
+    """Invert :func:`pack_micropanels`, dropping the zero padding."""
+    packed = np.asarray(packed)
+    if packed.ndim != 3:
+        raise ValidationError(f"packed buffer must be 3-D, got ndim={packed.ndim}")
+    n_panels, depth, r = packed.shape
+    if not (0 < rows <= n_panels * r):
+        raise ValidationError(
+            f"rows={rows} incompatible with packed shape {packed.shape}"
+        )
+    flat = packed.transpose(0, 2, 1).reshape(n_panels * r, depth)
+    return np.ascontiguousarray(flat[:rows])

@@ -1,0 +1,86 @@
+"""Reference matrix products.
+
+Two baselines live here:
+
+* :func:`naive_gemm` — the textbook triple loop, used only by tests as
+  ground truth for the blocked implementation;
+* :func:`blas_gemm` — this platform's vendor GEMM (``numpy.dot``), the
+  stand-in for the paper's MKL baseline. It also reports the flop count
+  so efficiency (GFLOPS) can be computed uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["naive_gemm", "blas_gemm", "gemm_flops"]
+
+
+def gemm_flops(m: int, n: int, d: int) -> int:
+    """Flops of an ``m x d`` by ``d x n`` product (multiply + add)."""
+    return 2 * m * n * d
+
+
+def _check_operands(A: np.ndarray, B: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or B.ndim != 2:
+        raise ValidationError("GEMM operands must be 2-D")
+    if A.shape[1] != B.shape[0]:
+        raise ValidationError(
+            f"inner dimensions mismatch: A is {A.shape}, B is {B.shape}"
+        )
+    return A, B
+
+
+def naive_gemm(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray:
+    """``C = alpha * A @ B + beta * C`` via explicit scalar loops.
+
+    O(mnd) Python-level work — only for small test problems.
+    """
+    A, B = _check_operands(A, B)
+    m, d = A.shape
+    n = B.shape[1]
+    if C is None:
+        C = np.zeros((m, n), dtype=np.float64)
+        beta = 0.0
+    else:
+        C = np.array(C, dtype=np.float64, copy=True)
+        if C.shape != (m, n):
+            raise ValidationError(f"C must be {(m, n)}, got {C.shape}")
+    out = np.empty_like(C)
+    for i in range(m):
+        for j in range(n):
+            acc = 0.0
+            for p in range(d):
+                acc += A[i, p] * B[p, j]
+            out[i, j] = alpha * acc + beta * C[i, j]
+    return out
+
+
+def blas_gemm(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray:
+    """``C = alpha * A @ B + beta * C`` via the platform BLAS."""
+    A, B = _check_operands(A, B)
+    product = A @ B
+    if alpha != 1.0:
+        product *= alpha
+    if C is not None and beta != 0.0:
+        C = np.asarray(C, dtype=np.float64)
+        if C.shape != product.shape:
+            raise ValidationError(f"C must be {product.shape}, got {C.shape}")
+        product += beta * C
+    return product

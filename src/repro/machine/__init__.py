@@ -1,0 +1,35 @@
+"""Simulated x86 memory hierarchy (substitution for the paper's hardware).
+
+The paper's results are memory-system phenomena measured on a dual-socket
+Ivy Bridge node. This package replaces that hardware with two layers:
+
+* :mod:`repro.machine.params` — machine descriptions carrying the paper's
+  own model constants (``tau_f``, ``tau_b``, ``tau_l``, ``epsilon``,
+  cache geometry), including the Maverick Ivy Bridge node;
+* :mod:`repro.machine.cache` — a set-associative LRU cache-hierarchy
+  simulator operated at cache-line granularity;
+* :mod:`repro.machine.sim` — a discrete memory-trace simulator that walks
+  the GSKNN / GEMM-kNN loop nests touching the simulated hierarchy, so
+  claims like "Var#1 moves less slow memory than Var#6" are *measured*
+  on the simulated machine rather than only asserted by the closed-form
+  model in :mod:`repro.model`.
+"""
+
+from .params import CacheLevel, MachineParams, HASWELL, IVY_BRIDGE, TINY_MACHINE
+from .cache import CacheHierarchy, CacheStats, SetAssociativeCache
+from .calibrate import calibrate_host
+from .sim import KnnTraceSimulator, TraceResult
+
+__all__ = [
+    "CacheLevel",
+    "MachineParams",
+    "IVY_BRIDGE",
+    "HASWELL",
+    "TINY_MACHINE",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "CacheStats",
+    "KnnTraceSimulator",
+    "TraceResult",
+    "calibrate_host",
+]

@@ -1,0 +1,190 @@
+"""Machine descriptions and the paper's model constants.
+
+The paper's performance model (§2.6) is parameterized by:
+
+* ``tau_f`` — peak floating-point throughput (flops/second);
+* ``tau_b`` — seconds per unit (one double) of *contiguous* slow-memory
+  movement (bandwidth term);
+* ``tau_l`` — seconds per *random* slow-memory access (latency term);
+* ``epsilon`` — expected heap-selection cost factor in [0, 1].
+
+Figure 4's caption fixes the Maverick Ivy Bridge values: for one core
+``tau_f = 8 x 3.54e9`` (8 DP flops/cycle at 3.54 GHz), ``tau_b =
+2.2e-9``, ``tau_l = 13.91e-9``, ``epsilon = 0.5``; for ten cores
+``tau_f = 10 x 8 x 3.10e9`` and ``tau_b``, ``tau_l`` are 1/5 of the
+single-core values. :meth:`MachineParams.scaled` reproduces exactly that
+scaling rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+
+__all__ = ["CacheLevel", "MachineParams", "IVY_BRIDGE", "HASWELL", "TINY_MACHINE"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < self.line_bytes:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} smaller than one line"
+            )
+        if self.line_bytes < 8 or self.line_bytes & (self.line_bytes - 1):
+            raise ConfigurationError(
+                f"{self.name}: line size must be a power of two >= 8, "
+                f"got {self.line_bytes}"
+            )
+        if self.associativity < 1:
+            raise ConfigurationError(
+                f"{self.name}: associativity must be >= 1"
+            )
+        n_lines = self.size_bytes // self.line_bytes
+        if n_lines % self.associativity:
+            raise ConfigurationError(
+                f"{self.name}: {n_lines} lines not divisible by "
+                f"associativity {self.associativity}"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.associativity
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """A machine: model constants plus cache geometry.
+
+    ``tau_b`` and ``tau_l`` are in seconds per double / per access;
+    ``flops_per_cycle`` is per core (8 = 4-wide AVX double FMA-equivalent
+    on Sandy/Ivy Bridge, counting mul+add).
+    """
+
+    name: str
+    flops_per_cycle: int
+    clock_hz: float
+    tau_b: float
+    tau_l: float
+    epsilon: float = 0.5
+    cores: int = 1
+    bandwidth_scale_cap: int = 5
+    caches: tuple[CacheLevel, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.flops_per_cycle < 1 or self.clock_hz <= 0:
+            raise ConfigurationError("invalid compute throughput parameters")
+        if self.tau_b <= 0 or self.tau_l <= 0:
+            raise ConfigurationError("tau_b and tau_l must be positive")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in [0, 1], got {self.epsilon}"
+            )
+        if self.cores < 1:
+            raise ConfigurationError("cores must be >= 1")
+        sizes = [c.size_bytes for c in self.caches]
+        if sizes != sorted(sizes):
+            raise ConfigurationError(
+                "cache levels must be ordered smallest (L1) to largest"
+            )
+
+    @property
+    def tau_f(self) -> float:
+        """Peak flops/second across all active cores."""
+        return self.flops_per_cycle * self.clock_hz * self.cores
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.tau_f / 1e9
+
+    def scaled(self, cores: int, clock_hz: float | None = None) -> "MachineParams":
+        """Return this machine running on ``cores`` cores.
+
+        Follows the paper's Figure 4 scaling: aggregate flop rate grows
+        linearly with cores (at the all-core clock if given), while the
+        effective per-double bandwidth and latency costs shrink with core
+        count but saturate at ``bandwidth_scale_cap`` (the paper divides
+        both by 5 when going from 1 to 10 cores — memory channels, not
+        cores, bound the gain).
+        """
+        if cores < 1:
+            raise ConfigurationError("cores must be >= 1")
+        mem_scale = min(cores, self.bandwidth_scale_cap)
+        base_b = self.tau_b * min(self.cores, self.bandwidth_scale_cap)
+        base_l = self.tau_l * min(self.cores, self.bandwidth_scale_cap)
+        return replace(
+            self,
+            cores=cores,
+            clock_hz=self.clock_hz if clock_hz is None else clock_hz,
+            tau_b=base_b / mem_scale,
+            tau_l=base_l / mem_scale,
+        )
+
+    def cache(self, name: str) -> CacheLevel:
+        for level in self.caches:
+            if level.name == name:
+                return level
+        raise ConfigurationError(f"{self.name} has no cache level {name!r}")
+
+
+#: TACC Maverick node, one Xeon E5-2680 v2 socket, single core at the
+#: paper's measured 3.54 GHz turbo clock and Figure 4 constants.
+IVY_BRIDGE = MachineParams(
+    name="ivy-bridge-e5-2680v2",
+    flops_per_cycle=8,
+    clock_hz=3.54e9,
+    tau_b=2.2e-9,
+    tau_l=13.91e-9,
+    epsilon=0.5,
+    cores=1,
+    caches=(
+        CacheLevel("L1", 32 * 1024, 64, 8),
+        CacheLevel("L2", 256 * 1024, 64, 8),
+        CacheLevel("L3", 25 * 1024 * 1024, 64, 20),
+    ),
+)
+
+#: A deliberately small machine for the discrete trace simulator: problems
+#: a test can afford to trace show realistic capacity behaviour.
+TINY_MACHINE = MachineParams(
+    name="tiny",
+    flops_per_cycle=8,
+    clock_hz=3.54e9,
+    tau_b=2.2e-9,
+    tau_l=13.91e-9,
+    epsilon=0.5,
+    cores=1,
+    caches=(
+        CacheLevel("L1", 2 * 1024, 64, 2),
+        CacheLevel("L2", 8 * 1024, 64, 4),
+        CacheLevel("L3", 64 * 1024, 64, 8),
+    ),
+)
+
+
+#: A Haswell-class socket (FMA doubles the per-cycle flops to 16, bigger
+#: L3) — the "future x86" port target the paper's conclusion mentions:
+#: only the block sizes and the micro-kernel change, which on the model
+#: side means only these numbers.
+HASWELL = MachineParams(
+    name="haswell-e5-2680v3",
+    flops_per_cycle=16,
+    clock_hz=3.3e9,
+    tau_b=1.9e-9,
+    tau_l=12.0e-9,
+    epsilon=0.5,
+    cores=1,
+    caches=(
+        CacheLevel("L1", 32 * 1024, 64, 8),
+        CacheLevel("L2", 256 * 1024, 64, 8),
+        CacheLevel("L3", 30 * 1024 * 1024, 64, 20),
+    ),
+)

@@ -1,0 +1,500 @@
+"""Discrete memory-trace simulator for the kNN kernels.
+
+Replays, against the :class:`~repro.machine.cache.CacheHierarchy`, the
+sequence of memory accesses the three kernels of interest issue:
+
+* ``"gsknn-var1"`` — Algorithm 2.2 with fused selection in the
+  micro-kernel (distances live in registers, never stored);
+* ``"gsknn-var6"`` — Algorithm 2.2 with selection after the 6th loop
+  (the full ``m x n`` distance matrix is materialized);
+* ``"gemm"`` — Algorithm 2.1: gather ``Q``/``R``, blocked GEMM into
+  ``C``, post-pass for the norm terms, then selection.
+
+Traces are at *span* granularity (one event per contiguous packed panel /
+micro-panel / heap path, decomposed into lines by the hierarchy), which
+keeps Python cost proportional to the number of loop iterations rather
+than the number of bytes.
+
+Heap-update accesses depend on the data (a candidate only walks the sift
+path if it beats the root). The simulator uses the standard
+random-stream insertion count — a query scanning ``n`` random candidates
+performs about ``k + k * ln(n / k)`` insertions — and spreads those
+insertions evenly over the candidate stream. This keeps the trace
+deterministic and matches the expectation for the uniform datasets the
+paper benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..config import BlockingParams, iter_blocks
+from ..errors import ValidationError
+from .cache import CacheHierarchy, CacheStats
+from .params import MachineParams
+
+__all__ = ["KnnTraceSimulator", "TraceResult"]
+
+_DOUBLE = 8
+
+
+@dataclass
+class TraceResult:
+    """Outcome of one simulated kernel execution."""
+
+    kernel: str
+    m: int
+    n: int
+    d: int
+    k: int
+    dram_read_bytes: int
+    dram_total_bytes: int
+    level_stats: dict[str, CacheStats]
+    counts: dict[str, int] = field(default_factory=dict)
+    #: region name -> {level name or "DRAM" -> lines satisfied there}
+    region_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def dram_doubles(self) -> float:
+        """DRAM traffic expressed in 8-byte units (the model's unit)."""
+        return self.dram_total_bytes / _DOUBLE
+
+
+def expected_heap_insertions(n: int, k: int) -> float:
+    """E[# heap insertions] for one query scanning n random candidates.
+
+    The first k candidates always insert; candidate i > k inserts with
+    probability k/i, so the expectation is k + k*(H_n - H_k) ~
+    k + k ln(n/k).
+    """
+    if k >= n:
+        return float(n)
+    return k + k * (math.log(n) - math.log(k))
+
+
+class _InsertSchedule:
+    """Deterministically spread ``total`` insertions over ``n`` candidates."""
+
+    def __init__(self, n: int, total: float) -> None:
+        self.step = n / max(total, 1e-12) if total > 0 else math.inf
+        self.next_at = self.step / 2.0
+        self.seen = 0.0
+
+    def offer(self, count: int) -> int:
+        """Advance by ``count`` candidates; return how many insert."""
+        self.seen += count
+        inserts = 0
+        while self.next_at <= self.seen:
+            inserts += 1
+            self.next_at += self.step
+        return inserts
+
+
+class KnnTraceSimulator:
+    """Walk a kNN kernel's loop nest against the simulated hierarchy."""
+
+    def __init__(
+        self,
+        machine: MachineParams,
+        blocking: BlockingParams,
+    ) -> None:
+        self.machine = machine
+        self.blocking = blocking
+
+    # -- address map -------------------------------------------------------
+
+    def _layout(self, N: int, d: int, m: int, n: int, k: int) -> dict[str, int]:
+        """Assign each logical buffer a disjoint byte range; returns bases."""
+        bases: dict[str, int] = {}
+        cursor = 0
+
+        def region(name: str, size: int) -> None:
+            nonlocal cursor
+            bases[name] = cursor
+            # pad to a line boundary so regions never share lines
+            line = self.machine.caches[0].line_bytes
+            cursor += ((size + line - 1) // line) * line
+
+        region("X", N * d * _DOUBLE)
+        region("X2", N * _DOUBLE)
+        region("D", m * k * _DOUBLE)  # neighbor distances
+        region("I", m * k * _DOUBLE)  # neighbor ids
+        region("Qc", self.blocking.m_c * self.blocking.d_c * _DOUBLE)
+        region("Rc", self.blocking.n_c * self.blocking.d_c * _DOUBLE)
+        region("Q2c", self.blocking.m_c * _DOUBLE)
+        region("R2c", self.blocking.n_c * _DOUBLE)
+        region("C", m * n * _DOUBLE)
+        region("Cc", m * min(n, self.blocking.n_c) * _DOUBLE)
+        region("Q", m * d * _DOUBLE)
+        region("R", n * d * _DOUBLE)
+        return bases
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        kernel: str,
+        *,
+        m: int,
+        n: int,
+        d: int,
+        k: int,
+        N: int | None = None,
+        stride_gather: bool = True,
+    ) -> TraceResult:
+        """Simulate one kernel execution and return its traffic profile.
+
+        ``stride_gather=True`` scatters the query/reference rows across
+        ``X`` (the general-stride case); ``False`` uses the contiguous
+        prefix (best case for the gather).
+        """
+        if min(m, n, d, k) < 1:
+            raise ValidationError("m, n, d, k must all be >= 1")
+        if k > n:
+            raise ValidationError(f"k={k} > n={n}")
+        N = max(m, n) if N is None else N
+        if N < max(m, n):
+            raise ValidationError(f"N={N} smaller than max(m, n)")
+
+        hierarchy = CacheHierarchy(self.machine)
+        self._heap_events = 0
+        bases = self._layout(N, d, m, n, k)
+        q_rows = self._row_ids(m, N, stride_gather, salt=1)
+        r_rows = self._row_ids(n, N, stride_gather, salt=2)
+        counts: dict[str, int] = {"microkernels": 0, "heap_insertions": 0}
+
+        if kernel == "gsknn-var1":
+            self._trace_gsknn(
+                hierarchy, bases, q_rows, r_rows, m, n, d, k, fused=True, counts=counts
+            )
+        elif kernel == "gsknn-var5":
+            self._trace_gsknn(
+                hierarchy, bases, q_rows, r_rows, m, n, d, k,
+                fused=False, slab=True, counts=counts,
+            )
+        elif kernel == "gsknn-var6":
+            self._trace_gsknn(
+                hierarchy, bases, q_rows, r_rows, m, n, d, k, fused=False, counts=counts
+            )
+        elif kernel == "gemm":
+            self._trace_gemm_approach(
+                hierarchy, bases, q_rows, r_rows, m, n, d, k, counts=counts
+            )
+        else:
+            raise ValidationError(
+                f"unknown kernel {kernel!r}; expected 'gsknn-var1', "
+                "'gsknn-var5', 'gsknn-var6' or 'gemm'"
+            )
+
+        return TraceResult(
+            kernel=kernel,
+            m=m,
+            n=n,
+            d=d,
+            k=k,
+            dram_read_bytes=hierarchy.dram_read_bytes,
+            dram_total_bytes=hierarchy.dram_bytes,
+            level_stats=hierarchy.stats(),
+            counts=counts,
+            region_stats=hierarchy.region_stats,
+        )
+
+    @staticmethod
+    def _row_ids(count: int, N: int, scattered: bool, salt: int) -> list[int]:
+        if not scattered:
+            return list(range(count))
+        # fixed multiplicative shuffle: deterministic scattered gather
+        stride = (2 * salt + 1) * 7919
+        return [(i * stride + salt) % N for i in range(count)]
+
+    # -- shared trace pieces -----------------------------------------------
+
+    def _pack_points(
+        self,
+        h: CacheHierarchy,
+        x_base: int,
+        rows: list[int],
+        d: int,
+        p0: int,
+        db: int,
+        dest_base: int,
+    ) -> None:
+        """Gather rows' ``[p0, p0+db)`` slice from X into a packed buffer."""
+        for offset, row in enumerate(rows):
+            h.access(x_base + (row * d + p0) * _DOUBLE, db * _DOUBLE, region="X")
+            h.access(
+                dest_base + offset * db * _DOUBLE,
+                db * _DOUBLE,
+                write=True,
+                region="pack-store",
+            )
+
+    def _gather_norms(
+        self, h: CacheHierarchy, x2_base: int, rows: list[int], dest_base: int
+    ) -> None:
+        for offset, row in enumerate(rows):
+            h.access(x2_base + row * _DOUBLE, _DOUBLE)
+        h.access(dest_base, len(rows) * _DOUBLE, write=True)
+
+    def _heap_update(
+        self,
+        h: CacheHierarchy,
+        bases: dict[str, int],
+        query: int,
+        k: int,
+        inserts: int,
+    ) -> None:
+        """Root probe plus ``inserts`` sift-down walks on query's heap."""
+        d_row = bases["D"] + query * k * _DOUBLE
+        i_row = bases["I"] + query * k * _DOUBLE
+        h.access(d_row, _DOUBLE, region="heap")  # root probe (the filter)
+        depth = max(1, math.ceil(math.log2(max(k, 2))))
+        for _ in range(inserts):
+            # sift path: one (value, id) line pair per level, at a
+            # deterministically scattered position within the level —
+            # real sift paths wander, which is what makes large heaps
+            # spill out of L1 (§2.2's random-access penalty)
+            self._heap_events += 1
+            for level in range(depth):
+                span = 2**level
+                offset = (self._heap_events * 2654435761 + level) % span
+                node = min(span + offset, k - 1)
+                h.access(d_row + node * _DOUBLE, _DOUBLE, write=True, region="heap")
+                h.access(i_row + node * _DOUBLE, _DOUBLE, write=True, region="heap")
+
+    # -- GSKNN (Algorithm 2.2) ----------------------------------------------
+
+    def _trace_gsknn(
+        self,
+        h: CacheHierarchy,
+        bases: dict[str, int],
+        q_rows: list[int],
+        r_rows: list[int],
+        m: int,
+        n: int,
+        d: int,
+        k: int,
+        *,
+        fused: bool,
+        slab: bool = False,
+        counts: dict[str, int],
+    ) -> None:
+        blk = self.blocking
+        per_query_inserts = expected_heap_insertions(n, k)
+        schedules = [_InsertSchedule(n, per_query_inserts) for _ in range(m)]
+
+        for j_c, n_b in iter_blocks(n, blk.n_c):  # 6th loop
+            for p_c, d_b in iter_blocks(d, blk.d_c):  # 5th loop
+                last_depth = p_c + d_b >= d
+                self._pack_points(
+                    h, bases["X"], r_rows[j_c : j_c + n_b], d, p_c, d_b, bases["Rc"]
+                )
+                if last_depth:
+                    self._gather_norms(
+                        h, bases["X2"], r_rows[j_c : j_c + n_b], bases["R2c"]
+                    )
+                for i_c, m_b in iter_blocks(m, blk.m_c):  # 4th loop
+                    self._pack_points(
+                        h,
+                        bases["X"],
+                        q_rows[i_c : i_c + m_b],
+                        d,
+                        p_c,
+                        d_b,
+                        bases["Qc"],
+                    )
+                    if last_depth:
+                        self._gather_norms(
+                            h, bases["X2"], q_rows[i_c : i_c + m_b], bases["Q2c"]
+                        )
+                    self._gsknn_macro(
+                        h,
+                        bases,
+                        i_c,
+                        j_c,
+                        m_b,
+                        n_b,
+                        d_b,
+                        k,
+                        n,
+                        last_depth=last_depth,
+                        first_depth=(p_c == 0),
+                        fused=fused,
+                        slab=slab,
+                        schedules=schedules,
+                        counts=counts,
+                    )
+
+            if slab:
+                # Var#5: select on the m x n_b slab before the next 6th-loop
+                # block overwrites it — every heap reloads per slab.
+                share = n_b / n
+                for i in range(m):
+                    row_base = bases["C"] + (i * blk.n_c) * _DOUBLE
+                    h.access(row_base, n_b * _DOUBLE)
+                    inserts = round(expected_heap_insertions(n, k) * share)
+                    counts["heap_insertions"] += inserts
+                    self._heap_update(h, bases, i, k, inserts)
+
+        if not fused and not slab:
+            # Var#6: selection over the stored m x n matrix
+            for i in range(m):
+                row_base = bases["C"] + i * n * _DOUBLE
+                h.access(row_base, n * _DOUBLE)
+                inserts = round(expected_heap_insertions(n, k))
+                counts["heap_insertions"] += inserts
+                self._heap_update(h, bases, i, k, inserts)
+
+    def _gsknn_macro(
+        self,
+        h: CacheHierarchy,
+        bases: dict[str, int],
+        i_c: int,
+        j_c: int,
+        m_b: int,
+        n_b: int,
+        d_b: int,
+        k: int,
+        n: int,
+        *,
+        last_depth: bool,
+        first_depth: bool,
+        fused: bool,
+        slab: bool = False,
+        schedules: list[_InsertSchedule],
+        counts: dict[str, int],
+    ) -> None:
+        blk = self.blocking
+        for j_r, n_r in iter_blocks(n_b, blk.n_r):  # 3rd loop
+            for i_r, m_r in iter_blocks(m_b, blk.m_r):  # 2nd loop
+                counts["microkernels"] += 1
+                # micro-panel streams (packed, contiguous)
+                h.access(
+                    bases["Qc"] + i_r * d_b * _DOUBLE,
+                    m_r * d_b * _DOUBLE,
+                    region="Qc-panel",
+                )
+                h.access(
+                    bases["Rc"] + j_r * d_b * _DOUBLE,
+                    n_r * d_b * _DOUBLE,
+                    region="Rc-panel",
+                )
+                if not fused:
+                    # Var#6 accumulates C in memory (row * n + column);
+                    # Var#5 accumulates into the reused m x n_c slab.
+                    for i in range(m_r):
+                        row = i_c + i_r + i
+                        if slab:
+                            tile = bases["C"] + (row * blk.n_c + j_r) * _DOUBLE
+                        else:
+                            tile = bases["C"] + (row * n + j_c + j_r) * _DOUBLE
+                        if not first_depth:
+                            h.access(tile, n_r * _DOUBLE)
+                        h.access(tile, n_r * _DOUBLE, write=True)
+                    continue
+                if not (first_depth and last_depth):
+                    # Var#1 with d > d_c: partial rank-d_c sums live in the
+                    # C_c buffer across the 5th loop (Table 4's
+                    # (ceil(d/d_c) - 1) m n term).
+                    for i in range(m_r):
+                        row = i_c + i_r + i
+                        tile = bases["Cc"] + (row * blk.n_c + j_r) * _DOUBLE
+                        if not first_depth:
+                            h.access(tile, n_r * _DOUBLE)
+                        if not last_depth:
+                            h.access(tile, n_r * _DOUBLE, write=True)
+                if last_depth:
+                    # Var#1: norms enter registers, heap updated in place.
+                    h.access(bases["Q2c"] + i_r * _DOUBLE, m_r * _DOUBLE)
+                    h.access(bases["R2c"] + j_r * _DOUBLE, n_r * _DOUBLE)
+                    for i in range(m_r):
+                        query = i_c + i_r + i
+                        inserts = schedules[query].offer(n_r)
+                        counts["heap_insertions"] += inserts
+                        self._heap_update(h, bases, query, k, inserts)
+
+    # -- GEMM approach (Algorithm 2.1) ---------------------------------------
+
+    def _trace_gemm_approach(
+        self,
+        h: CacheHierarchy,
+        bases: dict[str, int],
+        q_rows: list[int],
+        r_rows: list[int],
+        m: int,
+        n: int,
+        d: int,
+        k: int,
+        *,
+        counts: dict[str, int],
+    ) -> None:
+        blk = self.blocking
+        # Phase 1: gather Q and R into dense matrices (T_coll).
+        for offset, row in enumerate(q_rows):
+            h.access(bases["X"] + row * d * _DOUBLE, d * _DOUBLE)
+            h.access(bases["Q"] + offset * d * _DOUBLE, d * _DOUBLE, write=True)
+        for offset, row in enumerate(r_rows):
+            h.access(bases["X"] + row * d * _DOUBLE, d * _DOUBLE)
+            h.access(bases["R"] + offset * d * _DOUBLE, d * _DOUBLE, write=True)
+
+        # Phase 2: blocked GEMM C = Q R^T (Goto loop nest over Q, R).
+        for j_c, n_b in iter_blocks(n, blk.n_c):
+            for p_c, d_b in iter_blocks(d, blk.d_c):
+                first_depth = p_c == 0
+                self._pack_from_dense(h, bases["R"], j_c, n_b, d, p_c, d_b, bases["Rc"])
+                for i_c, m_b in iter_blocks(m, blk.m_c):
+                    self._pack_from_dense(
+                        h, bases["Q"], i_c, m_b, d, p_c, d_b, bases["Qc"]
+                    )
+                    for j_r, n_r in iter_blocks(n_b, blk.n_r):
+                        for i_r, m_r in iter_blocks(m_b, blk.m_r):
+                            counts["microkernels"] += 1
+                            h.access(
+                                bases["Qc"] + i_r * d_b * _DOUBLE,
+                                m_r * d_b * _DOUBLE,
+                            )
+                            h.access(
+                                bases["Rc"] + j_r * d_b * _DOUBLE,
+                                n_r * d_b * _DOUBLE,
+                            )
+                            for i in range(m_r):
+                                row = i_c + i_r + i
+                                tile = (
+                                    bases["C"]
+                                    + (row * n + j_c + j_r) * _DOUBLE
+                                )
+                                if not first_depth:
+                                    h.access(tile, n_r * _DOUBLE)
+                                h.access(tile, n_r * _DOUBLE, write=True)
+
+        # Phase 3: norm accumulation — read/modify/write all of C (T_sq2d).
+        h.access(bases["X2"], m * _DOUBLE)
+        h.access(bases["X2"], n * _DOUBLE)
+        for i in range(m):
+            row_base = bases["C"] + i * n * _DOUBLE
+            h.access(row_base, n * _DOUBLE, region="C")
+            h.access(row_base, n * _DOUBLE, write=True, region="C")
+
+        # Phase 4: heap selection over C rows (T_heap).
+        for i in range(m):
+            row_base = bases["C"] + i * n * _DOUBLE
+            h.access(row_base, n * _DOUBLE, region="C")
+            inserts = round(expected_heap_insertions(n, k))
+            counts["heap_insertions"] += inserts
+            self._heap_update(h, bases, i, k, inserts)
+
+    def _pack_from_dense(
+        self,
+        h: CacheHierarchy,
+        src_base: int,
+        row0: int,
+        rows: int,
+        d: int,
+        p0: int,
+        db: int,
+        dest_base: int,
+    ) -> None:
+        for i in range(rows):
+            h.access(src_base + ((row0 + i) * d + p0) * _DOUBLE, db * _DOUBLE)
+            h.access(dest_base + i * db * _DOUBLE, db * _DOUBLE, write=True)

@@ -1,0 +1,32 @@
+"""The paper's analytic performance model (§2.6, Table 4).
+
+Predicts execution time ``T = T_f + T_o + T_m`` and floating-point
+efficiency for the GSKNN variants and the GEMM-based Algorithm 2.1, from
+the machine constants (``tau_f``, ``tau_b``, ``tau_l``, ``epsilon``) and
+the problem/blocking sizes. Used three ways, exactly as in the paper:
+
+* performance debugging — Figure 4 overlays model vs measurement;
+* variant selection — Figure 5's predicted Var#1/Var#6 threshold
+  (:mod:`repro.model.threshold`);
+* task scheduling — the greedy list scheduler in :mod:`repro.parallel`
+  sorts kernels by modeled runtime.
+"""
+
+from .costs import CostTerms, memory_terms, compute_terms, effective_tau_l
+from .ipc import InstructionCounts, instruction_counts, predict_ipc
+from .perf_model import ModelPrediction, PerformanceModel
+from .threshold import predict_variant_threshold, threshold_table
+
+__all__ = [
+    "CostTerms",
+    "memory_terms",
+    "compute_terms",
+    "effective_tau_l",
+    "PerformanceModel",
+    "ModelPrediction",
+    "predict_variant_threshold",
+    "threshold_table",
+    "InstructionCounts",
+    "instruction_counts",
+    "predict_ipc",
+]

@@ -1,0 +1,102 @@
+"""Instruction-count and IPC estimation (paper §4, final remark).
+
+GFLOPS under-represents selection-heavy configurations because heap
+work executes no floating-point operations. The paper: "IPC
+(Instructions per cycle) that includes the instruction count in the
+neighbor selections can be converted from Table 4 by summing up all
+floating point, non-floating point and memory operations together to
+reveal the performance." This module performs that conversion:
+
+* :func:`instruction_counts` — the kernel's instruction classes:
+  flop-instructions (SIMD-packed, ``simd_width`` flops per
+  instruction), selection instructions (12 per heap adjustment plus a
+  filter compare per candidate, §2.6), and memory-move instructions
+  (one per cache line of modeled slow traffic);
+* :func:`predict_ipc` — total instructions over predicted cycles,
+  where cycles come from the Table 4 time prediction at the machine's
+  clock.
+
+IPC is flat where GFLOPS collapses with k — the point the paper makes
+about low-d / large-k configurations being busy, just not with flops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import BlockingParams, IVY_BRIDGE_BLOCKING
+from ..errors import ValidationError
+from ..machine.params import IVY_BRIDGE, MachineParams
+from .costs import memory_terms
+
+__all__ = ["InstructionCounts", "instruction_counts", "predict_ipc"]
+
+_LINE_DOUBLES = 8  # 64-byte line / 8-byte double
+
+
+@dataclass(frozen=True)
+class InstructionCounts:
+    """Instruction-class totals for one kernel execution."""
+
+    flop_instructions: float
+    selection_instructions: float
+    memory_instructions: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.flop_instructions
+            + self.selection_instructions
+            + self.memory_instructions
+        )
+
+
+def instruction_counts(
+    m: int,
+    n: int,
+    d: int,
+    k: int,
+    machine: MachineParams = IVY_BRIDGE,
+    blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
+    kernel: str = "var1",
+    simd_width: int = 4,
+) -> InstructionCounts:
+    """Estimate the kernel's instruction mix from the Table 4 terms."""
+    if simd_width < 1:
+        raise ValidationError(f"simd_width must be >= 1, got {simd_width}")
+    terms = memory_terms(m, n, d, k, machine, blocking, kernel)
+    # flops -> packed instructions (FMA counts mul+add as 2 flops/lane)
+    flops = (2 * d + 3) * m * n
+    flop_instr = flops / (2 * simd_width)
+    # selection: 12 instructions per expected heap adjustment plus the
+    # root-filter compare every candidate pays
+    log_k = math.log2(k) if k > 1 else 1.0
+    selection_instr = machine.epsilon * (
+        12.0 * m * k * log_k + m * n
+    )
+    # memory: one move instruction per line of modeled slow traffic
+    slow_doubles = terms.t_m / machine.tau_b  # time back to volume
+    memory_instr = slow_doubles / _LINE_DOUBLES
+    return InstructionCounts(flop_instr, selection_instr, memory_instr)
+
+
+def predict_ipc(
+    m: int,
+    n: int,
+    d: int,
+    k: int,
+    machine: MachineParams = IVY_BRIDGE,
+    blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
+    kernel: str = "var1",
+    simd_width: int = 4,
+) -> float:
+    """Predicted instructions-per-cycle over the Table 4 runtime."""
+    counts = instruction_counts(
+        m, n, d, k, machine, blocking, kernel, simd_width
+    )
+    terms = memory_terms(m, n, d, k, machine, blocking, kernel)
+    cycles = terms.total * machine.clock_hz * machine.cores
+    if cycles <= 0:
+        raise ValidationError("predicted cycle count must be positive")
+    return counts.total / cycles

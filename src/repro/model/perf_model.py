@@ -1,0 +1,135 @@
+"""The assembled performance model: time and GFLOPS predictions.
+
+Wraps :mod:`repro.model.costs` in the object the rest of the library
+consumes: predict a kernel's runtime for (m, n, d, k), its efficiency in
+the paper's ``(2d + 3) m n / T`` GFLOPS convention, and pick the faster
+of Var#1/Var#6 — the three uses §2.6 lists (debugging, tuning,
+scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import BlockingParams, IVY_BRIDGE_BLOCKING
+from ..core.variants import Variant
+from ..errors import ValidationError
+from ..machine.params import IVY_BRIDGE, MachineParams
+from ..perf.gflops import knn_flops
+from .costs import CostTerms, memory_terms
+
+__all__ = ["PerformanceModel", "ModelPrediction"]
+
+_KERNELS = ("var1", "var2", "var3", "var5", "var6", "gemm")
+
+#: Paper §2.4/§3: Var#1 pairs with a binary heap, Var#6 with a 4-heap.
+_DEFAULT_ARITY = {
+    "var1": 2,
+    "var2": 2,
+    "var3": 2,
+    "var5": 2,
+    "var6": 4,
+    "gemm": 2,
+}
+
+
+@dataclass(frozen=True)
+class ModelPrediction:
+    """A kernel's predicted cost at one problem size."""
+
+    kernel: str
+    m: int
+    n: int
+    d: int
+    k: int
+    terms: CostTerms
+
+    @property
+    def seconds(self) -> float:
+        return self.terms.total
+
+    @property
+    def gflops(self) -> float:
+        """Efficiency in the paper's convention — useful flops over T."""
+        return knn_flops(self.m, self.n, self.d) / self.terms.total / 1e9
+
+
+class PerformanceModel:
+    """Predicts kNN-kernel runtime on a machine with given blocking.
+
+    ``edge_penalty`` models the paper's edge-case kernel: when ``d`` is
+    not a multiple of ``d_c``, the remainder of the last 5th-loop
+    iteration runs through a slower (intrinsics, non-pipelined) kernel.
+    The remainder's share of the flops is slowed by the penalty factor,
+    producing the periodic efficiency spikes Figure 6 shows for Var#1
+    ("the smaller the remaining portion is, the less performance
+    degradation is observed"). 0 (default) disables it.
+    """
+
+    def __init__(
+        self,
+        machine: MachineParams = IVY_BRIDGE,
+        blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
+        edge_penalty: float = 0.0,
+    ) -> None:
+        if edge_penalty < 0:
+            raise ValidationError(
+                f"edge_penalty must be >= 0, got {edge_penalty}"
+            )
+        self.machine = machine
+        self.blocking = blocking
+        self.edge_penalty = edge_penalty
+
+    def predict(
+        self,
+        kernel: str,
+        m: int,
+        n: int,
+        d: int,
+        k: int,
+        heap_arity: int | None = None,
+    ) -> ModelPrediction:
+        """Predict one kernel execution (kernel in var1/var5/var6/gemm)."""
+        if kernel not in _KERNELS:
+            raise ValidationError(
+                f"kernel must be one of {_KERNELS}, got {kernel!r}"
+            )
+        arity = _DEFAULT_ARITY[kernel] if heap_arity is None else heap_arity
+        terms = memory_terms(
+            m, n, d, k, self.machine, self.blocking, kernel, heap_arity=arity
+        )
+        if self.edge_penalty > 0.0:
+            remainder = d % self.blocking.d_c
+            if remainder:
+                edge_fraction = remainder / d
+                terms = replace(
+                    terms,
+                    t_f=terms.t_f * (1.0 + self.edge_penalty * edge_fraction),
+                )
+        return ModelPrediction(kernel, m, n, d, k, terms)
+
+    def predict_seconds(
+        self, kernel: str, m: int, n: int, d: int, k: int
+    ) -> float:
+        return self.predict(kernel, m, n, d, k).seconds
+
+    def select_variant(self, m: int, n: int, d: int, k: int) -> Variant:
+        """Model-based Var#1 vs Var#6 choice (Figure 5's decision rule)."""
+        var1 = self.predict("var1", m, n, d, k).seconds
+        var6 = self.predict("var6", m, n, d, k).seconds
+        return Variant.VAR1 if var1 <= var6 else Variant.VAR6
+
+    def speedup_over_gemm(
+        self, kernel: str, m: int, n: int, d: int, k: int
+    ) -> float:
+        """Predicted T_gemm-approach / T_kernel ratio (>1 means faster)."""
+        gemm = self.predict("gemm", m, n, d, k).seconds
+        ours = self.predict(kernel, m, n, d, k).seconds
+        return gemm / ours
+
+    def estimate_kernel_runtime(self, m: int, n: int, d: int, k: int) -> float:
+        """Best-variant runtime estimate — the scheduler's task weight."""
+        return min(
+            self.predict("var1", m, n, d, k).seconds,
+            self.predict("var6", m, n, d, k).seconds,
+        )

@@ -1,0 +1,89 @@
+"""Variant-switching thresholds in (d, k) space (paper §2.4 and Figure 5).
+
+An exhaustive tuning table over all (d, k) would be expensive to build;
+the model instead predicts where Var#6 starts beating Var#1, producing a
+small region for fine tuning. Figure 5 plots this: the modeled Var#1 and
+Var#6 GFLOPS curves cross at some k*, close to the empirically measured
+crossing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import BlockingParams, IVY_BRIDGE_BLOCKING
+from ..errors import ValidationError
+from ..machine.params import IVY_BRIDGE, MachineParams
+from .perf_model import PerformanceModel
+
+__all__ = ["predict_variant_threshold", "threshold_table", "ThresholdPoint"]
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """The predicted switch point for one dimension value."""
+
+    d: int
+    k_threshold: int | None  # None: Var#1 wins over the whole k range
+
+
+def predict_variant_threshold(
+    m: int,
+    n: int,
+    d: int,
+    *,
+    machine: MachineParams = IVY_BRIDGE,
+    blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
+    k_max: int | None = None,
+) -> int | None:
+    """Smallest k at which Var#6 is predicted no slower than Var#1.
+
+    Scans k = 1..k_max (default n); returns None when Var#1 wins
+    everywhere (the model predicts no crossover below k_max).
+    """
+    if k_max is None:
+        k_max = n
+    if k_max < 1 or k_max > n:
+        raise ValidationError(f"k_max must be in [1, {n}], got {k_max}")
+    model = PerformanceModel(machine, blocking)
+    # Exponential-then-binary search: the time difference
+    # Var#1(k) - Var#6(k) is monotone increasing in k (the heap-latency
+    # term grows with k at tau_l for Var#1 vs tau_b for Var#6's 4-heap,
+    # while Var#6's mn store is k-independent).
+    def var6_wins(k: int) -> bool:
+        return (
+            model.predict("var6", m, n, d, k).seconds
+            <= model.predict("var1", m, n, d, k).seconds
+        )
+
+    if not var6_wins(k_max):
+        return None
+    lo, hi = 1, k_max
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if var6_wins(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def threshold_table(
+    m: int,
+    n: int,
+    dims: list[int],
+    *,
+    machine: MachineParams = IVY_BRIDGE,
+    blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
+    k_max: int | None = None,
+) -> list[ThresholdPoint]:
+    """The (d, k) switching surface sampled at ``dims``."""
+    return [
+        ThresholdPoint(
+            d,
+            predict_variant_threshold(
+                m, n, d, machine=machine, blocking=blocking, k_max=k_max
+            ),
+        )
+        for d in dims
+    ]

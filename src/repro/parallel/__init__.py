@@ -1,0 +1,27 @@
+"""Parallel kNN schemes (paper §2.5).
+
+Two regimes, as in the paper:
+
+* **task parallelism** (:mod:`repro.parallel.scheduler`) — many small
+  independent kNN kernels (one per tree leaf / hash bucket) scheduled
+  across processors by greedy first-termination list scheduling on a
+  runtime-sorted task list (LPT), with runtimes estimated by the
+  performance model;
+* **data parallelism** (:mod:`repro.parallel.data_parallel`) — one big
+  kernel parallelized over the 4th loop (query blocks), which is safe
+  because each query owns its neighbor list; parallelizing the
+  reference side instead requires per-thread private lists merged at
+  the end (footnote 5), also provided.
+"""
+
+from .scheduler import ScheduledTask, Schedule, lpt_schedule, graham_bound
+from .data_parallel import gsknn_data_parallel, gsknn_reference_parallel
+
+__all__ = [
+    "ScheduledTask",
+    "Schedule",
+    "lpt_schedule",
+    "graham_bound",
+    "gsknn_data_parallel",
+    "gsknn_reference_parallel",
+]

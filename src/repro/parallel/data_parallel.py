@@ -1,0 +1,166 @@
+"""Data-parallel GSKNN: parallelizing inside one kernel (paper §2.5).
+
+The paper parallelizes the 4th loop (query blocks): every ``m_c`` block
+of queries goes to one core, each core packs a private ``Q_c`` into its
+private L2 while the shared ``R_c`` lives in the shared L3. That
+decomposition is race-free because a query's neighbor list is touched
+by exactly one core.
+
+Parallelizing the *reference* side (3rd/6th loops) would race on the
+shared neighbor lists; the paper's footnote resolves it with
+per-thread private heaps merged afterwards. Both schemes are
+implemented, the second mainly to demonstrate (and test) the merge
+resolution.
+
+Threads, not processes: the distance blocks are BLAS calls that release
+the GIL, so query blocks genuinely overlap on multicore hosts, and on a
+single-core host the decomposition still produces bit-identical
+results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..config import iter_blocks
+from ..errors import ValidationError
+from ..core.gsknn import gsknn
+from ..core.neighbors import KnnResult, merge_neighbor_lists
+from ..core.norms import Norm
+
+__all__ = ["gsknn_data_parallel", "gsknn_reference_parallel"]
+
+
+def _query_chunks(m: int, p: int) -> list[tuple[int, int]]:
+    """Split ``m`` queries into ``p`` near-equal contiguous chunks.
+
+    This is the dynamic-``m_c`` load balancing of §2.5: instead of fixed
+    ``m_c`` blocks cycled over cores (imbalanced when m is not a
+    multiple of m_c * p), chunk sizes are derived from p and m.
+    """
+    base = m // p
+    extra = m % p
+    chunks = []
+    start = 0
+    for i in range(p):
+        size = base + (1 if i < extra else 0)
+        if size:
+            chunks.append((start, size))
+        start += size
+    return chunks
+
+
+def gsknn_data_parallel(
+    X: np.ndarray,
+    q_idx: np.ndarray,
+    r_idx: np.ndarray,
+    k: int,
+    *,
+    p: int = 2,
+    norm: str | float | Norm = "l2",
+    variant: int | str = "auto",
+    block_m: int = 1024,
+    block_n: int = 2048,
+) -> KnnResult:
+    """4th-loop (query-side) parallel GSKNN over ``p`` workers.
+
+    Results are identical to the serial kernel — queries are
+    partitioned, never shared.
+    """
+    if p < 1:
+        raise ValidationError(f"need p >= 1, got {p}")
+    q_idx = np.asarray(q_idx, dtype=np.intp)
+    if p == 1 or q_idx.size <= p:
+        return gsknn(
+            X, q_idx, np.asarray(r_idx), k, norm=norm, variant=variant,
+            block_m=block_m, block_n=block_n,
+        )
+
+    chunks = _query_chunks(q_idx.size, p)
+
+    def worker(chunk: tuple[int, int]) -> tuple[int, KnnResult]:
+        start, size = chunk
+        res = gsknn(
+            X,
+            q_idx[start : start + size],
+            r_idx,
+            k,
+            norm=norm,
+            variant=variant,
+            block_m=block_m,
+            block_n=block_n,
+        )
+        return start, res
+
+    m = q_idx.size
+    dist = np.empty((m, k), dtype=np.float64)
+    idx = np.empty((m, k), dtype=np.intp)
+    with ThreadPoolExecutor(max_workers=p) as pool:
+        for start, res in pool.map(worker, chunks):
+            dist[start : start + res.m] = res.distances
+            idx[start : start + res.m] = res.indices
+    return KnnResult(dist, idx)
+
+
+def gsknn_reference_parallel(
+    X: np.ndarray,
+    q_idx: np.ndarray,
+    r_idx: np.ndarray,
+    k: int,
+    *,
+    p: int = 2,
+    norm: str | float | Norm = "l2",
+    block_m: int = 1024,
+    block_n: int = 2048,
+) -> KnnResult:
+    """Reference-side parallel GSKNN with private per-worker lists.
+
+    Each worker processes a slice of the *references* for all queries,
+    building private neighbor lists; the partial lists are then merged
+    (the paper's footnote-5 race resolution for Xeon Phi's 3rd-loop
+    parallelism). Exactness is preserved because min-k is associative
+    under the dedup-merge.
+    """
+    if p < 1:
+        raise ValidationError(f"need p >= 1, got {p}")
+    r_idx = np.asarray(r_idx, dtype=np.intp)
+    if k > r_idx.size:
+        raise ValidationError(f"k={k} exceeds n={r_idx.size}")
+    if p == 1 or r_idx.size < p * k:
+        return gsknn(
+            X, q_idx, r_idx, k, norm=norm, block_m=block_m, block_n=block_n
+        )
+
+    chunks = _query_chunks(r_idx.size, p)  # same chunking math, n side
+
+    def worker(chunk: tuple[int, int]) -> KnnResult:
+        start, size = chunk
+        return gsknn(
+            X,
+            q_idx,
+            r_idx[start : start + size],
+            min(k, size),
+            norm=norm,
+            block_m=block_m,
+            block_n=block_n,
+        )
+
+    with ThreadPoolExecutor(max_workers=p) as pool:
+        partials = list(pool.map(worker, chunks))
+
+    # Pad any short partial lists (chunk smaller than k) to width k, then
+    # fold them together with the dedup merge.
+    def widen(res: KnnResult) -> KnnResult:
+        if res.k == k:
+            return res
+        pad = k - res.k
+        dist = np.pad(res.distances, ((0, 0), (0, pad)), constant_values=np.inf)
+        idx = np.pad(res.indices, ((0, 0), (0, pad)), constant_values=-1)
+        return KnnResult(dist, idx)
+
+    merged = widen(partials[0])
+    for part in partials[1:]:
+        merged = merge_neighbor_lists(merged, widen(part))
+    return merged

@@ -1,0 +1,30 @@
+"""Timers, counters, and efficiency helpers.
+
+Provides the pieces the benchmark harnesses share: phase timers for the
+Table 5 breakdown (``T_coll + T_gemm + T_sq2d + T_heap``), flop counting
+for the kNN kernel (the paper's ``(2d + 3) m n`` numerator), and GFLOPS /
+efficiency conversion.
+"""
+
+from .counters import KernelCounters
+from .gflops import knn_flops, gflops, efficiency
+from .roofline import (
+    arithmetic_intensity,
+    classify,
+    ridge_intensity,
+    roofline_bound,
+)
+from .timer import PhaseBreakdown, PhaseTimer
+
+__all__ = [
+    "PhaseTimer",
+    "PhaseBreakdown",
+    "KernelCounters",
+    "knn_flops",
+    "gflops",
+    "efficiency",
+    "arithmetic_intensity",
+    "roofline_bound",
+    "ridge_intensity",
+    "classify",
+]

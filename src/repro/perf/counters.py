@@ -1,0 +1,38 @@
+"""Flop and memory-traffic counters for kernel instrumentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelCounters"]
+
+
+@dataclass
+class KernelCounters:
+    """Aggregate work counters one kernel execution accumulates.
+
+    ``flops`` counts floating-point operations actually scheduled
+    (rank-d updates plus the 3 flops/entry of the norm accumulation);
+    ``slow_reads``/``slow_writes`` count doubles moved to/from the slow
+    memory tier as the kernel models it; ``heap_updates`` counts accepted
+    neighbor insertions; ``discarded`` counts distances rejected by the
+    root filter without being stored.
+    """
+
+    flops: int = 0
+    slow_reads: int = 0
+    slow_writes: int = 0
+    heap_updates: int = 0
+    discarded: int = 0
+
+    def merge(self, other: "KernelCounters") -> "KernelCounters":
+        self.flops += other.flops
+        self.slow_reads += other.slow_reads
+        self.slow_writes += other.slow_writes
+        self.heap_updates += other.heap_updates
+        self.discarded += other.discarded
+        return self
+
+    @property
+    def slow_doubles(self) -> int:
+        return self.slow_reads + self.slow_writes

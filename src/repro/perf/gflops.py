@@ -1,0 +1,35 @@
+"""Efficiency metrics: the paper's ``(2d + 3) m n / T`` GFLOPS convention.
+
+Figures 4-6 plot "floating point efficiency" where the numerator is the
+*useful* flop count of the kNN kernel — ``2 d m n`` for the rank-d update
+plus ``3 m n`` for the norm accumulation — regardless of how the kernel
+was implemented. Heap selection contributes zero flops (the paper notes
+GFLOPS therefore under-represents selection-heavy configurations).
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+
+__all__ = ["knn_flops", "gflops", "efficiency"]
+
+
+def knn_flops(m: int, n: int, d: int) -> int:
+    """Useful flops of one m x n x d kNN kernel: ``(2d + 3) m n``."""
+    if min(m, n, d) < 1:
+        raise ValidationError("m, n, d must all be >= 1")
+    return (2 * d + 3) * m * n
+
+
+def gflops(m: int, n: int, d: int, seconds: float) -> float:
+    """Achieved GFLOPS of one kernel execution."""
+    if seconds <= 0:
+        raise ValidationError(f"seconds must be positive, got {seconds}")
+    return knn_flops(m, n, d) / seconds / 1e9
+
+
+def efficiency(m: int, n: int, d: int, seconds: float, peak_gflops: float) -> float:
+    """Fraction of machine peak achieved (0..1, can exceed 1 if peak is stale)."""
+    if peak_gflops <= 0:
+        raise ValidationError("peak_gflops must be positive")
+    return gflops(m, n, d, seconds) / peak_gflops

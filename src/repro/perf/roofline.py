@@ -1,0 +1,88 @@
+"""Roofline analysis of the kNN kernels.
+
+The paper's performance story is a roofline story told longhand: at low
+``d`` the GEMM approach's arithmetic intensity (flops per byte of slow
+traffic) sits under the memory-bandwidth roof, and GSKNN's fusion wins
+by removing bytes, not flops. This module makes that explicit:
+
+* :func:`arithmetic_intensity` — useful flops over modeled slow-memory
+  bytes for any of the costed kernels;
+* :func:`roofline_bound` — the attainable GFLOPS at a given intensity:
+  ``min(peak, intensity * bandwidth)``;
+* :func:`ridge_intensity` — where the two roofs meet;
+* :func:`classify` — "memory-bound" / "compute-bound" per kernel and
+  problem size, the §2.1 statement ("the kNN search can be memory
+  bound, depending on the sizes of m, n, d and k") as a function.
+"""
+
+from __future__ import annotations
+
+from ..config import BlockingParams, IVY_BRIDGE_BLOCKING
+from ..errors import ValidationError
+from ..machine.params import IVY_BRIDGE, MachineParams
+from ..model.costs import memory_terms
+from .gflops import knn_flops
+
+__all__ = [
+    "arithmetic_intensity",
+    "roofline_bound",
+    "ridge_intensity",
+    "classify",
+]
+
+_BYTES_PER_DOUBLE = 8
+
+
+def _bandwidth_bytes_per_second(machine: MachineParams) -> float:
+    """tau_b is seconds per double of contiguous movement."""
+    return _BYTES_PER_DOUBLE / machine.tau_b
+
+
+def arithmetic_intensity(
+    m: int,
+    n: int,
+    d: int,
+    k: int,
+    kernel: str = "var1",
+    machine: MachineParams = IVY_BRIDGE,
+    blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
+) -> float:
+    """Useful flops per byte of modeled slow-memory traffic."""
+    terms = memory_terms(m, n, d, k, machine, blocking, kernel)
+    slow_bytes = terms.t_m / machine.tau_b * _BYTES_PER_DOUBLE
+    if slow_bytes <= 0:
+        raise ValidationError("modeled memory traffic must be positive")
+    return knn_flops(m, n, d) / slow_bytes
+
+
+def roofline_bound(
+    intensity: float, machine: MachineParams = IVY_BRIDGE
+) -> float:
+    """Attainable GFLOPS at ``intensity`` flops/byte on ``machine``."""
+    if intensity <= 0:
+        raise ValidationError(f"intensity must be positive, got {intensity}")
+    return (
+        min(machine.tau_f, intensity * _bandwidth_bytes_per_second(machine))
+        / 1e9
+    )
+
+
+def ridge_intensity(machine: MachineParams = IVY_BRIDGE) -> float:
+    """Flops/byte where the bandwidth roof meets the compute roof."""
+    return machine.tau_f / _bandwidth_bytes_per_second(machine)
+
+
+def classify(
+    m: int,
+    n: int,
+    d: int,
+    k: int,
+    kernel: str = "var1",
+    machine: MachineParams = IVY_BRIDGE,
+    blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
+) -> str:
+    """``"memory-bound"`` or ``"compute-bound"`` for this configuration."""
+    intensity = arithmetic_intensity(m, n, d, k, kernel, machine, blocking)
+    return (
+        "memory-bound" if intensity < ridge_intensity(machine) else "compute-bound"
+    )

@@ -1,0 +1,92 @@
+"""Phase timing for the Table 5 runtime breakdown.
+
+The paper decomposes the GEMM-based kernel's runtime into
+``T_coll + T_gemm + T_sq2d + T_heap`` (coordinate gathering, the GEMM
+call, the norm accumulation, and neighbor selection). :class:`PhaseTimer`
+accumulates wall-clock per named phase; :class:`PhaseBreakdown` is the
+immutable result both kernels report.
+
+For the fused GSKNN kernel the phases cannot be timed from inside the
+loop (the paper notes a timer call in the 2nd loop would dominate), so it
+reports only a total; the Table 5 bench estimates its heap time with the
+paper's ``k = 1`` subtraction trick.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PhaseTimer", "PhaseBreakdown"]
+
+#: Canonical phase names, in the order Table 5 prints them.
+PHASES = ("coll", "gemm", "sq2d", "heap")
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Seconds per phase. Phases a kernel didn't run are 0."""
+
+    coll: float = 0.0
+    gemm: float = 0.0
+    sq2d: float = 0.0
+    heap: float = 0.0
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.coll + self.gemm + self.sq2d + self.heap + self.other
+
+    def as_millis(self) -> dict[str, float]:
+        """The breakdown in milliseconds, keyed like Table 5's columns."""
+        return {
+            "coll": self.coll * 1e3,
+            "gemm": self.gemm * 1e3,
+            "sq2d": self.sq2d * 1e3,
+            "heap": self.heap * 1e3,
+            "other": self.other * 1e3,
+            "total": self.total * 1e3,
+        }
+
+    def __add__(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        return PhaseBreakdown(
+            self.coll + other.coll,
+            self.gemm + other.gemm,
+            self.sq2d + other.sq2d,
+            self.heap + other.heap,
+            self.other + other.other,
+        )
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time into named phases.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("gemm"):
+            C = Q @ R.T
+        breakdown = timer.breakdown()
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def breakdown(self) -> PhaseBreakdown:
+        known = {name: self.seconds.get(name, 0.0) for name in PHASES}
+        other = sum(v for k, v in self.seconds.items() if k not in PHASES)
+        return PhaseBreakdown(other=other, **known)
+
+    def reset(self) -> None:
+        self.seconds.clear()

@@ -1,0 +1,220 @@
+"""Bitonic sorting/merging networks, batched across rows.
+
+§2.2 notes that merge-sort selection "guarantees contiguous memory
+access, which can be highly vectorized with a bitonic merge" (citing
+Chhugani et al.). This module provides that vectorized counterpart to
+the scalar :mod:`repro.select.mergeselect`: compare-exchange networks
+whose every stage is one numpy operation over all ``m`` rows at once —
+the data-parallel shape a SIMD implementation has, expressed with
+vector slices instead of vector registers.
+
+* :func:`bitonic_sort_rows` — the full Batcher bitonic sorting network
+  on each row of an ``(m, L)`` array (``L`` padded to a power of two);
+* :func:`bitonic_merge_rows` — merge two ascending k-lists per row by
+  reversing one side (making each row bitonic) and running the final
+  ``log k`` merge stages;
+* :func:`bitonic_merge_select_rows` — the paper's chunked selection:
+  network-sort ``k``-chunks of an ``(m, n)`` candidate array and fold
+  them into a running top-k with bitonic merges.
+
+Like the scalar version, cost is Theta(n log^2 k) regardless of input
+order — the fixed-complexity property that makes it lose to the heap's
+O(n) best case inside GSKNN, which the ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "bitonic_sort_rows",
+    "bitonic_merge_rows",
+    "bitonic_merge_select_rows",
+]
+
+
+def _next_pow2(x: int) -> int:
+    return 1 << (x - 1).bit_length()
+
+
+def _compare_exchange(
+    values: np.ndarray,
+    ids: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    ascending: np.ndarray,
+) -> None:
+    """One network stage: conditionally swap columns lo[i] <-> hi[i].
+
+    ``ascending`` says, per pair, whether the smaller element belongs at
+    ``lo``. All rows are processed by the same four vector operations —
+    the numpy transliteration of a SIMD min/max/blend sequence.
+    """
+    a_vals = values[:, lo]
+    b_vals = values[:, hi]
+    swap = np.where(ascending[None, :], a_vals > b_vals, a_vals < b_vals)
+    a_ids = ids[:, lo]
+    b_ids = ids[:, hi]
+    values[:, lo] = np.where(swap, b_vals, a_vals)
+    values[:, hi] = np.where(swap, a_vals, b_vals)
+    ids[:, lo] = np.where(swap, b_ids, a_ids)
+    ids[:, hi] = np.where(swap, a_ids, b_ids)
+
+
+def _pad_rows(
+    values: np.ndarray, ids: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray, int]:
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValidationError("bitonic routines operate on (m, L) arrays")
+    m, width = values.shape
+    if ids is None:
+        ids = np.broadcast_to(np.arange(width, dtype=np.intp), values.shape)
+    ids = np.asarray(ids, dtype=np.intp)
+    if ids.shape != values.shape:
+        raise ValidationError(
+            f"ids shape {ids.shape} != values shape {values.shape}"
+        )
+    L = _next_pow2(max(width, 1))
+    out_vals = np.full((m, L), np.inf, dtype=np.float64)
+    out_ids = np.full((m, L), -1, dtype=np.intp)
+    out_vals[:, :width] = values
+    out_ids[:, :width] = ids
+    return out_vals, out_ids, width
+
+
+def _merge_stages(
+    values: np.ndarray, ids: np.ndarray, span: int
+) -> None:
+    """The descending half-cleaner cascade of a bitonic merge of ``span``."""
+    idx = np.arange(values.shape[1])
+    stride = span // 2
+    while stride >= 1:
+        partner = idx ^ stride
+        pairs = partner > idx
+        lo = idx[pairs]
+        hi = partner[pairs]
+        ascending = np.ones(lo.size, dtype=bool)
+        _compare_exchange(values, ids, lo, hi, ascending)
+        stride //= 2
+
+
+def bitonic_sort_rows(
+    values: np.ndarray, ids: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort every row ascending with a Batcher bitonic network.
+
+    Returns new ``(values, ids)`` arrays of the original width; padding
+    (``+inf`` / ``-1``) is added internally and stripped on return.
+    """
+    padded_vals, padded_ids, width = _pad_rows(values, ids)
+    L = padded_vals.shape[1]
+    idx = np.arange(L)
+    size = 2
+    while size <= L:
+        stride = size // 2
+        while stride >= 1:
+            partner = idx ^ stride
+            pairs = partner > idx
+            lo = idx[pairs]
+            hi = partner[pairs]
+            # direction per pair: ascending iff its size-block is even
+            ascending = (lo & size) == 0
+            _compare_exchange(padded_vals, padded_ids, lo, hi, ascending)
+            stride //= 2
+        size *= 2
+    return padded_vals[:, :width].copy(), padded_ids[:, :width].copy()
+
+
+def bitonic_merge_rows(
+    a_values: np.ndarray,
+    a_ids: np.ndarray,
+    b_values: np.ndarray,
+    b_ids: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two row-wise ascending lists, keeping the k smallest per row.
+
+    Both inputs must have power-of-two width >= k is not required — they
+    are padded. The classic trick: append ``b`` reversed so each row is
+    a bitonic sequence, then run the merge cascade.
+    """
+    a_values = np.asarray(a_values, dtype=np.float64)
+    b_values = np.asarray(b_values, dtype=np.float64)
+    if a_values.shape != b_values.shape:
+        raise ValidationError(
+            f"bitonic merge needs equal shapes, got {a_values.shape} "
+            f"and {b_values.shape}"
+        )
+    if k < 1 or k > a_values.shape[1] + b_values.shape[1]:
+        raise ValidationError(f"k={k} out of range for the merged width")
+    width = a_values.shape[1]
+    L = _next_pow2(width)
+    m = a_values.shape[0]
+
+    merged_vals = np.full((m, 2 * L), np.inf, dtype=np.float64)
+    merged_ids = np.full((m, 2 * L), -1, dtype=np.intp)
+    merged_vals[:, :width] = a_values
+    merged_ids[:, :width] = np.asarray(a_ids, dtype=np.intp)
+    # reversed b occupies the tail so the row reads up-then-down: bitonic
+    merged_vals[:, 2 * L - width :] = np.asarray(b_values)[:, ::-1]
+    merged_ids[:, 2 * L - width :] = np.asarray(b_ids, dtype=np.intp)[:, ::-1]
+
+    _merge_stages(merged_vals, merged_ids, 2 * L)
+    return merged_vals[:, :k].copy(), merged_ids[:, :k].copy()
+
+
+def bitonic_merge_select_rows(
+    values: np.ndarray,
+    k: int,
+    ids: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise k smallest of an (m, n) array via chunked bitonic merges.
+
+    The vectorized form of §2.2's merge-sort selection: cut each row
+    into ``k``-wide chunks, network-sort all chunks of all rows at once,
+    then fold chunks into the running top-k list with bitonic merges.
+    Returns ``(values, ids)`` with rows ascending.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValidationError("candidate array must be 2-D")
+    m, n = values.shape
+    if k < 1 or k > n:
+        raise ValidationError(f"k must be in [1, {n}], got {k}")
+    if ids is None:
+        ids = np.broadcast_to(np.arange(n, dtype=np.intp), values.shape)
+    ids = np.asarray(ids, dtype=np.intp)
+
+    best_vals: np.ndarray | None = None
+    best_ids: np.ndarray | None = None
+    for start in range(0, n, k):
+        chunk_vals, chunk_ids, _ = _pad_rows(
+            values[:, start : start + k], ids[:, start : start + k]
+        )
+        chunk_vals, chunk_ids = bitonic_sort_rows(chunk_vals, chunk_ids)
+        if best_vals is None:
+            best_vals = chunk_vals[:, :k]
+            best_ids = chunk_ids[:, :k]
+            if best_vals.shape[1] < k:  # first chunk narrower than k
+                pad = k - best_vals.shape[1]
+                best_vals = np.pad(
+                    best_vals, ((0, 0), (0, pad)), constant_values=np.inf
+                )
+                best_ids = np.pad(
+                    best_ids, ((0, 0), (0, pad)), constant_values=-1
+                )
+            continue
+        pad = best_vals.shape[1] - chunk_vals.shape[1]
+        if pad > 0:
+            chunk_vals = np.pad(
+                chunk_vals, ((0, 0), (0, pad)), constant_values=np.inf
+            )
+            chunk_ids = np.pad(chunk_ids, ((0, 0), (0, pad)), constant_values=-1)
+        best_vals, best_ids = bitonic_merge_rows(
+            best_vals, best_ids, chunk_vals[:, :k], chunk_ids[:, :k], k
+        )
+    assert best_vals is not None and best_ids is not None
+    return best_vals, best_ids

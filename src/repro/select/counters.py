@@ -1,0 +1,64 @@
+"""Operation counters for selection algorithms.
+
+Table 3 of the paper states best/worst/average complexities for heap
+selection, quickselect, and merge-sort selection. To *measure* those rows
+(``benchmarks/bench_table3_selection.py``) every scalar selection
+implementation threads a :class:`SelectionStats` through its hot loop and
+bumps these counters. The counters deliberately mirror the cost classes of
+the paper's performance model: comparisons and data moves dominate the
+"other instructions" term ``T_o``, and random accesses dominate the heap's
+``2 tau_l m k log k`` memory term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SelectionStats"]
+
+
+@dataclass
+class SelectionStats:
+    """Mutable tally of the work one selection pass performed.
+
+    Attributes
+    ----------
+    comparisons:
+        Value-vs-value comparisons (the dominant ALU cost).
+    moves:
+        Element writes (swaps count as 3 moves, simple writes as 1).
+    random_accesses:
+        Reads at non-sequential addresses — heap sift paths, quickselect
+        partition jumps. These pay the latency cost ``tau_l`` in the model.
+    sequential_accesses:
+        Streaming reads over the candidate array — these pay ``tau_b``.
+    """
+
+    comparisons: int = 0
+    moves: int = 0
+    random_accesses: int = 0
+    sequential_accesses: int = 0
+
+    def merge(self, other: "SelectionStats") -> "SelectionStats":
+        """Accumulate ``other`` into ``self`` and return ``self``."""
+        self.comparisons += other.comparisons
+        self.moves += other.moves
+        self.random_accesses += other.random_accesses
+        self.sequential_accesses += other.sequential_accesses
+        return self
+
+    @property
+    def total_ops(self) -> int:
+        """Aggregate operation count (rough instruction proxy)."""
+        return (
+            self.comparisons
+            + self.moves
+            + self.random_accesses
+            + self.sequential_accesses
+        )
+
+    def reset(self) -> None:
+        self.comparisons = 0
+        self.moves = 0
+        self.random_accesses = 0
+        self.sequential_accesses = 0

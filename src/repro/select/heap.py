@@ -1,0 +1,288 @@
+"""Array-embedded max heaps: binary and padded d-ary (paper §2.2, Figure 1).
+
+GSKNN keeps each query's current ``k`` nearest neighbors in a *max* heap so
+the largest retained distance (the root) is readable in O(1). A candidate
+survives only if it beats the root, in which case it replaces the root and
+sifts down — O(log k) worst case, O(1) (one comparison) when the candidate
+is filtered out. That filter is what gives heap selection its O(n) best
+case and is the hook GSKNN's micro-kernel uses to discard distance tiles
+without ever storing them.
+
+Two layouts are provided:
+
+* :class:`BinaryMaxHeap` — each node has 2 children; cheapest max-child
+  search (one comparison) but depth ``log2 k``. Used by Var#1 (small k).
+* :class:`DHeap` — each node has ``d`` children (default 4) and the array
+  is front-padded so every sibling group starts at an index that is a
+  multiple of ``d``; with 64-byte lines and 8-byte keys a 4-heap sibling
+  group occupies one cache line half, cutting the random-access count per
+  level. Depth is ``log_d k``. Used by Var#6 (large k).
+
+Both heaps store ``(value, id)`` pairs in parallel arrays and count their
+work in a :class:`~repro.select.counters.SelectionStats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from .counters import SelectionStats
+
+__all__ = ["BinaryMaxHeap", "DHeap", "heap_select_smallest"]
+
+
+class BinaryMaxHeap:
+    """Fixed-capacity binary max heap of ``(value, id)`` pairs.
+
+    The heap is created *full*: every slot starts at ``+inf`` with id
+    ``-1``, matching the paper's neighbor-list initialization (any real
+    candidate beats an empty slot). ``values``/``ids`` expose the raw
+    array embedding; index 0 is the root.
+    """
+
+    ARITY = 2
+
+    def __init__(self, k: int, *, stats: SelectionStats | None = None) -> None:
+        if k < 1:
+            raise ValidationError(f"heap capacity k must be >= 1, got {k}")
+        self.k = int(k)
+        self.values = np.full(self.k, np.inf, dtype=np.float64)
+        self.ids = np.full(self.k, -1, dtype=np.intp)
+        self.stats = stats if stats is not None else SelectionStats()
+
+    # -- core heap primitives -------------------------------------------
+
+    @property
+    def root(self) -> float:
+        """Largest retained value — the candidate-filter threshold."""
+        return float(self.values[0])
+
+    def _max_child(self, i: int) -> int:
+        """Index of the larger child of node ``i`` (assumes one exists)."""
+        left = 2 * i + 1
+        right = left + 1
+        if right < self.k:
+            self.stats.comparisons += 1
+            self.stats.random_accesses += 1
+            if self.values[right] > self.values[left]:
+                return right
+        return left
+
+    def _sift_down(self, i: int) -> None:
+        value = self.values[i]
+        ident = self.ids[i]
+        while True:
+            left = 2 * i + 1
+            if left >= self.k:
+                break
+            child = self._max_child(i)
+            self.stats.comparisons += 1
+            self.stats.random_accesses += 1
+            if self.values[child] <= value:
+                break
+            self.values[i] = self.values[child]
+            self.ids[i] = self.ids[child]
+            self.stats.moves += 1
+            i = child
+        self.values[i] = value
+        self.ids[i] = ident
+        self.stats.moves += 1
+
+    # -- kNN-facing operations -------------------------------------------
+
+    def update(self, value: float, ident: int) -> bool:
+        """Offer a candidate; keep it iff it beats the current root.
+
+        Returns True when the candidate was inserted. The single
+        comparison on the reject path is the O(1) filter the paper's
+        best-case O(n) analysis relies on.
+        """
+        self.stats.comparisons += 1
+        if value >= self.values[0]:
+            return False
+        self.values[0] = value
+        self.ids[0] = ident
+        self._sift_down(0)
+        return True
+
+    def update_many(self, values: np.ndarray, ids: np.ndarray) -> int:
+        """Offer a candidate batch in order; returns the number accepted."""
+        accepted = 0
+        self.stats.sequential_accesses += len(values)
+        for value, ident in zip(values, ids):
+            if self.update(float(value), int(ident)):
+                accepted += 1
+        return accepted
+
+    def heapify(self, values: np.ndarray, ids: np.ndarray) -> None:
+        """Bulk-load exactly ``k`` pairs with Floyd's O(k) heapify."""
+        values = np.asarray(values, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.intp)
+        if values.shape != (self.k,) or ids.shape != (self.k,):
+            raise ValidationError(
+                f"heapify needs exactly k={self.k} values and ids, got "
+                f"{values.shape} and {ids.shape}"
+            )
+        self.values[:] = values
+        self.ids[:] = ids
+        for i in range(self.k // 2 - 1, -1, -1):
+            self._sift_down(i)
+
+    def sorted_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (values, ids) ascending by value; the heap is unchanged."""
+        order = np.argsort(self.values, kind="stable")
+        return self.values[order].copy(), self.ids[order].copy()
+
+    def is_valid(self) -> bool:
+        """Check the max-heap invariant (used by property tests)."""
+        for i in range(self.k):
+            for child in (2 * i + 1, 2 * i + 2):
+                if child < self.k and self.values[child] > self.values[i]:
+                    return False
+        return True
+
+    def __len__(self) -> int:
+        return self.k
+
+
+class DHeap:
+    """Padded d-ary max heap (default 4-heap) of ``(value, id)`` pairs.
+
+    Logical node ``j`` has children ``d*j + 1 .. d*j + d``; physically the
+    array is shifted by ``d - 1`` slots so each sibling group begins at a
+    physical index divisible by ``d`` (the paper's "padding the root with
+    three empty spaces" for the 4-heap, Figure 1 right). The padding slots
+    hold ``-inf`` so they can never win a max-child comparison.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        arity: int = 4,
+        stats: SelectionStats | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValidationError(f"heap capacity k must be >= 1, got {k}")
+        if arity < 2:
+            raise ValidationError(f"heap arity must be >= 2, got {arity}")
+        self.k = int(k)
+        self.arity = int(arity)
+        self._pad = self.arity - 1
+        size = self.k + self._pad
+        self.values = np.full(size, -np.inf, dtype=np.float64)
+        self.ids = np.full(size, -1, dtype=np.intp)
+        # live slots start +inf (empty neighbor list)
+        self.values[self._pad :] = np.inf
+        self.stats = stats if stats is not None else SelectionStats()
+
+    # physical index of logical node j
+    def _phys(self, j: int) -> int:
+        return j + self._pad
+
+    @property
+    def root(self) -> float:
+        return float(self.values[self._pad])
+
+    def _max_child(self, j: int) -> int:
+        """Logical index of the largest child of logical node ``j``."""
+        first = self.arity * j + 1
+        last = min(first + self.arity, self.k)
+        # One sibling group = one padded, aligned physical span: a single
+        # cache-line-sized random access followed by in-line comparisons.
+        self.stats.random_accesses += 1
+        span = self.values[self._phys(first) : self._phys(last)]
+        self.stats.comparisons += max(len(span) - 1, 0)
+        return first + int(np.argmax(span))
+
+    def _sift_down(self, j: int) -> None:
+        value = self.values[self._phys(j)]
+        ident = self.ids[self._phys(j)]
+        while True:
+            first = self.arity * j + 1
+            if first >= self.k:
+                break
+            child = self._max_child(j)
+            self.stats.comparisons += 1
+            if self.values[self._phys(child)] <= value:
+                break
+            self.values[self._phys(j)] = self.values[self._phys(child)]
+            self.ids[self._phys(j)] = self.ids[self._phys(child)]
+            self.stats.moves += 1
+            j = child
+        self.values[self._phys(j)] = value
+        self.ids[self._phys(j)] = ident
+        self.stats.moves += 1
+
+    def update(self, value: float, ident: int) -> bool:
+        """Offer a candidate; keep it iff it beats the current root."""
+        self.stats.comparisons += 1
+        if value >= self.values[self._pad]:
+            return False
+        self.values[self._pad] = value
+        self.ids[self._pad] = ident
+        self._sift_down(0)
+        return True
+
+    def update_many(self, values: np.ndarray, ids: np.ndarray) -> int:
+        accepted = 0
+        self.stats.sequential_accesses += len(values)
+        for value, ident in zip(values, ids):
+            if self.update(float(value), int(ident)):
+                accepted += 1
+        return accepted
+
+    def sorted_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        live_values = self.values[self._pad :]
+        live_ids = self.ids[self._pad :]
+        order = np.argsort(live_values, kind="stable")
+        return live_values[order].copy(), live_ids[order].copy()
+
+    def is_valid(self) -> bool:
+        for j in range(self.k):
+            first = self.arity * j + 1
+            for child in range(first, min(first + self.arity, self.k)):
+                if self.values[self._phys(child)] > self.values[self._phys(j)]:
+                    return False
+        return True
+
+    def depth(self) -> int:
+        """Tree height — ``ceil(log_arity k)``; smaller than binary for d>2."""
+        depth, span = 0, 1
+        total = 1
+        while total < self.k:
+            span *= self.arity
+            total += span
+            depth += 1
+        return depth
+
+    def __len__(self) -> int:
+        return self.k
+
+
+def heap_select_smallest(
+    values: np.ndarray,
+    k: int,
+    *,
+    arity: int = 2,
+    stats: SelectionStats | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Select the ``k`` smallest values (and their positions) via a max heap.
+
+    Reference scalar implementation of the paper's chosen selection
+    algorithm: stream the candidates through a capacity-``k`` max heap.
+    Returns ``(values, positions)`` sorted ascending.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if k < 1 or k > values.size:
+        raise ValidationError(
+            f"k must be in [1, {values.size}], got {k}"
+        )
+    heap: BinaryMaxHeap | DHeap
+    if arity == 2:
+        heap = BinaryMaxHeap(k, stats=stats)
+    else:
+        heap = DHeap(k, arity=arity, stats=stats)
+    heap.update_many(values, np.arange(values.size, dtype=np.intp))
+    return heap.sorted_pairs()

@@ -1,0 +1,112 @@
+"""Hoare quickselect (paper §2.2, "Quick select").
+
+Partition-based selection with O(n + k) average complexity but a large
+constant and an O((n+k)^2) worst case. The paper rejects it for embedding
+in the GEMM loop hierarchy because updating an existing neighbor list
+costs O(n + k) even in the best case (the list and candidates must be
+concatenated and re-partitioned) — there is no O(1) reject path like the
+heap root filter. It is implemented here as a baseline so Table 3's
+measured complexities include all three families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from .counters import SelectionStats
+
+__all__ = ["quickselect_smallest", "quickselect_update"]
+
+
+def _partition(
+    values: np.ndarray,
+    ids: np.ndarray,
+    lo: int,
+    hi: int,
+    stats: SelectionStats,
+) -> int:
+    """Lomuto partition of values[lo:hi+1] around a median-of-three pivot."""
+    mid = (lo + hi) // 2
+    # median-of-three pivot selection guards against sorted inputs
+    stats.comparisons += 3
+    trio = sorted((lo, mid, hi), key=lambda i: values[i])
+    pivot_idx = trio[1]
+    values[pivot_idx], values[hi] = values[hi], values[pivot_idx]
+    ids[pivot_idx], ids[hi] = ids[hi], ids[pivot_idx]
+    stats.moves += 6
+    pivot = values[hi]
+    store = lo
+    for i in range(lo, hi):
+        stats.comparisons += 1
+        stats.sequential_accesses += 1
+        if values[i] < pivot:
+            if i != store:
+                values[store], values[i] = values[i], values[store]
+                ids[store], ids[i] = ids[i], ids[store]
+                stats.moves += 6
+            store += 1
+    values[store], values[hi] = values[hi], values[store]
+    ids[store], ids[hi] = ids[hi], ids[store]
+    stats.moves += 6
+    return store
+
+
+def quickselect_smallest(
+    values: np.ndarray,
+    k: int,
+    *,
+    stats: SelectionStats | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Select the ``k`` smallest values (and positions), sorted ascending.
+
+    Operates on a private copy; the input array is not modified.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel().copy()
+    if k < 1 or k > values.size:
+        raise ValidationError(f"k must be in [1, {values.size}], got {k}")
+    stats = stats if stats is not None else SelectionStats()
+    ids = np.arange(values.size, dtype=np.intp)
+
+    lo, hi = 0, values.size - 1
+    target = k - 1
+    while lo < hi:
+        p = _partition(values, ids, lo, hi, stats)
+        if p == target:
+            break
+        if p < target:
+            lo = p + 1
+        else:
+            hi = p - 1
+
+    prefix_order = np.argsort(values[:k], kind="stable")
+    return values[:k][prefix_order].copy(), ids[:k][prefix_order].copy()
+
+
+def quickselect_update(
+    current_values: np.ndarray,
+    current_ids: np.ndarray,
+    cand_values: np.ndarray,
+    cand_ids: np.ndarray,
+    *,
+    stats: SelectionStats | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Update a k-neighbor list with ``n`` candidates via quickselect.
+
+    This is the concatenate-then-select scheme the paper describes: the
+    existing list and the candidates are merged into one length n+k array
+    and the new k-th element found by partitioning — hence the O(n + k)
+    best case that disqualifies quickselect for small-n embedding.
+    """
+    current_values = np.asarray(current_values, dtype=np.float64).ravel()
+    current_ids = np.asarray(current_ids, dtype=np.intp).ravel()
+    if current_values.shape != current_ids.shape:
+        raise ValidationError("neighbor values/ids shape mismatch")
+    k = current_values.size
+    merged_values = np.concatenate([current_values, np.asarray(cand_values, dtype=np.float64).ravel()])
+    merged_ids = np.concatenate([current_ids, np.asarray(cand_ids, dtype=np.intp).ravel()])
+    stats = stats if stats is not None else SelectionStats()
+    stats.sequential_accesses += merged_values.size
+    values, positions = quickselect_smallest(merged_values, k, stats=stats)
+    return values, merged_ids[positions]

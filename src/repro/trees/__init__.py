@@ -1,0 +1,41 @@
+"""Approximate all-nearest-neighbor solvers that consume the kNN kernel.
+
+The kNN kernel's consumers (paper §1): partition the dataset into
+groups, run an exact m x n kernel per group, merge neighbor lists,
+iterate with fresh groupings until convergence. Two partitioners are
+provided, matching the solvers GSKNN was integrated with:
+
+* :mod:`repro.trees.rkdtree` — randomized KD-trees (the Table 1 outer
+  solver);
+* :mod:`repro.trees.lsh` — locality-sensitive hashing via random
+  projections;
+* :mod:`repro.trees.allknn` — the driver (exact brute force included),
+  with recall-vs-truth evaluation.
+"""
+
+from .allknn import AllKnnReport, all_nearest_neighbors, exact_all_knn
+from .evaluation import distance_ratio, quality_curve, recall_at
+from .graph import GraphStats, graph_stats, knn_graph, mutual_knn_graph
+from .lsh import LSHSolver
+from .rkdtree import RandomizedKDForest, RandomizedKDTree
+from .rptree import RandomProjectionForest, RandomProjectionTree
+from .streaming import StreamingAllKnn
+
+__all__ = [
+    "RandomizedKDTree",
+    "RandomizedKDForest",
+    "LSHSolver",
+    "all_nearest_neighbors",
+    "exact_all_knn",
+    "AllKnnReport",
+    "StreamingAllKnn",
+    "RandomProjectionTree",
+    "RandomProjectionForest",
+    "knn_graph",
+    "mutual_knn_graph",
+    "graph_stats",
+    "GraphStats",
+    "distance_ratio",
+    "recall_at",
+    "quality_curve",
+]

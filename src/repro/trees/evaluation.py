@@ -1,0 +1,83 @@
+"""Evaluation metrics for approximate nearest-neighbor results.
+
+Beyond id-recall (already in :mod:`repro.core.neighbors`), the ANN
+literature's standard quality measures:
+
+* :func:`distance_ratio` — mean over queries and slots of
+  ``d_approx / d_true`` (1.0 = exact); tolerant of id mismatches that
+  land on equidistant points;
+* :func:`recall_at` — recall restricted to the first ``j`` true
+  neighbors (recall@1 is "did we find *the* nearest neighbor");
+* :func:`quality_curve` — recall@j for a range of j, the curve ANN
+  papers plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.neighbors import KnnResult
+from ..errors import ValidationError
+
+__all__ = ["distance_ratio", "recall_at", "quality_curve"]
+
+
+def _check_pair(candidate: KnnResult, truth: KnnResult) -> None:
+    if candidate.indices.shape != truth.indices.shape:
+        raise ValidationError(
+            "candidate and truth must have identical shapes, got "
+            f"{candidate.indices.shape} and {truth.indices.shape}"
+        )
+
+
+def distance_ratio(candidate: KnnResult, truth: KnnResult) -> float:
+    """Mean ``d_candidate / d_truth`` over all filled slots (>= 1.0).
+
+    Both results must be row-sorted ascending (kernel convention). Slots
+    where the true distance is 0 (self-matches) contribute 1.0 when the
+    candidate also found a 0, else are skipped to avoid division blowup.
+    """
+    _check_pair(candidate, truth)
+    cand = candidate.distances
+    true = truth.distances
+    ratios = []
+    for i in range(true.shape[0]):
+        for c, t in zip(cand[i], true[i]):
+            if not np.isfinite(c) or not np.isfinite(t):
+                continue
+            if t == 0.0:
+                ratios.append(1.0 if c == 0.0 else np.nan)
+            else:
+                ratios.append(c / t)
+    clean = [r for r in ratios if np.isfinite(r)]
+    if not clean:
+        raise ValidationError("no comparable slots between the results")
+    return float(np.mean(clean))
+
+
+def recall_at(candidate: KnnResult, truth: KnnResult, j: int) -> float:
+    """Recall restricted to the ``j`` nearest true neighbors."""
+    _check_pair(candidate, truth)
+    if not 1 <= j <= truth.k:
+        raise ValidationError(f"j must be in [1, {truth.k}], got {j}")
+    hits = 0
+    for i in range(truth.m):
+        want = set(truth.indices[i, :j].tolist())
+        got = set(candidate.indices[i].tolist())
+        hits += len(want & got)
+    return hits / (truth.m * j)
+
+
+def quality_curve(
+    candidate: KnnResult, truth: KnnResult, js: list[int] | None = None
+) -> dict[int, float]:
+    """recall@j for each j (default: 1, 2, 4, ... up to k)."""
+    if js is None:
+        js = []
+        j = 1
+        while j <= truth.k:
+            js.append(j)
+            j *= 2
+        if js[-1] != truth.k:
+            js.append(truth.k)
+    return {j: recall_at(candidate, truth, j) for j in js}

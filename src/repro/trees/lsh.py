@@ -1,0 +1,99 @@
+"""Locality-sensitive hashing partitioner for approximate all-kNN.
+
+The second solver family GSKNN was integrated with (§3). Points are
+hashed with the classic p-stable random-projection scheme: a hash table
+draws ``n_projections`` random directions ``w`` and offsets ``b``, and
+``h(x) = floor((w . x + b) / width)`` per projection; the tuple of
+quantized projections is the bucket key. Points sharing a bucket are
+probable near neighbors, so one exact kNN kernel runs per bucket.
+Iterating over independently drawn tables plays the same role as
+iterating randomized trees.
+
+Oversized buckets (dense regions) are split into chunks bounded by
+``max_bucket`` so kernel problem sizes stay controlled; undersized
+buckets (< 2 points) contribute nothing and are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["LSHSolver"]
+
+
+@dataclass
+class LSHSolver:
+    """Random-projection LSH grouping for the all-kNN driver."""
+
+    n_projections: int = 4
+    bucket_width: float | None = None  # None: scaled from data spread
+    n_tables: int = 8
+    max_bucket: int = 4096
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.n_projections < 1:
+            raise ValidationError("n_projections must be >= 1")
+        if self.n_tables < 1:
+            raise ValidationError("n_tables must be >= 1")
+        if self.max_bucket < 2:
+            raise ValidationError("max_bucket must be >= 2")
+        if self.bucket_width is not None and self.bucket_width <= 0:
+            raise ValidationError("bucket_width must be positive")
+
+    def _width(self, X: np.ndarray, rng: np.random.Generator) -> float:
+        if self.bucket_width is not None:
+            return self.bucket_width
+        # Heuristic: a projection of the data spans ~||spread||; aim for
+        # a handful of populated buckets per projection.
+        sample = X[rng.choice(X.shape[0], size=min(256, X.shape[0]), replace=False)]
+        w = rng.normal(size=X.shape[1])
+        w /= np.linalg.norm(w)
+        proj = sample @ w
+        spread = float(proj.max() - proj.min())
+        return max(spread / 4.0, 1e-12)
+
+    def buckets(self, X: np.ndarray):
+        """Yield per-table lists of index arrays (the kernel groups)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValidationError(f"X must be a non-empty (N, d) array, got {X.shape}")
+        root = np.random.default_rng(self.seed)
+        for _ in range(self.n_tables):
+            rng = np.random.default_rng(int(root.integers(0, 2**63 - 1)))
+            width = self._width(X, rng)
+            W = rng.normal(size=(X.shape[1], self.n_projections))
+            W /= np.linalg.norm(W, axis=0, keepdims=True)
+            b = rng.uniform(0, width, size=self.n_projections)
+            keys = np.floor((X @ W + b) / width).astype(np.int64)
+            yield self._group(keys, rng)
+
+    def _group(
+        self, keys: np.ndarray, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Group row indices by hash tuple, splitting oversized buckets."""
+        # lexicographic sort on the key tuples, then slice runs
+        order = np.lexsort(keys.T[::-1])
+        sorted_keys = keys[order]
+        change = np.any(np.diff(sorted_keys, axis=0) != 0, axis=1)
+        boundaries = np.concatenate(
+            [[0], np.flatnonzero(change) + 1, [keys.shape[0]]]
+        )
+        groups: list[np.ndarray] = []
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            members = order[lo:hi].astype(np.intp)
+            if members.size < 2:
+                continue
+            if members.size > self.max_bucket:
+                members = rng.permutation(members)
+                for start in range(0, members.size, self.max_bucket):
+                    chunk = members[start : start + self.max_bucket]
+                    if chunk.size >= 2:
+                        groups.append(np.sort(chunk))
+            else:
+                groups.append(members)
+        return groups

@@ -1,0 +1,105 @@
+"""Randomized KD-trees for approximate all-nearest-neighbors.
+
+The outer solver of the paper's Table 1 experiment ([34], Xiao &
+Biros): build a KD-tree whose splits use randomly rotated directions,
+stop at leaves of ~``m`` points, and solve one *exact* kNN kernel per
+leaf (queries = references = the leaf's points). One tree gives each
+point candidates only from its own leaf; iterating over independently
+randomized trees and merging neighbor lists drives recall toward 1.
+
+Splits: at each node choose the coordinate with maximum variance among
+a random sample of ``n_dims_sampled`` dimensions (the classic FLANN-style
+randomization) and split at the median, so leaves have balanced sizes
+and the kernel always sees well-shaped m x m problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["RandomizedKDTree", "RandomizedKDForest"]
+
+
+@dataclass
+class RandomizedKDTree:
+    """One randomized KD-tree over a point set, built to a leaf size.
+
+    Only the leaf partition matters for the kNN kernel (the tree is a
+    grouping device, not a search structure here), so leaves are stored
+    as index arrays into the caller's coordinate table.
+    """
+
+    leaf_size: int
+    n_dims_sampled: int = 5
+    seed: int | None = None
+    leaves: list[np.ndarray] = field(default_factory=list, repr=False)
+
+    def fit(self, X: np.ndarray) -> "RandomizedKDTree":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValidationError(f"X must be a non-empty (N, d) array, got {X.shape}")
+        if self.leaf_size < 2:
+            raise ValidationError(
+                f"leaf_size must be >= 2, got {self.leaf_size}"
+            )
+        rng = np.random.default_rng(self.seed)
+        self.leaves = []
+        self._split(X, np.arange(X.shape[0], dtype=np.intp), rng)
+        return self
+
+    def _split(
+        self, X: np.ndarray, idx: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        if idx.size <= self.leaf_size:
+            self.leaves.append(idx)
+            return
+        d = X.shape[1]
+        sample = rng.choice(d, size=min(self.n_dims_sampled, d), replace=False)
+        block = X[idx][:, sample]
+        axis = sample[int(np.argmax(block.var(axis=0)))]
+        values = X[idx, axis]
+        order = np.argsort(values, kind="stable")
+        half = idx.size // 2
+        # Randomize the split point slightly around the median so two
+        # trees with the same max-variance axis still partition
+        # differently (this is what makes iterating trees productive).
+        jitter = int(rng.integers(-idx.size // 20 - 1, idx.size // 20 + 2))
+        cut = int(np.clip(half + jitter, 1, idx.size - 1))
+        self._split(X, idx[order[:cut]], rng)
+        self._split(X, idx[order[cut:]], rng)
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    def leaf_sizes(self) -> np.ndarray:
+        return np.array([leaf.size for leaf in self.leaves], dtype=np.intp)
+
+
+@dataclass
+class RandomizedKDForest:
+    """A sequence of independently randomized trees over the same points."""
+
+    leaf_size: int
+    n_trees: int = 8
+    n_dims_sampled: int = 5
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.n_trees < 1:
+            raise ValidationError(f"n_trees must be >= 1, got {self.n_trees}")
+
+    def trees(self, X: np.ndarray):
+        """Yield fitted trees one at a time (iterative solvers stream them)."""
+        root = np.random.default_rng(self.seed)
+        for _ in range(self.n_trees):
+            tree_seed = int(root.integers(0, 2**63 - 1))
+            yield RandomizedKDTree(
+                leaf_size=self.leaf_size,
+                n_dims_sampled=self.n_dims_sampled,
+                seed=tree_seed,
+            ).fit(X)

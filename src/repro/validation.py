@@ -1,0 +1,104 @@
+"""Input validation helpers shared across kernels.
+
+The kernels in :mod:`repro.core` all accept the same trio of inputs — a
+coordinate table ``X`` of shape ``(N, d)`` plus query/reference *index*
+arrays into it (the "general stride" interface of GSKNN). Validation is
+centralized here so every entry point rejects malformed input with the
+same, precise error messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ValidationError
+
+__all__ = [
+    "as_coordinate_table",
+    "as_index_array",
+    "check_k",
+    "check_finite",
+]
+
+
+def as_coordinate_table(X: np.ndarray, *, name: str = "X") -> np.ndarray:
+    """Validate and canonicalize a coordinate table.
+
+    Returns a C-contiguous float64 view/copy of ``X`` with shape ``(N, d)``.
+    Point ``i`` is row ``X[i]``; this is the transpose of the paper's
+    ``d x N`` column-major convention but is the natural row-major layout
+    for numpy (a point is one contiguous cache-friendly row).
+    """
+    arr = np.asarray(X)
+    if arr.ndim != 2:
+        raise ValidationError(
+            f"{name} must be 2-D (N points x d coordinates), got ndim={arr.ndim}"
+        )
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValidationError(
+            f"{name} must be non-empty, got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.floating):
+        # bool counts as numeric here: binary feature vectors with the
+        # l1 norm give Hamming-distance kNN, a legitimate use
+        if not (
+            np.issubdtype(arr.dtype, np.number) or arr.dtype == np.bool_
+        ):
+            raise ValidationError(
+                f"{name} must be numeric, got dtype {arr.dtype}"
+            )
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def as_index_array(idx: np.ndarray, n_points: int, *, name: str = "idx") -> np.ndarray:
+    """Validate an index array into a coordinate table of ``n_points`` rows.
+
+    Accepts any integer sequence; returns a contiguous ``intp`` array.
+    Duplicate indices are allowed (a point may be both query and reference,
+    and approximate solvers routinely resubmit points).
+    """
+    arr = np.asarray(idx)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == arr.astype(np.intp)):
+            arr = arr.astype(np.intp)
+        else:
+            raise ValidationError(
+                f"{name} must be an integer index array, got dtype {arr.dtype}"
+            )
+    arr = np.ascontiguousarray(arr, dtype=np.intp)
+    if arr.min(initial=0) < 0 or (arr.size and arr.min() < 0):
+        raise ValidationError(f"{name} contains negative indices")
+    if arr.size and arr.max() >= n_points:
+        raise ValidationError(
+            f"{name} contains index {int(arr.max())} out of range for "
+            f"{n_points} points"
+        )
+    return arr
+
+
+def check_k(k: int, n_refs: int) -> int:
+    """Validate the neighbor count ``k`` against the reference-set size."""
+    k = int(k)
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if k > n_refs:
+        raise ValidationError(
+            f"k={k} exceeds the number of reference points ({n_refs}); "
+            "there are not enough candidates to fill the neighbor list"
+        )
+    return k
+
+
+def check_finite(X: np.ndarray, *, name: str = "X") -> None:
+    """Reject NaN/inf coordinates.
+
+    Non-finite coordinates silently corrupt the expanded squared-distance
+    form ``|x|^2 + |y|^2 - 2<x,y>`` (NaN poisons whole GEMM panels), so the
+    public kernels reject them up front.
+    """
+    if not np.isfinite(X).all():
+        raise ValidationError(f"{name} contains non-finite values (NaN or inf)")

@@ -1,0 +1,107 @@
+"""Unit tests for the auto-tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.autotune import (
+    DecisionTable,
+    measure_kernel_seconds,
+    refine_threshold,
+    tune_block_n,
+)
+from repro.core.variants import Variant
+from repro.errors import ValidationError
+
+
+class TestMeasureKernelSeconds:
+    def test_returns_positive_time(self):
+        assert measure_kernel_seconds(64, 64, 8, 4, 1, repeats=1) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            measure_kernel_seconds(0, 64, 8, 4, 1)
+        with pytest.raises(ValidationError):
+            measure_kernel_seconds(64, 64, 8, 100, 1)
+
+
+class TestDecisionTable:
+    def test_from_model_covers_grid(self):
+        table = DecisionTable.from_model(
+            1024, 1024, [16, 64], [4, 64, 512]
+        )
+        assert len(table.choices) == 6
+        assert table.source == "model"
+
+    def test_model_table_monotone_in_k(self):
+        """Along each d row the choice flips at most once, VAR1 -> VAR6."""
+        table = DecisionTable.from_model(
+            8192, 8192, [16, 64, 256], [4, 16, 64, 256, 1024, 4096]
+        )
+        for d in table.d_grid:
+            row = [table.choices[(d, k)] for k in table.k_grid]
+            assert row == sorted(row)
+
+    def test_lookup_nearest_gridpoint(self):
+        table = DecisionTable.from_model(8192, 8192, [16, 256], [4, 2048])
+        assert table.lookup(20, 5) == Variant(table.choices[(16, 4)])
+        assert table.lookup(300, 1500) == Variant(table.choices[(256, 2048)])
+
+    def test_lookup_skipped_gridpoint_falls_back(self):
+        # k_grid contains a k > n which is skipped at build time
+        table = DecisionTable.from_model(128, 128, [16], [4, 64, 512])
+        assert (16, 512) not in table.choices
+        assert table.lookup(16, 512) in (Variant.VAR1, Variant.VAR6)
+
+    def test_empty_lookup_rejected(self):
+        table = DecisionTable(4, 4, [1], [1])
+        with pytest.raises(ValidationError):
+            table.lookup(1, 1)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValidationError):
+            DecisionTable(4, 4, [], [1])
+        with pytest.raises(ValidationError):
+            DecisionTable(4, 4, [4, 2], [1])
+
+    def test_round_trip(self, tmp_path):
+        table = DecisionTable.from_model(1024, 1024, [16, 64], [4, 256])
+        path = table.save(tmp_path / "table.json")
+        loaded = DecisionTable.load(path)
+        assert loaded.choices == table.choices
+        assert loaded.d_grid == table.d_grid
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ValidationError):
+            DecisionTable.load(tmp_path / "nope.json")
+
+    def test_from_measurements_small(self):
+        table = DecisionTable.from_measurements(
+            128, 128, [8], [2, 64], repeats=1
+        )
+        assert set(table.choices.values()) <= {1, 6}
+        assert table.source == "measured"
+
+
+class TestRefineThreshold:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            refine_threshold(64, 64, 8, span=1.0)
+        with pytest.raises(ValidationError):
+            refine_threshold(64, 64, 8, points=1)
+
+    def test_returns_grid_value_or_none(self):
+        got = refine_threshold(256, 256, 8, span=2.0, points=3, repeats=1)
+        assert got is None or 1 <= got <= 256
+
+
+class TestTuneBlockN:
+    def test_returns_viable_candidate(self):
+        best = tune_block_n(
+            256, 256, 8, 4, candidates=(64, 128, 256, 1024), repeats=1
+        )
+        assert best in (64, 128, 256)  # 1024 > n filtered out
+
+    def test_falls_back_when_all_too_big(self):
+        best = tune_block_n(32, 32, 4, 2, candidates=(64, 128), repeats=1)
+        assert best == 32

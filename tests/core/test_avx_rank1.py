@@ -1,0 +1,116 @@
+"""Tests for the Figure 3 register-level rank-1 update simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.avx_rank1 import (
+    AvxSim,
+    diagonals_to_tile,
+    rank1_update_4x4,
+    rank_dc_update_4x4,
+)
+from repro.errors import ValidationError
+
+
+class TestPrimitives:
+    def test_shuffle_in_lane(self):
+        sim = AvxSim()
+        reg = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(
+            sim.shuffle_in_lane(reg), [2.0, 1.0, 4.0, 3.0]
+        )
+        assert sim.shuffle == 1
+
+    def test_swap_lanes(self):
+        sim = AvxSim()
+        reg = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(sim.swap_lanes(reg), [3.0, 4.0, 1.0, 2.0])
+        assert sim.permute2f128 == 1
+
+    def test_fma(self):
+        sim = AvxSim()
+        out = sim.fma(np.ones(4), np.full(4, 2.0), np.full(4, 3.0))
+        np.testing.assert_array_equal(out, np.full(4, 7.0))
+        assert sim.vfma == 1
+
+    def test_load_width_checked(self):
+        with pytest.raises(ValidationError):
+            AvxSim().load(np.ones(3))
+
+
+class TestRank1:
+    def test_single_rank1_is_outer_product(self, rng):
+        q = rng.random(4)
+        r = rng.random(4)
+        sim = AvxSim()
+        accs = [np.zeros(4) for _ in range(4)]
+        accs = rank1_update_4x4(sim, accs, q, r)
+        tile = diagonals_to_tile(accs)
+        np.testing.assert_allclose(tile, np.outer(q, r), atol=1e-15)
+
+    def test_instruction_budget_per_rank1(self, rng):
+        """Figure 3: 4 VFMAs + 3 permutations per rank-1 update."""
+        sim = AvxSim()
+        accs = [np.zeros(4) for _ in range(4)]
+        rank1_update_4x4(sim, accs, rng.random(4), rng.random(4))
+        assert sim.vfma == 4
+        assert sim.shuffle + sim.permute2f128 == 3
+
+    def test_accumulator_count_checked(self):
+        with pytest.raises(ValidationError):
+            rank1_update_4x4(AvxSim(), [np.zeros(4)], np.zeros(4), np.zeros(4))
+        with pytest.raises(ValidationError):
+            diagonals_to_tile([np.zeros(4)] * 3)
+
+
+class TestRankDc:
+    @pytest.mark.parametrize("depth", [1, 2, 7, 32])
+    def test_matches_gemm(self, rng, depth):
+        Q = rng.random((depth, 4))
+        R = rng.random((depth, 4))
+        tile, _ = rank_dc_update_4x4(Q, R)
+        np.testing.assert_allclose(tile, Q.T @ R, atol=1e-12)
+
+    def test_instruction_totals(self, rng):
+        depth = 16
+        _, sim = rank_dc_update_4x4(rng.random((depth, 4)), rng.random((depth, 4)))
+        assert sim.vfma == 4 * depth
+        assert sim.vload == 2 * depth
+        assert sim.shuffle + sim.permute2f128 == 3 * depth
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValidationError):
+            rank_dc_update_4x4(rng.random((3, 5)), rng.random((3, 5)))
+        with pytest.raises(ValidationError):
+            rank_dc_update_4x4(rng.random((3, 4)), rng.random((4, 4)))
+
+    def test_agrees_with_microkernel_semantics(self, rng):
+        """The RTL simulation and the numpy micro-kernel are two
+        implementations of the same rank-d_c update."""
+        from repro.core.microkernel import init_tile, rank_update
+        from repro.core.norms import Norm
+
+        Q = rng.random((8, 4))
+        R = rng.random((8, 4))
+        avx_tile, _ = rank_dc_update_4x4(Q, R)
+        np_tile = init_tile(4, 4, Norm(2.0))
+        rank_update(np_tile, Q, R, Norm(2.0))
+        np.testing.assert_allclose(avx_tile, np_tile, atol=1e-12)
+
+
+@given(
+    st.integers(min_value=1, max_value=24),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_rank_dc_property(depth, seed):
+    rng = np.random.default_rng(seed)
+    Q = rng.normal(size=(depth, 4))
+    R = rng.normal(size=(depth, 4))
+    tile, sim = rank_dc_update_4x4(Q, R)
+    np.testing.assert_allclose(tile, Q.T @ R, atol=1e-10)
+    assert sim.vfma == 4 * depth

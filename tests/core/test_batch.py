@@ -1,0 +1,82 @@
+"""Tests for the batch kNN API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import KnnProblem, gsknn_batch
+from repro.core.gsknn import gsknn
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def table(rng):
+    return rng.random((200, 8))
+
+
+def _problems(rng, count=6):
+    out = []
+    for _ in range(count):
+        m = int(rng.integers(2, 30))
+        n = int(rng.integers(5, 80))
+        q = rng.integers(0, 200, m)
+        r = rng.choice(200, size=n, replace=False)
+        out.append(KnnProblem(q, r, int(rng.integers(1, min(n, 8) + 1))))
+    return out
+
+
+class TestKnnProblem:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            KnnProblem(np.array([], dtype=int), np.arange(3), 1)
+        with pytest.raises(ValidationError):
+            KnnProblem(np.arange(3), np.arange(3), 4)
+        with pytest.raises(ValidationError):
+            KnnProblem(np.zeros((2, 2), dtype=int), np.arange(3), 1)
+
+
+class TestGsknnBatch:
+    def test_matches_individual_solves(self, table, rng):
+        problems = _problems(rng)
+        batch = gsknn_batch(table, problems)
+        for prob, res in zip(problems, batch):
+            single = gsknn(table, prob.q_idx, prob.r_idx, prob.k)
+            np.testing.assert_allclose(
+                res.distances, single.distances, atol=1e-12
+            )
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_parallel_matches_serial(self, table, rng, p):
+        problems = _problems(rng)
+        serial = gsknn_batch(table, problems, p=1)
+        parallel = gsknn_batch(table, problems, p=p)
+        for a, b in zip(serial, parallel):
+            np.testing.assert_allclose(a.distances, b.distances, atol=1e-12)
+
+    def test_order_preserved(self, table, rng):
+        problems = _problems(rng, count=10)
+        results = gsknn_batch(table, problems, p=3)
+        for prob, res in zip(problems, results):
+            assert res.m == prob.q_idx.size
+            assert res.k == prob.k
+
+    def test_empty_batch(self, table):
+        assert gsknn_batch(table, []) == []
+
+    def test_index_range_checked(self, table):
+        with pytest.raises(ValidationError):
+            gsknn_batch(table, [KnnProblem(np.array([500]), np.arange(5), 2)])
+
+    def test_invalid_workers(self, table, rng):
+        with pytest.raises(ValidationError):
+            gsknn_batch(table, _problems(rng), p=0)
+
+    def test_norms_pass_through(self, table, rng):
+        problems = _problems(rng, count=3)
+        results = gsknn_batch(table, problems, norm="l1", p=2)
+        for prob, res in zip(problems, results):
+            single = gsknn(table, prob.q_idx, prob.r_idx, prob.k, norm="l1")
+            np.testing.assert_allclose(
+                res.distances, single.distances, atol=1e-12
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for the cosine metric (the GEMM expansion's other metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.core.gsknn import gsknn, gsknn_exact_loops
+from repro.core.norms import Norm, pairwise_cosine, resolve_norm
+from repro.core.ref_kernel import ref_knn, ref_knn_timed
+
+
+class TestNormCosine:
+    def test_resolve(self):
+        norm = resolve_norm("cosine")
+        assert norm.is_cosine
+        assert not norm.is_l2
+
+    def test_factory(self):
+        assert Norm.cosine().is_cosine
+
+    def test_distinct_from_l2(self):
+        assert Norm.cosine() != Norm(2.0)
+        assert hash(Norm.cosine()) != hash(Norm(2.0))
+
+    def test_repr(self):
+        assert "cosine" in repr(Norm.cosine())
+
+
+class TestPairwiseCosine:
+    def test_matches_scipy(self, rng):
+        Q, R = rng.normal(size=(7, 5)), rng.normal(size=(9, 5))
+        got = pairwise_cosine(Q, R)
+        np.testing.assert_allclose(got, cdist(Q, R, "cosine"), atol=1e-10)
+
+    def test_self_distance_zero(self, rng):
+        Q = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(np.diag(pairwise_cosine(Q, Q)), 0.0, atol=1e-12)
+
+    def test_range_bounded(self, rng):
+        Q, R = rng.normal(size=(20, 3)), rng.normal(size=(20, 3))
+        got = pairwise_cosine(Q, R)
+        assert (got >= 0.0).all() and (got <= 2.0).all()
+
+    def test_zero_vectors_finite(self, rng):
+        Q = rng.normal(size=(3, 4))
+        Q[1] = 0.0
+        got = pairwise_cosine(Q, Q)
+        assert np.isfinite(got).all()
+        # a zero vector is maximally dissimilar (similarity 0 -> distance 1)
+        np.testing.assert_allclose(got[1, 0], 1.0)
+
+    def test_scale_invariance(self, rng):
+        Q, R = rng.normal(size=(4, 6)), rng.normal(size=(5, 6))
+        a = pairwise_cosine(Q, R)
+        b = pairwise_cosine(Q * 7.5, R * 0.01)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+class TestCosineKernels:
+    @pytest.fixture
+    def problem(self, rng):
+        X = rng.normal(size=(200, 10))
+        q = rng.integers(0, 200, 25)
+        r = rng.permutation(200)[:100]
+        truth = np.sort(cdist(X[q], X[r], "cosine"), axis=1)[:, :5]
+        return X, q, r, truth
+
+    def test_gsknn_fast_path(self, problem):
+        X, q, r, truth = problem
+        res = gsknn(X, q, r, 5, norm="cosine", block_m=7, block_n=13)
+        np.testing.assert_allclose(res.distances, truth, atol=1e-9)
+
+    @pytest.mark.parametrize("variant", [1, 5, 6])
+    def test_all_variants(self, problem, variant):
+        X, q, r, truth = problem
+        res = gsknn(X, q, r, 5, norm="cosine", variant=variant)
+        np.testing.assert_allclose(res.distances, truth, atol=1e-9)
+
+    def test_ref_kernel(self, problem):
+        X, q, r, truth = problem
+        res = ref_knn(X, q, r, 5, norm="cosine")
+        np.testing.assert_allclose(res.distances, truth, atol=1e-9)
+
+    def test_ref_kernel_phases(self, problem):
+        X, q, r, _ = problem
+        _, timer = ref_knn_timed(X, q, r, 5, norm="cosine")
+        b = timer.breakdown()
+        assert b.gemm > 0 and b.sq2d > 0  # GEMM + normalization pass
+
+    def test_exact_loops(self, problem):
+        X, q, r, truth = problem
+        res = gsknn_exact_loops(X, q, r, 5, norm="cosine")
+        np.testing.assert_allclose(res.distances, truth, atol=1e-9)
+
+    def test_precomputed_x2(self, problem):
+        X, q, r, truth = problem
+        X2 = (X**2).sum(axis=1)
+        res = gsknn(X, q, r, 5, norm="cosine", X2=X2)
+        np.testing.assert_allclose(res.distances, truth, atol=1e-9)

@@ -1,0 +1,139 @@
+"""Unit tests for the register-tile micro-kernel semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.microkernel import finalize_tile, fused_select, init_tile, rank_update
+from repro.core.norms import Norm
+from repro.errors import ValidationError
+from repro.gemm.packing import pack_micropanels
+from repro.select.heap import BinaryMaxHeap
+
+
+def _panels(rng, m_r, n_r, d):
+    Q = rng.random((m_r, d))
+    R = rng.random((n_r, d))
+    q_panel = pack_micropanels(Q, m_r)[0]  # (d, m_r)
+    r_panel = pack_micropanels(R, n_r)[0]
+    return Q, R, q_panel, r_panel
+
+
+class TestRankUpdate:
+    def test_l2_accumulates_inner_products(self, rng):
+        Q, R, qp, rp = _panels(rng, 4, 4, 6)
+        tile = init_tile(4, 4, Norm(2.0))
+        rank_update(tile, qp, rp, Norm(2.0))
+        np.testing.assert_allclose(tile, Q @ R.T, atol=1e-12)
+
+    def test_l2_multiple_depth_blocks(self, rng):
+        """Accumulating over depth blocks equals the full inner product —
+        the C_c buffer semantics across the 5th loop."""
+        Q, R = rng.random((2, 10)), rng.random((3, 10))
+        tile = init_tile(2, 3, Norm(2.0))
+        for p0 in range(0, 10, 4):
+            qp = pack_micropanels(Q[:, p0 : p0 + 4], 2)[0]
+            rp = pack_micropanels(R[:, p0 : p0 + 4], 3)[0]
+            rank_update(tile, qp, rp, Norm(2.0))
+        np.testing.assert_allclose(tile, Q @ R.T, atol=1e-12)
+
+    def test_l1_accumulates_abs_diffs(self, rng):
+        Q, R, qp, rp = _panels(rng, 3, 2, 5)
+        tile = init_tile(3, 2, Norm(1.0))
+        rank_update(tile, qp, rp, Norm(1.0))
+        want = np.abs(Q[:, None, :] - R[None, :, :]).sum(axis=2)
+        np.testing.assert_allclose(tile, want, atol=1e-12)
+
+    def test_linf_max_across_depth_blocks(self, rng):
+        """l-inf accumulation is a running max — splitting depth must
+        still give the global max."""
+        Q, R = rng.random((2, 8)), rng.random((2, 8))
+        tile = init_tile(2, 2, Norm(np.inf))
+        for p0 in range(0, 8, 3):
+            qp = pack_micropanels(Q[:, p0 : p0 + 3], 2)[0]
+            rp = pack_micropanels(R[:, p0 : p0 + 3], 2)[0]
+            rank_update(tile, qp, rp, Norm(np.inf))
+        want = np.abs(Q[:, None, :] - R[None, :, :]).max(axis=2)
+        np.testing.assert_allclose(tile, want, atol=1e-12)
+
+    def test_shape_validation(self, rng):
+        tile = init_tile(2, 2, Norm(2.0))
+        with pytest.raises(ValidationError):
+            rank_update(tile, np.ones((3, 2)), np.ones((4, 2)), Norm(2.0))
+        with pytest.raises(ValidationError):
+            rank_update(tile, np.ones((3, 4)), np.ones((3, 2)), Norm(2.0))
+
+
+class TestFinalizeTile:
+    def test_l2_expansion(self, rng):
+        Q, R, qp, rp = _panels(rng, 2, 3, 4)
+        tile = init_tile(2, 3, Norm(2.0))
+        rank_update(tile, qp, rp, Norm(2.0))
+        dist = finalize_tile(
+            tile, (Q**2).sum(1), (R**2).sum(1), Norm(2.0)
+        )
+        want = ((Q[:, None, :] - R[None, :, :]) ** 2).sum(2)
+        np.testing.assert_allclose(dist, want, atol=1e-12)
+
+    def test_l2_requires_norms(self):
+        with pytest.raises(ValidationError):
+            finalize_tile(np.ones((2, 2)), None, None, Norm(2.0))
+
+    def test_l2_clamps_negatives(self):
+        tile = np.array([[10.0]])  # q2 + r2 - 2*10 < 0
+        dist = finalize_tile(tile, np.array([9.0]), np.array([9.0]), Norm(2.0))
+        assert dist[0, 0] >= 0.0
+
+    def test_lp_root(self, rng):
+        tile = np.array([[8.0]])
+        dist = finalize_tile(tile, None, None, Norm(3.0))
+        np.testing.assert_allclose(dist, [[2.0]])
+
+    def test_l1_and_linf_identity(self):
+        tile = np.array([[2.5]])
+        np.testing.assert_allclose(finalize_tile(tile, None, None, Norm(1.0)), tile)
+        np.testing.assert_allclose(
+            finalize_tile(tile, None, None, Norm(np.inf)), tile
+        )
+
+
+class TestFusedSelect:
+    def test_inserts_survivors(self):
+        heaps = [BinaryMaxHeap(2), BinaryMaxHeap(2)]
+        tile = np.array([[0.5, 0.1], [0.9, 0.2]])
+        accepted = fused_select(tile, heaps, 0, np.array([100, 101]))
+        assert accepted == 4
+        np.testing.assert_allclose(heaps[0].sorted_pairs()[0], [0.1, 0.5])
+
+    def test_root_filter_rejects_whole_rows(self):
+        heap = BinaryMaxHeap(1)
+        heap.update(0.05, 7)
+        tile = np.array([[0.5, 0.6, 0.7]])
+        accepted = fused_select(tile, [heap], 0, np.arange(3))
+        assert accepted == 0
+        assert heap.ids[0] == 7
+
+    def test_live_region_restricts_padding(self):
+        """Padded lanes of a ragged edge tile must never enter a heap."""
+        heaps = [BinaryMaxHeap(2)]
+        tile = np.array([[0.2, 0.0], [0.0, 0.0]])  # col 1 / row 1 are pads
+        fused_select(tile, heaps, 0, np.array([42]), live_rows=1, live_cols=1)
+        values, ids = heaps[0].sorted_pairs()
+        assert ids[0] == 42 and values[0] == 0.2
+        assert ids[1] == -1  # the pad zero was not inserted
+
+    def test_row_offset(self):
+        heaps = [BinaryMaxHeap(1) for _ in range(4)]
+        tile = np.array([[0.3]])
+        fused_select(tile, heaps, 2, np.array([9]))
+        assert heaps[2].ids[0] == 9
+        assert all(heaps[i].ids[0] == -1 for i in (0, 1, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fused_select(np.ones((2, 2)), [BinaryMaxHeap(1)] * 2, 0, np.arange(1))
+        with pytest.raises(ValidationError):
+            fused_select(
+                np.ones((2, 2)), [BinaryMaxHeap(1)] * 2, 0, np.arange(2), live_rows=3
+            )

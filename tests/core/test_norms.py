@@ -1,0 +1,124 @@
+"""Unit tests for distance functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.core.norms import (
+    Norm,
+    pairwise_block,
+    pairwise_lp,
+    pairwise_sq_l2,
+    resolve_norm,
+    squared_norms,
+)
+from repro.errors import ValidationError
+
+
+class TestNorm:
+    def test_aliases(self):
+        assert resolve_norm("l2").p == 2.0
+        assert resolve_norm("euclidean").p == 2.0
+        assert resolve_norm("l1").p == 1.0
+        assert resolve_norm("manhattan").p == 1.0
+        assert np.isinf(resolve_norm("linf").p)
+        assert np.isinf(resolve_norm("chebyshev").p)
+
+    def test_numeric(self):
+        assert resolve_norm(3).p == 3.0
+        assert resolve_norm(0.5).p == 0.5
+
+    def test_norm_passthrough(self):
+        norm = Norm(2.5)
+        assert resolve_norm(norm) is norm
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            resolve_norm("l3000x")
+        with pytest.raises(ValidationError):
+            resolve_norm(0)
+        with pytest.raises(ValidationError):
+            resolve_norm(-1)
+
+    def test_equality_and_hash(self):
+        assert Norm(2.0) == Norm(2.0)
+        assert hash(Norm(1.0)) == hash(Norm(1.0))
+        assert Norm(1.0) != Norm(2.0)
+
+    def test_flags(self):
+        assert Norm(2.0).is_l2
+        assert Norm(np.inf).is_linf
+        assert not Norm(1.0).is_l2
+
+
+class TestSquaredNorms:
+    def test_matches_einsum_free_form(self, rng):
+        X = rng.random((7, 5))
+        np.testing.assert_allclose(squared_norms(X), (X**2).sum(axis=1))
+
+
+class TestPairwiseSqL2:
+    def test_matches_cdist(self, rng):
+        Q, R = rng.random((9, 6)), rng.random((11, 6))
+        got = pairwise_sq_l2(Q, R)
+        want = cdist(Q, R, "sqeuclidean")
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_precomputed_norms_path(self, rng):
+        Q, R = rng.random((4, 3)), rng.random((5, 3))
+        got = pairwise_sq_l2(Q, R, squared_norms(Q), squared_norms(R))
+        np.testing.assert_allclose(got, cdist(Q, R, "sqeuclidean"), atol=1e-10)
+
+    def test_self_distance_clamped_to_zero(self, rng):
+        """Cancellation must never produce negative squared distances."""
+        Q = rng.random((50, 40)) * 1e3
+        got = pairwise_sq_l2(Q, Q)
+        assert (got >= 0).all()
+        np.testing.assert_allclose(np.diag(got), 0.0, atol=1e-6)
+
+    def test_width_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            pairwise_sq_l2(rng.random((2, 3)), rng.random((2, 4)))
+
+
+class TestPairwiseLp:
+    @pytest.mark.parametrize(
+        "p,metric",
+        [(1.0, "cityblock"), (np.inf, "chebyshev"), (3.0, None), (0.5, None)],
+    )
+    def test_matches_cdist(self, rng, p, metric):
+        Q, R = rng.random((6, 4)), rng.random((8, 4))
+        got = pairwise_lp(Q, R, p)
+        if metric is not None:
+            want = cdist(Q, R, metric)
+        else:
+            want = cdist(Q, R, "minkowski", p=p)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_single_dimension(self, rng):
+        Q, R = rng.random((3, 1)), rng.random((4, 1))
+        got = pairwise_lp(Q, R, 1.0)
+        np.testing.assert_allclose(got, np.abs(Q - R.T), atol=1e-12)
+
+
+class TestPairwiseBlock:
+    def test_l2_returns_squared(self, rng):
+        Q, R = rng.random((3, 4)), rng.random((5, 4))
+        got = pairwise_block(Q, R, Norm(2.0))
+        np.testing.assert_allclose(got, cdist(Q, R, "sqeuclidean"), atol=1e-10)
+
+    def test_lp_returns_natural(self, rng):
+        Q, R = rng.random((3, 4)), rng.random((5, 4))
+        got = pairwise_block(Q, R, Norm(1.0))
+        np.testing.assert_allclose(got, cdist(Q, R, "cityblock"), atol=1e-10)
+
+    def test_ordering_consistency(self, rng):
+        """Squared vs natural doesn't matter for kNN: orderings agree."""
+        Q, R = rng.random((4, 6)), rng.random((20, 6))
+        sq = pairwise_block(Q, R, Norm(2.0))
+        true = cdist(Q, R, "euclidean")
+        np.testing.assert_array_equal(
+            np.argsort(sq, axis=1), np.argsort(true, axis=1)
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for the Algorithm 2.1 GEMM-based reference kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ref_kernel import ref_knn, ref_knn_timed
+from repro.errors import ValidationError
+
+from ..conftest import brute_force_knn
+
+
+class TestRefKnn:
+    @pytest.mark.parametrize("selection", ["partition", "heap"])
+    def test_matches_brute_force(self, small_cloud, rng, selection):
+        q = rng.integers(0, 300, 20)
+        r = rng.permutation(300)[:80]
+        res = ref_knn(small_cloud, q, r, 6, selection=selection)
+        truth_d, _ = brute_force_knn(small_cloud, q, r, 6)
+        np.testing.assert_allclose(res.distances, truth_d, atol=1e-9)
+
+    def test_agrees_with_gsknn(self, small_cloud, rng):
+        from repro.core.gsknn import gsknn
+
+        q = rng.integers(0, 300, 15)
+        r = rng.permutation(300)[:70]
+        a = ref_knn(small_cloud, q, r, 5)
+        b = gsknn(small_cloud, q, r, 5)
+        np.testing.assert_allclose(a.distances, b.distances, atol=1e-9)
+
+    @pytest.mark.parametrize("norm,p", [("l1", 1.0), ("linf", np.inf)])
+    def test_lp_norms(self, small_cloud, rng, norm, p):
+        q = rng.integers(0, 300, 8)
+        r = rng.permutation(300)[:40]
+        res = ref_knn(small_cloud, q, r, 3, norm=norm)
+        truth_d, _ = brute_force_knn(small_cloud, q, r, 3, p=p)
+        np.testing.assert_allclose(res.distances, truth_d, atol=1e-9)
+
+    def test_unknown_selection(self, small_cloud):
+        with pytest.raises(ValidationError):
+            ref_knn(small_cloud, np.arange(3), np.arange(10), 2, selection="magic")
+
+    def test_k_equals_n(self, small_cloud):
+        res = ref_knn(small_cloud, np.arange(5), np.arange(7), 7)
+        assert res.k == 7
+        assert res.is_sorted()
+
+    def test_precomputed_x2(self, small_cloud):
+        X2 = (small_cloud**2).sum(axis=1)
+        a = ref_knn(small_cloud, np.arange(5), np.arange(50), 4, X2=X2)
+        b = ref_knn(small_cloud, np.arange(5), np.arange(50), 4)
+        np.testing.assert_allclose(a.distances, b.distances, atol=1e-12)
+
+
+class TestRefKnnTimed:
+    def test_phase_breakdown_shape(self, small_cloud):
+        _, timer = ref_knn_timed(small_cloud, np.arange(20), np.arange(200), 5)
+        breakdown = timer.breakdown()
+        assert breakdown.coll >= 0
+        assert breakdown.gemm > 0
+        assert breakdown.sq2d >= 0
+        assert breakdown.heap > 0
+        assert breakdown.total > 0
+
+    def test_lp_has_no_sq2d_phase(self, small_cloud):
+        _, timer = ref_knn_timed(
+            small_cloud, np.arange(10), np.arange(50), 3, norm="l1"
+        )
+        assert timer.breakdown().sq2d == 0.0
+
+    def test_result_matches_untimed(self, small_cloud):
+        res_a = ref_knn(small_cloud, np.arange(10), np.arange(50), 3)
+        res_b, _ = ref_knn_timed(small_cloud, np.arange(10), np.arange(50), 3)
+        np.testing.assert_allclose(res_a.distances, res_b.distances)

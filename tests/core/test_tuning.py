@@ -1,0 +1,105 @@
+"""Unit tests for blocking-parameter derivation and variant switching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuning import (
+    dynamic_m_c,
+    select_blocking,
+    select_variant_heuristic,
+    select_variant_model,
+)
+from repro.core.variants import Variant
+from repro.config import IVY_BRIDGE_BLOCKING
+from repro.errors import ValidationError
+from repro.machine.params import IVY_BRIDGE, TINY_MACHINE
+from repro.model.perf_model import PerformanceModel
+
+
+class TestSelectBlocking:
+    def test_reproduces_paper_neighbourhood_on_ivy_bridge(self):
+        """§2.4's recipe applied to the Ivy Bridge geometry must land on
+        the published parameters (d_c exactly; m_c/n_c same magnitude)."""
+        blk = select_blocking(IVY_BRIDGE)
+        assert blk.m_r == 8 and blk.n_r == 4
+        assert blk.d_c == IVY_BRIDGE_BLOCKING.d_c == 256
+        assert 64 <= blk.m_c <= 128      # paper: 96-104 depending on reserve
+        assert 2048 <= blk.n_c <= 16384  # paper: 4096
+
+    def test_l1_budget_respected(self):
+        blk = select_blocking(IVY_BRIDGE)
+        micro_bytes = (blk.m_r + blk.n_r) * blk.d_c * 8
+        assert micro_bytes <= 0.75 * IVY_BRIDGE.cache("L1").size_bytes + 8 * 8
+
+    def test_l2_budget_respected(self):
+        blk = select_blocking(IVY_BRIDGE)
+        assert blk.m_c * blk.d_c * 8 <= 0.75 * IVY_BRIDGE.cache("L2").size_bytes
+
+    def test_small_machine(self):
+        blk = select_blocking(TINY_MACHINE, m_r=2, n_r=2)
+        assert blk.d_c >= 8
+        assert blk.m_c >= blk.m_r
+
+    def test_requires_three_levels(self):
+        from dataclasses import replace
+
+        two_level = replace(IVY_BRIDGE, caches=IVY_BRIDGE.caches[:2])
+        with pytest.raises(ValidationError):
+            select_blocking(two_level)
+
+
+class TestVariantSwitching:
+    def test_heuristic_matches_paper_rule(self):
+        assert select_variant_heuristic(16, 64) is Variant.VAR1
+        assert select_variant_heuristic(512, 64) is Variant.VAR1
+        assert select_variant_heuristic(513, 64) is Variant.VAR6
+        assert select_variant_heuristic(2048, 64) is Variant.VAR6
+
+    def test_heuristic_rejects_bad_k(self):
+        with pytest.raises(ValidationError):
+            select_variant_heuristic(0, 64)
+
+    def test_model_selection_monotone_in_k(self):
+        """Once the model prefers Var#6 at some k it must keep preferring
+        it for larger k (the threshold is a single crossover)."""
+        model = PerformanceModel()
+        m = n = 8192
+        picks = [
+            select_variant_model(m, n, 64, k, model)
+            for k in (4, 16, 64, 256, 1024, 4096)
+        ]
+        switched = False
+        for pick in picks:
+            if pick is Variant.VAR6:
+                switched = True
+            elif switched:
+                pytest.fail("variant switched back to VAR1 at larger k")
+
+    def test_model_prefers_var1_for_tiny_k(self):
+        model = PerformanceModel()
+        assert select_variant_model(8192, 8192, 64, 1, model) is Variant.VAR1
+
+
+class TestDynamicMc:
+    def test_balances_block_count(self):
+        m_c = dynamic_m_c(1000, 10, IVY_BRIDGE_BLOCKING)
+        blocks = -(-1000 // m_c)
+        assert blocks % 10 == 0 or blocks >= 10
+
+    def test_never_exceeds_base(self):
+        assert dynamic_m_c(10**6, 2, IVY_BRIDGE_BLOCKING) <= IVY_BRIDGE_BLOCKING.m_c
+
+    def test_multiple_of_m_r(self):
+        m_c = dynamic_m_c(777, 7, IVY_BRIDGE_BLOCKING)
+        assert m_c % IVY_BRIDGE_BLOCKING.m_r == 0
+
+    def test_small_m(self):
+        m_c = dynamic_m_c(5, 10, IVY_BRIDGE_BLOCKING)
+        assert m_c >= IVY_BRIDGE_BLOCKING.m_r
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            dynamic_m_c(0, 2, IVY_BRIDGE_BLOCKING)
+        with pytest.raises(ValidationError):
+            dynamic_m_c(10, 0, IVY_BRIDGE_BLOCKING)

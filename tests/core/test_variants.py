@@ -1,0 +1,46 @@
+"""Unit tests for the variant enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import VARIANT_INFO, Variant, resolve_variant
+from repro.errors import ValidationError
+
+
+def test_all_six_variants_documented():
+    assert set(VARIANT_INFO) == set(Variant)
+    for info in VARIANT_INFO.values():
+        assert info.notes
+        assert info.selection_scope
+
+
+def test_viability_flags_match_paper():
+    """§2.3: Var#1, Var#5, Var#6 viable; Var#2/#3 lose; Var#4 impossible."""
+    assert VARIANT_INFO[Variant.VAR1].viable
+    assert VARIANT_INFO[Variant.VAR5].viable
+    assert VARIANT_INFO[Variant.VAR6].viable
+    assert not VARIANT_INFO[Variant.VAR2].viable
+    assert not VARIANT_INFO[Variant.VAR3].viable
+    assert not VARIANT_INFO[Variant.VAR4].viable
+
+
+@pytest.mark.parametrize(
+    "spec,expected",
+    [
+        (1, Variant.VAR1),
+        ("var6", Variant.VAR6),
+        ("VAR3", Variant.VAR3),
+        ("#2", Variant.VAR2),
+        (Variant.VAR5, Variant.VAR5),
+        ("5", Variant.VAR5),
+    ],
+)
+def test_resolve(spec, expected):
+    assert resolve_variant(spec) is expected
+
+
+@pytest.mark.parametrize("spec", [0, 7, -1, "varx", "seven"])
+def test_resolve_rejects(spec):
+    with pytest.raises(ValidationError):
+        resolve_variant(spec)

@@ -1,0 +1,37 @@
+"""Unit tests for dataset persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, save_dataset, uniform_hypercube
+from repro.errors import ValidationError
+
+
+def test_round_trip(tmp_path):
+    ds = uniform_hypercube(20, 3, seed=5)
+    path = save_dataset(ds, tmp_path / "cloud")
+    loaded = load_dataset(path)
+    np.testing.assert_array_equal(loaded.points, ds.points)
+    assert loaded.name == ds.name
+    assert loaded.intrinsic_dim == ds.intrinsic_dim
+    assert loaded.params == ds.params
+
+
+def test_suffix_appended(tmp_path):
+    ds = uniform_hypercube(5, 2)
+    path = save_dataset(ds, tmp_path / "noext")
+    assert path.suffix == ".npz"
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(ValidationError):
+        load_dataset(tmp_path / "nope.npz")
+
+
+def test_not_a_dataset_archive(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, stuff=np.ones(3))
+    with pytest.raises(ValidationError):
+        load_dataset(path)

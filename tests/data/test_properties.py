@@ -1,0 +1,54 @@
+"""Property-based tests for the dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import embedded_gaussian, gaussian_mixture, uniform_hypercube
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_uniform_shape_and_bounds(n, d, seed):
+    ds = uniform_hypercube(n, d, seed=seed)
+    assert ds.points.shape == (n, d)
+    assert ds.points.min() >= 0.0 and ds.points.max() <= 1.0
+    assert np.isfinite(ds.points).all()
+
+
+@given(
+    st.integers(min_value=1, max_value=150),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_mixture_finite_and_deterministic(n, d, clusters, seed):
+    a = gaussian_mixture(n, d, n_clusters=clusters, seed=seed)
+    b = gaussian_mixture(n, d, n_clusters=clusters, seed=seed)
+    np.testing.assert_array_equal(a.points, b.points)
+    assert np.isfinite(a.points).all()
+
+
+@given(
+    st.integers(min_value=4, max_value=100),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=16),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_embedded_rank_matches_intrinsic(n, intrinsic, extra, seed):
+    d = intrinsic + extra
+    ds = embedded_gaussian(
+        n, d, intrinsic_dim=intrinsic, noise_std=0.0, seed=seed
+    )
+    centered = ds.points - ds.points.mean(axis=0)
+    s = np.linalg.svd(centered, compute_uv=False)
+    rank = int((s > 1e-9 * max(s[0], 1e-300)).sum())
+    assert rank <= min(intrinsic, n - 1) or n == 1

@@ -1,0 +1,119 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, embedded_gaussian, gaussian_mixture, uniform_hypercube
+from repro.errors import ValidationError
+
+
+class TestDataset:
+    def test_canonicalizes_dtype_and_layout(self):
+        ds = Dataset(np.ones((3, 2), dtype=np.float32, order="F"))
+        assert ds.points.dtype == np.float64
+        assert ds.points.flags["C_CONTIGUOUS"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Dataset(np.empty((0, 3)))
+        with pytest.raises(ValidationError):
+            Dataset(np.empty((3, 0)))
+
+    def test_shape_accessors(self):
+        ds = Dataset(np.ones((5, 7)))
+        assert ds.n == 5
+        assert ds.dim == 7
+
+    def test_squared_norms(self, rng):
+        pts = rng.random((10, 4))
+        ds = Dataset(pts)
+        np.testing.assert_allclose(ds.squared_norms(), (pts**2).sum(axis=1))
+
+
+class TestUniformHypercube:
+    def test_shape_and_range(self):
+        ds = uniform_hypercube(100, 8, seed=0)
+        assert ds.points.shape == (100, 8)
+        assert ds.points.min() >= 0.0
+        assert ds.points.max() <= 1.0
+
+    def test_reproducible(self):
+        a = uniform_hypercube(50, 4, seed=42).points
+        b = uniform_hypercube(50, 4, seed=42).points
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = uniform_hypercube(50, 4, seed=1).points
+        b = uniform_hypercube(50, 4, seed=2).points
+        assert not np.array_equal(a, b)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            uniform_hypercube(0, 4)
+        with pytest.raises(ValidationError):
+            uniform_hypercube(4, 0)
+
+    def test_accepts_generator(self):
+        gen = np.random.default_rng(7)
+        ds = uniform_hypercube(10, 2, seed=gen)
+        assert ds.n == 10
+
+
+class TestGaussianMixture:
+    def test_shape(self):
+        ds = gaussian_mixture(200, 5, n_clusters=3, seed=0)
+        assert ds.points.shape == (200, 5)
+
+    def test_clusters_create_structure(self):
+        """Mixture data must be more clustered than uniform: the mean
+        nearest-neighbor distance should be clearly smaller."""
+        mix = gaussian_mixture(300, 8, n_clusters=4, cluster_std=0.02, seed=0)
+        uni = uniform_hypercube(300, 8, seed=0)
+
+        def mean_nn(pts):
+            d = ((pts[:, None] - pts[None, :]) ** 2).sum(-1)
+            np.fill_diagonal(d, np.inf)
+            return np.sqrt(d.min(axis=1)).mean()
+
+        assert mean_nn(mix.points) < mean_nn(uni.points)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            gaussian_mixture(10, 3, n_clusters=0)
+        with pytest.raises(ValidationError):
+            gaussian_mixture(10, 3, cluster_std=0.0)
+
+
+class TestEmbeddedGaussian:
+    def test_shape_and_metadata(self):
+        ds = embedded_gaussian(128, 64, intrinsic_dim=10, seed=0)
+        assert ds.points.shape == (128, 64)
+        assert ds.intrinsic_dim == 10
+        assert ds.params["d"] == 64
+
+    def test_rejects_d_below_intrinsic(self):
+        with pytest.raises(ValidationError):
+            embedded_gaussian(10, 5, intrinsic_dim=10)
+
+    def test_embedding_preserves_distances(self):
+        """The orthonormal embedding is an isometry: pairwise distances of
+        the embedded cloud match the latent cloud (up to the tiny noise)."""
+        ds = embedded_gaussian(64, 32, intrinsic_dim=6, noise_std=0.0, seed=3)
+        pts = ds.points
+        # rank of the centered cloud equals the intrinsic dimension
+        centered = pts - pts.mean(axis=0)
+        s = np.linalg.svd(centered, compute_uv=False)
+        assert (s > 1e-8 * s[0]).sum() == 6
+
+    def test_noise_makes_full_rank(self):
+        ds = embedded_gaussian(64, 16, intrinsic_dim=4, noise_std=1e-3, seed=3)
+        centered = ds.points - ds.points.mean(axis=0)
+        s = np.linalg.svd(centered, compute_uv=False)
+        assert (s > 1e-10 * s[0]).sum() == 16
+
+    def test_reproducible(self):
+        a = embedded_gaussian(32, 16, seed=9).points
+        b = embedded_gaussian(32, 16, seed=9).points
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,140 @@
+"""Unit tests for the simulated communicator and cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import AlphaBetaModel, SimComm
+from repro.errors import ValidationError
+
+
+class TestAlphaBetaModel:
+    def test_pricing(self):
+        from repro.distributed.comm import CommStats
+
+        model = AlphaBetaModel(alpha=1e-6, beta=1e-9)
+        stats = CommStats(messages=10, bytes_sent=1000)
+        assert model.seconds(stats) == pytest.approx(1e-5 + 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AlphaBetaModel(alpha=-1)
+
+
+class TestSimComm:
+    def test_send_recv_round_trip(self):
+        comm = SimComm(3)
+        payload = np.arange(10.0)
+        comm.send(0, 2, payload, tag="x")
+        got = comm.recv(2, 0, tag="x")
+        np.testing.assert_array_equal(got, payload)
+
+    def test_fifo_per_channel(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.array([1.0]))
+        comm.send(0, 1, np.array([2.0]))
+        assert comm.recv(1, 0)[0] == 1.0
+        assert comm.recv(1, 0)[0] == 2.0
+
+    def test_recv_without_send_raises(self):
+        comm = SimComm(2)
+        with pytest.raises(ValidationError):
+            comm.recv(1, 0)
+
+    def test_rank_bounds(self):
+        comm = SimComm(2)
+        with pytest.raises(ValidationError):
+            comm.send(0, 5, np.zeros(1))
+        with pytest.raises(ValidationError):
+            SimComm(0)
+
+    def test_self_sends_are_free(self):
+        comm = SimComm(2)
+        comm.send(0, 0, np.zeros(100))
+        assert comm.stats[0].bytes_sent == 0
+        assert comm.stats[0].messages == 0
+
+    def test_bytes_accounting(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.zeros(100))  # 800 bytes
+        comm.send(0, 1, (np.zeros(10), np.zeros(10)))  # 160 bytes
+        assert comm.stats[0].bytes_sent == 960
+        assert comm.stats[0].messages == 2
+
+    def test_unsupported_payload(self):
+        comm = SimComm(2)
+        with pytest.raises(ValidationError):
+            comm.send(0, 1, object())
+
+    def test_gather(self):
+        comm = SimComm(3)
+        got = comm.gather(0, [np.full(2, r) for r in range(3)])
+        assert [g[0] for g in got] == [0, 1, 2]
+        # ranks 1 and 2 paid; rank 0's self-send was free
+        assert comm.stats[1].messages == 1
+        assert comm.stats[0].messages == 0
+
+    def test_broadcast(self):
+        comm = SimComm(3)
+        got = comm.broadcast(1, np.array([7.0]))
+        assert all(g[0] == 7.0 for g in got)
+        assert comm.stats[1].messages == 2  # two real destinations
+
+    def test_alltoallv(self):
+        comm = SimComm(2)
+        chunks = [
+            [np.array([0.0]), np.array([1.0])],
+            [np.array([10.0]), np.array([11.0])],
+        ]
+        inboxes = comm.alltoallv(chunks)
+        assert inboxes[0][1][0] == 10.0
+        assert inboxes[1][0][0] == 1.0
+
+    def test_alltoallv_shape_checked(self):
+        comm = SimComm(2)
+        with pytest.raises(ValidationError):
+            comm.alltoallv([[np.zeros(1)]])
+
+    def test_max_rank_seconds(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.zeros(1000))
+        model = AlphaBetaModel(alpha=0.0, beta=1e-9)
+        assert comm.max_rank_seconds(model) == pytest.approx(8000 * 1e-9)
+
+
+class TestCommProperties:
+    def test_alltoallv_is_transpose(self):
+        """Every payload lands at chunks[src][dst] -> inbox[dst][src]."""
+        import numpy as np
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.integers(min_value=1, max_value=5),
+               st.integers(min_value=0, max_value=2**31))
+        @settings(max_examples=25, deadline=None)
+        def run(p, seed):
+            rng = np.random.default_rng(seed)
+            comm = SimComm(p)
+            chunks = [
+                [rng.random(int(rng.integers(0, 5))) for _ in range(p)]
+                for _ in range(p)
+            ]
+            inboxes = comm.alltoallv(chunks)
+            for dst in range(p):
+                for src in range(p):
+                    np.testing.assert_array_equal(
+                        inboxes[dst][src], chunks[src][dst]
+                    )
+
+        run()
+
+    def test_byte_accounting_matches_payload_sizes(self):
+        import numpy as np
+
+        comm = SimComm(3)
+        sizes = [10, 100, 7]
+        for i, size in enumerate(sizes):
+            comm.send(0, 1, np.zeros(size))
+        assert comm.stats[0].bytes_sent == 8 * sum(sizes)
+        assert comm.stats[0].messages == len(sizes)

@@ -1,0 +1,141 @@
+"""Tests for the simulated distributed all-NN solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.neighbors import recall
+from repro.data import embedded_gaussian
+from repro.distributed import AlphaBetaModel, DistributedAllKnn
+from repro.errors import ValidationError
+from repro.trees import all_nearest_neighbors, exact_all_knn
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return embedded_gaussian(800, 16, intrinsic_dim=6, seed=5).points
+
+
+class TestValidation:
+    def test_constructor(self):
+        with pytest.raises(ValidationError):
+            DistributedAllKnn(0)
+        with pytest.raises(ValidationError):
+            DistributedAllKnn(2, leaf_size=1)
+        with pytest.raises(ValidationError):
+            DistributedAllKnn(2, iterations=0)
+        with pytest.raises(ValidationError):
+            DistributedAllKnn(2, kernel="magic")
+
+    def test_leaf_size_vs_k(self, cloud):
+        solver = DistributedAllKnn(2, leaf_size=8)
+        with pytest.raises(ValidationError):
+            solver.solve(cloud, 8)
+
+
+class TestCorrectness:
+    def test_matches_shared_memory_solver_recall(self, cloud):
+        """Same algorithm, same exact kernels: the distributed solve must
+        reach comparable recall to the single-process solver."""
+        truth = exact_all_knn(cloud, 5)
+        dist_report = DistributedAllKnn(
+            4, leaf_size=128, iterations=6, seed=0
+        ).solve(cloud, 5)
+        shared_report = all_nearest_neighbors(
+            cloud, 5, leaf_size=128, iterations=6, seed=0, tol=0.0
+        )
+        r_dist = recall(dist_report.result, truth)
+        r_shared = recall(shared_report.result, truth)
+        assert r_dist > 0.85
+        assert abs(r_dist - r_shared) < 0.1
+
+    def test_distances_are_exact_for_reported_ids(self, cloud):
+        report = DistributedAllKnn(3, leaf_size=128, iterations=2).solve(
+            cloud, 4
+        )
+        res = report.result
+        for i in range(0, 800, 97):
+            for dist, j in zip(res.distances[i], res.indices[i]):
+                if j >= 0:
+                    true = float(((cloud[i] - cloud[j]) ** 2).sum())
+                    assert abs(true - dist) < 1e-9
+
+    def test_single_rank_degenerates_to_serial(self, cloud):
+        one = DistributedAllKnn(1, leaf_size=128, iterations=2, seed=3).solve(
+            cloud, 4
+        )
+        assert one.comm_bytes == 0  # everything is a self-send
+        assert (one.result.indices >= 0).all()
+
+    def test_rank_count_does_not_change_results(self, cloud):
+        """The partitioning is rank-count-independent (same trees, same
+        leaves) — only the projection changes."""
+        a = DistributedAllKnn(2, leaf_size=128, iterations=2, seed=9).solve(
+            cloud, 4
+        )
+        b = DistributedAllKnn(5, leaf_size=128, iterations=2, seed=9).solve(
+            cloud, 4
+        )
+        np.testing.assert_allclose(
+            a.result.distances, b.result.distances, atol=1e-12
+        )
+
+
+class TestProjection:
+    def test_kernel_time_split_across_ranks(self, cloud):
+        report = DistributedAllKnn(4, leaf_size=128, iterations=2).solve(
+            cloud, 4
+        )
+        assert len(report.rank_kernel_seconds) == 4
+        assert sum(report.rank_kernel_seconds) == pytest.approx(
+            report.serial_kernel_seconds
+        )
+        assert max(report.rank_kernel_seconds) < report.serial_kernel_seconds
+
+    def test_projected_speedup_grows_with_ranks(self, cloud):
+        small = DistributedAllKnn(2, leaf_size=128, iterations=2, seed=1).solve(
+            cloud, 4
+        )
+        large = DistributedAllKnn(8, leaf_size=128, iterations=2, seed=1).solve(
+            cloud, 4
+        )
+        # modest margin: per-leaf kernel timings jitter on a loaded host
+        assert large.projected_speedup > small.projected_speedup * 1.05
+
+    def test_communication_accounted(self, cloud):
+        report = DistributedAllKnn(4, leaf_size=128, iterations=2).solve(
+            cloud, 4
+        )
+        assert report.comm_bytes > 0
+        assert report.comm_seconds > 0
+
+    def test_expensive_network_hurts_projection(self, cloud):
+        cheap = DistributedAllKnn(
+            4, leaf_size=128, iterations=2, seed=2,
+            comm_model=AlphaBetaModel(alpha=1e-7, beta=1e-11),
+        ).solve(cloud, 4)
+        pricey = DistributedAllKnn(
+            4, leaf_size=128, iterations=2, seed=2,
+            comm_model=AlphaBetaModel(alpha=1e-3, beta=1e-6),
+        ).solve(cloud, 4)
+        assert pricey.projected_seconds > cheap.projected_seconds
+
+    def test_schedule_imbalance_reported(self, cloud):
+        report = DistributedAllKnn(4, leaf_size=128, iterations=1).solve(
+            cloud, 4
+        )
+        assert report.schedule_imbalance >= 1.0
+
+
+class TestKernelSwap:
+    def test_gemm_kernel_same_answers(self, cloud):
+        a = DistributedAllKnn(
+            3, leaf_size=128, iterations=2, seed=4, kernel="gsknn"
+        ).solve(cloud, 4)
+        b = DistributedAllKnn(
+            3, leaf_size=128, iterations=2, seed=4, kernel="gemm"
+        ).solve(cloud, 4)
+        np.testing.assert_allclose(
+            a.result.distances, b.result.distances, atol=1e-9
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for the Goto-blocked GEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BlockingParams, TEST_BLOCKING
+from repro.errors import ValidationError
+from repro.gemm import BlockedGemm, blocked_gemm, naive_gemm
+
+
+class _Recorder:
+    """Observer that tallies loop-nest events."""
+
+    def __init__(self):
+        self.packs = []
+        self.microkernels = 0
+        self.c_blocks = []
+
+    def on_pack(self, which, rows, depth):
+        self.packs.append((which, rows, depth))
+
+    def on_microkernel(self, m_r, n_r, depth):
+        self.microkernels += 1
+
+    def on_c_block(self, rows, cols, is_first_depth):
+        self.c_blocks.append((rows, cols, is_first_depth))
+
+
+class TestBlockedGemm:
+    @pytest.mark.parametrize(
+        "m,n,d",
+        [(1, 1, 1), (4, 4, 3), (5, 7, 4), (9, 11, 10), (8, 8, 3), (13, 3, 7)],
+    )
+    def test_matches_blas(self, rng, m, n, d):
+        A = rng.random((m, d))
+        B = rng.random((n, d))
+        got = blocked_gemm(A, B, blocking=TEST_BLOCKING)
+        np.testing.assert_allclose(got, A @ B.T, atol=1e-12)
+
+    def test_matches_naive(self, rng):
+        A = rng.random((6, 5))
+        B = rng.random((4, 5))
+        np.testing.assert_allclose(
+            blocked_gemm(A, B, blocking=TEST_BLOCKING),
+            naive_gemm(A, B.T.copy()),
+            atol=1e-12,
+        )
+
+    def test_transpose_b_false(self, rng):
+        A = rng.random((4, 3))
+        B = rng.random((3, 6))
+        got = blocked_gemm(A, B, blocking=TEST_BLOCKING, transpose_b=False)
+        np.testing.assert_allclose(got, A @ B, atol=1e-12)
+
+    def test_depth_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            blocked_gemm(rng.random((2, 3)), rng.random((2, 4)))
+
+    def test_observer_sees_expected_structure(self, rng):
+        blk = BlockingParams(m_r=2, n_r=2, d_c=2, m_c=4, n_c=4)
+        rec = _Recorder()
+        m, n, d = 8, 8, 4
+        BlockedGemm(blk, rec).multiply_nt(rng.random((m, d)), rng.random((n, d)))
+        n_jc, n_pc, n_ic = 2, 2, 2
+        # R packed once per (jc, pc); Q once per (jc, pc, ic)
+        assert sum(1 for w, *_ in rec.packs if w == "R") == n_jc * n_pc
+        assert sum(1 for w, *_ in rec.packs if w == "Q") == n_jc * n_pc * n_ic
+        # micro-kernels: full tile grid per (jc, pc, ic)
+        assert rec.microkernels == n_jc * n_pc * n_ic * (4 // 2) * (4 // 2)
+        # first-depth flags: exactly the pc == 0 c-block visits
+        assert sum(1 for *_, first in rec.c_blocks if first) == n_jc * n_ic
+
+    def test_single_block_sizes(self, rng):
+        """Blocks larger than the problem: one iteration per loop."""
+        blk = BlockingParams(m_r=8, n_r=8, d_c=64, m_c=64, n_c=64)
+        A, B = rng.random((5, 6)), rng.random((7, 6))
+        np.testing.assert_allclose(
+            BlockedGemm(blk).multiply_nt(A, B), A @ B.T, atol=1e-12
+        )
+
+
+class TestNaiveGemm:
+    def test_alpha_beta(self, rng):
+        A, B = rng.random((3, 2)), rng.random((2, 4))
+        C = rng.random((3, 4))
+        got = naive_gemm(A, B, C, alpha=2.0, beta=-1.0)
+        np.testing.assert_allclose(got, 2.0 * A @ B - C, atol=1e-12)
+
+    def test_c_shape_checked(self, rng):
+        with pytest.raises(ValidationError):
+            naive_gemm(rng.random((2, 2)), rng.random((2, 2)), np.ones((3, 3)))
+
+    def test_inner_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            naive_gemm(rng.random((2, 3)), rng.random((2, 3)))

@@ -1,0 +1,104 @@
+"""Unit tests for panel packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gemm import (
+    gather_panel,
+    pack_block,
+    pack_micropanels,
+    unpack_micropanels,
+)
+
+
+class TestGatherPanel:
+    def test_gathers_rows_and_columns(self, rng):
+        X = rng.random((20, 10))
+        idx = np.array([3, 1, 7])
+        panel = gather_panel(X, idx, 2, 6)
+        np.testing.assert_array_equal(panel, X[idx, 2:6])
+        assert panel.flags["C_CONTIGUOUS"]
+
+    def test_full_width_default(self, rng):
+        X = rng.random((5, 4))
+        panel = gather_panel(X, np.array([0, 4]))
+        np.testing.assert_array_equal(panel, X[[0, 4]])
+
+    def test_duplicate_indices(self, rng):
+        X = rng.random((5, 3))
+        panel = gather_panel(X, np.array([2, 2, 2]))
+        assert (panel == X[2]).all()
+
+    def test_invalid_column_range(self, rng):
+        X = rng.random((4, 4))
+        with pytest.raises(ValidationError):
+            gather_panel(X, np.array([0]), 3, 2)
+        with pytest.raises(ValidationError):
+            gather_panel(X, np.array([0]), 0, 5)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            gather_panel(np.ones(4), np.array([0]))
+
+
+class TestPackBlock:
+    def test_packs_coordinates_and_norms(self, rng):
+        X = rng.random((10, 6))
+        X2 = (X**2).sum(axis=1)
+        idx = np.array([9, 0, 5])
+        panel, norms = pack_block(X, idx, 1, 4, X2)
+        np.testing.assert_array_equal(panel, X[idx, 1:4])
+        np.testing.assert_allclose(norms, X2[idx])
+
+    def test_norms_skipped_when_not_given(self, rng):
+        X = rng.random((4, 3))
+        panel, norms = pack_block(X, np.array([1]), 0, 3)
+        assert norms is None
+
+    def test_bad_norm_table(self, rng):
+        X = rng.random((4, 3))
+        with pytest.raises(ValidationError):
+            pack_block(X, np.array([1]), 0, 3, np.ones(3))
+
+
+class TestMicropanels:
+    @pytest.mark.parametrize("rows,r", [(8, 4), (9, 4), (3, 4), (1, 1), (7, 3)])
+    def test_round_trip(self, rng, rows, r):
+        panel = rng.random((rows, 5))
+        packed = pack_micropanels(panel, r)
+        np.testing.assert_array_equal(unpack_micropanels(packed, rows), panel)
+
+    def test_z_layout(self, rng):
+        """packed[p, j, i] must equal panel[p*r + i, j]."""
+        panel = rng.random((6, 4))
+        packed = pack_micropanels(panel, 2)
+        assert packed.shape == (3, 4, 2)
+        for p in range(3):
+            for j in range(4):
+                for i in range(2):
+                    assert packed[p, j, i] == panel[p * 2 + i, j]
+
+    def test_ragged_tail_zero_padded(self, rng):
+        panel = rng.random((5, 3))
+        packed = pack_micropanels(panel, 4)
+        assert packed.shape == (2, 3, 4)
+        # last panel rows 1..3 are padding
+        np.testing.assert_array_equal(packed[1, :, 1:], 0.0)
+
+    def test_depth_slices_are_register_vectors(self, rng):
+        """One depth step of a panel is the r-vector the micro-kernel
+        loads — consecutive points' same coordinate."""
+        panel = rng.random((4, 3))
+        packed = pack_micropanels(panel, 4)
+        np.testing.assert_array_equal(packed[0, 1, :], panel[:, 1])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            pack_micropanels(np.ones(3), 2)
+        with pytest.raises(ValidationError):
+            pack_micropanels(np.ones((2, 2)), 0)
+        with pytest.raises(ValidationError):
+            unpack_micropanels(np.ones((1, 2, 2)), 5)

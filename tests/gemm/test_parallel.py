@@ -1,0 +1,53 @@
+"""Tests for the data-parallel blocked GEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BlockingParams
+from repro.errors import ValidationError
+from repro.gemm.parallel import _row_chunks, parallel_blocked_gemm
+
+BLK = BlockingParams(m_r=2, n_r=2, d_c=4, m_c=4, n_c=8)
+
+
+class TestRowChunks:
+    def test_whole_mc_blocks_per_worker(self):
+        chunks = _row_chunks(20, 3, 4)
+        for start, size in chunks[:-1]:
+            assert start % 4 == 0
+            assert size % 4 == 0
+        covered = sum(size for _, size in chunks)
+        assert covered == 20
+
+    def test_single_worker(self):
+        assert _row_chunks(10, 1, 4) == [(0, 10)]
+
+    def test_more_workers_than_blocks(self):
+        chunks = _row_chunks(8, 16, 4)
+        assert len(chunks) == 2
+
+
+class TestParallelBlockedGemm:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5])
+    @pytest.mark.parametrize("m,n,d", [(9, 7, 5), (16, 16, 8), (3, 4, 2)])
+    def test_matches_blas(self, rng, p, m, n, d):
+        A = rng.random((m, d))
+        B = rng.random((n, d))
+        got = parallel_blocked_gemm(A, B, p=p, blocking=BLK)
+        np.testing.assert_allclose(got, A @ B.T, atol=1e-12)
+
+    def test_matches_serial_bitwise(self, rng):
+        from repro.gemm import BlockedGemm
+
+        A, B = rng.random((12, 6)), rng.random((10, 6))
+        serial = BlockedGemm(BLK).multiply_nt(A, B)
+        parallel = parallel_blocked_gemm(A, B, p=3, blocking=BLK)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            parallel_blocked_gemm(rng.random((2, 2)), rng.random((2, 2)), p=0)
+        with pytest.raises(ValidationError):
+            parallel_blocked_gemm(rng.random((2, 3)), rng.random((2, 4)), p=2)

@@ -1,0 +1,41 @@
+"""Unit tests for reference GEMMs and flop accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gemm import blas_gemm, naive_gemm
+from repro.gemm.reference import gemm_flops
+
+
+def test_blas_matches_naive(rng):
+    A, B = rng.random((5, 4)), rng.random((4, 6))
+    np.testing.assert_allclose(blas_gemm(A, B), naive_gemm(A, B), atol=1e-12)
+
+
+def test_blas_alpha_beta(rng):
+    A, B, C = rng.random((2, 3)), rng.random((3, 2)), rng.random((2, 2))
+    got = blas_gemm(A, B, C, alpha=0.5, beta=2.0)
+    np.testing.assert_allclose(got, 0.5 * A @ B + 2.0 * C, atol=1e-12)
+
+
+def test_blas_beta_zero_ignores_c(rng):
+    A, B = rng.random((2, 2)), rng.random((2, 2))
+    got = blas_gemm(A, B, np.full((2, 2), np.nan), beta=0.0)
+    assert np.isfinite(got).all()
+
+
+def test_blas_c_shape_checked(rng):
+    with pytest.raises(ValidationError):
+        blas_gemm(rng.random((2, 2)), rng.random((2, 2)), np.ones((3, 3)), beta=1.0)
+
+
+def test_gemm_flops():
+    assert gemm_flops(2, 3, 4) == 2 * 2 * 3 * 4
+
+
+def test_operands_must_be_2d():
+    with pytest.raises(ValidationError):
+        blas_gemm(np.ones(3), np.ones((3, 2)))

@@ -1,0 +1,103 @@
+"""CLI smoke tests — every subcommand runs end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCommands:
+    def test_kernel(self, capsys):
+        assert main(["kernel", "-m", "64", "-n", "128", "-d", "8", "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "gsknn" in out and "gflops" in out
+
+    def test_kernel_gemm_l1(self, capsys):
+        assert main(
+            ["kernel", "-m", "32", "-n", "64", "-d", "4", "-k", "2",
+             "--kernel", "gemm", "--norm", "l1"]
+        ) == 0
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", "-m", "64", "-n", "64", "-d", "8", "-k", "4",
+             "--repeats", "1"]
+        ) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_allknn(self, capsys):
+        assert main(
+            ["allknn", "-N", "400", "-d", "8", "-k", "4",
+             "--leaf-size", "64", "--iterations", "2", "--evaluate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recall" in out
+
+    def test_allknn_lsh(self, capsys):
+        assert main(
+            ["allknn", "-N", "300", "-d", "8", "-k", "4",
+             "--method", "lsh", "--leaf-size", "64", "--iterations", "2"]
+        ) == 0
+
+    def test_model(self, capsys):
+        assert main(["model", "-m", "1024", "-n", "1024", "-d", "64",
+                     "-k", "16", "--cores", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out
+        assert "GFLOPS" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "-m", "32", "-n", "32", "-d", "8", "-k", "4"]) == 0
+        assert "DRAM" in capsys.readouterr().out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "-m", "512", "-n", "512", "-d", "32", "-k", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "decision table" in out
+        assert "threshold" in out
+
+    def test_tune_save(self, capsys, tmp_path):
+        path = str(tmp_path / "table.json")
+        assert main(
+            ["tune", "-m", "256", "-n", "256", "-d", "16", "-k", "8",
+             "--save", path]
+        ) == 0
+        assert "saved" in capsys.readouterr().out
+
+    def test_distributed(self, capsys):
+        assert main(
+            ["distributed", "-N", "512", "-d", "8", "-k", "4",
+             "--ranks", "4", "--leaf-size", "128", "--iterations", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "projected wall clock" in out
+
+    def test_kernel_cosine(self, capsys):
+        assert main(
+            ["kernel", "-m", "32", "-n", "64", "-d", "8", "-k", "4",
+             "--norm", "cosine"]
+        ) == 0
+
+    def test_kernel_explicit_variant(self, capsys):
+        assert main(
+            ["kernel", "-m", "32", "-n", "64", "-d", "8", "-k", "4",
+             "--variant", "6"]
+        ) == 0
+
+    def test_allknn_gemm_kernel(self, capsys):
+        assert main(
+            ["allknn", "-N", "300", "-d", "8", "-k", "4",
+             "--kernel", "gemm", "--leaf-size", "64", "--iterations", "1"]
+        ) == 0

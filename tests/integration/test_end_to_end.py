@@ -1,0 +1,119 @@
+"""Cross-module integration tests: the full stack wired together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import gsknn, ref_knn
+from repro.core.neighbors import recall
+from repro.data import embedded_gaussian
+from repro.machine import IVY_BRIDGE
+from repro.model import PerformanceModel
+from repro.parallel import ScheduledTask, lpt_schedule
+from repro.parallel.scheduler import execute_schedule
+from repro.trees import RandomizedKDForest, all_nearest_neighbors, exact_all_knn
+
+
+class TestKernelsAgreeAtScale:
+    def test_gsknn_equals_gemm_kernel_medium_problem(self):
+        ds = embedded_gaussian(3000, 24, seed=0)
+        q = np.arange(0, 3000, 3)
+        r = np.arange(3000)
+        a = gsknn(ds.points, q, r, 12)
+        b = ref_knn(ds.points, q, r, 12)
+        np.testing.assert_allclose(a.distances, b.distances, atol=1e-9)
+
+    def test_variant_choice_does_not_change_answers(self):
+        ds = embedded_gaussian(800, 16, seed=1)
+        q, r = np.arange(200), np.arange(800)
+        answers = [
+            gsknn(ds.points, q, r, 50, variant=v).distances for v in (1, 5, 6)
+        ]
+        for other in answers[1:]:
+            np.testing.assert_allclose(answers[0], other, atol=1e-9)
+
+
+class TestScheduledLeafKernels:
+    def test_model_driven_schedule_runs_tree_leaves(self):
+        """The paper's task-parallel path: estimate each leaf kernel's
+        runtime with the model, LPT-schedule, execute, and still get the
+        same global result as the serial driver."""
+        ds = embedded_gaussian(600, 12, intrinsic_dim=6, seed=2)
+        forest = RandomizedKDForest(leaf_size=96, n_trees=1, seed=0)
+        tree = next(iter(forest.trees(ds.points)))
+        model = PerformanceModel(IVY_BRIDGE)
+        k = 8
+
+        tasks = [
+            ScheduledTask(
+                i,
+                model.estimate_kernel_runtime(
+                    leaf.size, leaf.size, ds.dim, min(k, leaf.size)
+                ),
+                payload=leaf,
+            )
+            for i, leaf in enumerate(tree.leaves)
+        ]
+        schedule = lpt_schedule(tasks, p=4)
+        assert schedule.imbalance < 2.0
+
+        results = execute_schedule(
+            schedule,
+            lambda t: gsknn(
+                ds.points, t.payload, t.payload, min(k, t.payload.size)
+            ),
+        )
+        assert len(results) == len(tree.leaves)
+        # every leaf's own points found themselves
+        for i, leaf in enumerate(tree.leaves):
+            np.testing.assert_allclose(
+                results[i].distances[:, 0], 0.0, atol=1e-9
+            )
+
+
+class TestSolverRecallVsBudget:
+    def test_more_trees_more_recall_both_kernels(self):
+        ds = embedded_gaussian(500, 16, intrinsic_dim=5, seed=4)
+        truth = exact_all_knn(ds.points, 5)
+        for kernel in ("gsknn", "gemm"):
+            few = all_nearest_neighbors(
+                ds.points, 5, leaf_size=64, iterations=1,
+                kernel=kernel, truth=truth, tol=0.0,
+            )
+            many = all_nearest_neighbors(
+                ds.points, 5, leaf_size=64, iterations=6,
+                kernel=kernel, truth=truth, tol=0.0,
+            )
+            assert many.recall_curve[-1] >= few.recall_curve[-1]
+
+
+class TestModelAgainstRealKernels:
+    def test_model_ranks_low_d_speedup_above_high_d(self):
+        """The model's central qualitative claim checked against real
+        timings: GSKNN's advantage over the GEMM approach (T_gemm /
+        T_gsknn) is larger at low d than at high d."""
+        import time
+
+        rng = np.random.default_rng(0)
+        m = n = 2048
+        k = 16
+
+        def measured_ratio(d):
+            X = rng.random((n, d))
+            q, r = np.arange(m), np.arange(n)
+            best = {"g": np.inf, "r": np.inf}
+            for _ in range(3):
+                t0 = time.perf_counter()
+                gsknn(X, q, r, k)
+                best["g"] = min(best["g"], time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                ref_knn(X, q, r, k)
+                best["r"] = min(best["r"], time.perf_counter() - t0)
+            return best["r"] / best["g"]
+
+        model = PerformanceModel()
+        assert model.speedup_over_gemm("var1", m, n, 8, k) > model.speedup_over_gemm(
+            "var1", m, n, 512, k
+        )
+        assert measured_ratio(8) > measured_ratio(512) * 0.7

@@ -1,0 +1,98 @@
+"""Failure-injection tests: malformed inputs fail loudly and precisely."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ReproError, ValidationError, gsknn, ref_knn
+from repro.data import Dataset
+from repro.trees import all_nearest_neighbors
+
+
+@pytest.fixture
+def X(rng):
+    return rng.random((50, 6))
+
+
+class TestNonFiniteInjection:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    @pytest.mark.parametrize("kernel", [gsknn, ref_knn])
+    def test_kernels_reject(self, X, bad, kernel):
+        corrupted = X.copy()
+        corrupted[7, 3] = bad
+        with pytest.raises(ValidationError):
+            kernel(corrupted, np.arange(5), np.arange(50), 3)
+
+    def test_solver_rejects(self, X):
+        corrupted = X.copy()
+        corrupted[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            all_nearest_neighbors(corrupted, 3, leaf_size=16, iterations=1)
+
+
+class TestDegenerateGeometry:
+    def test_all_points_identical(self, X):
+        same = np.ones_like(X)
+        res = gsknn(same, np.arange(10), np.arange(50), 4)
+        np.testing.assert_allclose(res.distances, 0.0, atol=1e-12)
+        assert (res.indices >= 0).all()
+
+    def test_single_dimension(self, rng):
+        X = rng.random((30, 1))
+        a = gsknn(X, np.arange(10), np.arange(30), 3)
+        b = ref_knn(X, np.arange(10), np.arange(30), 3)
+        np.testing.assert_allclose(a.distances, b.distances, atol=1e-12)
+
+    def test_huge_coordinate_magnitudes(self, rng):
+        """1e150-scale coordinates: the expansion squares them (1e300),
+        just inside double range — results must stay finite and ordered."""
+        X = rng.random((20, 3)) * 1e150
+        res = gsknn(X, np.arange(5), np.arange(20), 3)
+        assert np.isfinite(res.distances).all()
+        assert res.is_sorted()
+
+    def test_tiny_coordinate_magnitudes(self, rng):
+        X = rng.random((20, 3)) * 1e-150
+        res = gsknn(X, np.arange(5), np.arange(20), 3)
+        assert (res.distances >= 0).all()
+
+    def test_mixed_sign_coordinates(self, rng):
+        X = rng.normal(size=(40, 5)) * 100
+        a = gsknn(X, np.arange(10), np.arange(40), 4)
+        b = ref_knn(X, np.arange(10), np.arange(40), 4)
+        np.testing.assert_allclose(a.distances, b.distances, atol=1e-6)
+
+
+class TestErrorHierarchy:
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(ValidationError, ReproError)
+
+    def test_callers_can_catch_base(self, X):
+        with pytest.raises(ReproError):
+            gsknn(X, np.arange(3), np.arange(5), 100)
+
+    def test_dataset_error_catchable(self):
+        with pytest.raises(ReproError):
+            Dataset(np.empty((0, 2)))
+
+
+class TestAwkwardInputTypes:
+    def test_list_inputs(self, X):
+        res = gsknn(X.tolist(), [0, 1, 2], list(range(20)), 3)
+        assert res.m == 3
+
+    def test_uint_indices(self, X):
+        res = gsknn(X, np.arange(3, dtype=np.uint32), np.arange(20, dtype=np.uint8), 3)
+        assert res.m == 3
+
+    def test_strided_index_views(self, X):
+        q = np.arange(20)[::2]  # non-contiguous view
+        res = gsknn(X, q, np.arange(30), 3)
+        assert res.m == 10
+
+    def test_readonly_arrays(self, X):
+        X.setflags(write=False)
+        res = gsknn(X, np.arange(5), np.arange(30), 3)
+        assert res.m == 5

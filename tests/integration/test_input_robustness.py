@@ -1,0 +1,105 @@
+"""Input-robustness tests: dtypes, strides, views, and extreme shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import gsknn, ref_knn
+from repro.core.gsknn import gsknn_exact_loops
+
+from ..conftest import brute_force_knn
+
+
+class TestDtypes:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float16, np.int32])
+    def test_numeric_dtypes_promoted(self, rng, dtype):
+        X = (rng.random((60, 5)) * 10).astype(dtype)
+        res = gsknn(X, np.arange(10), np.arange(60), 4)
+        truth_d, _ = brute_force_knn(X.astype(np.float64), np.arange(10), np.arange(60), 4)
+        np.testing.assert_allclose(res.distances, truth_d, atol=1e-5)
+
+    def test_bool_table(self, rng):
+        X = rng.random((30, 6)) > 0.5
+        res = gsknn(X, np.arange(5), np.arange(30), 3, norm="l1")
+        assert (res.distances >= 0).all()
+        # l1 over booleans is Hamming distance: integral values
+        np.testing.assert_allclose(res.distances, np.round(res.distances))
+
+
+class TestStridesAndViews:
+    def test_sliced_table_view(self, rng):
+        big = rng.random((100, 20))
+        X = big[::2, ::3]  # non-contiguous in both axes
+        res = gsknn(X, np.arange(10), np.arange(50), 4)
+        truth_d, _ = brute_force_knn(
+            np.ascontiguousarray(X), np.arange(10), np.arange(50), 4
+        )
+        np.testing.assert_allclose(res.distances, truth_d, atol=1e-9)
+
+    def test_reversed_index_views(self, rng):
+        X = rng.random((40, 4))
+        q = np.arange(40)[::-1][:10]
+        res = gsknn(X, q, np.arange(40), 3)
+        truth_d, _ = brute_force_knn(X, q.copy(), np.arange(40), 3)
+        np.testing.assert_allclose(res.distances, truth_d, atol=1e-9)
+
+    def test_broadcast_index_rejected_or_handled(self, rng):
+        X = rng.random((20, 3))
+        # a length-5 constant index array (legal: duplicates allowed)
+        q = np.full(5, 7)
+        res = gsknn(X, q, np.arange(20), 2)
+        assert (res.distances[:, 0] == 0).all()
+
+
+class TestExtremeShapes:
+    def test_one_query_many_refs(self, rng):
+        X = rng.random((5000, 3))
+        res = gsknn(X, np.array([0]), np.arange(5000), 10, block_n=512)
+        truth_d, _ = brute_force_knn(X, [0], np.arange(5000), 10)
+        np.testing.assert_allclose(res.distances, truth_d, atol=1e-9)
+
+    def test_many_queries_one_ref(self, rng):
+        X = rng.random((100, 4))
+        res = gsknn(X, np.arange(100), np.array([42]), 1)
+        truth_d, _ = brute_force_knn(X, np.arange(100), [42], 1)
+        np.testing.assert_allclose(res.distances, truth_d, atol=1e-9)
+
+    def test_very_wide_points(self, rng):
+        X = rng.random((30, 3000))
+        a = gsknn(X, np.arange(10), np.arange(30), 3)
+        b = ref_knn(X, np.arange(10), np.arange(30), 3)
+        np.testing.assert_allclose(a.distances, b.distances, atol=1e-8)
+
+    def test_exact_loops_single_element_everything(self):
+        X = np.array([[2.5]])
+        res = gsknn_exact_loops(X, np.array([0]), np.array([0]), 1)
+        assert res.distances[0, 0] == 0.0
+
+    def test_k_equals_n_large(self, rng):
+        X = rng.random((300, 4))
+        res = gsknn(X, np.arange(20), np.arange(300), 300)
+        truth_d, _ = brute_force_knn(X, np.arange(20), np.arange(300), 300)
+        np.testing.assert_allclose(res.distances, truth_d, atol=1e-9)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outputs(self, rng):
+        X = rng.random((100, 6))
+        q = rng.integers(0, 100, 20)
+        r = rng.permutation(100)[:60]
+        a = gsknn(X, q, r, 5)
+        b = gsknn(X, q, r, 5)
+        np.testing.assert_array_equal(a.distances, b.distances)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_block_size_does_not_change_distances(self, rng):
+        X = rng.random((150, 5))
+        q = np.arange(30)
+        r = np.arange(150)
+        reference = gsknn(X, q, r, 6, block_m=7, block_n=11)
+        for bm, bn in [(1, 150), (150, 1), (13, 29), (64, 64)]:
+            res = gsknn(X, q, r, 6, block_m=bm, block_n=bn)
+            np.testing.assert_allclose(
+                res.distances, reference.distances, atol=1e-12
+            )

@@ -1,0 +1,146 @@
+"""Unit tests for the set-associative LRU cache simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import CacheHierarchy, CacheLevel, MachineParams, SetAssociativeCache
+
+
+def _machine(levels):
+    return MachineParams(
+        name="test",
+        flops_per_cycle=8,
+        clock_hz=1e9,
+        tau_b=1e-9,
+        tau_l=1e-8,
+        caches=tuple(levels),
+    )
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(CacheLevel("L1", 1024, 64, 2))
+        hit, _ = cache.access_line(0, write=False)
+        assert not hit
+        hit, _ = cache.access_line(0, write=False)
+        assert hit
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        # 2-way: lines mapping to one set evict least-recently-used first
+        cache = SetAssociativeCache(CacheLevel("L1", 256, 64, 2))  # 2 sets
+        s = cache.n_sets
+        a, b, c = 0, s, 2 * s  # same set, different tags
+        cache.access_line(a, False)
+        cache.access_line(b, False)
+        cache.access_line(a, False)  # refresh a
+        _, evicted = cache.access_line(c, False)  # must evict b (LRU)
+        assert not cache.contains_line(b)
+        assert cache.contains_line(a)
+        assert cache.contains_line(c)
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = SetAssociativeCache(CacheLevel("L1", 128, 64, 1))  # 2 sets, direct
+        s = cache.n_sets
+        cache.access_line(0, write=True)
+        _, evicted = cache.access_line(s, write=False)  # same set
+        assert evicted == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = SetAssociativeCache(CacheLevel("L1", 128, 64, 1))
+        s = cache.n_sets
+        cache.access_line(0, write=False)
+        _, evicted = cache.access_line(s, write=False)
+        assert evicted is None
+
+    def test_flush(self):
+        cache = SetAssociativeCache(CacheLevel("L1", 1024, 64, 2))
+        cache.access_line(3, False)
+        cache.flush()
+        assert not cache.contains_line(3)
+
+
+class TestCacheHierarchy:
+    def test_requires_levels(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(_machine([]))
+
+    def test_line_sizes_must_match(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(
+                _machine(
+                    [CacheLevel("L1", 1024, 64), CacheLevel("L2", 4096, 128)]
+                )
+            )
+
+    def test_miss_cascades_to_dram(self):
+        h = CacheHierarchy(
+            _machine([CacheLevel("L1", 256, 64, 2), CacheLevel("L2", 1024, 64, 2)])
+        )
+        h.access(0, 64)
+        assert h.levels[0].stats.misses == 1
+        assert h.levels[1].stats.misses == 1
+        assert h.dram.reads == 1
+        # second touch hits L1, no further DRAM traffic
+        h.access(0, 8)
+        assert h.dram.reads == 1
+
+    def test_l1_victim_hits_l2(self):
+        """A line evicted from L1 but still in L2 must not re-read DRAM."""
+        h = CacheHierarchy(
+            _machine([CacheLevel("L1", 128, 64, 1), CacheLevel("L2", 4096, 64, 4)])
+        )
+        s1 = h.levels[0].n_sets
+        h.access(0, 8)
+        h.access(s1 * 64, 8)  # evicts line 0 from L1
+        dram_before = h.dram.reads
+        h.access(0, 8)  # back: L1 miss, L2 hit
+        assert h.dram.reads == dram_before
+
+    def test_multi_line_access(self):
+        h = CacheHierarchy(_machine([CacheLevel("L1", 1024, 64, 2)]))
+        h.access(0, 200)  # spans 4 lines
+        assert h.levels[0].stats.misses == 4
+
+    def test_zero_byte_access_ignored(self):
+        h = CacheHierarchy(_machine([CacheLevel("L1", 1024, 64, 2)]))
+        h.access(0, 0)
+        assert h.levels[0].stats.accesses == 0
+
+    def test_dirty_writeback_reaches_dram(self):
+        h = CacheHierarchy(_machine([CacheLevel("L1", 128, 64, 1)]))
+        s = h.levels[0].n_sets
+        h.access(0, 8, write=True)
+        h.access(s * 64, 8)  # evict dirty line 0
+        assert h.dram.writes == 1
+
+    def test_dram_bytes(self):
+        h = CacheHierarchy(_machine([CacheLevel("L1", 1024, 64, 2)]))
+        h.access(0, 64)
+        assert h.dram_bytes == 64
+        assert h.dram_read_bytes == 64
+
+    def test_working_set_within_capacity_has_no_repeat_misses(self):
+        h = CacheHierarchy(_machine([CacheLevel("L1", 4096, 64, 4)]))
+        for _ in range(3):
+            h.access(0, 2048)  # half the cache
+        assert h.levels[0].stats.misses == 2048 // 64
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        h = CacheHierarchy(_machine([CacheLevel("L1", 1024, 64, 2)]))
+        for _ in range(3):
+            h.access(0, 4096)  # 4x the cache, cyclic: LRU worst case
+        lines = 4096 // 64
+        assert h.levels[0].stats.misses == 3 * lines
+
+    def test_flush_resets_everything(self):
+        h = CacheHierarchy(_machine([CacheLevel("L1", 1024, 64, 2)]))
+        h.access(0, 512, write=True)
+        h.flush()
+        assert h.dram.line_transfers == 0
+        h.access(0, 8)
+        assert h.levels[0].stats.misses == 1

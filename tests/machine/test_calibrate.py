@@ -1,0 +1,50 @@
+"""Unit tests for host calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machine import IVY_BRIDGE, calibrate_host
+from repro.machine.calibrate import measure_tau_b, measure_tau_f, measure_tau_l
+from repro.model import PerformanceModel
+
+
+class TestProbes:
+    def test_tau_f_positive_and_plausible(self):
+        tau_f = measure_tau_f(size=256, repeats=2)
+        assert 1e8 < tau_f < 1e13  # 0.1 GFLOPS .. 10 TFLOPS
+
+    def test_tau_b_plausible(self):
+        tau_b = measure_tau_b(n_doubles=2_000_000, repeats=2)
+        assert 1e-11 < tau_b < 1e-7
+
+    def test_tau_l_slower_than_tau_b(self):
+        """Random access must cost more per element than streaming."""
+        tau_b = measure_tau_b(n_doubles=2_000_000, repeats=2)
+        tau_l = measure_tau_l(
+            table_doubles=2_000_000, n_gathers=200_000, repeats=2
+        )
+        assert tau_l > tau_b
+
+    def test_probe_validation(self):
+        with pytest.raises(ValidationError):
+            measure_tau_f(size=8)
+        with pytest.raises(ValidationError):
+            measure_tau_b(n_doubles=10)
+        with pytest.raises(ValidationError):
+            measure_tau_l(n_gathers=10)
+
+
+class TestCalibrateHost:
+    def test_returns_usable_machine(self):
+        host = calibrate_host(quick=True)
+        assert host.peak_gflops > 0.1
+        assert host.caches == IVY_BRIDGE.caches
+        assert "host-calibrated" in host.name
+
+    def test_model_accepts_calibrated_machine(self):
+        host = calibrate_host(quick=True)
+        model = PerformanceModel(host)
+        pred = model.predict("var1", 1024, 1024, 64, 16)
+        assert 0 < pred.gflops <= host.peak_gflops

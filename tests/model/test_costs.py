@@ -1,0 +1,104 @@
+"""Unit tests for the Table 4 cost terms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import IVY_BRIDGE_BLOCKING
+from repro.errors import ValidationError
+from repro.machine.params import IVY_BRIDGE
+from repro.model.costs import compute_terms, effective_tau_l, memory_terms
+
+
+class TestComputeTerms:
+    def test_tf_formula(self):
+        """T_f = (2d + 3) m n / tau_f, Equation 3's first term."""
+        m, n, d, k = 100, 200, 32, 4
+        t_f, _ = compute_terms(m, n, d, k, IVY_BRIDGE)
+        assert t_f == pytest.approx((2 * 32 + 3) * m * n / IVY_BRIDGE.tau_f)
+
+    def test_to_formula(self):
+        m, n, d, k = 100, 200, 32, 16
+        _, t_o = compute_terms(m, n, d, k, IVY_BRIDGE)
+        want = 24 * 0.5 * (m * n + m * k * math.log2(k)) / IVY_BRIDGE.tau_f
+        assert t_o == pytest.approx(want)
+
+    def test_k_one_log_floor(self):
+        """k = 1 must not zero the heap term via log(1) = 0."""
+        _, t_o = compute_terms(10, 10, 4, 1, IVY_BRIDGE)
+        assert t_o > 24 * 0.5 * 100 / IVY_BRIDGE.tau_f
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            compute_terms(0, 1, 1, 1, IVY_BRIDGE)
+        with pytest.raises(ValidationError):
+            compute_terms(4, 4, 4, 5, IVY_BRIDGE)
+
+
+class TestEffectiveTauL:
+    def test_binary_pays_full_latency(self):
+        assert effective_tau_l(IVY_BRIDGE, 2) == IVY_BRIDGE.tau_l
+
+    def test_four_heap_pays_bandwidth(self):
+        assert effective_tau_l(IVY_BRIDGE, 4) == IVY_BRIDGE.tau_b
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValidationError):
+            effective_tau_l(IVY_BRIDGE, 1)
+
+
+class TestMemoryTerms:
+    def _terms(self, kernel, **kw):
+        params = dict(m=8192, n=8192, d=64, k=16)
+        params.update(kw)
+        return memory_terms(
+            params["m"], params["n"], params["d"], params["k"],
+            IVY_BRIDGE, IVY_BRIDGE_BLOCKING, kernel,
+        )
+
+    def test_var6_adds_exactly_tau_b_mn(self):
+        """Equation 4: T_m^var6 = T_m^var1 + tau_b m n (heap arities equal)."""
+        m = n = 8192
+        var1 = memory_terms(m, n, 64, 16, IVY_BRIDGE, IVY_BRIDGE_BLOCKING, "var1", 2)
+        var6 = memory_terms(m, n, 64, 16, IVY_BRIDGE, IVY_BRIDGE_BLOCKING, "var6", 2)
+        assert var6.t_m - var1.t_m == pytest.approx(IVY_BRIDGE.tau_b * m * n)
+
+    def test_gemm_adds_gather_and_c_traffic(self):
+        """Equation 5: + tau_b (dm + dn + 2mn)."""
+        m, n, d = 4096, 4096, 32
+        var1 = memory_terms(m, n, d, 16, IVY_BRIDGE, IVY_BRIDGE_BLOCKING, "var1", 2)
+        gemm = memory_terms(m, n, d, 16, IVY_BRIDGE, IVY_BRIDGE_BLOCKING, "gemm", 2)
+        want = IVY_BRIDGE.tau_b * (d * m + d * n + 2 * m * n)
+        assert gemm.t_m - var1.t_m == pytest.approx(want)
+
+    def test_cc_term_steps_with_depth_blocks(self):
+        """The C_c cost appears only once d exceeds d_c, and grows stepwise."""
+        below = self._terms("var1", d=256)   # one depth block
+        above = self._terms("var1", d=257)   # two depth blocks
+        assert below.t_cc == 0.0
+        assert above.t_cc > 0.0
+
+    def test_var5_heap_reload_term(self):
+        v5 = self._terms("var5", n=IVY_BRIDGE_BLOCKING.n_c * 3)
+        v6 = self._terms("var6", n=IVY_BRIDGE_BLOCKING.n_c * 3)
+        # same C traffic, but Var#5 pays heap reloads on top
+        assert v5.t_extra > v6.t_extra
+
+    def test_var5_equals_var6_for_single_slab(self):
+        v5 = self._terms("var5", n=1024)
+        v6_binary = memory_terms(
+            8192, 1024, 64, 16, IVY_BRIDGE, IVY_BRIDGE_BLOCKING, "var6", 2
+        )
+        assert v5.t_extra == pytest.approx(v6_binary.t_extra)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValidationError):
+            self._terms("var9")
+
+    def test_totals_add_up(self):
+        terms = self._terms("var1")
+        assert terms.total == pytest.approx(terms.t_f + terms.t_o + terms.t_m)
+        d = terms.as_dict()
+        assert d["total"] == pytest.approx(terms.total)

@@ -1,0 +1,96 @@
+"""Tests for IPC prediction and the Var#2/Var#3 cost estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machine.params import IVY_BRIDGE
+from repro.model import PerformanceModel
+from repro.model.ipc import instruction_counts, predict_ipc
+
+
+class TestInstructionCounts:
+    def test_classes_positive(self):
+        counts = instruction_counts(2048, 2048, 64, 16)
+        assert counts.flop_instructions > 0
+        assert counts.selection_instructions > 0
+        assert counts.memory_instructions > 0
+        assert counts.total == pytest.approx(
+            counts.flop_instructions
+            + counts.selection_instructions
+            + counts.memory_instructions
+        )
+
+    def test_selection_share_grows_with_k(self):
+        small = instruction_counts(2048, 2048, 16, 4)
+        large = instruction_counts(2048, 2048, 16, 1024)
+        share = lambda c: c.selection_instructions / c.total
+        assert share(large) > share(small)
+
+    def test_simd_width_reduces_flop_instructions(self):
+        wide = instruction_counts(512, 512, 64, 8, simd_width=8)
+        narrow = instruction_counts(512, 512, 64, 8, simd_width=1)
+        assert wide.flop_instructions < narrow.flop_instructions
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            instruction_counts(64, 64, 8, 4, simd_width=0)
+
+
+class TestPredictIpc:
+    def test_reasonable_range(self):
+        ipc = predict_ipc(8192, 8192, 64, 16)
+        assert 0.01 < ipc < 16.0
+
+    def test_ipc_flatter_than_gflops_in_k(self):
+        """The paper's point: GFLOPS collapses with k while IPC shows the
+        machine still doing work. IPC must fall by a smaller factor."""
+        model = PerformanceModel()
+        g16 = model.predict("var1", 8192, 8192, 16, 16).gflops
+        g2k = model.predict("var1", 8192, 8192, 16, 2048).gflops
+        ipc16 = predict_ipc(8192, 8192, 16, 16)
+        ipc2k = predict_ipc(8192, 8192, 16, 2048)
+        assert (g16 / g2k) > (ipc16 / ipc2k) * 2
+
+
+class TestVar23Estimates:
+    @pytest.fixture
+    def model(self):
+        return PerformanceModel()
+
+    def test_var2_no_better_than_var1_small_k(self, model):
+        """§2.3 reason (1): for small k they store more than Var#1."""
+        for d in (16, 64, 512):
+            assert model.predict_seconds(
+                "var2", 8192, 8192, d, 16
+            ) >= model.predict_seconds("var1", 8192, 8192, d, 16)
+
+    def test_var2_slower_than_var6_large_k(self, model):
+        """§2.3 reason (2): for large k the hot heaps evict the panels."""
+        for d in (16, 64):
+            assert model.predict_seconds(
+                "var2", 8192, 8192, d, 2048
+            ) > model.predict_seconds("var6", 8192, 8192, d, 2048)
+
+    def test_var3_no_better_than_var2(self, model):
+        """Var#3's heaps fight the smaller L1: at least as bad."""
+        for k in (16, 256, 2048):
+            assert model.predict_seconds(
+                "var3", 8192, 8192, 64, k
+            ) >= model.predict_seconds("var2", 8192, 8192, 64, k)
+
+    def test_never_the_unique_best(self, model):
+        """The paper's conclusion: across the whole grid, Var#2/#3 never
+        strictly beat both Var#1 and Var#6."""
+        for d in (16, 64, 256, 1024):
+            for k in (4, 64, 512, 4096):
+                best_kept = min(
+                    model.predict_seconds("var1", 8192, 8192, d, k),
+                    model.predict_seconds("var6", 8192, 8192, d, k),
+                )
+                for variant in ("var2", "var3"):
+                    assert (
+                        model.predict_seconds(variant, 8192, 8192, d, k)
+                        >= best_kept * 0.999
+                    )

@@ -1,0 +1,140 @@
+"""Unit tests for the assembled performance model — including the paper's
+qualitative predictions it must reproduce."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import Variant
+from repro.errors import ValidationError
+from repro.machine.params import IVY_BRIDGE
+from repro.model import PerformanceModel
+
+
+@pytest.fixture
+def model():
+    return PerformanceModel()
+
+
+@pytest.fixture
+def model_10core():
+    return PerformanceModel(IVY_BRIDGE.scaled(10, clock_hz=3.10e9))
+
+
+class TestPredict:
+    def test_unknown_kernel(self, model):
+        with pytest.raises(ValidationError):
+            model.predict("var9", 10, 10, 4, 2)
+
+    def test_gflops_below_peak(self, model):
+        pred = model.predict("var1", 8192, 8192, 512, 16)
+        assert 0 < pred.gflops <= IVY_BRIDGE.peak_gflops
+
+    def test_high_d_approaches_peak(self, model):
+        """For large d, small k, the kernel is compute bound: the model
+        must predict >80% of peak (the paper's §4 claim)."""
+        pred = model.predict("var1", 8192, 8192, 1024, 16)
+        assert pred.gflops > 0.8 * IVY_BRIDGE.peak_gflops
+
+    def test_low_d_memory_bound(self, model):
+        """At low d the GEMM approach is memory bound: well below peak."""
+        pred = model.predict("gemm", 8192, 8192, 16, 16)
+        assert pred.gflops < 0.5 * IVY_BRIDGE.peak_gflops
+
+    def test_gemm_always_slowest_of_l2_kernels(self, model):
+        for d in (8, 64, 512):
+            for k in (4, 64, 1024):
+                gemm = model.predict_seconds("gemm", 4096, 4096, d, k)
+                var1 = model.predict_seconds("var1", 4096, 4096, d, k)
+                var6 = model.predict_seconds("var6", 4096, 4096, d, k)
+                assert gemm >= min(var1, var6)
+
+    def test_speedup_largest_at_low_d_small_k(self, model):
+        """§4: 'up to 5x more efficient ... for d in [10, 100]' with small
+        k — the ratio must peak in the low-d regime."""
+        low = model.speedup_over_gemm("var1", 8192, 8192, 32, 16)
+        high = model.speedup_over_gemm("var1", 8192, 8192, 1024, 16)
+        assert low > high
+        assert low > 1.5
+
+    def test_efficiency_rises_with_d_within_a_depth_block(self, model):
+        g = [
+            model.predict("var1", 8192, 8192, d, 16).gflops
+            for d in (8, 32, 128, 256)
+        ]
+        assert g == sorted(g)
+
+    def test_efficiency_dips_at_depth_block_boundary(self, model):
+        """Crossing d_c turns on the C_c re-read term — the paper's
+        'performance will drop periodically every d_c stride'."""
+        at_boundary = model.predict("var1", 8192, 8192, 256, 16).gflops
+        just_past = model.predict("var1", 8192, 8192, 257, 16).gflops
+        assert just_past < at_boundary
+
+    def test_efficiency_falls_with_k(self, model):
+        g = [
+            model.predict("var1", 8192, 8192, 64, k).gflops
+            for k in (4, 64, 512, 2048)
+        ]
+        assert g == sorted(g, reverse=True)
+
+    def test_ten_core_faster_than_one(self, model, model_10core):
+        one = model.predict_seconds("var1", 8192, 8192, 64, 16)
+        ten = model_10core.predict_seconds("var1", 8192, 8192, 64, 16)
+        assert ten < one
+
+    def test_figure4_scale_sanity(self, model_10core):
+        """Figure 4 (10 cores, k=16): Var#1 modeled efficiency approaches
+        the 248 GFLOPS peak by d ~ 1000."""
+        pred = model_10core.predict("var1", 8192, 8192, 1000, 16)
+        assert pred.gflops > 200
+        assert pred.gflops <= 248.1
+
+
+class TestVariantChoice:
+    def test_small_k_var1(self, model):
+        assert model.select_variant(8192, 8192, 64, 4) is Variant.VAR1
+
+    def test_huge_k_var6(self, model):
+        assert model.select_variant(8192, 8192, 64, 4096) is Variant.VAR6
+
+    def test_estimate_runtime_is_min_of_variants(self, model):
+        m, n, d, k = 1024, 1024, 32, 8
+        est = model.estimate_kernel_runtime(m, n, d, k)
+        assert est == min(
+            model.predict_seconds("var1", m, n, d, k),
+            model.predict_seconds("var6", m, n, d, k),
+        )
+
+
+class TestEdgePenalty:
+    def test_disabled_by_default(self):
+        a = PerformanceModel().predict("var1", 1024, 1024, 300, 16)
+        b = PerformanceModel(edge_penalty=0.0).predict("var1", 1024, 1024, 300, 16)
+        assert a.seconds == b.seconds
+
+    def test_sawtooth_shape(self):
+        """Efficiency dips just past a d_c multiple and recovers at the
+        next one — the Figure 6 'blue spikes' for Var#1."""
+        model = PerformanceModel(edge_penalty=1.0)
+        at_multiple = model.predict("var1", 8192, 8192, 512, 16).gflops
+        just_past = model.predict("var1", 8192, 8192, 513, 16).gflops
+        next_multiple = model.predict("var1", 8192, 8192, 768, 16).gflops
+        assert just_past < at_multiple
+        assert next_multiple > just_past
+
+    def test_penalty_shrinks_as_remainder_fills(self):
+        """'the smaller the remaining portion, the less degradation' —
+        relative slowdown at remainder 8 must beat remainder 128."""
+        base = PerformanceModel()
+        pen = PerformanceModel(edge_penalty=1.0)
+
+        def slowdown(d):
+            return pen.predict_seconds("var1", 4096, 4096, d, 16) / \
+                base.predict_seconds("var1", 4096, 4096, d, 16)
+
+        assert slowdown(256 + 8) < slowdown(256 + 128)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValidationError):
+            PerformanceModel(edge_penalty=-0.1)

@@ -1,0 +1,61 @@
+"""Unit tests for the variant-threshold prediction (Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machine.params import IVY_BRIDGE
+from repro.model import PerformanceModel, predict_variant_threshold, threshold_table
+
+
+class TestPredictThreshold:
+    def test_threshold_exists_for_moderate_d(self):
+        thr = predict_variant_threshold(8192, 8192, 64, k_max=4096)
+        assert thr is not None
+        assert 16 < thr < 4096
+
+    def test_threshold_is_exact_crossover(self):
+        """At the threshold Var#6 wins; one below, Var#1 wins."""
+        model = PerformanceModel()
+        m = n = 8192
+        thr = predict_variant_threshold(m, n, 64, k_max=4096)
+        assert model.predict_seconds("var6", m, n, 64, thr) <= model.predict_seconds(
+            "var1", m, n, 64, thr
+        )
+        assert model.predict_seconds("var6", m, n, 64, thr - 1) > model.predict_seconds(
+            "var1", m, n, 64, thr - 1
+        )
+
+    def test_none_when_var1_always_wins(self):
+        # tiny k_max: crossover not reached
+        thr = predict_variant_threshold(8192, 8192, 64, k_max=8)
+        assert thr is None
+
+    def test_invalid_k_max(self):
+        with pytest.raises(ValidationError):
+            predict_variant_threshold(10, 10, 4, k_max=0)
+        with pytest.raises(ValidationError):
+            predict_variant_threshold(10, 10, 4, k_max=11)
+
+    def test_ten_core_threshold_matches_figure5_range(self):
+        """Figure 5 (p=10, m=n=8192): the predicted switch falls in the
+        hundreds-of-neighbors range for d in {16, 64}."""
+        ten = IVY_BRIDGE.scaled(10, clock_hz=3.10e9)
+        for d in (16, 64):
+            thr = predict_variant_threshold(
+                8192, 8192, d, machine=ten, k_max=4096
+            )
+            assert thr is not None
+            assert 32 <= thr <= 2048
+
+
+class TestThresholdTable:
+    def test_covers_requested_dims(self):
+        table = threshold_table(4096, 4096, [16, 64, 256], k_max=2048)
+        assert [p.d for p in table] == [16, 64, 256]
+
+    def test_points_consistent_with_direct_call(self):
+        table = threshold_table(4096, 4096, [64], k_max=2048)
+        direct = predict_variant_threshold(4096, 4096, 64, k_max=2048)
+        assert table[0].k_threshold == direct

@@ -1,0 +1,91 @@
+"""Unit tests for data-parallel GSKNN — parallel must equal serial."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gsknn import gsknn
+from repro.errors import ValidationError
+from repro.parallel import gsknn_data_parallel, gsknn_reference_parallel
+from repro.parallel.data_parallel import _query_chunks
+
+
+class TestQueryChunks:
+    def test_covers_all_queries(self):
+        chunks = _query_chunks(10, 3)
+        covered = []
+        for start, size in chunks:
+            covered.extend(range(start, start + size))
+        assert covered == list(range(10))
+
+    def test_near_equal_sizes(self):
+        sizes = [s for _, s in _query_chunks(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_queries(self):
+        chunks = _query_chunks(2, 5)
+        assert len(chunks) == 2
+
+
+class TestDataParallel:
+    @pytest.mark.parametrize("p", [1, 2, 3, 7])
+    def test_matches_serial(self, small_cloud, rng, p):
+        q = rng.integers(0, 300, 50)
+        r = rng.permutation(300)[:150]
+        serial = gsknn(small_cloud, q, r, 8)
+        parallel = gsknn_data_parallel(small_cloud, q, r, 8, p=p)
+        np.testing.assert_allclose(serial.distances, parallel.distances)
+        np.testing.assert_array_equal(serial.indices, parallel.indices)
+
+    def test_invalid_p(self, small_cloud):
+        with pytest.raises(ValidationError):
+            gsknn_data_parallel(small_cloud, np.arange(3), np.arange(10), 2, p=0)
+
+    def test_tiny_query_set_falls_back(self, small_cloud):
+        res = gsknn_data_parallel(
+            small_cloud, np.arange(2), np.arange(20), 3, p=8
+        )
+        assert res.m == 2
+
+    def test_norms_supported(self, small_cloud, rng):
+        q = rng.integers(0, 300, 20)
+        r = rng.permutation(300)[:60]
+        serial = gsknn(small_cloud, q, r, 4, norm="l1")
+        parallel = gsknn_data_parallel(small_cloud, q, r, 4, p=3, norm="l1")
+        np.testing.assert_allclose(serial.distances, parallel.distances)
+
+
+class TestReferenceParallel:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_serial_distances(self, small_cloud, rng, p):
+        q = rng.integers(0, 300, 30)
+        r = rng.permutation(300)[:200]
+        serial = gsknn(small_cloud, q, r, 6)
+        parallel = gsknn_reference_parallel(small_cloud, q, r, 6, p=p)
+        np.testing.assert_allclose(
+            serial.distances, parallel.distances, atol=1e-12
+        )
+
+    def test_small_reference_set_falls_back(self, small_cloud):
+        res = gsknn_reference_parallel(
+            small_cloud, np.arange(5), np.arange(8), 4, p=4
+        )
+        assert res.k == 4
+
+    def test_chunk_smaller_than_k(self, small_cloud, rng):
+        """Workers whose chunk has fewer than k references must pad, and
+        the merge must still produce the exact global answer."""
+        q = rng.integers(0, 300, 10)
+        r = rng.permutation(300)[:21]
+        serial = gsknn(small_cloud, q, r, 5)
+        parallel = gsknn_reference_parallel(small_cloud, q, r, 5, p=4)
+        np.testing.assert_allclose(
+            serial.distances, parallel.distances, atol=1e-12
+        )
+
+    def test_k_exceeds_n_rejected(self, small_cloud):
+        with pytest.raises(ValidationError):
+            gsknn_reference_parallel(
+                small_cloud, np.arange(3), np.arange(4), 5, p=2
+            )

@@ -1,0 +1,94 @@
+"""Unit tests for timers, counters, and efficiency helpers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.perf import (
+    KernelCounters,
+    PhaseBreakdown,
+    PhaseTimer,
+    efficiency,
+    gflops,
+    knn_flops,
+)
+
+
+class TestPhaseTimer:
+    def test_accumulates_named_phases(self):
+        timer = PhaseTimer()
+        with timer.phase("gemm"):
+            time.sleep(0.01)
+        with timer.phase("gemm"):
+            time.sleep(0.01)
+        breakdown = timer.breakdown()
+        assert breakdown.gemm >= 0.02
+        assert breakdown.coll == 0.0
+
+    def test_unknown_phase_lands_in_other(self):
+        timer = PhaseTimer()
+        with timer.phase("mystery"):
+            pass
+        assert timer.breakdown().other >= 0.0
+        assert "mystery" in timer.seconds
+
+    def test_exception_still_records(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("heap"):
+                raise RuntimeError("boom")
+        assert timer.breakdown().heap > 0.0
+
+    def test_reset(self):
+        timer = PhaseTimer()
+        with timer.phase("coll"):
+            pass
+        timer.reset()
+        assert timer.breakdown().total == 0.0
+
+
+class TestPhaseBreakdown:
+    def test_total_and_millis(self):
+        b = PhaseBreakdown(coll=0.001, gemm=0.002, sq2d=0.003, heap=0.004)
+        assert b.total == pytest.approx(0.01)
+        millis = b.as_millis()
+        assert millis["total"] == pytest.approx(10.0)
+        assert millis["gemm"] == pytest.approx(2.0)
+
+    def test_addition(self):
+        a = PhaseBreakdown(coll=1.0)
+        b = PhaseBreakdown(heap=2.0)
+        c = a + b
+        assert c.coll == 1.0 and c.heap == 2.0
+
+
+class TestKernelCounters:
+    def test_merge(self):
+        a = KernelCounters(flops=10, slow_reads=5)
+        b = KernelCounters(flops=1, slow_writes=2, discarded=3)
+        a.merge(b)
+        assert a.flops == 11
+        assert a.slow_doubles == 7
+        assert a.discarded == 3
+
+
+class TestGflops:
+    def test_knn_flops_formula(self):
+        assert knn_flops(10, 20, 30) == (2 * 30 + 3) * 10 * 20
+
+    def test_gflops(self):
+        assert gflops(1000, 1000, 100, 1.0) == pytest.approx(0.203)
+
+    def test_efficiency(self):
+        assert efficiency(1000, 1000, 100, 1.0, peak_gflops=0.406) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            knn_flops(0, 1, 1)
+        with pytest.raises(ValidationError):
+            gflops(1, 1, 1, 0.0)
+        with pytest.raises(ValidationError):
+            efficiency(1, 1, 1, 1.0, 0.0)

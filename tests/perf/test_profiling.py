@@ -1,0 +1,53 @@
+"""Tests for the profiling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.perf.profiling import Hotspot, profile_call
+
+
+def test_returns_result_and_hotspots():
+    result, hotspots = profile_call(lambda: sum(range(100)))
+    assert result == 4950
+    assert len(hotspots) >= 1
+    assert all(isinstance(h, Hotspot) for h in hotspots)
+
+
+def test_top_limits_output():
+    _, hotspots = profile_call(lambda: [str(i) for i in range(50)], top=3)
+    assert len(hotspots) <= 3
+
+
+def test_sorted_by_tottime():
+    _, hotspots = profile_call(lambda: np.sort(np.random.default_rng(0).random(10000)))
+    times = [h.total_seconds for h in hotspots]
+    assert times == sorted(times, reverse=True)
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        profile_call(lambda: None, top=0)
+    with pytest.raises(ValidationError):
+        profile_call(lambda: None, sort="wallclock")
+
+
+def test_exception_propagates():
+    with pytest.raises(RuntimeError):
+        profile_call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+
+def test_kernel_hotspot_is_plausible():
+    """Profiling the reference kernel at high d must show dot/matmul-
+    class work near the top — the T_gemm dominance of Table 5."""
+    from repro.core.ref_kernel import ref_knn
+
+    rng = np.random.default_rng(0)
+    X = rng.random((512, 256))
+    _, hotspots = profile_call(
+        lambda: ref_knn(X, np.arange(256), np.arange(512), 8), top=10
+    )
+    names = " ".join(h.name for h in hotspots)
+    assert "matmul" in names or "dot" in names or "ref_knn" in names

@@ -1,0 +1,67 @@
+"""Unit tests for the roofline analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machine.params import IVY_BRIDGE
+from repro.perf.roofline import (
+    arithmetic_intensity,
+    classify,
+    ridge_intensity,
+    roofline_bound,
+)
+
+
+class TestArithmeticIntensity:
+    def test_grows_with_d(self):
+        low = arithmetic_intensity(8192, 8192, 16, 16)
+        high = arithmetic_intensity(8192, 8192, 256, 16)
+        assert high > low
+
+    def test_gsknn_higher_than_gemm(self):
+        """The fusion claim in roofline terms: same flops, fewer bytes."""
+        for d in (16, 64, 256):
+            ours = arithmetic_intensity(8192, 8192, d, 16, "var1")
+            theirs = arithmetic_intensity(8192, 8192, d, 16, "gemm")
+            assert ours > theirs
+
+
+class TestRoofline:
+    def test_bound_capped_at_peak(self):
+        assert roofline_bound(1e9) == pytest.approx(IVY_BRIDGE.peak_gflops)
+
+    def test_bound_linear_below_ridge(self):
+        ridge = ridge_intensity()
+        low = roofline_bound(ridge / 4)
+        assert low == pytest.approx(IVY_BRIDGE.peak_gflops / 4)
+
+    def test_invalid_intensity(self):
+        with pytest.raises(ValidationError):
+            roofline_bound(0.0)
+
+    def test_ridge_positive(self):
+        assert ridge_intensity() > 0
+
+
+class TestClassification:
+    def test_gemm_memory_bound_at_low_d(self):
+        """§2.1: 'when d is small ... using GEMM for the kNN can be
+        suboptimal' — because it is under the bandwidth roof."""
+        assert classify(8192, 8192, 16, 16, "gemm") == "memory-bound"
+
+    def test_kernels_compute_bound_at_high_d(self):
+        assert classify(8192, 8192, 1024, 16, "var1") == "compute-bound"
+        assert classify(8192, 8192, 1024, 16, "gemm") == "compute-bound"
+
+    def test_gsknn_escapes_memory_bound_earlier(self):
+        """There is a d band where GSKNN is compute-bound while the GEMM
+        approach is still memory-bound — the regime of its biggest wins."""
+        crossover_band = [
+            d
+            for d in (8, 16, 32, 64, 128, 256)
+            if classify(8192, 8192, d, 16, "var1") == "compute-bound"
+            and classify(8192, 8192, d, 16, "gemm") == "memory-bound"
+        ]
+        assert crossover_band, "expected a d band where only GSKNN is compute-bound"

@@ -1,0 +1,128 @@
+"""Unit and property tests for the bitonic networks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.select.bitonic import (
+    bitonic_merge_rows,
+    bitonic_merge_select_rows,
+    bitonic_sort_rows,
+)
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 7, 8, 16, 33])
+    def test_sorts_each_row(self, rng, width):
+        values = rng.random((5, width))
+        out_vals, out_ids = bitonic_sort_rows(values)
+        np.testing.assert_allclose(out_vals, np.sort(values, axis=1))
+        # ids track their values
+        rows = np.arange(5)[:, None]
+        np.testing.assert_allclose(values[rows, out_ids], out_vals)
+
+    def test_custom_ids(self, rng):
+        values = rng.random((2, 4))
+        ids = np.array([[10, 11, 12, 13], [20, 21, 22, 23]])
+        _, out_ids = bitonic_sort_rows(values, ids)
+        order = np.argsort(values, axis=1)
+        np.testing.assert_array_equal(out_ids, np.take_along_axis(ids, order, 1))
+
+    def test_duplicates(self):
+        values = np.array([[2.0, 1.0, 2.0, 1.0]])
+        out_vals, _ = bitonic_sort_rows(values)
+        np.testing.assert_allclose(out_vals, [[1.0, 1.0, 2.0, 2.0]])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            bitonic_sort_rows(np.ones(4))
+        with pytest.raises(ValidationError):
+            bitonic_sort_rows(np.ones((2, 3)), np.ones((2, 4), dtype=int))
+
+
+class TestBitonicMerge:
+    def test_merges_sorted_lists(self, rng):
+        a = np.sort(rng.random((3, 4)), axis=1)
+        b = np.sort(rng.random((3, 4)), axis=1)
+        a_ids = np.arange(4)[None, :].repeat(3, 0)
+        b_ids = np.arange(4, 8)[None, :].repeat(3, 0)
+        vals, ids = bitonic_merge_rows(a, a_ids, b, b_ids, 4)
+        want = np.sort(np.concatenate([a, b], axis=1), axis=1)[:, :4]
+        np.testing.assert_allclose(vals, want)
+
+    def test_k_spans_both_lists(self, rng):
+        a = np.sort(rng.random((2, 3)), axis=1)
+        b = np.sort(rng.random((2, 3)), axis=1) + 10
+        vals, _ = bitonic_merge_rows(
+            a, np.zeros((2, 3), int), b, np.ones((2, 3), int), 5
+        )
+        want = np.sort(np.concatenate([a, b], 1), 1)[:, :5]
+        np.testing.assert_allclose(vals, want)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            bitonic_merge_rows(
+                np.ones((2, 3)), np.ones((2, 3), int),
+                np.ones((2, 4)), np.ones((2, 4), int), 2,
+            )
+        with pytest.raises(ValidationError):
+            bitonic_merge_rows(
+                np.ones((2, 3)), np.ones((2, 3), int),
+                np.ones((2, 3)), np.ones((2, 3), int), 0,
+            )
+
+
+class TestBitonicMergeSelect:
+    @pytest.mark.parametrize("n,k", [(8, 4), (10, 3), (64, 16), (7, 7), (5, 1)])
+    def test_matches_partition(self, rng, n, k):
+        values = rng.random((6, n))
+        vals, ids = bitonic_merge_select_rows(values, k)
+        want = np.sort(values, axis=1)[:, :k]
+        np.testing.assert_allclose(vals, want)
+        rows = np.arange(6)[:, None]
+        np.testing.assert_allclose(values[rows, ids], vals)
+
+    def test_agrees_with_scalar_merge_select(self, rng):
+        from repro.select import merge_select
+
+        values = rng.random(40)
+        batched_vals, _ = bitonic_merge_select_rows(values[None, :], 6)
+        scalar_vals, _ = merge_select(values, 6)
+        np.testing.assert_allclose(batched_vals[0], scalar_vals)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            bitonic_merge_select_rows(rng.random((2, 4)), 5)
+        with pytest.raises(ValidationError):
+            bitonic_merge_select_rows(rng.random(4), 2)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_bitonic_sort_property(m, width, seed):
+    values = np.random.default_rng(seed).random((m, width))
+    out_vals, _ = bitonic_sort_rows(values)
+    np.testing.assert_allclose(out_vals, np.sort(values, axis=1))
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_bitonic_merge_select_property(m, n, k, seed):
+    if k > n:
+        k = n
+    values = np.random.default_rng(seed).random((m, n))
+    vals, _ = bitonic_merge_select_rows(values, k)
+    np.testing.assert_allclose(vals, np.sort(values, axis=1)[:, :k])

@@ -1,0 +1,167 @@
+"""Unit tests for the binary and d-ary max heaps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.select import BinaryMaxHeap, DHeap, SelectionStats, heap_select_smallest
+
+
+class TestBinaryMaxHeap:
+    def test_starts_full_of_inf(self):
+        heap = BinaryMaxHeap(4)
+        assert heap.root == np.inf
+        assert (heap.ids == -1).all()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            BinaryMaxHeap(0)
+
+    def test_update_accepts_below_root(self):
+        heap = BinaryMaxHeap(3)
+        assert heap.update(1.0, 10)
+        assert heap.update(2.0, 20)
+        assert heap.update(3.0, 30)
+        assert heap.root == 3.0
+
+    def test_update_rejects_at_or_above_root(self):
+        heap = BinaryMaxHeap(2)
+        heap.update(1.0, 1)
+        heap.update(2.0, 2)
+        assert not heap.update(2.0, 3)  # equal to root: reject
+        assert not heap.update(5.0, 4)
+        assert heap.root == 2.0
+
+    def test_replaces_root_when_better(self):
+        heap = BinaryMaxHeap(2)
+        for value, ident in [(5.0, 5), (4.0, 4), (1.0, 1)]:
+            heap.update(value, ident)
+        values, ids = heap.sorted_pairs()
+        np.testing.assert_array_equal(values, [1.0, 4.0])
+        np.testing.assert_array_equal(ids, [1, 4])
+
+    def test_keeps_k_smallest_of_stream(self, rng):
+        values = rng.random(200)
+        heap = BinaryMaxHeap(10)
+        heap.update_many(values, np.arange(200))
+        got, got_ids = heap.sorted_pairs()
+        want = np.sort(values)[:10]
+        np.testing.assert_allclose(got, want)
+        np.testing.assert_allclose(values[got_ids], got)
+
+    def test_heap_property_maintained(self, rng):
+        heap = BinaryMaxHeap(17)
+        for i, value in enumerate(rng.random(500)):
+            heap.update(float(value), i)
+            assert heap.is_valid()
+
+    def test_heapify_bulk_load(self, rng):
+        values = rng.random(16)
+        heap = BinaryMaxHeap(16)
+        heap.heapify(values, np.arange(16))
+        assert heap.is_valid()
+        assert heap.root == values.max()
+
+    def test_heapify_wrong_size(self):
+        heap = BinaryMaxHeap(4)
+        with pytest.raises(ValidationError):
+            heap.heapify(np.ones(3), np.arange(3))
+
+    def test_best_case_is_one_comparison_per_reject(self):
+        stats = SelectionStats()
+        heap = BinaryMaxHeap(4, stats=stats)
+        for value in [0.1, 0.2, 0.3, 0.4]:
+            heap.update(value, 0)
+        stats.reset()
+        # all further candidates exceed the root -> 1 comparison each
+        for value in [1.0, 2.0, 3.0]:
+            assert not heap.update(value, 0)
+        assert stats.comparisons == 3
+        assert stats.moves == 0
+
+    def test_duplicate_values_allowed(self):
+        heap = BinaryMaxHeap(3)
+        for ident in range(5):
+            heap.update(1.0, ident)
+        values, _ = heap.sorted_pairs()
+        # first insert fills one slot per inf replaced; equal values then reject
+        assert (values <= np.inf).all()
+
+    def test_len(self):
+        assert len(BinaryMaxHeap(7)) == 7
+
+
+class TestDHeap:
+    @pytest.mark.parametrize("arity", [2, 3, 4, 8])
+    def test_keeps_k_smallest(self, rng, arity):
+        values = rng.random(300)
+        heap = DHeap(13, arity=arity)
+        heap.update_many(values, np.arange(300))
+        got, _ = heap.sorted_pairs()
+        np.testing.assert_allclose(got, np.sort(values)[:13])
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValidationError):
+            DHeap(4, arity=1)
+
+    def test_padding_layout(self):
+        heap = DHeap(5, arity=4)
+        # three leading pad slots at -inf, live slots at +inf
+        assert heap.values.shape == (8,)
+        assert (heap.values[:3] == -np.inf).all()
+        assert (heap.values[3:] == np.inf).all()
+
+    def test_padding_never_wins_max_child(self, rng):
+        heap = DHeap(6, arity=4)
+        for i, value in enumerate(rng.random(100)):
+            heap.update(float(value), i)
+            assert heap.is_valid()
+        # pads untouched
+        assert (heap.values[:3] == -np.inf).all()
+
+    def test_depth_smaller_than_binary(self):
+        four = DHeap(256, arity=4)
+        two = DHeap(256, arity=2)
+        assert four.depth() < two.depth()
+        assert four.depth() == 4  # log4(256)
+
+    def test_depth_of_single_element(self):
+        assert DHeap(1, arity=4).depth() == 0
+
+    def test_matches_binary_heap_result(self, rng):
+        values = rng.random(150)
+        binary = BinaryMaxHeap(9)
+        dary = DHeap(9, arity=4)
+        binary.update_many(values, np.arange(150))
+        dary.update_many(values, np.arange(150))
+        np.testing.assert_allclose(
+            binary.sorted_pairs()[0], dary.sorted_pairs()[0]
+        )
+
+
+class TestHeapSelectSmallest:
+    def test_matches_numpy_sort(self, rng):
+        values = rng.random(77)
+        got, pos = heap_select_smallest(values, 5)
+        np.testing.assert_allclose(got, np.sort(values)[:5])
+        np.testing.assert_allclose(values[pos], got)
+
+    @pytest.mark.parametrize("arity", [2, 4])
+    def test_k_equals_n(self, rng, arity):
+        values = rng.random(10)
+        got, _ = heap_select_smallest(values, 10, arity=arity)
+        np.testing.assert_allclose(got, np.sort(values))
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValidationError):
+            heap_select_smallest(np.ones(5), 6)
+        with pytest.raises(ValidationError):
+            heap_select_smallest(np.ones(5), 0)
+
+    def test_stats_are_recorded(self, rng):
+        stats = SelectionStats()
+        heap_select_smallest(rng.random(64), 8, stats=stats)
+        assert stats.comparisons > 0
+        assert stats.sequential_accesses == 64

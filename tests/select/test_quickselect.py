@@ -1,0 +1,87 @@
+"""Unit tests for quickselect selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.select import SelectionStats, quickselect_smallest
+from repro.select.quickselect import quickselect_update
+
+
+class TestQuickselectSmallest:
+    def test_matches_sort(self, rng):
+        values = rng.random(100)
+        got, pos = quickselect_smallest(values, 7)
+        np.testing.assert_allclose(got, np.sort(values)[:7])
+        np.testing.assert_allclose(values[pos], got)
+
+    def test_input_not_modified(self, rng):
+        values = rng.random(50)
+        snapshot = values.copy()
+        quickselect_smallest(values, 5)
+        np.testing.assert_array_equal(values, snapshot)
+
+    @pytest.mark.parametrize("k", [1, 2, 9, 10])
+    def test_boundary_k(self, rng, k):
+        values = rng.random(10)
+        got, _ = quickselect_smallest(values, k)
+        np.testing.assert_allclose(got, np.sort(values)[:k])
+
+    def test_sorted_ascending_input(self):
+        values = np.arange(64, dtype=float)
+        got, _ = quickselect_smallest(values, 6)
+        np.testing.assert_allclose(got, np.arange(6, dtype=float))
+
+    def test_sorted_descending_input(self):
+        values = np.arange(64, dtype=float)[::-1]
+        got, _ = quickselect_smallest(values, 6)
+        np.testing.assert_allclose(got, np.arange(6, dtype=float))
+
+    def test_all_equal_values(self):
+        got, _ = quickselect_smallest(np.full(20, 3.0), 4)
+        np.testing.assert_allclose(got, np.full(4, 3.0))
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValidationError):
+            quickselect_smallest(np.ones(3), 4)
+        with pytest.raises(ValidationError):
+            quickselect_smallest(np.ones(3), 0)
+
+    def test_stats_counted(self, rng):
+        stats = SelectionStats()
+        quickselect_smallest(rng.random(128), 8, stats=stats)
+        assert stats.comparisons > 0
+        assert stats.moves > 0
+
+
+class TestQuickselectUpdate:
+    def test_merges_candidates_into_list(self, rng):
+        current_values = np.array([0.5, 0.7, np.inf])
+        current_ids = np.array([10, 11, -1])
+        cand_values = np.array([0.1, 0.9, 0.6])
+        cand_ids = np.array([1, 2, 3])
+        values, ids = quickselect_update(
+            current_values, current_ids, cand_values, cand_ids
+        )
+        np.testing.assert_allclose(values, [0.1, 0.5, 0.6])
+        np.testing.assert_array_equal(ids, [1, 10, 3])
+
+    def test_update_cost_is_linear_in_n_plus_k(self, rng):
+        """The paper's complaint: even when nothing enters the list the
+        update scans all n + k elements (no O(1) reject path)."""
+        k = 8
+        current_values = np.linspace(0.0, 0.1, k)
+        current_ids = np.arange(k)
+        cand = np.linspace(10.0, 11.0, 64)  # all rejected
+        stats = SelectionStats()
+        values, _ = quickselect_update(
+            current_values, current_ids, cand, np.arange(64), stats=stats
+        )
+        np.testing.assert_allclose(values, current_values)
+        assert stats.sequential_accesses >= 64 + k
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            quickselect_update(np.ones(3), np.arange(2), np.ones(2), np.arange(2))

@@ -1,0 +1,61 @@
+"""Unit tests for blocking configuration and block iteration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    BlockingParams,
+    IVY_BRIDGE_BLOCKING,
+    TEST_BLOCKING,
+    iter_blocks,
+)
+from repro.errors import ConfigurationError
+
+
+class TestIterBlocks:
+    def test_even_split(self):
+        assert list(iter_blocks(10, 5)) == [(0, 5), (5, 5)]
+
+    def test_ragged_tail(self):
+        assert list(iter_blocks(10, 4)) == [(0, 4), (4, 4), (8, 2)]
+
+    def test_block_larger_than_total(self):
+        assert list(iter_blocks(3, 100)) == [(0, 3)]
+
+    def test_covers_everything(self):
+        for total, block in [(1, 1), (17, 3), (100, 7)]:
+            covered = sum(size for _, size in iter_blocks(total, block))
+            assert covered == total
+
+
+class TestBlockingParams:
+    def test_paper_parameters(self):
+        """§3: m_r=8, n_r=4, d_c=256, m_c=104, n_c=4096; Q_c 208 KiB,
+        R_c 8 MiB."""
+        blk = IVY_BRIDGE_BLOCKING
+        assert (blk.m_r, blk.n_r, blk.d_c, blk.m_c, blk.n_c) == (
+            8, 4, 256, 104, 4096,
+        )
+        assert blk.packed_q_bytes() == 208 * 1024
+        assert blk.packed_r_bytes() == 8 * 1024 * 1024
+
+    def test_micropanel_bytes(self):
+        assert TEST_BLOCKING.micropanel_bytes() == 8 * 3 * 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockingParams(m_r=0, n_r=1, d_c=1, m_c=1, n_c=1)
+        with pytest.raises(ConfigurationError):
+            BlockingParams(m_r=4, n_r=1, d_c=1, m_c=2, n_c=1)  # m_r > m_c
+        with pytest.raises(ConfigurationError):
+            BlockingParams(m_r=1, n_r=4, d_c=1, m_c=1, n_c=2)  # n_r > n_c
+
+    def test_with_m_c(self):
+        blk = IVY_BRIDGE_BLOCKING.with_m_c(64)
+        assert blk.m_c == 64
+        assert blk.n_c == IVY_BRIDGE_BLOCKING.n_c
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            IVY_BRIDGE_BLOCKING.m_c = 1

@@ -1,0 +1,98 @@
+"""Unit tests for shared input validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.validation import (
+    as_coordinate_table,
+    as_index_array,
+    check_finite,
+    check_k,
+)
+
+
+class TestAsCoordinateTable:
+    def test_converts_dtype(self):
+        out = as_coordinate_table(np.ones((2, 3), dtype=np.float32))
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_accepts_integer_data(self):
+        out = as_coordinate_table(np.ones((2, 2), dtype=np.int64))
+        assert out.dtype == np.float64
+
+    def test_rejects_strings(self):
+        with pytest.raises(ValidationError):
+            as_coordinate_table(np.array([["a", "b"]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError):
+            as_coordinate_table(np.ones(4))
+        with pytest.raises(ValidationError):
+            as_coordinate_table(np.ones((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            as_coordinate_table(np.empty((0, 4)))
+
+    def test_lists_accepted(self):
+        out = as_coordinate_table([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+
+
+class TestAsIndexArray:
+    def test_basic(self):
+        out = as_index_array([0, 2, 1], 3)
+        assert out.dtype == np.intp
+
+    def test_float_whole_numbers_accepted(self):
+        out = as_index_array(np.array([0.0, 1.0]), 3)
+        np.testing.assert_array_equal(out, [0, 1])
+
+    def test_float_fractions_rejected(self):
+        with pytest.raises(ValidationError):
+            as_index_array(np.array([0.5]), 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            as_index_array([3], 3)
+        with pytest.raises(ValidationError):
+            as_index_array([-1], 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            as_index_array([], 3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            as_index_array(np.zeros((2, 2), dtype=int), 5)
+
+    def test_duplicates_allowed(self):
+        out = as_index_array([1, 1, 1], 3)
+        assert out.size == 3
+
+
+class TestCheckK:
+    def test_valid(self):
+        assert check_k(3, 10) == 3
+        assert check_k(10, 10) == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            check_k(0, 10)
+        with pytest.raises(ValidationError):
+            check_k(11, 10)
+
+
+class TestCheckFinite:
+    def test_passes_finite(self):
+        check_finite(np.ones((2, 2)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValidationError):
+            check_finite(np.array([[np.nan]]))
+        with pytest.raises(ValidationError):
+            check_finite(np.array([[np.inf]]))

@@ -1,0 +1,128 @@
+"""Unit and integration tests for the all-NN driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.neighbors import recall
+from repro.data import embedded_gaussian, uniform_hypercube
+from repro.errors import ValidationError
+from repro.trees import all_nearest_neighbors, exact_all_knn
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return embedded_gaussian(600, 16, intrinsic_dim=6, seed=3).points
+
+
+@pytest.fixture(scope="module")
+def truth(cloud):
+    return exact_all_knn(cloud, 6)
+
+
+class TestExactAllKnn:
+    def test_self_is_nearest(self, cloud, truth):
+        np.testing.assert_array_equal(truth.indices[:, 0], np.arange(len(cloud)))
+        np.testing.assert_allclose(truth.distances[:, 0], 0.0, atol=1e-9)
+
+    def test_gemm_kernel_agrees(self, cloud, truth):
+        alt = exact_all_knn(cloud, 6, kernel="gemm")
+        np.testing.assert_allclose(alt.distances, truth.distances, atol=1e-9)
+
+    def test_batching_invariant(self, cloud, truth):
+        small_batches = exact_all_knn(cloud, 6, batch=97)
+        np.testing.assert_allclose(
+            small_batches.distances, truth.distances, atol=1e-9
+        )
+
+    def test_unknown_kernel(self, cloud):
+        with pytest.raises(ValidationError):
+            exact_all_knn(cloud, 3, kernel="magic")
+
+
+class TestAllNearestNeighbors:
+    @pytest.mark.parametrize("method", ["rkdtree", "lsh"])
+    def test_recall_improves_over_iterations(self, cloud, truth, method):
+        report = all_nearest_neighbors(
+            cloud, 6, method=method, leaf_size=128, iterations=6,
+            truth=truth, tol=0.0,
+        )
+        curve = report.recall_curve
+        assert len(curve) >= 2
+        assert curve[-1] >= curve[0]
+        assert curve[-1] > 0.8
+
+    def test_rkdtree_reaches_high_recall(self, cloud, truth):
+        report = all_nearest_neighbors(
+            cloud, 6, leaf_size=128, iterations=10, truth=truth, tol=0.0
+        )
+        assert report.recall_curve[-1] > 0.95
+
+    def test_gemm_kernel_gives_same_answer_as_gsknn(self, cloud):
+        a = all_nearest_neighbors(
+            cloud, 4, leaf_size=100, iterations=3, seed=11, kernel="gsknn"
+        )
+        b = all_nearest_neighbors(
+            cloud, 4, leaf_size=100, iterations=3, seed=11, kernel="gemm"
+        )
+        np.testing.assert_allclose(
+            a.result.distances, b.result.distances, atol=1e-9
+        )
+
+    def test_lists_complete_after_first_iteration(self, cloud):
+        report = all_nearest_neighbors(cloud, 4, leaf_size=64, iterations=1)
+        assert (report.result.indices >= 0).all()
+
+    def test_kernel_time_accounted(self, cloud):
+        report = all_nearest_neighbors(cloud, 4, leaf_size=128, iterations=2)
+        assert 0 < report.kernel_seconds <= report.total_seconds
+        assert 0 < report.kernel_fraction <= 1.0
+
+    def test_convergence_stops_early(self, cloud):
+        report = all_nearest_neighbors(
+            cloud, 4, leaf_size=200, iterations=50, tol=0.05
+        )
+        assert report.converged
+        assert report.iterations < 50
+
+    def test_group_statistics(self, cloud):
+        report = all_nearest_neighbors(cloud, 4, leaf_size=100, iterations=2)
+        assert report.group_count > 0
+        assert 0 < report.mean_group_size <= 100
+
+    def test_validation(self, cloud):
+        with pytest.raises(ValidationError):
+            all_nearest_neighbors(cloud, 4, method="quantum")
+        with pytest.raises(ValidationError):
+            all_nearest_neighbors(cloud, 4, iterations=0)
+        with pytest.raises(ValidationError):
+            all_nearest_neighbors(cloud, 10, leaf_size=10)
+        with pytest.raises(ValidationError):
+            all_nearest_neighbors(cloud, 0, leaf_size=64)
+
+    def test_lazy_top_level_alias(self, cloud):
+        import repro
+
+        report = repro.all_nearest_neighbors(
+            cloud, 3, leaf_size=64, iterations=1
+        )
+        assert report.result.k == 3
+
+
+class TestUniformDataHarder:
+    def test_uniform_needs_more_iterations_than_embedded(self):
+        """Low intrinsic dimension is what makes tree-based grouping
+        effective; full-dimensional uniform data converges more slowly."""
+        k, n = 4, 500
+        uni = uniform_hypercube(n, 16, seed=0).points
+        emb = embedded_gaussian(n, 16, intrinsic_dim=4, seed=0).points
+        r_uni = all_nearest_neighbors(
+            uni, k, leaf_size=64, iterations=4,
+            truth=exact_all_knn(uni, k), tol=0.0,
+        ).recall_curve[-1]
+        r_emb = all_nearest_neighbors(
+            emb, k, leaf_size=64, iterations=4,
+            truth=exact_all_knn(emb, k), tol=0.0,
+        ).recall_curve[-1]
+        assert r_emb >= r_uni

@@ -1,0 +1,96 @@
+"""Unit tests for ANN evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.neighbors import KnnResult
+from repro.errors import ValidationError
+from repro.trees.evaluation import distance_ratio, quality_curve, recall_at
+
+
+def _res(dist, idx):
+    return KnnResult(np.asarray(dist, float), np.asarray(idx))
+
+
+class TestDistanceRatio:
+    def test_exact_match_is_one(self):
+        truth = _res([[1.0, 2.0]], [[1, 2]])
+        assert distance_ratio(truth, truth) == pytest.approx(1.0)
+
+    def test_worse_candidate_above_one(self):
+        truth = _res([[1.0, 2.0]], [[1, 2]])
+        cand = _res([[1.5, 4.0]], [[5, 6]])
+        assert distance_ratio(cand, truth) == pytest.approx((1.5 + 2.0) / 2)
+
+    def test_zero_distance_handling(self):
+        truth = _res([[0.0, 1.0]], [[0, 1]])
+        cand = _res([[0.0, 2.0]], [[0, 9]])
+        assert distance_ratio(cand, truth) == pytest.approx(1.5)
+
+    def test_unfilled_slots_skipped(self):
+        truth = _res([[1.0, 2.0]], [[1, 2]])
+        cand = _res([[1.0, np.inf]], [[1, -1]])
+        assert distance_ratio(cand, truth) == pytest.approx(1.0)
+
+    def test_no_comparable_slots(self):
+        truth = _res([[np.inf]], [[-1]])
+        cand = _res([[np.inf]], [[-1]])
+        with pytest.raises(ValidationError):
+            distance_ratio(cand, truth)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            distance_ratio(
+                _res([[1.0]], [[1]]), _res([[1.0, 2.0]], [[1, 2]])
+            )
+
+
+class TestRecallAt:
+    def test_recall_at_one(self):
+        truth = _res([[1.0, 2.0, 3.0]], [[1, 2, 3]])
+        cand = _res([[1.0, 9.0, 9.5]], [[1, 8, 9]])
+        assert recall_at(cand, truth, 1) == 1.0
+        assert recall_at(cand, truth, 3) == pytest.approx(1 / 3)
+
+    def test_j_bounds(self):
+        truth = _res([[1.0]], [[1]])
+        with pytest.raises(ValidationError):
+            recall_at(truth, truth, 0)
+        with pytest.raises(ValidationError):
+            recall_at(truth, truth, 2)
+
+    def test_recall_at_decreases_or_flat_with_j(self):
+        """Finding the first few true neighbors is never harder than
+        finding all of them (per-j recall is monotone non-increasing for
+        a list that holds a prefix of the truth)."""
+        truth = _res([[1.0, 2.0, 3.0, 4.0]], [[1, 2, 3, 4]])
+        cand = _res([[1.0, 2.0, 9.0, 9.1]], [[1, 2, 8, 9]])
+        curve = quality_curve(cand, truth, [1, 2, 3, 4])
+        values = [curve[j] for j in (1, 2, 3, 4)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestQualityCurve:
+    def test_default_js_cover_k(self):
+        truth = _res([[1.0] * 6], [list(range(6))])
+        curve = quality_curve(truth, truth)
+        assert 1 in curve and 6 in curve
+        assert all(v == 1.0 for v in curve.values())
+
+    def test_against_real_solver(self):
+        from repro.data import embedded_gaussian
+        from repro.trees import all_nearest_neighbors, exact_all_knn
+
+        cloud = embedded_gaussian(400, 12, intrinsic_dim=5, seed=6).points
+        truth = exact_all_knn(cloud, 8)
+        report = all_nearest_neighbors(
+            cloud, 8, leaf_size=64, iterations=4, tol=0.0
+        )
+        curve = quality_curve(report.result, truth)
+        # nearest neighbors are found more reliably than the kth
+        assert curve[1] >= curve[8]
+        ratio = distance_ratio(report.result, truth)
+        assert ratio >= 1.0
+        assert ratio < 2.0

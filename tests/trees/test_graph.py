@@ -1,0 +1,90 @@
+"""Unit tests for kNN-graph construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.neighbors import KnnResult
+from repro.errors import ValidationError
+from repro.trees.graph import GraphStats, graph_stats, knn_graph, mutual_knn_graph
+
+
+def _result():
+    # 0 <-> 1 mutually; 2 lists 0 but 0 does not list 2; 3 isolated-ish
+    dist = np.array(
+        [[0.0, 1.0], [0.0, 1.0], [0.0, 2.0], [0.0, 9.0]]
+    )
+    idx = np.array([[0, 1], [1, 0], [2, 0], [3, -1]])
+    return KnnResult(dist, idx)
+
+
+class TestKnnGraph:
+    def test_edges_and_self_loops(self):
+        graph = knn_graph(_result())
+        assert graph.number_of_nodes() == 4
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(2, 0)
+        assert not graph.has_edge(0, 0)
+
+    def test_include_self(self):
+        graph = knn_graph(_result(), include_self=True)
+        assert graph.has_edge(0, 0)
+
+    def test_unfilled_slots_skipped(self):
+        graph = knn_graph(_result())
+        assert graph.degree[3] == 0
+
+    def test_distance_weights(self):
+        graph = knn_graph(_result())
+        assert graph[0][1]["weight"] == 1.0
+
+    def test_similarity_weights(self):
+        graph = knn_graph(_result(), weight="similarity")
+        assert graph[0][1]["weight"] == pytest.approx(0.5)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValidationError):
+            knn_graph(_result(), weight="magic")
+
+
+class TestMutualKnnGraph:
+    def test_only_mutual_edges(self):
+        graph = mutual_knn_graph(_result())
+        assert graph.has_edge(0, 1)       # mutual
+        assert not graph.has_edge(2, 0)   # one-directional
+        assert graph.number_of_edges() == 1
+
+    def test_subset_of_knn_graph(self):
+        full = knn_graph(_result())
+        mutual = mutual_knn_graph(_result())
+        for u, v in mutual.edges():
+            assert full.has_edge(u, v)
+
+
+class TestGraphStats:
+    def test_summary(self):
+        stats = graph_stats(knn_graph(_result()))
+        assert isinstance(stats, GraphStats)
+        assert stats.n_nodes == 4
+        assert stats.min_degree == 0
+        assert stats.n_components >= 2
+        assert 0 < stats.largest_component_fraction <= 1.0
+
+    def test_empty_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValidationError):
+            graph_stats(nx.Graph())
+
+
+class TestEndToEnd:
+    def test_solver_output_builds_connected_graph(self):
+        from repro.data import embedded_gaussian
+        from repro.trees import all_nearest_neighbors
+
+        cloud = embedded_gaussian(400, 12, intrinsic_dim=5, seed=1).points
+        report = all_nearest_neighbors(cloud, 6, leaf_size=64, iterations=6)
+        stats = graph_stats(knn_graph(report.result))
+        assert stats.largest_component_fraction > 0.9
+        assert stats.min_degree >= 1

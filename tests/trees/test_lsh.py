@@ -1,0 +1,81 @@
+"""Unit tests for the LSH partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.trees import LSHSolver
+
+
+class TestLSHSolver:
+    def test_buckets_are_disjoint_within_table(self, rng):
+        X = rng.random((300, 6))
+        solver = LSHSolver(n_tables=2, seed=0)
+        for table in solver.buckets(X):
+            seen = set()
+            for bucket in table:
+                ids = set(bucket.tolist())
+                assert not (seen & ids)
+                seen |= ids
+
+    def test_buckets_have_at_least_two_points(self, rng):
+        X = rng.random((200, 4))
+        for table in LSHSolver(n_tables=2, seed=1).buckets(X):
+            for bucket in table:
+                assert bucket.size >= 2
+
+    def test_max_bucket_respected(self, rng):
+        X = rng.random((500, 3))
+        solver = LSHSolver(
+            n_projections=1, bucket_width=100.0, n_tables=1, max_bucket=64, seed=0
+        )
+        for table in solver.buckets(X):
+            for bucket in table:
+                assert bucket.size <= 64
+
+    def test_near_points_share_buckets_more_than_far_points(self, rng):
+        """The LSH property: spatially close pairs collide more often."""
+        base = rng.random((100, 8))
+        near = base + rng.normal(scale=0.01, size=base.shape)
+        far = rng.random((100, 8)) + 10.0
+        X = np.vstack([base, near, far])
+        solver = LSHSolver(n_projections=3, n_tables=5, seed=0)
+        near_hits = far_hits = 0
+        for table in solver.buckets(X):
+            for bucket in table:
+                members = set(bucket.tolist())
+                for i in range(100):
+                    if i in members and i + 100 in members:
+                        near_hits += 1
+                    if i in members and i + 200 in members:
+                        far_hits += 1
+        assert near_hits > far_hits
+
+    def test_tables_differ(self, rng):
+        X = rng.random((200, 5))
+        tables = list(LSHSolver(n_tables=2, seed=3).buckets(X))
+        sig = lambda t: sorted(tuple(sorted(b.tolist())) for b in t)
+        assert sig(tables[0]) != sig(tables[1])
+
+    def test_reproducible(self, rng):
+        X = rng.random((150, 4))
+        a = list(LSHSolver(n_tables=1, seed=5).buckets(X))[0]
+        b = list(LSHSolver(n_tables=1, seed=5).buckets(X))[0]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LSHSolver(n_projections=0)
+        with pytest.raises(ValidationError):
+            LSHSolver(n_tables=0)
+        with pytest.raises(ValidationError):
+            LSHSolver(max_bucket=1)
+        with pytest.raises(ValidationError):
+            LSHSolver(bucket_width=0.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValidationError):
+            list(LSHSolver().buckets(np.empty((0, 3))))

@@ -1,0 +1,55 @@
+"""Tests for the task-parallel all-NN driver (§2.5 integration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import embedded_gaussian
+from repro.errors import ValidationError
+from repro.trees import all_nearest_neighbors
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return embedded_gaussian(500, 12, intrinsic_dim=5, seed=9).points
+
+
+@pytest.mark.parametrize("n_workers", [2, 3, 8])
+def test_parallel_equals_serial(cloud, n_workers):
+    serial = all_nearest_neighbors(
+        cloud, 4, leaf_size=64, iterations=2, seed=3, n_workers=1, tol=0.0
+    )
+    parallel = all_nearest_neighbors(
+        cloud, 4, leaf_size=64, iterations=2, seed=3,
+        n_workers=n_workers, tol=0.0,
+    )
+    np.testing.assert_allclose(
+        serial.result.distances, parallel.result.distances, atol=1e-12
+    )
+    assert parallel.group_count == serial.group_count
+
+
+def test_parallel_lsh_method(cloud):
+    serial = all_nearest_neighbors(
+        cloud, 4, method="lsh", leaf_size=128, iterations=2, seed=3, tol=0.0
+    )
+    parallel = all_nearest_neighbors(
+        cloud, 4, method="lsh", leaf_size=128, iterations=2, seed=3,
+        n_workers=4, tol=0.0,
+    )
+    np.testing.assert_allclose(
+        serial.result.distances, parallel.result.distances, atol=1e-12
+    )
+
+
+def test_invalid_workers(cloud):
+    with pytest.raises(ValidationError):
+        all_nearest_neighbors(cloud, 4, leaf_size=64, n_workers=0)
+
+
+def test_kernel_seconds_still_accounted(cloud):
+    report = all_nearest_neighbors(
+        cloud, 4, leaf_size=64, iterations=1, n_workers=4
+    )
+    assert report.kernel_seconds > 0

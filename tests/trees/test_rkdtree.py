@@ -1,0 +1,86 @@
+"""Unit tests for randomized KD-trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.trees import RandomizedKDForest, RandomizedKDTree
+
+
+class TestRandomizedKDTree:
+    def test_leaves_partition_points(self, rng):
+        X = rng.random((200, 6))
+        tree = RandomizedKDTree(leaf_size=32, seed=0).fit(X)
+        all_ids = np.concatenate(tree.leaves)
+        assert sorted(all_ids.tolist()) == list(range(200))
+
+    def test_leaf_sizes_bounded(self, rng):
+        X = rng.random((500, 4))
+        tree = RandomizedKDTree(leaf_size=64, seed=1).fit(X)
+        assert tree.leaf_sizes().max() <= 64
+        # median splits keep leaves from degenerating
+        assert tree.leaf_sizes().min() >= 8
+
+    def test_small_dataset_single_leaf(self, rng):
+        X = rng.random((10, 3))
+        tree = RandomizedKDTree(leaf_size=32, seed=0).fit(X)
+        assert tree.n_leaves == 1
+
+    def test_different_seeds_give_different_partitions(self, rng):
+        X = rng.random((300, 8))
+        t1 = RandomizedKDTree(leaf_size=32, seed=1).fit(X)
+        t2 = RandomizedKDTree(leaf_size=32, seed=2).fit(X)
+        sig1 = sorted(tuple(sorted(leaf.tolist())) for leaf in t1.leaves)
+        sig2 = sorted(tuple(sorted(leaf.tolist())) for leaf in t2.leaves)
+        assert sig1 != sig2
+
+    def test_same_seed_reproducible(self, rng):
+        X = rng.random((150, 5))
+        t1 = RandomizedKDTree(leaf_size=20, seed=7).fit(X)
+        t2 = RandomizedKDTree(leaf_size=20, seed=7).fit(X)
+        for a, b in zip(t1.leaves, t2.leaves):
+            np.testing.assert_array_equal(a, b)
+
+    def test_leaves_are_spatially_coherent(self, rng):
+        """Points in one leaf must on average be closer to each other
+        than to random points — else the kernel would find nothing."""
+        X = rng.random((400, 3))
+        tree = RandomizedKDTree(leaf_size=50, seed=0).fit(X)
+        leaf = tree.leaves[0]
+        within = np.linalg.norm(
+            X[leaf][:, None] - X[leaf][None, :], axis=2
+        ).mean()
+        everywhere = np.linalg.norm(
+            X[leaf][:, None] - X[::7][None, :], axis=2
+        ).mean()
+        assert within < everywhere
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValidationError):
+            RandomizedKDTree(leaf_size=1).fit(rng.random((10, 2)))
+        with pytest.raises(ValidationError):
+            RandomizedKDTree(leaf_size=8).fit(np.empty((0, 3)))
+        with pytest.raises(ValidationError):
+            RandomizedKDTree(leaf_size=8).fit(np.ones(5))
+
+
+class TestRandomizedKDForest:
+    def test_yields_n_trees(self, rng):
+        X = rng.random((100, 4))
+        forest = RandomizedKDForest(leaf_size=16, n_trees=3, seed=0)
+        trees = list(forest.trees(X))
+        assert len(trees) == 3
+        assert all(t.n_leaves >= 4 for t in trees)
+
+    def test_trees_differ(self, rng):
+        X = rng.random((200, 4))
+        forest = RandomizedKDForest(leaf_size=32, n_trees=2, seed=0)
+        t1, t2 = forest.trees(X)
+        sig = lambda t: sorted(tuple(sorted(l.tolist())) for l in t.leaves)
+        assert sig(t1) != sig(t2)
+
+    def test_invalid_n_trees(self):
+        with pytest.raises(ValidationError):
+            RandomizedKDForest(leaf_size=16, n_trees=0)

@@ -1,0 +1,159 @@
+"""Unit tests for streaming all-NN maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.errors import ValidationError
+from repro.trees.streaming import StreamingAllKnn
+
+
+@pytest.fixture
+def stream():
+    return gaussian_mixture(1200, 8, n_clusters=5, seed=0).points
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            StreamingAllKnn(0, 4)
+        with pytest.raises(ValidationError):
+            StreamingAllKnn(4, 0)
+        with pytest.raises(ValidationError):
+            StreamingAllKnn(4, 4, tables_per_batch=0)
+
+    def test_empty_state(self):
+        s = StreamingAllKnn(3, 4)
+        assert s.n_points == 0
+        assert s.neighbors().m == 0
+        assert s.recall_against_exact() == 1.0
+
+
+class TestInsert:
+    def test_dimension_checked(self, stream):
+        s = StreamingAllKnn(8, 4)
+        with pytest.raises(ValidationError):
+            s.insert(np.ones((5, 3)))
+
+    def test_nan_rejected(self):
+        s = StreamingAllKnn(2, 2)
+        with pytest.raises(ValidationError):
+            s.insert(np.array([[np.nan, 1.0]]))
+
+    def test_points_accumulate(self, stream):
+        s = StreamingAllKnn(8, 4)
+        s.insert(stream[:100])
+        s.insert(stream[100:250])
+        assert s.n_points == 250
+        assert s.neighbors().m == 250
+
+    def test_points_view_readonly(self, stream):
+        s = StreamingAllKnn(8, 4)
+        s.insert(stream[:10])
+        with pytest.raises(ValueError):
+            s.points[0, 0] = 99.0
+
+    def test_single_point_no_kernel(self):
+        s = StreamingAllKnn(2, 1)
+        assert s.insert(np.array([[0.0, 0.0]])) == 0
+
+    def test_lists_filled_after_insert(self, stream):
+        s = StreamingAllKnn(8, 4, tables_per_batch=3)
+        s.insert(stream[:300])
+        result = s.neighbors()
+        assert (result.indices >= 0).mean() > 0.95
+
+    def test_neighbors_are_exact_distances(self, stream):
+        """Whatever ids the structure holds, the distances must be the
+        true squared distances to those ids (kernels are exact)."""
+        s = StreamingAllKnn(8, 3)
+        s.insert(stream[:150])
+        result = s.neighbors()
+        X = s.points
+        for i in range(0, 150, 30):
+            for dist, j in zip(result.distances[i], result.indices[i]):
+                if j >= 0:
+                    true = float(((X[i] - X[j]) ** 2).sum())
+                    assert abs(true - dist) < 1e-9
+
+
+class TestRecallDynamics:
+    def test_recall_reasonable_after_stream(self, stream):
+        s = StreamingAllKnn(8, 4, tables_per_batch=3, max_bucket=512)
+        for start in range(0, 900, 300):
+            s.insert(stream[start : start + 300])
+        assert s.recall_against_exact() > 0.5
+
+    def test_extra_refresh_improves_recall(self, stream):
+        s = StreamingAllKnn(8, 4, tables_per_batch=1, max_bucket=256, seed=3)
+        s.insert(stream[:600])
+        before = s.recall_against_exact()
+        s.refresh(tables=4)
+        after = s.recall_against_exact()
+        assert after >= before
+
+    def test_refresh_validation(self, stream):
+        s = StreamingAllKnn(8, 2)
+        s.insert(stream[:50])
+        with pytest.raises(ValidationError):
+            s.refresh(tables=0)
+
+    def test_k_larger_than_stream_prefix(self):
+        """k exceeding the early population must not crash; lists grow
+        into their width as points arrive."""
+        s = StreamingAllKnn(4, 8)
+        s.insert(np.random.default_rng(0).random((3, 4)))
+        assert s.recall_against_exact() == 1.0
+        s.insert(np.random.default_rng(1).random((20, 4)))
+        assert s.neighbors().m == 23
+
+
+class TestDeletion:
+    def test_delete_clears_rows_and_purges_references(self, stream):
+        s = StreamingAllKnn(8, 4, seed=1)
+        s.insert(stream[:200])
+        victims = np.array([3, 50, 199])
+        purged = s.delete(victims)
+        assert purged >= 0
+        result = s.neighbors()
+        # victims' own lists cleared
+        assert (result.indices[victims] == -1).all()
+        # no other list still references a victim
+        assert not np.isin(result.indices, victims).any()
+        assert s.n_alive == 197
+
+    def test_refresh_refills_holes(self, stream):
+        s = StreamingAllKnn(8, 4, seed=2)
+        s.insert(stream[:150])
+        s.delete(np.arange(10))
+        s.refresh(tables=2)
+        result = s.neighbors()
+        alive = np.arange(10, 150)
+        fill = (result.indices[alive] >= 0).mean()
+        assert fill > 0.9
+        # refreshed lists never point at the dead
+        assert not np.isin(result.indices, np.arange(10)).any()
+
+    def test_recall_evaluated_on_survivors(self, stream):
+        s = StreamingAllKnn(8, 4, seed=3, max_bucket=4096)
+        s.insert(stream[:120])
+        s.delete(np.arange(0, 120, 3))
+        s.refresh()
+        # the whole live set fits one exact bucket -> recall 1.0
+        assert s.recall_against_exact() == pytest.approx(1.0)
+
+    def test_delete_validation(self, stream):
+        s = StreamingAllKnn(8, 2)
+        s.insert(stream[:10])
+        with pytest.raises(ValidationError):
+            s.delete(np.array([99]))
+        assert s.delete(np.array([], dtype=int)) == 0
+
+    def test_rows_stay_sorted_after_delete(self, stream):
+        s = StreamingAllKnn(8, 4, seed=4)
+        s.insert(stream[:100])
+        s.delete(np.array([7]))
+        result = s.neighbors()
+        assert result.is_sorted()
