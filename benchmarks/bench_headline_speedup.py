@@ -43,6 +43,7 @@ def test_headline_rows(benchmark, report):
             f"Headline speedup sweep (m=n={SIZE}; T_gemm / T_gsknn)\n"
             f"{'series':>18} " + "".join(f"{f'd={d}':>8}" for d in DIMS),
         )
+        rep.problem(m=SIZE, n=SIZE, dims=DIMS, ks=KS)
         for k in KS:
             measured = _speedups(k)
             rep.row(
@@ -60,6 +61,16 @@ def test_headline_rows(benchmark, report):
             rep.row(
                 f"  k={k}: peak measured speedup {measured[best_d]:.2f}x at d={best_d}"
             )
+            for d in DIMS:
+                rep.metric(f"k{k}.d{d}.speedup", measured[d])
+                rep.data_row(
+                    k=k, d=d, measured_speedup=measured[d],
+                    model_speedup_at_8192=modeled[d],
+                )
+            rep.metric(f"k{k}.peak_speedup", measured[best_d])
+            # location of the peak, not a quality — name carries no
+            # polarity token so compare_runs treats moves as neutral
+            rep.metric(f"k{k}.peak_d", best_d)
 
 
     run_report(benchmark, _run)

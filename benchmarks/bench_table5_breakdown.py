@@ -55,6 +55,7 @@ def test_table5_rows(benchmark, report, problems):
             f"{'d':>5} {'k':>5} | {'coll':>7} {'gemm':>7} {'sq2d':>7} "
             f"{'heap':>7} {'REF tot':>8} | {'GSKNN':>7} {'g-heap':>7} {'ratio':>6}",
         )
+        rep.problem(m=M, n=N_REFS, dims=DIMS, ks=KS)
         for d in DIMS:
             base_total = _gsknn_total(problems[d], 1)  # the k=1 subtraction base
             for k in KS:
@@ -66,6 +67,13 @@ def test_table5_rows(benchmark, report, problems):
                     f"{b['sq2d']:>7.1f} {b['heap']:>7.1f} {b['total']:>8.1f} | "
                     f"{ours:>7.1f} {heap_est:>7.1f} {b['total'] / ours:>6.2f}"
                 )
+                rep.data_row(
+                    d=d, k=k, ref_phases_ms=b, gsknn_ms=ours,
+                    gsknn_heap_estimate_ms=heap_est,
+                )
+                rep.metric(f"d{d}.k{k}.ref_total_ms", b["total"])
+                rep.metric(f"d{d}.k{k}.gsknn_total_ms", ours)
+                rep.metric(f"d{d}.k{k}.speedup", b["total"] / ours)
 
 
     run_report(benchmark, _run)

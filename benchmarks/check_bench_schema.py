@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Validate committed ``BENCH_*.json`` telemetry against the schema.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_schema.py [PATH ...]
+
+With no arguments, scans ``benchmarks/results/``. Each ``BENCH_*.json``
+found must parse and satisfy :func:`repro.obs.telemetry.validate_record`
+(schema version in range, required fields typed correctly, numeric
+metrics). Exit status 1 if any record is invalid — CI runs this so a
+half-written or hand-edited record can't silently rot.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.obs import telemetry
+    from repro.errors import ValidationError
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.obs import telemetry
+    from repro.errors import ValidationError
+
+
+def find_records(paths: list[Path]) -> list[Path]:
+    records: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            records.extend(sorted(path.rglob("BENCH_*.json")))
+        elif path.is_file():
+            records.append(path)
+        else:
+            print(f"error: no such path {path}", file=sys.stderr)
+            raise SystemExit(2)
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = [Path(a) for a in (argv if argv is not None else sys.argv[1:])]
+    if not args:
+        args = [Path(__file__).resolve().parent / "results"]
+    records = find_records(args)
+    if not records:
+        print("no BENCH_*.json records found (nothing to validate)")
+        return 0
+    failures = 0
+    for path in records:
+        try:
+            record = telemetry.load_record(path)
+        except ValidationError as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+            continue
+        n_metrics = len(record.get("metrics", {}))
+        sha = (record.get("environment") or {}).get("git_sha") or "?"
+        print(
+            f"ok   {path.name}: schema v{record['schema_version']}, "
+            f"{n_metrics} metrics, sha {sha[:12]}"
+        )
+    if failures:
+        print(f"\n{failures}/{len(records)} record(s) invalid", file=sys.stderr)
+        return 1
+    print(f"\nall {len(records)} record(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

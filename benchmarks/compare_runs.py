@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Diff two benchmark telemetry records (or directories of them).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_runs.py OLD NEW \
+        [--threshold 0.05] [--json]
+
+``OLD`` / ``NEW`` are either two ``BENCH_<name>.json`` files of the same
+experiment, or two directories — in which case every experiment present
+in both is diffed (experiments present in only one side are reported,
+not fatal).
+
+Regression polarity is inferred from the metric name: ``*seconds``,
+``*_ms`` and ``*time*`` regress when they grow; ``*gflops*``,
+``*speedup*``, ``*recall*`` and ``*fraction*`` regress when they shrink;
+anything else is "neutral" — changes beyond the threshold are flagged
+but do not fail the run. Exit status is 1 iff at least one non-neutral
+metric regressed beyond the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from repro.obs import telemetry
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.obs import telemetry
+
+_LOWER_IS_BETTER = ("seconds", "_ms", "time", "bytes", "imbalance")
+_HIGHER_IS_BETTER = ("gflops", "speedup", "recall", "fraction", "efficiency")
+
+
+def polarity(metric: str) -> int:
+    """-1 lower-is-better, +1 higher-is-better, 0 neutral."""
+    name = metric.lower()
+    if any(tok in name for tok in _LOWER_IS_BETTER):
+        return -1
+    if any(tok in name for tok in _HIGHER_IS_BETTER):
+        return +1
+    return 0
+
+
+def classify(row: dict, threshold: float) -> str:
+    """ok / improved / regressed / neutral-change / added / removed."""
+    if row["status"] in ("added", "removed"):
+        return row["status"]
+    if row["status"] == "ok":
+        return "ok"
+    pol = polarity(row["metric"])
+    if pol == 0:
+        return "neutral-change"
+    worse = row["delta"] > 0 if pol == -1 else row["delta"] < 0
+    return "regressed" if worse else "improved"
+
+
+def diff_files(old_path: Path, new_path: Path, threshold: float) -> dict:
+    old = telemetry.load_record(old_path)
+    new = telemetry.load_record(new_path)
+    rows = telemetry.diff_records(old, new, threshold=threshold)
+    for row in rows:
+        row["verdict"] = classify(row, threshold)
+    return {
+        "experiment": new.get("name", old.get("name")),
+        "old_sha": (old.get("environment") or {}).get("git_sha"),
+        "new_sha": (new.get("environment") or {}).get("git_sha"),
+        "rows": rows,
+    }
+
+
+def collect_pairs(old: Path, new: Path) -> list[tuple[Path, Path]]:
+    if old.is_file() and new.is_file():
+        return [(old, new)]
+    if old.is_dir() and new.is_dir():
+        old_names = {p.name: p for p in sorted(old.glob("BENCH_*.json"))}
+        new_names = {p.name: p for p in sorted(new.glob("BENCH_*.json"))}
+        only_old = sorted(set(old_names) - set(new_names))
+        only_new = sorted(set(new_names) - set(old_names))
+        for name in only_old:
+            print(f"note: {name} present only in {old}", file=sys.stderr)
+        for name in only_new:
+            print(f"note: {name} present only in {new}", file=sys.stderr)
+        return [
+            (old_names[name], new_names[name])
+            for name in sorted(set(old_names) & set(new_names))
+        ]
+    raise SystemExit(
+        f"error: {old} and {new} must both be files or both be directories"
+    )
+
+
+def print_report(report: dict, threshold: float) -> None:
+    print(f"== {report['experiment']} "
+          f"({report['old_sha'] or '?'} -> {report['new_sha'] or '?'})")
+    flagged = [r for r in report["rows"] if r["verdict"] != "ok"]
+    if not flagged:
+        print(f"   all {len(report['rows'])} metrics within "
+              f"{threshold:.0%} of the old run")
+        return
+    print(f"   {'metric':<40} {'old':>12} {'new':>12} {'ratio':>7}  verdict")
+    for r in flagged:
+        old = "-" if r["old"] is None else f"{r['old']:.6g}"
+        new = "-" if r["new"] is None else f"{r['new']:.6g}"
+        ratio = "-" if r["ratio"] is None else f"{r['ratio']:.3f}"
+        print(f"   {r['metric']:<40} {old:>12} {new:>12} {ratio:>7}  "
+              f"{r['verdict']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="old record file or directory")
+    parser.add_argument("new", type=Path, help="new record file or directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative change treated as noise (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full diff as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    reports = [
+        diff_files(a, b, args.threshold)
+        for a, b in collect_pairs(args.old, args.new)
+    ]
+    if args.json:
+        print(json.dumps(reports, indent=1, sort_keys=True))
+    else:
+        for report in reports:
+            print_report(report, args.threshold)
+    regressed = sum(
+        1
+        for report in reports
+        for row in report["rows"]
+        if row["verdict"] == "regressed"
+    )
+    if regressed:
+        print(f"\n{regressed} metric(s) regressed beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,14 @@ Each prints its rows/series to stdout (run with ``pytest -s`` to watch)
 *and* appends them to ``benchmarks/results/<experiment>.txt`` so the
 output survives pytest's capture and can be diffed across runs.
 
+Alongside the text table, every report now also emits a
+**schema-versioned telemetry record** ``results/BENCH_<experiment>.json``
+(:mod:`repro.obs.telemetry`): problem sizes via :meth:`Report.problem`,
+numeric series via :meth:`Report.metric`, structured per-row payloads
+via :meth:`Report.data_row`, plus the host/git fingerprint — the
+machine-readable artifact ``benchmarks/compare_runs.py`` diffs between
+runs and ``benchmarks/check_bench_schema.py`` validates in CI.
+
 Problem sizes are scaled down from the paper's (this substrate is a
 single-core numpy stack, not a 20-core Ivy Bridge node with AVX
 assembly); the scale factor is recorded in every report header. Set
@@ -20,6 +28,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.obs import telemetry
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: 1 = quick CI-friendly sizes; larger values approach the paper's sizes.
@@ -32,20 +42,44 @@ def bench_scale() -> int:
 
 
 class Report:
-    """Accumulates table rows, then prints and persists them."""
+    """Accumulates table rows + structured metrics, then persists both."""
 
     def __init__(self, experiment: str, header: str) -> None:
         self.experiment = experiment
         self.lines: list[str] = [header]
+        self.problem_dict: dict = {"scale": SCALE}
+        self.metrics: dict[str, float] = {}
+        self.rows: list[dict] = []
 
     def row(self, text: str) -> None:
+        """One human-readable table row (text report only)."""
         self.lines.append(text)
+
+    def problem(self, **sizes) -> None:
+        """Record problem-size metadata (m, n, d grid, k grid, ...)."""
+        self.problem_dict.update(sizes)
+
+    def metric(self, key: str, value: float) -> None:
+        """One scalar the regression differ compares across runs."""
+        self.metrics[key] = float(value)
+
+    def data_row(self, **fields) -> None:
+        """One structured per-row payload (kept verbatim in the record)."""
+        self.rows.append(fields)
 
     def finish(self) -> str:
         RESULTS_DIR.mkdir(exist_ok=True)
         body = "\n".join(self.lines) + "\n"
         path = RESULTS_DIR / f"{self.experiment}.txt"
         path.write_text(body)
+        record = telemetry.build_record(
+            self.experiment,
+            problem=self.problem_dict,
+            metrics=self.metrics,
+            rows=self.rows or None,
+            extra={"text_report": f"{self.experiment}.txt"},
+        )
+        telemetry.write_record(record, RESULTS_DIR)
         print(f"\n=== {self.experiment} ===\n{body}", flush=True)
         return body
 

@@ -3,19 +3,24 @@
 Subcommands:
 
 * ``kernel`` — run one kNN kernel (gsknn / gemm) on synthetic data and
-  report timing + achieved GFLOPS;
+  report timing, achieved GFLOPS, and the span-derived phase breakdown;
+  ``--trace-out PATH`` also writes a ``chrome://tracing`` JSON;
 * ``compare`` — run both kernels on the same problem and print the
-  speedup (a one-problem slice of the Figure 6 grid);
+  speedup (a one-problem slice of the Figure 6 grid); also accepts
+  ``--trace-out``;
+* ``stats`` — run one kernel with full observability on and print the
+  metrics-registry snapshot (``--json`` for the raw dict);
 * ``allknn`` — run the approximate all-NN solver and report recall;
 * ``model`` — print the performance model's prediction (and the
   Var#1/Var#6 threshold) for a problem size;
 * ``trace`` — run the cache-trace simulator and print DRAM traffic per
-  kernel.
+  kernel (``--json`` for machine-readable output).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -24,9 +29,44 @@ import numpy as np
 from . import __version__
 from .config import BlockingParams, IVY_BRIDGE_BLOCKING
 from .machine import IVY_BRIDGE, TINY_MACHINE, KnnTraceSimulator
+from .obs import enable_metrics, enable_tracing, disable_tracing
+from .obs.adapters import absorb_tracer
 from .perf.gflops import gflops
 
 __all__ = ["main", "build_parser"]
+
+
+def _print_phase_table(snapshot: dict, total_seconds: float) -> None:
+    """Render ``phase.*`` histograms as a Table-5-style breakdown."""
+    rows = []
+    for name, hist in snapshot["histograms"].items():
+        if not name.startswith("phase."):
+            continue
+        phase = name[len("phase.") :]
+        spans = snapshot["counters"].get(f"{name}.spans", hist["count"])
+        rows.append((phase, int(spans), hist["sum"]))
+    if not rows:
+        return
+    rows.sort(key=lambda r: -r[2])
+    covered = sum(r[2] for r in rows)
+    print(f"{'phase':>12} {'spans':>7} {'ms':>9} {'%':>6}")
+    for phase, spans, seconds in rows:
+        pct = 100.0 * seconds / total_seconds if total_seconds > 0 else 0.0
+        print(f"{phase:>12} {spans:>7} {seconds * 1e3:>9.2f} {pct:>5.1f}%")
+    untraced = max(total_seconds - covered, 0.0)
+    pct = 100.0 * untraced / total_seconds if total_seconds > 0 else 0.0
+    print(f"{'(untraced)':>12} {'':>7} {untraced * 1e3:>9.2f} {pct:>5.1f}%")
+
+
+def _export_trace(tracer, trace_out: str) -> int:
+    """Write the Chrome trace; a bad path is a clean error, not a traceback."""
+    try:
+        path = tracer.export_chrome(trace_out)
+    except OSError as exc:
+        print(f"error: cannot write trace to {trace_out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"trace written to {path} ({len(tracer)} spans)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,10 +91,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     kern.add_argument("--norm", default="l2")
     kern.add_argument("--variant", default="auto")
+    kern.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a chrome://tracing JSON of the run to PATH",
+    )
 
     comp = sub.add_parser("compare", help="GSKNN vs GEMM approach")
     add_problem_args(comp)
     comp.add_argument("--repeats", type=int, default=3)
+    comp.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a chrome://tracing JSON covering both kernels to PATH",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="run one kernel and print the metrics snapshot"
+    )
+    add_problem_args(stats)
+    stats.add_argument("--kernel", choices=("gsknn", "gemm"), default="gsknn")
+    stats.add_argument("--norm", default="l2")
+    stats.add_argument("--variant", default="auto")
+    stats.add_argument(
+        "--json", action="store_true", help="print the raw snapshot dict"
+    )
 
     aknn = sub.add_parser("allknn", help="approximate all-NN solver")
     aknn.add_argument("-N", type=int, default=8192)
@@ -75,6 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser("trace", help="cache-trace simulation")
     add_problem_args(trace)
+    trace.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     tune = sub.add_parser("tune", help="variant decision table + thresholds")
     add_problem_args(tune)
@@ -100,7 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_kernel(args: argparse.Namespace) -> int:
+def _run_one_kernel(args: argparse.Namespace):
     from .core.gsknn import gsknn
     from .core.ref_kernel import ref_knn
     from .data import uniform_hypercube
@@ -115,12 +183,26 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     result = runner(ds.points, q, r, args.k, **kwargs)
     elapsed = time.perf_counter() - t0
+    return result, elapsed
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    registry = enable_metrics()
+    tracer = enable_tracing()
+    try:
+        result, elapsed = _run_one_kernel(args)
+    finally:
+        disable_tracing()
+    absorb_tracer(tracer, registry)
     print(
         f"{args.kernel}: m={args.m} n={args.n} d={args.d} k={args.k} "
         f"time={elapsed * 1e3:.1f} ms "
         f"gflops={gflops(args.m, args.n, args.d, elapsed):.2f}"
     )
+    _print_phase_table(registry.snapshot(), elapsed)
     print(f"first query neighbors: {result.indices[0][: min(args.k, 8)]}")
+    if args.trace_out:
+        return _export_trace(tracer, args.trace_out)
     return 0
 
 
@@ -132,22 +214,74 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ds = uniform_hypercube(max(args.m, args.n), args.d, seed=args.seed)
     q = np.arange(args.m)
     r = np.arange(args.n)
+    registry = enable_metrics()
+    tracer = enable_tracing()
 
-    def best_of(fn) -> float:
+    def best_of(fn, name: str) -> float:
         times = []
         for _ in range(args.repeats):
             t0 = time.perf_counter()
-            fn(ds.points, q, r, args.k)
+            with tracer.span("run", kernel=name):
+                fn(ds.points, q, r, args.k)
             times.append(time.perf_counter() - t0)
         return min(times)
 
-    t_gsknn = best_of(gsknn)
-    t_gemm = best_of(ref_knn)
+    try:
+        t_gsknn = best_of(gsknn, "gsknn")
+        t_gemm = best_of(ref_knn, "gemm")
+    finally:
+        disable_tracing()
+    absorb_tracer(tracer, registry)
     print(
         f"m={args.m} n={args.n} d={args.d} k={args.k}  "
         f"gsknn={t_gsknn * 1e3:.1f} ms  gemm={t_gemm * 1e3:.1f} ms  "
         f"speedup={t_gemm / t_gsknn:.2f}x"
     )
+    # phase totals cover every repeat of both kernels
+    total = sum(s.duration for s in tracer.roots())
+    _print_phase_table(registry.snapshot(), total)
+    if args.trace_out:
+        return _export_trace(tracer, args.trace_out)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    registry = enable_metrics()
+    tracer = enable_tracing()
+    try:
+        _, elapsed = _run_one_kernel(args)
+    finally:
+        disable_tracing()
+    absorb_tracer(tracer, registry)
+    snapshot = registry.snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=1, sort_keys=True))
+        return 0
+    print(
+        f"{args.kernel}: m={args.m} n={args.n} d={args.d} k={args.k} "
+        f"time={elapsed * 1e3:.1f} ms"
+    )
+    _print_phase_table(snapshot, elapsed)
+    if snapshot["counters"]:
+        print("counters:")
+        for name, value in snapshot["counters"].items():
+            print(f"  {name:<32} {value}")
+    if snapshot["gauges"]:
+        print("gauges:")
+        for name, value in snapshot["gauges"].items():
+            print(f"  {name:<32} {value:.4g}")
+    hist_rows = [
+        (name, h)
+        for name, h in snapshot["histograms"].items()
+        if not name.startswith("phase.")
+    ]
+    if hist_rows:
+        print("histograms:")
+        for name, h in hist_rows:
+            print(
+                f"  {name:<32} count={h['count']} mean={h['mean']:.4g} "
+                f"max={h['max']:.4g}"
+            )
     return 0
 
 
@@ -206,11 +340,27 @@ def _cmd_model(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     blk = BlockingParams(m_r=4, n_r=4, d_c=16, m_c=32, n_c=64)
     sim = KnnTraceSimulator(TINY_MACHINE, blk)
+    records = []
     for kernel in ("gsknn-var1", "gsknn-var6", "gemm"):
         res = sim.run(kernel, m=args.m, n=args.n, d=args.d, k=args.k)
+        records.append(
+            {
+                "kernel": kernel,
+                "m": args.m,
+                "n": args.n,
+                "d": args.d,
+                "k": args.k,
+                "dram_bytes": res.dram_total_bytes,
+                "microkernels": res.counts["microkernels"],
+            }
+        )
+    if args.json:
+        print(json.dumps(records, indent=1, sort_keys=True))
+        return 0
+    for rec in records:
         print(
-            f"  {kernel:10s}: DRAM {res.dram_total_bytes / 1024:8.1f} KiB  "
-            f"micro-kernels {res.counts['microkernels']}"
+            f"  {rec['kernel']:10s}: DRAM {rec['dram_bytes'] / 1024:8.1f} KiB  "
+            f"micro-kernels {rec['microkernels']}"
         )
     return 0
 
@@ -278,6 +428,7 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "kernel": _cmd_kernel,
     "compare": _cmd_compare,
+    "stats": _cmd_stats,
     "allknn": _cmd_allknn,
     "model": _cmd_model,
     "trace": _cmd_trace,

@@ -30,6 +30,8 @@ import numpy as np
 from ..config import BlockingParams, TEST_BLOCKING, iter_blocks
 from ..errors import ValidationError
 from ..gemm.packing import pack_micropanels
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry as _get_registry
 from ..select.heap import BinaryMaxHeap, DHeap
 from ..select.vectorized import BatchedNeighborLists
 from ..validation import as_coordinate_table, as_index_array, check_finite, check_k
@@ -209,33 +211,44 @@ def gsknn(
     m, n = q_idx.size, r_idx.size
     stats = GsknnStats(variant=var, m=m, n=n, d=X.shape[1])
 
-    # Fused gather-as-packing: queries once, references per 6th-loop block.
-    Q = X[q_idx]
-    if norm.is_l2 or norm.is_cosine:
-        if X2 is not None:
-            X2 = np.asarray(X2, dtype=np.float64)
-            if X2.shape != (X.shape[0],):
-                raise ValidationError(
-                    f"X2 must have shape ({X.shape[0]},), got {X2.shape}"
-                )
-            Q2 = X2[q_idx]
+    with _trace.span(
+        "gsknn", variant=int(var), m=m, n=n, d=X.shape[1], k=k
+    ):
+        # Fused gather-as-packing: queries once, refs per 6th-loop block.
+        with _trace.span("pack", which="Q", rows=m):
+            Q = X[q_idx]
+            if norm.is_l2 or norm.is_cosine:
+                if X2 is not None:
+                    X2 = np.asarray(X2, dtype=np.float64)
+                    if X2.shape != (X.shape[0],):
+                        raise ValidationError(
+                            f"X2 must have shape ({X.shape[0]},), got {X2.shape}"
+                        )
+                    Q2 = X2[q_idx]
+                else:
+                    Q2 = squared_norms(Q)
+            else:
+                Q2 = None
+
+        if var is Variant.VAR6:
+            result = _gsknn_var6(X, Q, Q2, r_idx, k, norm, X2, block_n, stats)
         else:
-            Q2 = squared_norms(Q)
-    else:
-        Q2 = None
+            use_filter = var is Variant.VAR1
+            result = _gsknn_blocked(
+                X, Q, Q2, r_idx, k, norm, X2, block_m, block_n, stats,
+                use_filter, initial,
+            )
+        if initial is not None:
+            from .neighbors import merge_neighbor_lists_fast
 
-    if var is Variant.VAR6:
-        result = _gsknn_var6(X, Q, Q2, r_idx, k, norm, X2, block_n, stats)
-    else:
-        use_filter = var is Variant.VAR1
-        result = _gsknn_blocked(
-            X, Q, Q2, r_idx, k, norm, X2, block_m, block_n, stats,
-            use_filter, initial,
-        )
-    if initial is not None:
-        from .neighbors import merge_neighbor_lists_fast
+            with _trace.span("heap", stage="warm_merge"):
+                result = merge_neighbor_lists_fast(result, initial)
 
-        result = merge_neighbor_lists_fast(result, initial)
+    registry = _get_registry()
+    if registry.enabled:
+        from ..obs.adapters import absorb_gsknn_stats
+
+        absorb_gsknn_stats(stats, registry)
     if return_stats:
         return result, stats
     return result
@@ -293,12 +306,15 @@ def _gsknn_blocked(
 
     for j_c, n_b in iter_blocks(n, block_n):  # 6th loop
         r_block = r_idx[j_c : j_c + n_b]
-        Rc, R2c = _reference_block(X, r_block, norm, X2)
+        with _trace.span("pack", which="R", rows=n_b, j_c=j_c):
+            Rc, R2c = _reference_block(X, r_block, norm, X2)
         for i_c, m_b in iter_blocks(m, block_m):  # 4th loop
             q2c = Q2[i_c : i_c + m_b] if Q2 is not None else None
-            tile = pairwise_block(Q[i_c : i_c + m_b], Rc, norm, q2c, R2c)
+            with _trace.span("rank_update", rows=m_b, cols=n_b):
+                tile = pairwise_block(Q[i_c : i_c + m_b], Rc, norm, q2c, R2c)
             stats.blocks += 1
-            lists.update(i_c, tile, r_block)
+            with _trace.span("heap", rows=m_b, cols=n_b):
+                lists.update(i_c, tile, r_block)
             if not use_filter:
                 # keep Var#5 merging unconditionally on later blocks too
                 lists.row_max[i_c : i_c + m_b] = np.inf
@@ -306,7 +322,8 @@ def _gsknn_blocked(
     stats.candidates_discarded = (
         lists.stats.candidates_offered - lists.stats.candidates_surviving
     )
-    dist, idx = lists.sorted()
+    with _trace.span("heap", stage="final_sort"):
+        dist, idx = lists.sorted()
     return KnnResult(dist, idx)
 
 
@@ -331,26 +348,31 @@ def _gsknn_var6(
     if n <= block_n:
         # single slab: the block's distance matrix IS the full C — skip
         # the copy into a preallocated buffer
-        Rc, R2c = _reference_block(X, r_idx, norm, X2)
-        C = pairwise_block(Q, Rc, norm, Q2, R2c)
+        with _trace.span("pack", which="R", rows=n):
+            Rc, R2c = _reference_block(X, r_idx, norm, X2)
+        with _trace.span("rank_update", rows=m, cols=n):
+            C = pairwise_block(Q, Rc, norm, Q2, R2c)
         stats.blocks = 1
     else:
         C = np.empty((m, n), dtype=np.float64)
         for j_c, n_b in iter_blocks(n, block_n):
             r_block = r_idx[j_c : j_c + n_b]
-            Rc, R2c = _reference_block(X, r_block, norm, X2)
-            C[:, j_c : j_c + n_b] = pairwise_block(Q, Rc, norm, Q2, R2c)
+            with _trace.span("pack", which="R", rows=n_b, j_c=j_c):
+                Rc, R2c = _reference_block(X, r_block, norm, X2)
+            with _trace.span("rank_update", rows=m, cols=n_b):
+                C[:, j_c : j_c + n_b] = pairwise_block(Q, Rc, norm, Q2, R2c)
             stats.blocks += 1
     stats.candidates_offered = m * n
 
-    if k < n:
-        part = np.argpartition(C, k - 1, axis=1)[:, :k]
-    else:
-        part = np.broadcast_to(np.arange(n), (m, n)).copy()
-    rows = np.arange(m)[:, None]
-    dist = C[rows, part]
-    order = np.argsort(dist, axis=1, kind="stable")
-    return KnnResult(dist[rows, order], r_idx[part[rows, order]])
+    with _trace.span("heap", stage="full_select", rows=m, cols=n):
+        if k < n:
+            part = np.argpartition(C, k - 1, axis=1)[:, :k]
+        else:
+            part = np.broadcast_to(np.arange(n), (m, n)).copy()
+        rows = np.arange(m)[:, None]
+        dist = C[rows, part]
+        order = np.argsort(dist, axis=1, kind="stable")
+        return KnnResult(dist[rows, order], r_idx[part[rows, order]])
 
 
 def gsknn_exact_loops(
@@ -425,7 +447,8 @@ def gsknn_exact_loops(
         r_block = r_idx[j_c : j_c + n_b]
         for p_c, d_b in iter_blocks(d, blk.d_c):  # 5th loop
             last_depth = p_c + d_b >= d
-            Rc = pack_micropanels(X[r_block, p_c : p_c + d_b], blk.n_r)
+            with _trace.span("pack", which="R", rows=n_b, depth=d_b):
+                Rc = pack_micropanels(X[r_block, p_c : p_c + d_b], blk.n_r)
             R2c = (
                 table_norms[r_block]
                 if (last_depth and (norm.is_l2 or norm.is_cosine))
@@ -433,7 +456,8 @@ def gsknn_exact_loops(
             )
             for i_c, m_b in iter_blocks(m, blk.m_c):  # 4th loop
                 q_block = q_idx[i_c : i_c + m_b]
-                Qc = pack_micropanels(X[q_block, p_c : p_c + d_b], blk.m_r)
+                with _trace.span("pack", which="Q", rows=m_b, depth=d_b):
+                    Qc = pack_micropanels(X[q_block, p_c : p_c + d_b], blk.m_r)
                 Q2c = (
                     table_norms[q_block]
                     if (last_depth and (norm.is_l2 or norm.is_cosine))
@@ -469,18 +493,21 @@ def gsknn_exact_loops(
         if var is Variant.VAR5:
             # selection after the 5th loop: the full m x n_b slab
             assert slab is not None
-            for i in range(m):
-                heaps[i].update_many(slab[i], r_block)
+            with _trace.span("heap", stage="var5_slab", cols=n_b):
+                for i in range(m):
+                    heaps[i].update_many(slab[i], r_block)
 
     if var is Variant.VAR6:
         assert C_full is not None
-        for i in range(m):
-            heaps[i].update_many(C_full[i], r_idx)
+        with _trace.span("heap", stage="var6_full"):
+            for i in range(m):
+                heaps[i].update_many(C_full[i], r_idx)
 
     dist = np.empty((m, k), dtype=np.float64)
     idx = np.empty((m, k), dtype=np.intp)
-    for i, heap in enumerate(heaps):
-        dist[i], idx[i] = heap.sorted_pairs()
+    with _trace.span("heap", stage="extract"):
+        for i, heap in enumerate(heaps):
+            dist[i], idx[i] = heap.sorted_pairs()
     return KnnResult(dist, idx)
 
 

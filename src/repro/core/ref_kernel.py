@@ -21,6 +21,8 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..gemm.packing import gather_panel
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry as _get_registry
 from ..perf.timer import PhaseTimer
 from ..select.heap import BinaryMaxHeap
 from ..validation import as_coordinate_table, as_index_array, check_finite, check_k
@@ -90,7 +92,7 @@ def ref_knn_timed(
     timer = PhaseTimer()
 
     # Phase 1 (T_coll): collect the scattered points into dense matrices.
-    with timer.phase("coll"):
+    with timer.phase("coll"), _trace.span("coll", m=q_idx.size, n=r_idx.size):
         Q = gather_panel(X, q_idx)
         R = gather_panel(X, r_idx)
         if norm.is_l2 or norm.is_cosine:
@@ -102,20 +104,20 @@ def ref_knn_timed(
 
     if norm.is_l2:
         # Phase 2 (T_gemm): C = -2 Q R^T via the vendor GEMM.
-        with timer.phase("gemm"):
+        with timer.phase("gemm"), _trace.span("gemm"):
             C = Q @ R.T
             C *= -2.0
         # Phase 3 (T_sq2d): C(i, j) += Q2(i) + R2(j), full-matrix pass.
-        with timer.phase("sq2d"):
+        with timer.phase("sq2d"), _trace.span("sq2d"):
             C += Q2[:, None]
             C += R2[None, :]
             np.maximum(C, 0.0, out=C)
     elif norm.is_cosine:
         # Cosine is the GEMM approach's other supported metric (§1):
         # the same inner-product GEMM, normalized instead of expanded.
-        with timer.phase("gemm"):
+        with timer.phase("gemm"), _trace.span("gemm"):
             C = Q @ R.T
-        with timer.phase("sq2d"):
+        with timer.phase("sq2d"), _trace.span("sq2d"):
             denom = np.sqrt(np.maximum(Q2[:, None] * R2[None, :], 0.0))
             with np.errstate(divide="ignore", invalid="ignore"):
                 np.divide(C, denom, out=C)
@@ -126,12 +128,20 @@ def ref_knn_timed(
         # Non-l2 norms have no GEMM expansion — the baseline computes the
         # full distance matrix directly (this is what rules GEMM-based
         # kernels out for general lp, §1).
-        with timer.phase("gemm"):
+        with timer.phase("gemm"), _trace.span("gemm", lp=True):
             C = pairwise_lp(Q, R, norm.p)
 
     # Phase 4 (T_heap): per-row selection.
-    with timer.phase("heap"):
+    with timer.phase("heap"), _trace.span("heap", selection=selection):
         result = select(C, r_idx, k)
+    registry = _get_registry()
+    if registry.enabled:
+        # Phases are NOT auto-absorbed here: the tracer's spans are the
+        # single source of phase truth when observability is on (the CLI
+        # folds them via absorb_tracer), and double-absorbing the timer
+        # would double every phase.* histogram. Benchmarks that want the
+        # timer in a registry call absorb_phase_timer explicitly.
+        registry.inc("ref_knn.calls")
     return result, timer
 
 

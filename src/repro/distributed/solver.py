@@ -33,6 +33,8 @@ from ..core.norms import squared_norms
 from ..core.ref_kernel import ref_knn
 from ..errors import ValidationError
 from ..model.perf_model import PerformanceModel
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry as _get_registry
 from ..parallel.scheduler import ScheduledTask, lpt_schedule
 from ..trees.rkdtree import RandomizedKDTree
 from ..validation import as_coordinate_table, check_finite, check_k
@@ -161,13 +163,14 @@ class DistributedAllKnn:
         imbalances: list[float] = []
         rng = np.random.default_rng(self.seed)
 
-        for _ in range(self.iterations):
-            tree = RandomizedKDTree(
-                leaf_size=self.leaf_size,
-                seed=int(rng.integers(0, 2**63 - 1)),
-            ).fit(X)
-            # rank 0 owns the tree; leaf assignments are broadcast
-            assignments = self._assign_leaves(tree.leaves, d, k, model)
+        for iteration in range(self.iterations):
+            with _trace.span("tree_build", iteration=iteration):
+                tree = RandomizedKDTree(
+                    leaf_size=self.leaf_size,
+                    seed=int(rng.integers(0, 2**63 - 1)),
+                ).fit(X)
+                # rank 0 owns the tree; leaf assignments are broadcast
+                assignments = self._assign_leaves(tree.leaves, d, k, model)
             imbalances.append(self._last_imbalance)
             comm.broadcast(
                 0, np.concatenate([leaf for leaf in tree.leaves]), tag="tree"
@@ -175,21 +178,22 @@ class DistributedAllKnn:
 
             # coordinate exchange: each solving rank receives the rows of
             # its leaves that live on other home ranks
-            shuffle: list[list] = [
-                [np.empty((0, d)) for _ in range(self.n_ranks)]
-                for _ in range(self.n_ranks)
-            ]
-            for solver_rank, rank_leaves in enumerate(assignments):
-                for leaf in rank_leaves:
-                    owners = home[leaf]
-                    for src in np.unique(owners):
-                        if src == solver_rank:
-                            continue
-                        rows = leaf[owners == src]
-                        shuffle[src][solver_rank] = np.vstack(
-                            [shuffle[src][solver_rank], X[rows]]
-                        )
-            comm.alltoallv(shuffle, tag="coords")
+            with _trace.span("exchange", what="coords", iteration=iteration):
+                shuffle: list[list] = [
+                    [np.empty((0, d)) for _ in range(self.n_ranks)]
+                    for _ in range(self.n_ranks)
+                ]
+                for solver_rank, rank_leaves in enumerate(assignments):
+                    for leaf in rank_leaves:
+                        owners = home[leaf]
+                        for src in np.unique(owners):
+                            if src == solver_rank:
+                                continue
+                            rows = leaf[owners == src]
+                            shuffle[src][solver_rank] = np.vstack(
+                                [shuffle[src][solver_rank], X[rows]]
+                            )
+                comm.alltoallv(shuffle, tag="coords")
 
             # each rank solves its leaves (measured, attributed per rank);
             # list updates destined for other home ranks accumulate per
@@ -200,7 +204,10 @@ class DistributedAllKnn:
             for solver_rank, rank_leaves in enumerate(assignments):
                 for leaf in rank_leaves:
                     t0 = time.perf_counter()
-                    local = self._run_kernel(X, leaf, k, X2)
+                    with _trace.span(
+                        "kernel", rank=solver_rank, leaf_size=int(leaf.size)
+                    ):
+                        local = self._run_kernel(X, leaf, k, X2)
                     elapsed = time.perf_counter() - t0
                     rank_kernel_seconds[solver_rank] += elapsed
                     serial_kernel += elapsed
@@ -216,17 +223,27 @@ class DistributedAllKnn:
                             self._merge_rows(current, *payload)
                         else:
                             pending[solver_rank][dst].append(payload)
-            results_back = [
-                [self._stack_payloads(cell, k) for cell in row]
-                for row in pending
-            ]
-            inboxes = comm.alltoallv(results_back, tag="lists")
-            for dst in range(self.n_ranks):
-                for payload in inboxes[dst]:
-                    rows, dists, ids = payload
-                    if rows.size:
-                        self._merge_rows(current, rows, dists, ids)
+            with _trace.span("exchange", what="lists", iteration=iteration):
+                results_back = [
+                    [self._stack_payloads(cell, k) for cell in row]
+                    for row in pending
+                ]
+                inboxes = comm.alltoallv(results_back, tag="lists")
+                for dst in range(self.n_ranks):
+                    for payload in inboxes[dst]:
+                        rows, dists, ids = payload
+                        if rows.size:
+                            self._merge_rows(current, rows, dists, ids)
 
+        registry = _get_registry()
+        if registry.enabled:
+            registry.inc("dist.solves")
+            registry.inc("dist.comm_bytes", comm.total_bytes())
+            registry.set(
+                "dist.imbalance", max(imbalances) if imbalances else 1.0
+            )
+            for seconds in rank_kernel_seconds:
+                registry.observe("dist.rank_kernel_seconds", seconds)
         return DistributedReport(
             result=current,
             n_ranks=self.n_ranks,

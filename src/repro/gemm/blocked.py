@@ -28,6 +28,7 @@ import numpy as np
 
 from ..config import BlockingParams, IVY_BRIDGE_BLOCKING, iter_blocks
 from ..errors import ValidationError
+from ..obs import trace as _trace
 from .packing import pack_micropanels
 
 __all__ = ["BlockedGemm", "blocked_gemm", "GemmObserver"]
@@ -98,24 +99,28 @@ class BlockedGemm:
         obs = self.observer
         C = np.zeros((m, n), dtype=np.float64)
 
-        for j_c, n_b in iter_blocks(n, blk.n_c):  # 6th loop
-            for p_c, d_b in iter_blocks(d, blk.d_c):  # 5th loop
-                b_block = B[j_c : j_c + n_b, p_c : p_c + d_b]
-                b_packed = pack_micropanels(b_block, blk.n_r)
-                obs.on_pack("R", n_b, d_b)
-                for i_c, m_b in iter_blocks(m, blk.m_c):  # 4th loop
-                    a_block = A[i_c : i_c + m_b, p_c : p_c + d_b]
-                    a_packed = pack_micropanels(a_block, blk.m_r)
-                    obs.on_pack("Q", m_b, d_b)
-                    obs.on_c_block(m_b, n_b, is_first_depth=(p_c == 0))
-                    self._macro_kernel(
-                        a_packed,
-                        b_packed,
-                        C[i_c : i_c + m_b, j_c : j_c + n_b],
-                        m_b,
-                        n_b,
-                        d_b,
-                    )
+        with _trace.span("blocked_gemm", m=m, n=n, d=d):
+            for j_c, n_b in iter_blocks(n, blk.n_c):  # 6th loop
+                for p_c, d_b in iter_blocks(d, blk.d_c):  # 5th loop
+                    b_block = B[j_c : j_c + n_b, p_c : p_c + d_b]
+                    with _trace.span("pack", which="R", rows=n_b, depth=d_b):
+                        b_packed = pack_micropanels(b_block, blk.n_r)
+                    obs.on_pack("R", n_b, d_b)
+                    for i_c, m_b in iter_blocks(m, blk.m_c):  # 4th loop
+                        a_block = A[i_c : i_c + m_b, p_c : p_c + d_b]
+                        with _trace.span("pack", which="Q", rows=m_b, depth=d_b):
+                            a_packed = pack_micropanels(a_block, blk.m_r)
+                        obs.on_pack("Q", m_b, d_b)
+                        obs.on_c_block(m_b, n_b, is_first_depth=(p_c == 0))
+                        with _trace.span("rank_update", rows=m_b, cols=n_b, depth=d_b):
+                            self._macro_kernel(
+                                a_packed,
+                                b_packed,
+                                C[i_c : i_c + m_b, j_c : j_c + n_b],
+                                m_b,
+                                n_b,
+                                d_b,
+                            )
         return C
 
     def _macro_kernel(

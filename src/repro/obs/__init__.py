@@ -1,0 +1,78 @@
+"""Unified kernel observability: tracing, metrics, benchmark telemetry.
+
+Three dependency-free pillars (§ the paper lives or dies by measured
+per-phase behavior — Table 5's ``T_coll + T_gemm + T_sq2d + T_heap``,
+the Table 4 latency/bandwidth model, the Var#1/Var#6 crossover):
+
+* :mod:`repro.obs.trace` — nested timed spans with attributes; Chrome
+  ``chrome://tracing`` / Perfetto JSON and flat JSONL exports; a shared
+  no-op span object when disabled so hot paths stay hot;
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` (fixed log-scale buckets) behind one
+  :class:`MetricsRegistry` whose ``snapshot()`` is the single structured
+  view of everything the kernels count;
+* :mod:`repro.obs.telemetry` — schema-versioned ``BENCH_<name>.json``
+  records every benchmark emits next to its text report, diffable by
+  ``benchmarks/compare_runs.py``.
+
+:mod:`repro.obs.adapters` bridges the pre-existing ad-hoc carriers
+(:class:`KernelCounters`, :class:`PhaseTimer`, :class:`SelectionStats`,
+schedules) into the registry so no caller had to change shape.
+
+Both the global tracer and the global registry start **disabled**; the
+instrumented kernels pay one attribute read per site until the CLI
+(``repro-gsknn kernel --trace-out``, ``repro-gsknn stats``), a benchmark,
+or a test turns them on. See ``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    set_registry,
+)
+from .trace import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+)
+from .telemetry import (
+    BENCH_SCHEMA_VERSION,
+    build_record,
+    diff_records,
+    load_record,
+    validate_record,
+    write_record,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "BENCH_SCHEMA_VERSION",
+    "build_record",
+    "validate_record",
+    "write_record",
+    "load_record",
+    "diff_records",
+]

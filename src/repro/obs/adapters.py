@@ -1,0 +1,206 @@
+"""Bridges from the repo's legacy instrumentation into the registry.
+
+Each ``absorb_*`` function folds one of the pre-existing ad-hoc stat
+carriers — :class:`~repro.perf.counters.KernelCounters`,
+:class:`~repro.perf.timer.PhaseTimer` / ``PhaseBreakdown``,
+:class:`~repro.select.counters.SelectionStats`,
+:class:`~repro.core.gsknn.GsknnStats`,
+:class:`~repro.parallel.scheduler.Schedule` — into a
+:class:`~repro.obs.metrics.MetricsRegistry` under a stable, namespaced
+key scheme (``kernel.*``, ``phase.*``, ``select.*``, ``sched.*``).
+The carriers themselves stay untouched: code that consumed them keeps
+working, and the registry is a *superset* view.
+
+:class:`MetricsGemmObserver` plugs into the blocked-GEMM engine's
+pre-existing observer seam, so the packed loop nest reports pack /
+micro-kernel / C-block traffic without new hooks in its inner loops.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .metrics import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..core.gsknn import GsknnStats
+    from ..parallel.scheduler import Schedule
+    from ..perf.counters import KernelCounters
+    from ..perf.timer import PhaseBreakdown, PhaseTimer
+    from ..select.counters import SelectionStats
+
+__all__ = [
+    "absorb_kernel_counters",
+    "absorb_phase_timer",
+    "absorb_phase_breakdown",
+    "absorb_selection_stats",
+    "absorb_gsknn_stats",
+    "absorb_schedule",
+    "absorb_tracer",
+    "MetricsGemmObserver",
+]
+
+
+def _target(registry: MetricsRegistry | None) -> MetricsRegistry:
+    return registry if registry is not None else get_registry()
+
+
+def absorb_kernel_counters(
+    counters: "KernelCounters",
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = "kernel",
+) -> MetricsRegistry:
+    """Fold flop / slow-memory / heap tallies into ``<prefix>.*`` counters."""
+    reg = _target(registry)
+    reg.inc_many(
+        [
+            (f"{prefix}.flops", counters.flops),
+            (f"{prefix}.slow_reads", counters.slow_reads),
+            (f"{prefix}.slow_writes", counters.slow_writes),
+            (f"{prefix}.heap_updates", counters.heap_updates),
+            (f"{prefix}.discarded", counters.discarded),
+        ]
+    )
+    return reg
+
+
+def absorb_phase_breakdown(
+    breakdown: "PhaseBreakdown",
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = "phase",
+) -> MetricsRegistry:
+    """Observe each Table-5 phase's seconds into ``<prefix>.<name>``."""
+    reg = _target(registry)
+    for name in ("coll", "gemm", "sq2d", "heap", "other"):
+        seconds = getattr(breakdown, name)
+        if seconds > 0.0:
+            reg.observe(f"{prefix}.{name}", seconds)
+    return reg
+
+
+def absorb_phase_timer(
+    timer: "PhaseTimer",
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = "phase",
+) -> MetricsRegistry:
+    """Observe every named phase the timer accumulated (not just Table 5's)."""
+    reg = _target(registry)
+    for name, seconds in timer.seconds.items():
+        reg.observe(f"{prefix}.{name}", seconds)
+    return reg
+
+
+def absorb_selection_stats(
+    stats: "SelectionStats",
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = "select",
+) -> MetricsRegistry:
+    """Fold one selection pass's operation tallies into ``<prefix>.*``."""
+    reg = _target(registry)
+    reg.inc_many(
+        [
+            (f"{prefix}.comparisons", stats.comparisons),
+            (f"{prefix}.moves", stats.moves),
+            (f"{prefix}.random_accesses", stats.random_accesses),
+            (f"{prefix}.sequential_accesses", stats.sequential_accesses),
+        ]
+    )
+    return reg
+
+
+def absorb_gsknn_stats(
+    stats: "GsknnStats",
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = "gsknn",
+) -> MetricsRegistry:
+    """Fold one fused-kernel run: counters, block count, discard gauge."""
+    reg = _target(registry)
+    reg.inc(f"{prefix}.calls")
+    reg.inc(f"{prefix}.variant.var{int(stats.variant)}")
+    reg.inc(f"{prefix}.blocks", stats.blocks)
+    reg.gauge(f"{prefix}.discard_fraction").set(stats.discard_fraction)
+    absorb_kernel_counters(stats.counters(), reg, prefix=f"{prefix}.work")
+    return reg
+
+
+def absorb_schedule(
+    schedule: "Schedule",
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = "sched",
+) -> MetricsRegistry:
+    """Record one LPT schedule: queue sizes, makespan, imbalance."""
+    reg = _target(registry)
+    reg.inc(f"{prefix}.schedules")
+    reg.inc(f"{prefix}.tasks", sum(len(p) for p in schedule.assignments))
+    reg.set(f"{prefix}.processors", schedule.n_processors)
+    reg.set(f"{prefix}.makespan_seconds", schedule.makespan)
+    reg.set(f"{prefix}.total_work_seconds", schedule.total_work)
+    reg.set(f"{prefix}.imbalance", schedule.imbalance)
+    for load in schedule.loads:
+        reg.observe(f"{prefix}.queue_seconds", load)
+    return reg
+
+
+def absorb_tracer(
+    tracer,
+    registry: MetricsRegistry | None = None,
+    *,
+    prefix: str = "phase",
+) -> MetricsRegistry:
+    """Fold a tracer's per-name aggregate into phase histograms.
+
+    ``self_seconds`` (span time not covered by child spans) is what gets
+    observed, so summing the ``<prefix>.*`` histograms over a span tree
+    reproduces the root's wall clock — the property that makes the CLI's
+    breakdown table add up like Table 5 does.
+    """
+    reg = _target(registry)
+    for name, row in tracer.aggregate().items():
+        hist = reg.histogram(f"{prefix}.{name}")
+        hist.observe(row["self_seconds"])
+        reg.inc(f"{prefix}.{name}.spans", int(row["count"]))
+    return reg
+
+
+class MetricsGemmObserver:
+    """GEMM loop-nest observer that tallies into a registry.
+
+    Satisfies :class:`repro.gemm.blocked.GemmObserver`; composes with any
+    existing observer (pass it as ``inner``) so the cache simulator and
+    the metrics can watch the same run.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        prefix: str = "gemm",
+        inner=None,
+    ) -> None:
+        self.registry = _target(registry)
+        self.prefix = prefix
+        self.inner = inner
+
+    def on_pack(self, which: str, rows: int, depth: int) -> None:
+        self.registry.inc(f"{self.prefix}.packs")
+        self.registry.inc(f"{self.prefix}.packed_doubles", rows * depth)
+        if self.inner is not None:
+            self.inner.on_pack(which, rows, depth)
+
+    def on_microkernel(self, m_r: int, n_r: int, depth: int) -> None:
+        self.registry.inc(f"{self.prefix}.microkernels")
+        self.registry.inc(f"{self.prefix}.rank_updates", m_r * n_r * depth)
+        if self.inner is not None:
+            self.inner.on_microkernel(m_r, n_r, depth)
+
+    def on_c_block(self, rows: int, cols: int, is_first_depth: bool) -> None:
+        self.registry.inc(f"{self.prefix}.c_blocks")
+        self.registry.inc(f"{self.prefix}.c_doubles", rows * cols)
+        if self.inner is not None:
+            self.inner.on_c_block(rows, cols, is_first_depth)

@@ -1,0 +1,313 @@
+"""Unified metrics registry: counters, gauges, log-bucket histograms.
+
+Before this module the repo's instrumentation was fragmented — flop and
+memory tallies in :class:`~repro.perf.counters.KernelCounters`, phase
+wall-clock in :class:`~repro.perf.timer.PhaseTimer`, selection work in
+:class:`~repro.select.counters.SelectionStats`, schedule balance inside
+:class:`~repro.parallel.scheduler.Schedule` — each with its own shape.
+:class:`MetricsRegistry` gives them one sink and one export:
+``registry.snapshot()`` returns a plain nested dict every consumer (the
+CLI ``stats`` command, the benchmark telemetry records, tests) reads the
+same way.
+
+Collection is **opt-in**: the process-global registry starts disabled
+and instrumented code guards with ``if registry.enabled`` so the tier-1
+hot paths pay one attribute read when observability is off.
+
+:class:`Histogram` uses *fixed log-scale buckets* (geometric bucket
+edges) because every quantity here — span durations, kernel seconds,
+message bytes — spans orders of magnitude; linear buckets would waste
+resolution at one end.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable
+
+from ..errors import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "enable_metrics",
+    "disable_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing tally (events, flops, bytes).
+
+    ``inc`` takes a per-metric lock: ``value += amount`` is three
+    bytecodes and loses updates under preemption without it.
+    """
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name!r}: increment must be >= 0, got {amount}"
+            )
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins value (imbalance ratio, queue depth, block size)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed log-scale-bucket histogram of a positive-ish quantity.
+
+    Bucket upper edges are ``start * factor**i`` for ``i in [0, count)``
+    plus a final ``+inf`` overflow bucket; observations at or below an
+    edge land in that bucket (``le`` semantics, like Prometheus).
+    Defaults cover 1 microsecond to ~18 minutes at 2x resolution —
+    suitable for span durations; pass ``start``/``factor``/``count`` for
+    byte counts or operation tallies.
+    """
+
+    __slots__ = (
+        "name", "edges", "bucket_counts", "count", "total", "_min", "_max",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        start: float = 1e-6,
+        factor: float = 2.0,
+        count: int = 30,
+    ) -> None:
+        if start <= 0:
+            raise ValidationError(f"histogram {name!r}: start must be > 0")
+        if factor <= 1.0:
+            raise ValidationError(f"histogram {name!r}: factor must be > 1")
+        if count < 1:
+            raise ValidationError(f"histogram {name!r}: need >= 1 bucket")
+        self.name = name
+        self.edges = [start * factor**i for i in range(count)]
+        self.bucket_counts = [0] * (count + 1)  # final slot = overflow
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.bucket_counts[bisect_left(self.edges, value)] += 1
+            self.count += 1
+            self.total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: the upper edge of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= target and n:
+                return self.edges[i] if i < len(self.edges) else math.inf
+        return math.inf
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self._min if self.count else 0.0,
+            "max": self._max if self.count else 0.0,
+            "edges": list(self.edges),
+            "buckets": list(self.bucket_counts),
+        }
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        if self.edges != other.edges:
+            raise ValidationError(
+                f"histogram {self.name!r}: cannot merge differing bucket edges"
+            )
+        with self._lock:
+            for i, n in enumerate(other.bucket_counts):
+                self.bucket_counts[i] += n
+            self.count += other.count
+            self.total += other.total
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        return self
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create store of named metrics.
+
+    ``enabled`` is the collection gate instrumented code checks; the
+    registry itself always works (tests and the CLI create private
+    enabled registries freely).
+    """
+
+    def __init__(self, *, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str, **kwargs: Any) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, **kwargs)
+            return metric
+
+    # -- bulk operations --------------------------------------------------
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, **kwargs: Any) -> None:
+        self.histogram(name, **kwargs).observe(value)
+
+    def inc_many(self, items: Iterable[tuple[str, int | float]]) -> None:
+        for name, amount in items:
+            self.counter(name).inc(amount)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view of everything: the one export every consumer reads."""
+        with self._lock:
+            counters = {k: c.snapshot() for k, c in sorted(self._counters.items())}
+            gauges = {k: g.snapshot() for k, g in sorted(self._gauges.items())}
+            histograms = {
+                k: h.snapshot() for k, h in sorted(self._histograms.items())
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in (counters add, gauges last-write,
+        histograms bucket-wise) — per-thread registries join here."""
+        with other._lock:
+            counters = list(other._counters.items())
+            gauges = list(other._gauges.items())
+            histograms = list(other._histograms.items())
+        for name, c in counters:
+            self.counter(name).inc(c.value)
+        for name, g in gauges:
+            self.gauge(name).set(g.value)
+        for name, h in histograms:
+            mine = self.histogram(name)
+            if mine.count == 0 and mine.edges != h.edges:
+                # adopt the incoming layout when ours is still empty
+                with self._lock:
+                    clone = Histogram(name)
+                    clone.edges = list(h.edges)
+                    clone.bucket_counts = [0] * len(h.bucket_counts)
+                    self._histograms[name] = clone
+                    mine = clone
+            mine.merge(h)
+        return self
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: Process-global registry the instrumented kernels report to (opt-in).
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _GLOBAL_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (test isolation); returns the old one."""
+    global _GLOBAL_REGISTRY
+    old, _GLOBAL_REGISTRY = _GLOBAL_REGISTRY, registry
+    return old
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Enable (and clear) the global registry; returns it."""
+    registry = get_registry()
+    registry.clear()
+    registry.enabled = True
+    return registry
+
+
+def disable_metrics() -> MetricsRegistry:
+    registry = get_registry()
+    registry.enabled = False
+    return registry

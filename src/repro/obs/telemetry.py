@@ -1,0 +1,241 @@
+"""Machine-readable benchmark telemetry: schema-versioned ``BENCH_*.json``.
+
+The benchmark harnesses historically wrote only human-oriented text
+tables under ``benchmarks/results/`` — fine for eyeballs, useless for a
+regression bot. This module defines the one record shape every bench
+run emits alongside its text report:
+
+* ``schema_version`` — bump on incompatible change; the checker and the
+  differ both refuse records from the future;
+* ``name`` — the experiment (file is ``BENCH_<name>.json``);
+* ``environment`` — interpreter / numpy / host fingerprint plus the git
+  SHA the run came from, so two records are comparable *or provably not*;
+* ``problem`` — m/n/d/k-style size dict (free-form but flat);
+* ``metrics`` — flat ``{key: number}`` map (seconds, GFLOPS, speedups) —
+  this is what :func:`diff_records` compares;
+* ``rows`` — optional structured per-row payloads (one per table row);
+* ``snapshot`` — optional :meth:`MetricsRegistry.snapshot` dump.
+
+Everything is stdlib-only and the writer is atomic-ish (temp file +
+rename) so a crashed bench never leaves a half-written record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import ValidationError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "git_sha",
+    "environment_fingerprint",
+    "build_record",
+    "validate_record",
+    "write_record",
+    "load_record",
+    "diff_records",
+    "bench_filename",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Required top-level fields and their types.
+_REQUIRED: dict[str, type] = {
+    "schema_version": int,
+    "name": str,
+    "created_unix": (int, float),  # type: ignore[dict-item]
+    "environment": dict,
+    "problem": dict,
+    "metrics": dict,
+}
+
+
+def git_sha(repo_root: str | Path | None = None) -> str | None:
+    """The current git commit SHA, or None outside a repo / without git."""
+    if repo_root is None:
+        repo_root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Who ran this: interpreter, numpy, host, core count, git SHA."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_sha(),
+    }
+
+
+def bench_filename(name: str) -> str:
+    return f"BENCH_{name}.json"
+
+
+def build_record(
+    name: str,
+    *,
+    problem: dict[str, Any] | None = None,
+    metrics: dict[str, float] | None = None,
+    rows: list[dict[str, Any]] | None = None,
+    snapshot: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble (and validate) one telemetry record."""
+    record: dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "created_unix": time.time(),
+        "environment": environment_fingerprint(),
+        "problem": dict(problem or {}),
+        "metrics": {k: float(v) for k, v in (metrics or {}).items()},
+    }
+    if rows is not None:
+        record["rows"] = rows
+    if snapshot is not None:
+        record["snapshot"] = snapshot
+    if extra:
+        record["extra"] = dict(extra)
+    validate_record(record)
+    return record
+
+
+def validate_record(record: Any) -> None:
+    """Raise :class:`ValidationError` listing every schema violation."""
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        raise ValidationError(
+            f"telemetry record must be a JSON object, got {type(record).__name__}"
+        )
+    for key, expected in _REQUIRED.items():
+        if key not in record:
+            problems.append(f"missing required field {key!r}")
+        elif not isinstance(record[key], expected):
+            problems.append(
+                f"field {key!r} must be {getattr(expected, '__name__', expected)}, "
+                f"got {type(record[key]).__name__}"
+            )
+    if not problems:
+        version = record["schema_version"]
+        if version < 1 or version > BENCH_SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {version} outside supported range "
+                f"[1, {BENCH_SCHEMA_VERSION}]"
+            )
+        if not record["name"]:
+            problems.append("name must be non-empty")
+        for key, value in record["metrics"].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(
+                    f"metrics[{key!r}] must be a number, got {type(value).__name__}"
+                )
+        if "rows" in record and not isinstance(record["rows"], list):
+            problems.append("rows must be a list")
+    if problems:
+        raise ValidationError(
+            "invalid telemetry record: " + "; ".join(problems)
+        )
+
+
+def write_record(record: dict[str, Any], directory: str | Path) -> Path:
+    """Validate then write ``BENCH_<name>.json``; returns the path."""
+    validate_record(record)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / bench_filename(record["name"])
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_record(path: str | Path) -> dict[str, Any]:
+    """Read and validate one record file."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: not valid JSON ({exc})") from exc
+    try:
+        validate_record(record)
+    except ValidationError as exc:
+        raise ValidationError(f"{path}: {exc}") from exc
+    return record
+
+
+def diff_records(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    *,
+    threshold: float = 0.05,
+) -> list[dict[str, Any]]:
+    """Metric-by-metric comparison of two records of the same experiment.
+
+    Returns one row per metric key present in either record::
+
+        {"metric", "old", "new", "ratio", "delta", "status"}
+
+    ``status`` is ``"ok"`` (|relative change| <= threshold), ``"changed"``
+    (beyond threshold), or ``"added"``/``"removed"``. Whether a change is
+    a regression depends on the metric's polarity — that judgment lives
+    in ``benchmarks/compare_runs.py``, which knows the naming convention.
+    """
+    if threshold < 0:
+        raise ValidationError(f"threshold must be >= 0, got {threshold}")
+    rows: list[dict[str, Any]] = []
+    old_metrics = old.get("metrics", {})
+    new_metrics = new.get("metrics", {})
+    for key in sorted(set(old_metrics) | set(new_metrics)):
+        if key not in old_metrics:
+            rows.append(
+                {"metric": key, "old": None, "new": new_metrics[key],
+                 "ratio": None, "delta": None, "status": "added"}
+            )
+            continue
+        if key not in new_metrics:
+            rows.append(
+                {"metric": key, "old": old_metrics[key], "new": None,
+                 "ratio": None, "delta": None, "status": "removed"}
+            )
+            continue
+        a, b = float(old_metrics[key]), float(new_metrics[key])
+        delta = b - a
+        ratio = b / a if a not in (0, 0.0) else (1.0 if b == a else float("inf"))
+        rel = abs(delta) / abs(a) if a else (0.0 if b == a else float("inf"))
+        rows.append(
+            {
+                "metric": key,
+                "old": a,
+                "new": b,
+                "ratio": ratio,
+                "delta": delta,
+                "status": "ok" if rel <= threshold else "changed",
+            }
+        )
+    return rows

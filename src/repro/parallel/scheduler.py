@@ -12,11 +12,14 @@ module reproduces that, and can execute the schedule on real threads.
 from __future__ import annotations
 
 import heapq
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..errors import ValidationError
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry as _get_registry
 
 __all__ = ["ScheduledTask", "Schedule", "lpt_schedule", "graham_bound", "execute_schedule"]
 
@@ -80,13 +83,19 @@ def lpt_schedule(tasks: Sequence[ScheduledTask], p: int) -> Schedule:
     schedule = Schedule(p, [[] for _ in range(p)])
     if not tasks:
         return schedule
-    # heap entries: (load, processor index) — ties broken by index
-    loads = [(0.0, i) for i in range(p)]
-    heapq.heapify(loads)
-    for task in sorted(tasks, key=lambda t: -t.estimate):
-        load, proc = heapq.heappop(loads)
-        schedule.assignments[proc].append(task)
-        heapq.heappush(loads, (load + task.estimate, proc))
+    with _trace.span("lpt_schedule", tasks=len(tasks), processors=p):
+        # heap entries: (load, processor index) — ties broken by index
+        loads = [(0.0, i) for i in range(p)]
+        heapq.heapify(loads)
+        for task in sorted(tasks, key=lambda t: -t.estimate):
+            load, proc = heapq.heappop(loads)
+            schedule.assignments[proc].append(task)
+            heapq.heappush(loads, (load + task.estimate, proc))
+    registry = _get_registry()
+    if registry.enabled:
+        from ..obs.adapters import absorb_schedule
+
+        absorb_schedule(schedule, registry)
     return schedule
 
 
@@ -110,9 +119,25 @@ def execute_schedule(
     parallel decomposition.)
     """
     results: dict[int, Any] = {}
+    registry = _get_registry()
 
     def worker(tasks: list[ScheduledTask]) -> list[tuple[int, Any]]:
-        return [(t.task_id, run(t)) for t in tasks]
+        out: list[tuple[int, Any]] = []
+        with _trace.span("worker", tasks=len(tasks)):
+            for t in tasks:
+                if registry.enabled:
+                    t0 = time.perf_counter()
+                    with _trace.span("task", task_id=t.task_id, estimate=t.estimate):
+                        value = run(t)
+                    registry.inc("sched.executed_tasks")
+                    registry.observe(
+                        "sched.task_seconds", time.perf_counter() - t0
+                    )
+                else:
+                    with _trace.span("task", task_id=t.task_id, estimate=t.estimate):
+                        value = run(t)
+                out.append((t.task_id, value))
+        return out
 
     with ThreadPoolExecutor(max_workers=max(schedule.n_processors, 1)) as pool:
         for chunk in pool.map(worker, schedule.assignments):

@@ -33,6 +33,39 @@ class KernelCounters:
         self.discarded += other.discarded
         return self
 
+    def __add__(self, other: object) -> "KernelCounters":
+        if not isinstance(other, KernelCounters):
+            return NotImplemented
+        return KernelCounters(
+            flops=self.flops + other.flops,
+            slow_reads=self.slow_reads + other.slow_reads,
+            slow_writes=self.slow_writes + other.slow_writes,
+            heap_updates=self.heap_updates + other.heap_updates,
+            discarded=self.discarded + other.discarded,
+        )
+
+    def __radd__(self, other: object) -> "KernelCounters":
+        # sum() starts from 0 — absorb it so sum(counters) just works.
+        if other == 0:
+            return KernelCounters(
+                self.flops,
+                self.slow_reads,
+                self.slow_writes,
+                self.heap_updates,
+                self.discarded,
+            )
+        return self.__add__(other)  # type: ignore[arg-type]
+
     @property
     def slow_doubles(self) -> int:
         return self.slow_reads + self.slow_writes
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat dict view (telemetry records embed this)."""
+        return {
+            "flops": self.flops,
+            "slow_reads": self.slow_reads,
+            "slow_writes": self.slow_writes,
+            "heap_updates": self.heap_updates,
+            "discarded": self.discarded,
+        }

@@ -9,6 +9,8 @@ GFLOPS therefore under-represents selection-heavy configurations).
 
 from __future__ import annotations
 
+import warnings
+
 from ..errors import ValidationError
 
 __all__ = ["knn_flops", "gflops", "efficiency"]
@@ -22,9 +24,21 @@ def knn_flops(m: int, n: int, d: int) -> int:
 
 
 def gflops(m: int, n: int, d: int, seconds: float) -> float:
-    """Achieved GFLOPS of one kernel execution."""
+    """Achieved GFLOPS of one kernel execution.
+
+    A non-positive ``seconds`` (a timer too coarse for a tiny problem,
+    or a clock that stepped) yields ``nan`` with a warning rather than
+    an exception — one unmeasurable cell must not abort a whole
+    benchmark sweep.
+    """
     if seconds <= 0:
-        raise ValidationError(f"seconds must be positive, got {seconds}")
+        warnings.warn(
+            f"gflops: elapsed time must be positive, got {seconds}; "
+            "returning nan (problem too small for the timer?)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return float("nan")
     return knn_flops(m, n, d) / seconds / 1e9
 
 

@@ -73,15 +73,24 @@ class PhaseTimer:
     """
 
     seconds: dict[str, float] = field(default_factory=dict)
+    #: Open nesting depth per phase name. Re-entering an already-open
+    #: phase is a no-op timer-wise: only the *outermost* exit records,
+    #: so recursive/nested use of one name accumulates its wall clock
+    #: exactly once instead of double-counting the inner interval.
+    _depth: dict[str, int] = field(default_factory=dict, repr=False)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
+        depth = self._depth.get(name, 0)
+        self._depth[name] = depth + 1
+        start = time.perf_counter() if depth == 0 else 0.0
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self._depth[name] -= 1
+            if depth == 0:
+                elapsed = time.perf_counter() - start
+                self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
 
     def breakdown(self) -> PhaseBreakdown:
         known = {name: self.seconds.get(name, 0.0) for name in PHASES}
@@ -90,3 +99,4 @@ class PhaseTimer:
 
     def reset(self) -> None:
         self.seconds.clear()
+        self._depth.clear()

@@ -27,6 +27,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ValidationError
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry as _get_registry
 from .counters import SelectionStats
 
 __all__ = ["BinaryMaxHeap", "DHeap", "heap_select_smallest"]
@@ -284,5 +286,15 @@ def heap_select_smallest(
         heap = BinaryMaxHeap(k, stats=stats)
     else:
         heap = DHeap(k, arity=arity, stats=stats)
-    heap.update_many(values, np.arange(values.size, dtype=np.intp))
-    return heap.sorted_pairs()
+    with _trace.span("heap", stage="stream_select", n=values.size, k=k, arity=arity):
+        heap.update_many(values, np.arange(values.size, dtype=np.intp))
+        pairs = heap.sorted_pairs()
+    # Per-candidate counting happens inside the heap; publication to the
+    # metrics registry is once per pass, so the hot loop stays scalar.
+    registry = _get_registry()
+    if registry.enabled:
+        from ..obs.adapters import absorb_selection_stats
+
+        absorb_selection_stats(heap.stats, registry)
+        registry.inc("select.passes")
+    return pairs

@@ -101,3 +101,57 @@ class TestCommands:
             ["allknn", "-N", "300", "-d", "8", "-k", "4",
              "--kernel", "gemm", "--leaf-size", "64", "--iterations", "1"]
         ) == 0
+
+
+class TestObservabilityCommands:
+    def test_kernel_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["kernel", "-m", "48", "-n", "96", "-d", "8", "-k", "4",
+             "--trace-out", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out  # the breakdown table printed
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"pack", "rank_update", "heap"} <= names
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_compare_trace_out(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["compare", "-m", "48", "-n", "48", "-d", "8", "-k", "4",
+             "--repeats", "1", "--trace-out", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} >= {"run"}
+
+    def test_stats(self, capsys):
+        assert main(
+            ["stats", "-m", "48", "-n", "96", "-d", "8", "-k", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "gsknn.calls" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(
+            ["stats", "-m", "32", "-n", "64", "-d", "8", "-k", "4", "--json"]
+        ) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["gsknn.calls"] >= 1
+
+    def test_trace_json(self, capsys):
+        import json
+
+        assert main(
+            ["trace", "-m", "32", "-n", "32", "-d", "8", "-k", "4", "--json"]
+        ) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert isinstance(records, list) and records

@@ -1,0 +1,197 @@
+"""Adapters: legacy stat carriers fold into the registry; instrumented
+kernels emit the span tree and metrics the observability contract
+promises."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gsknn import gsknn
+from repro.gemm.blocked import BlockedGemm
+from repro.obs.adapters import (
+    MetricsGemmObserver,
+    absorb_kernel_counters,
+    absorb_phase_timer,
+    absorb_schedule,
+    absorb_selection_stats,
+    absorb_tracer,
+)
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import Tracer, set_tracer
+from repro.parallel.scheduler import ScheduledTask, lpt_schedule
+from repro.perf.counters import KernelCounters
+from repro.perf.timer import PhaseTimer
+from repro.select.counters import SelectionStats
+
+
+@pytest.fixture
+def tracer():
+    """A private enabled tracer installed as the global one."""
+    mine = Tracer(enabled=True)
+    old = set_tracer(mine)
+    yield mine
+    set_tracer(old)
+
+
+@pytest.fixture
+def registry():
+    """A private enabled registry installed as the global one."""
+    mine = MetricsRegistry(enabled=True)
+    old = set_registry(mine)
+    yield mine
+    set_registry(old)
+
+
+class TestAbsorbers:
+    def test_kernel_counters(self):
+        reg = MetricsRegistry()
+        counters = KernelCounters(
+            flops=100, slow_reads=10, slow_writes=5, heap_updates=3, discarded=7
+        )
+        absorb_kernel_counters(counters, reg)
+        snap = reg.snapshot()["counters"]
+        assert snap["kernel.flops"] == 100
+        assert snap["kernel.heap_updates"] == 3
+        assert snap["kernel.discarded"] == 7
+
+    def test_absorb_twice_accumulates(self):
+        reg = MetricsRegistry()
+        counters = KernelCounters(flops=50)
+        absorb_kernel_counters(counters, reg)
+        absorb_kernel_counters(counters, reg)
+        assert reg.snapshot()["counters"]["kernel.flops"] == 100
+
+    def test_phase_timer(self):
+        reg = MetricsRegistry()
+        timer = PhaseTimer()
+        with timer.phase("gemm"):
+            pass
+        with timer.phase("heap"):
+            pass
+        absorb_phase_timer(timer, reg)
+        hists = reg.snapshot()["histograms"]
+        assert hists["phase.gemm"]["count"] == 1
+        assert hists["phase.heap"]["count"] == 1
+
+    def test_selection_stats(self):
+        reg = MetricsRegistry()
+        stats = SelectionStats()
+        stats.comparisons = 12
+        stats.moves = 4
+        absorb_selection_stats(stats, reg)
+        snap = reg.snapshot()["counters"]
+        assert snap["select.comparisons"] == 12
+        assert snap["select.moves"] == 4
+
+    def test_schedule(self):
+        reg = MetricsRegistry()
+        schedule = lpt_schedule(
+            [ScheduledTask(i, est) for i, est in enumerate((3.0, 2.0, 2.0, 1.0))],
+            2,
+        )
+        absorb_schedule(schedule, reg)
+        snap = reg.snapshot()
+        assert snap["counters"]["sched.tasks"] == 4
+        assert snap["gauges"]["sched.processors"] == 2
+        assert snap["gauges"]["sched.imbalance"] >= 1.0
+        assert snap["histograms"]["sched.queue_seconds"]["count"] == 2
+
+    def test_absorb_tracer_self_seconds(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("gsknn"):
+            with tracer.span("pack"):
+                pass
+        reg = MetricsRegistry()
+        absorb_tracer(tracer, reg)
+        snap = reg.snapshot()
+        assert snap["histograms"]["phase.gsknn"]["count"] == 1
+        assert snap["histograms"]["phase.pack"]["count"] == 1
+        assert snap["counters"]["phase.pack.spans"] == 1
+        # self time of the root excludes the child's time
+        assert (
+            snap["histograms"]["phase.gsknn"]["sum"]
+            <= snap["histograms"]["phase.gsknn"]["sum"]
+            + snap["histograms"]["phase.pack"]["sum"]
+        )
+
+    def test_gemm_observer_counts(self):
+        reg = MetricsRegistry()
+        observer = MetricsGemmObserver(reg)
+        rng = np.random.default_rng(0)
+        A = rng.random((16, 8))
+        B = rng.random((12, 8))
+        BlockedGemm(observer=observer).multiply_nt(A, B)
+        snap = reg.snapshot()["counters"]
+        assert snap["gemm.packs"] > 0
+        assert snap["gemm.microkernels"] > 0
+        assert snap["gemm.rank_updates"] >= 16 * 12 * 8
+
+    def test_gemm_observer_composes_inner(self):
+        calls = []
+
+        class Probe:
+            def on_pack(self, which, rows, depth):
+                calls.append("pack")
+
+            def on_microkernel(self, m_r, n_r, depth):
+                calls.append("micro")
+
+            def on_c_block(self, rows, cols, is_first_depth):
+                calls.append("c")
+
+        observer = MetricsGemmObserver(MetricsRegistry(), inner=Probe())
+        observer.on_pack("A", 4, 8)
+        observer.on_microkernel(4, 4, 8)
+        observer.on_c_block(4, 4, True)
+        assert calls == ["pack", "micro", "c"]
+
+
+class TestInstrumentedKernels:
+    """The acceptance-criterion span tree, exercised without the CLI."""
+
+    def _problem(self, m=40, n=70, d=6, k=5):
+        rng = np.random.default_rng(7)
+        X = rng.random((max(m, n), d))
+        return X, np.arange(m), np.arange(n), k
+
+    def test_gsknn_emits_required_span_tree(self, tracer):
+        X, q, r, k = self._problem()
+        gsknn(X, q, r, k)
+        names = {s.name for s in tracer.spans}
+        assert {"gsknn", "pack", "rank_update", "heap"} <= names
+        roots = tracer.roots()
+        assert [s.name for s in roots] == ["gsknn"]
+        # pack/rank_update/heap all live under the gsknn root
+        by_id = {s.span_id: s for s in tracer.spans}
+
+        def root_of(s):
+            while s.parent_id != -1:
+                s = by_id[s.parent_id]
+            return s
+
+        for s in tracer.spans:
+            assert root_of(s).name == "gsknn"
+
+    def test_gsknn_trace_disabled_is_silent(self):
+        mine = Tracer()  # disabled
+        old = set_tracer(mine)
+        try:
+            X, q, r, k = self._problem()
+            gsknn(X, q, r, k)
+            assert len(mine) == 0
+        finally:
+            set_tracer(old)
+
+    def test_gsknn_publishes_metrics_when_enabled(self, registry):
+        X, q, r, k = self._problem()
+        gsknn(X, q, r, k)
+        snap = registry.snapshot()["counters"]
+        assert snap["gsknn.calls"] == 1
+        assert snap["gsknn.work.flops"] > 0
+
+    def test_gsknn_publishes_nothing_when_disabled(self, registry):
+        registry.enabled = False
+        X, q, r, k = self._problem()
+        gsknn(X, q, r, k)
+        assert registry.snapshot()["counters"] == {}

@@ -1,0 +1,257 @@
+"""Metrics registry: counters, gauges, log-bucket histograms, merging."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(41)
+        assert c.snapshot() == 42
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="must be >= 0"):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.snapshot() == 1.5
+
+    def test_inc_dec(self):
+        g = Gauge("g")
+        g.inc(2.0)
+        g.dec(0.5)
+        assert g.snapshot() == pytest.approx(1.5)
+
+
+class TestHistogramBuckets:
+    """Bucket-edge semantics: geometric edges, ``le`` placement."""
+
+    def test_edges_are_geometric(self):
+        h = Histogram("h", start=1.0, factor=2.0, count=4)
+        assert h.edges == [1.0, 2.0, 4.0, 8.0]
+        assert len(h.bucket_counts) == 5  # + overflow
+
+    def test_value_on_edge_lands_in_that_bucket(self):
+        h = Histogram("h", start=1.0, factor=2.0, count=3)
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1, 0]
+
+    def test_value_between_edges_rounds_up(self):
+        h = Histogram("h", start=1.0, factor=2.0, count=3)
+        h.observe(1.5)  # (1, 2] -> bucket of edge 2
+        h.observe(3.0)  # (2, 4] -> bucket of edge 4
+        assert h.bucket_counts == [0, 1, 1, 0]
+
+    def test_value_below_first_edge_lands_in_first_bucket(self):
+        h = Histogram("h", start=1.0, factor=2.0, count=3)
+        h.observe(0.001)
+        assert h.bucket_counts[0] == 1
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", start=1.0, factor=2.0, count=3)
+        h.observe(100.0)
+        assert h.bucket_counts == [0, 0, 0, 1]
+
+    def test_stats(self):
+        h = Histogram("h", start=1.0, factor=2.0, count=4)
+        for v in (1.0, 3.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 2
+        assert snap["sum"] == pytest.approx(4.0)
+        assert snap["mean"] == pytest.approx(2.0)
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+
+    def test_quantile_returns_covering_edge(self):
+        h = Histogram("h", start=1.0, factor=2.0, count=4)
+        for v in (0.5, 1.5, 3.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0  # first non-empty bucket's edge
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(1.0) == 8.0
+
+    def test_quantile_overflow_is_inf(self):
+        h = Histogram("h", start=1.0, factor=2.0, count=2)
+        h.observe(50.0)
+        assert h.quantile(0.9) == math.inf
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValidationError):
+            Histogram("h").quantile(1.5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError):
+            Histogram("h", start=0.0)
+        with pytest.raises(ValidationError):
+            Histogram("h", factor=1.0)
+        with pytest.raises(ValidationError):
+            Histogram("h", count=0)
+
+    def test_merge_adds_bucketwise(self):
+        a = Histogram("h", start=1.0, factor=2.0, count=3)
+        b = Histogram("h", start=1.0, factor=2.0, count=3)
+        a.observe(1.0)
+        b.observe(3.0)
+        b.observe(100.0)
+        a.merge(b)
+        assert a.bucket_counts == [1, 0, 1, 1]
+        assert a.count == 3
+        assert a.snapshot()["max"] == 100.0
+
+    def test_merge_rejects_differing_edges(self):
+        a = Histogram("h", start=1.0, factor=2.0, count=3)
+        b = Histogram("h", start=1.0, factor=4.0, count=3)
+        with pytest.raises(ValidationError, match="bucket edges"):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("calls", 3)
+        reg.set("imbalance", 1.25)
+        reg.observe("seconds", 0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"calls": 3}
+        assert snap["gauges"] == {"imbalance": 1.25}
+        assert snap["histograms"]["seconds"]["count"] == 1
+
+    def test_snapshot_is_sorted_plain_data(self):
+        reg = MetricsRegistry()
+        for name in ("b", "a", "c"):
+            reg.inc(name)
+        assert list(reg.snapshot()["counters"]) == ["a", "b", "c"]
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.clear()
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("calls", 2)
+        b.inc("calls", 3)
+        b.set("gauge", 9.0)
+        b.observe("h", 1.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["calls"] == 5
+        assert snap["gauges"]["gauge"] == 9.0
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_adopts_layout_into_empty_histogram(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.observe("h", 5.0, start=1.0, factor=2.0, count=3)
+        a.merge(b)
+        assert a.histogram("h").edges == [1.0, 2.0, 4.0]
+        assert a.histogram("h").count == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_writes_to_one_registry(self):
+        """Snapshot after a threaded storm sees every update."""
+        reg = MetricsRegistry(enabled=True)
+        n_threads, n_iter = 8, 2000
+        barrier = threading.Barrier(n_threads)
+
+        def work(tag: int) -> None:
+            barrier.wait()
+            for i in range(n_iter):
+                reg.inc("calls")
+                reg.observe("seconds", 1e-6 * (i + 1))
+                reg.set(f"last.{tag}", i)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap["counters"]["calls"] == n_threads * n_iter
+        assert snap["histograms"]["seconds"]["count"] == n_threads * n_iter
+        for tag in range(n_threads):
+            assert snap["gauges"][f"last.{tag}"] == n_iter - 1
+
+    def test_per_thread_registries_merge(self):
+        """The fan-out pattern: private registry per worker, fold at join."""
+        main = MetricsRegistry()
+        locals_: list[MetricsRegistry] = []
+        lock = threading.Lock()
+
+        def work() -> None:
+            mine = MetricsRegistry(enabled=True)
+            for _ in range(100):
+                mine.inc("tasks")
+                mine.observe("h", 0.25)
+            with lock:
+                locals_.append(mine)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for part in locals_:
+            main.merge(part)
+        snap = main.snapshot()
+        assert snap["counters"]["tasks"] == 400
+        assert snap["histograms"]["h"]["count"] == 400
+
+
+class TestGlobals:
+    def test_enable_clears_and_flags(self):
+        old = set_registry(MetricsRegistry())
+        try:
+            get_registry().inc("stale")
+            reg = enable_metrics()
+            assert reg is get_registry() and reg.enabled
+            assert reg.snapshot()["counters"] == {}
+            disable_metrics()
+            assert not get_registry().enabled
+        finally:
+            set_registry(old)
+
+    def test_set_registry_returns_previous(self):
+        mine = MetricsRegistry()
+        old = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            assert set_registry(old) is mine

@@ -1,0 +1,150 @@
+"""Benchmark telemetry records: schema, persistence, diffing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import telemetry
+from repro.obs.telemetry import (
+    BENCH_SCHEMA_VERSION,
+    build_record,
+    diff_records,
+    environment_fingerprint,
+    load_record,
+    validate_record,
+    write_record,
+)
+
+
+def small_record(**overrides):
+    record = build_record(
+        "unit_exp",
+        problem={"m": 64, "n": 64, "d": 8, "k": 4},
+        metrics={"total_seconds": 1.0, "gflops": 2.5},
+    )
+    record.update(overrides)
+    return record
+
+
+class TestBuildAndValidate:
+    def test_build_record_is_valid(self):
+        record = small_record()
+        validate_record(record)  # no raise
+        assert record["schema_version"] == BENCH_SCHEMA_VERSION
+        assert record["metrics"]["gflops"] == 2.5
+
+    def test_metrics_coerced_to_float(self):
+        record = build_record("x", metrics={"count": 3})
+        assert isinstance(record["metrics"]["count"], float)
+
+    def test_environment_fingerprint_fields(self):
+        env = environment_fingerprint()
+        for key in ("python", "numpy", "platform", "machine", "git_sha"):
+            assert key in env
+
+    def test_git_sha_present_in_repo(self):
+        # this test runs inside the repo, so the SHA must resolve
+        sha = telemetry.git_sha()
+        assert sha and len(sha) == 40
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            validate_record([1, 2, 3])
+
+    def test_missing_fields_all_listed(self):
+        with pytest.raises(ValidationError) as exc:
+            validate_record({"name": "x"})
+        message = str(exc.value)
+        for field in ("schema_version", "created_unix", "metrics"):
+            assert field in message
+
+    def test_future_schema_version_rejected(self):
+        with pytest.raises(ValidationError, match="outside supported range"):
+            validate_record(small_record(schema_version=BENCH_SCHEMA_VERSION + 1))
+
+    def test_non_numeric_metric_rejected(self):
+        record = small_record()
+        record["metrics"]["bad"] = "fast"
+        with pytest.raises(ValidationError, match="must be a number"):
+            validate_record(record)
+
+    def test_bool_metric_rejected(self):
+        record = small_record()
+        record["metrics"]["flag"] = True
+        with pytest.raises(ValidationError, match="must be a number"):
+            validate_record(record)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            validate_record(small_record(name=""))
+
+
+class TestPersistence:
+    def test_write_load_roundtrip(self, tmp_path):
+        record = small_record()
+        path = write_record(record, tmp_path)
+        assert path.name == "BENCH_unit_exp.json"
+        assert load_record(path) == record
+
+    def test_write_leaves_no_temp_file(self, tmp_path):
+        write_record(small_record(), tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_unit_exp.json"]
+
+    def test_write_rejects_invalid(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_record({"name": "x"}, tmp_path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_load_rejects_corrupt_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_record(path)
+
+    def test_load_error_names_the_file(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"name": "bad"}))
+        with pytest.raises(ValidationError, match="BENCH_bad.json"):
+            load_record(path)
+
+
+class TestDiff:
+    def _pair(self, old_metrics, new_metrics):
+        old = build_record("exp", metrics=old_metrics)
+        new = build_record("exp", metrics=new_metrics)
+        return old, new
+
+    def test_unchanged_within_threshold_is_ok(self):
+        old, new = self._pair({"t": 1.00}, {"t": 1.04})
+        rows = diff_records(old, new, threshold=0.05)
+        assert rows[0]["status"] == "ok"
+
+    def test_change_beyond_threshold_flagged(self):
+        old, new = self._pair({"t": 1.0}, {"t": 1.2})
+        row = diff_records(old, new, threshold=0.05)[0]
+        assert row["status"] == "changed"
+        assert row["ratio"] == pytest.approx(1.2)
+        assert row["delta"] == pytest.approx(0.2)
+
+    def test_added_and_removed(self):
+        old, new = self._pair({"a": 1.0}, {"b": 2.0})
+        by_metric = {r["metric"]: r for r in diff_records(old, new)}
+        assert by_metric["a"]["status"] == "removed"
+        assert by_metric["b"]["status"] == "added"
+
+    def test_zero_old_value(self):
+        old, new = self._pair({"t": 0.0}, {"t": 0.5})
+        row = diff_records(old, new)[0]
+        assert row["status"] == "changed"
+
+    def test_rows_sorted_by_metric(self):
+        old, new = self._pair({"b": 1.0, "a": 1.0}, {"b": 1.0, "a": 1.0})
+        assert [r["metric"] for r in diff_records(old, new)] == ["a", "b"]
+
+    def test_threshold_validated(self):
+        old, new = self._pair({}, {})
+        with pytest.raises(ValidationError):
+            diff_records(old, new, threshold=-0.1)

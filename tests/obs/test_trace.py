@@ -1,0 +1,304 @@
+"""Tracer: span nesting, ordering, disabled-path overhead, exports."""
+
+from __future__ import annotations
+
+import gc
+import json
+import threading
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    _NULL_SPAN,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "golden_chrome_trace.json"
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 0.5) -> None:
+        self.t = -step
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def make_nested_trace(tracer: Tracer) -> None:
+    """The canonical little tree: gsknn -> (pack, heap)."""
+    with tracer.span("gsknn", variant=1):
+        with tracer.span("pack", which="Q"):
+            pass
+        with tracer.span("heap"):
+            pass
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        tracer = Tracer(enabled=True)
+        make_nested_trace(tracer)
+        spans = {s.name: s for s in tracer.spans}
+        root = spans["gsknn"]
+        assert root.parent_id == -1
+        assert root.depth == 0
+        for child in ("pack", "heap"):
+            assert spans[child].parent_id == root.span_id
+            assert spans[child].depth == 1
+        assert {s.name for s in tracer.children_of(root.span_id)} == {
+            "pack",
+            "heap",
+        }
+        assert tracer.roots() == [root]
+
+    def test_completion_order_children_first(self):
+        tracer = Tracer(enabled=True)
+        make_nested_trace(tracer)
+        assert [s.name for s in tracer.spans] == ["pack", "heap", "gsknn"]
+
+    def test_children_nest_inside_parent_interval(self):
+        tracer = Tracer(enabled=True)
+        make_nested_trace(tracer)
+        spans = {s.name: s for s in tracer.spans}
+        root = spans["gsknn"]
+        for child in ("pack", "heap"):
+            assert spans[child].start >= root.start
+            assert spans[child].end <= root.end
+        assert spans["pack"].end <= spans["heap"].start
+
+    def test_deep_nesting_depths(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        depths = {s.name: s.depth for s in tracer.spans}
+        assert depths == {"a": 0, "b": 1, "c": 2}
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            for _ in range(3):
+                with tracer.span("leaf"):
+                    pass
+        root = tracer.find("root")[0]
+        assert all(s.parent_id == root.span_id for s in tracer.find("leaf"))
+
+    def test_exception_still_records_and_unwinds(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        # the stack unwound: a new span is a root again
+        with tracer.span("after"):
+            pass
+        assert tracer.find("after")[0].parent_id == -1
+
+    def test_attrs_recorded(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("pack", which="R", rows=128):
+            pass
+        assert tracer.find("pack")[0].attrs == {"which": "R", "rows": 128}
+
+
+class TestDisabledPath:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer()  # disabled by default
+        assert tracer.span("a") is _NULL_SPAN
+        assert tracer.span("b", attr=1) is tracer.span("c")
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert len(tracer) == 0
+
+    def test_disabled_path_retains_no_memory(self):
+        tracer = Tracer()
+        # warm up allocator state before measuring
+        for _ in range(100):
+            with tracer.span("warm"):
+                pass
+        gc.collect()
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(10_000):
+            with tracer.span("hot", rows=8, cols=16):
+                pass
+        gc.collect()
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # transient kwargs dicts are freed; nothing accumulates
+        assert after - before < 16_384
+        assert len(tracer) == 0
+
+    def test_sampling_records_a_subset(self):
+        tracer = Tracer(enabled=True, sample_every=4)
+        for _ in range(100):
+            with tracer.span("tick"):
+                pass
+        assert len(tracer) == 100 // 4
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValidationError):
+            Tracer(sample_every=0)
+
+
+class TestAggregate:
+    def test_counts_and_totals(self):
+        clock = FakeClock(step=1.0)
+        tracer = Tracer(enabled=True, clock=clock)
+        make_nested_trace(tracer)
+        agg = tracer.aggregate()
+        assert agg["gsknn"]["count"] == 1
+        assert agg["pack"]["count"] == 1
+        # children: enter..exit one tick apart -> 1s each
+        assert agg["pack"]["total_seconds"] == pytest.approx(1.0)
+        assert agg["heap"]["total_seconds"] == pytest.approx(1.0)
+
+    def test_self_seconds_sum_to_root_wall_clock(self):
+        clock = FakeClock(step=1.0)
+        tracer = Tracer(enabled=True, clock=clock)
+        make_nested_trace(tracer)
+        agg = tracer.aggregate()
+        root_total = agg["gsknn"]["total_seconds"]
+        self_sum = sum(row["self_seconds"] for row in agg.values())
+        assert self_sum == pytest.approx(root_total)
+
+    def test_self_seconds_excludes_children(self):
+        clock = FakeClock(step=1.0)
+        tracer = Tracer(enabled=True, clock=clock)
+        make_nested_trace(tracer)
+        agg = tracer.aggregate()
+        assert (
+            agg["gsknn"]["self_seconds"]
+            == pytest.approx(
+                agg["gsknn"]["total_seconds"]
+                - agg["pack"]["total_seconds"]
+                - agg["heap"]["total_seconds"]
+            )
+        )
+
+
+class TestThreads:
+    def test_concurrent_spans_keep_per_thread_nesting(self):
+        tracer = Tracer(enabled=True)
+        n_threads, n_spans = 4, 50
+        barrier = threading.Barrier(n_threads)
+
+        def work(tag: int) -> None:
+            barrier.wait()
+            for _ in range(n_spans):
+                with tracer.span("outer", tag=tag):
+                    with tracer.span("inner", tag=tag):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer) == n_threads * n_spans * 2
+        by_id = {s.span_id: s for s in tracer.spans}
+        assert len(by_id) == len(tracer)  # ids unique across threads
+        for s in tracer.spans:
+            if s.name == "inner":
+                parent = by_id[s.parent_id]
+                assert parent.name == "outer"
+                # nesting never crosses threads
+                assert parent.thread == s.thread
+                assert parent.attrs["tag"] == s.attrs["tag"]
+
+
+class TestExports:
+    def test_chrome_event_shape(self):
+        tracer = Tracer(enabled=True)
+        make_nested_trace(tracer)
+        doc = tracer.to_chrome()
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+
+    def test_golden_chrome_trace(self):
+        """Deterministic clock -> byte-stable Chrome trace (module tid)."""
+        clock = FakeClock(step=0.5)
+        tracer = Tracer(enabled=True, clock=clock)
+        make_nested_trace(tracer)
+        doc = tracer.to_chrome()
+        for event in doc["traceEvents"]:
+            event["tid"] = 0  # thread ids are host-specific
+        golden = json.loads(GOLDEN.read_text())
+        assert doc == golden
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        make_nested_trace(tracer)
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["name"] for e in events] == ["pack", "heap", "gsknn"]
+        assert events[0]["parent"] == events[-1]["id"]
+
+    def test_export_chrome_writes_valid_json(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        make_nested_trace(tracer)
+        path = tracer.export_chrome(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 3
+
+    def test_clear_resets(self):
+        tracer = Tracer(enabled=True)
+        make_nested_trace(tracer)
+        tracer.clear()
+        assert len(tracer) == 0
+        with tracer.span("fresh"):
+            pass
+        assert tracer.spans[0].span_id == 1
+
+
+class TestGlobals:
+    def test_enable_disable_roundtrip(self):
+        old = set_tracer(Tracer())
+        try:
+            tracer = enable_tracing()
+            assert tracer is get_tracer() and tracer.enabled
+            with span("via_module"):
+                pass
+            assert tracer.find("via_module")
+            disable_tracing()
+            assert span("after") is _NULL_SPAN
+        finally:
+            set_tracer(old)
+
+    def test_set_tracer_returns_previous(self):
+        mine = Tracer()
+        old = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            assert set_tracer(old) is mine
+
+
+def test_span_end_property():
+    s = Span(
+        span_id=1, parent_id=-1, name="x", start=2.0, duration=0.5,
+        thread=0, depth=0,
+    )
+    assert s.end == pytest.approx(2.5)
