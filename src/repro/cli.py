@@ -4,13 +4,18 @@ Subcommands:
 
 * ``kernel`` — run one kNN kernel (gsknn / gemm) on synthetic data and
   report timing, achieved GFLOPS, and the span-derived phase breakdown;
-  ``--trace-out PATH`` also writes a ``chrome://tracing`` JSON;
+  ``--backend {serial,threads,processes}`` / ``-p`` pick the execution
+  backend, ``--blocking tuned`` applies the persisted autotuner result,
+  and ``--trace-out PATH`` also writes a ``chrome://tracing`` JSON;
 * ``compare`` — run both kernels on the same problem and print the
   speedup (a one-problem slice of the Figure 6 grid); also accepts
-  ``--trace-out``;
+  ``--backend``/``-p``/``--blocking`` and ``--trace-out``;
 * ``stats`` — run one kernel with full observability on and print the
   metrics-registry snapshot (``--json`` for the raw dict);
 * ``allknn`` — run the approximate all-NN solver and report recall;
+* ``tune`` — print the variant decision table, or with ``--budget
+  {small,medium,large}`` run the persistent per-host autotuner and
+  save the winner to the tuning cache;
 * ``model`` — print the performance model's prediction (and the
   Var#1/Var#6 threshold) for a problem size;
 * ``trace`` — run the cache-trace simulator and print DRAM traffic per
@@ -84,6 +89,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-k", type=int, default=16, help="neighbors")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_backend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=("serial", "threads", "processes"),
+            default="serial",
+            help="execution backend for the data-parallel driver",
+        )
+        p.add_argument(
+            "-p",
+            "--workers",
+            default="1",
+            metavar="P",
+            help="worker count for the chosen backend ('auto' = host cores)",
+        )
+        p.add_argument(
+            "--blocking",
+            choices=("default", "tuned"),
+            default="default",
+            help="'tuned' applies this host's persisted autotuner result",
+        )
+
     kern = sub.add_parser("kernel", help="run one kernel on synthetic data")
     add_problem_args(kern)
     kern.add_argument(
@@ -91,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     kern.add_argument("--norm", default="l2")
     kern.add_argument("--variant", default="auto")
+    add_backend_args(kern)
     kern.add_argument(
         "--trace-out",
         type=str,
@@ -102,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     comp = sub.add_parser("compare", help="GSKNN vs GEMM approach")
     add_problem_args(comp)
     comp.add_argument("--repeats", type=int, default=3)
+    add_backend_args(comp)
     comp.add_argument(
         "--trace-out",
         type=str,
@@ -144,7 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
 
-    tune = sub.add_parser("tune", help="variant decision table + thresholds")
+    tune = sub.add_parser(
+        "tune",
+        help="variant decision table, or (with --budget) the per-host "
+        "autotuner",
+    )
     add_problem_args(tune)
     tune.add_argument(
         "--measured",
@@ -152,6 +184,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="build the table from timings instead of the model",
     )
     tune.add_argument("--save", type=str, default=None, help="JSON output path")
+    tune.add_argument(
+        "--budget",
+        choices=("small", "medium", "large"),
+        default=None,
+        help="run the persistent autotuner (blocking, workers/backend, "
+        "switch-k) at this budget and save the winner per host",
+    )
+    tune.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="tuning cache file (default $REPRO_TUNE_CACHE or "
+        "~/.cache/repro-gsknn/tuning.json)",
+    )
+    tune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --budget: search but do not persist the winner",
+    )
 
     dist = sub.add_parser(
         "distributed", help="simulated multi-rank all-NN projection"
@@ -168,22 +220,53 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_workers(value: str):
+    return value if value == "auto" else int(value)
+
+
 def _run_one_kernel(args: argparse.Namespace):
     from .core.gsknn import gsknn
     from .core.ref_kernel import ref_knn
     from .data import uniform_hypercube
+    from .parallel.chunking import resolve_workers
+    from .parallel.data_parallel import gsknn_data_parallel
 
     ds = uniform_hypercube(max(args.m, args.n), args.d, seed=args.seed)
     q = np.arange(args.m)
     r = np.arange(args.n)
-    runner = gsknn if args.kernel == "gsknn" else ref_knn
+    backend = getattr(args, "backend", "serial")
+    workers = resolve_workers(_parse_workers(getattr(args, "workers", "1")))
+    blocking = getattr(args, "blocking", "default")
+    blocking = None if blocking == "default" else blocking
     kwargs = {"norm": args.norm}
     if args.kernel == "gsknn":
         kwargs["variant"] = args.variant
+        if workers > 1 or backend != "serial":
+            tuned = _load_tuned_blocks(blocking)
+            if tuned is not None:
+                kwargs.update(block_m=tuned[0], block_n=tuned[1])
+            runner = lambda X, q, r, k, **kw: gsknn_data_parallel(  # noqa: E731
+                X, q, r, k, p=workers, backend=backend, **kw
+            )
+        else:
+            kwargs["blocking"] = blocking
+            runner = gsknn
+    else:
+        runner = ref_knn
     t0 = time.perf_counter()
     result = runner(ds.points, q, r, args.k, **kwargs)
     elapsed = time.perf_counter() - t0
     return result, elapsed
+
+
+def _load_tuned_blocks(blocking):
+    """(block_m, block_n) from the tuning cache, or None for defaults."""
+    if blocking != "tuned":
+        return None
+    from .tune import load_tuned_config
+
+    config = load_tuned_config()
+    return None if config is None else (config.block_m, config.block_n)
 
 
 def _cmd_kernel(args: argparse.Namespace) -> int:
@@ -194,10 +277,17 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     finally:
         disable_tracing()
     absorb_tracer(tracer, registry)
+    backend = getattr(args, "backend", "serial")
+    workers = getattr(args, "workers", "1")
+    suffix = (
+        f" backend={backend} p={workers}"
+        if backend != "serial" or workers not in ("1", 1)
+        else ""
+    )
     print(
         f"{args.kernel}: m={args.m} n={args.n} d={args.d} k={args.k} "
         f"time={elapsed * 1e3:.1f} ms "
-        f"gflops={gflops(args.m, args.n, args.d, elapsed):.2f}"
+        f"gflops={gflops(args.m, args.n, args.d, elapsed):.2f}{suffix}"
     )
     _print_phase_table(registry.snapshot(), elapsed)
     print(f"first query neighbors: {result.indices[0][: min(args.k, 8)]}")
@@ -210,10 +300,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .core.gsknn import gsknn
     from .core.ref_kernel import ref_knn
     from .data import uniform_hypercube
+    from .parallel.chunking import resolve_workers
+    from .parallel.data_parallel import gsknn_data_parallel
 
     ds = uniform_hypercube(max(args.m, args.n), args.d, seed=args.seed)
     q = np.arange(args.m)
     r = np.arange(args.n)
+    workers = resolve_workers(_parse_workers(args.workers))
+    blocking = None if args.blocking == "default" else args.blocking
+    gsknn_kwargs = {}
+    if workers > 1 or args.backend != "serial":
+        tuned = _load_tuned_blocks(blocking)
+        if tuned is not None:
+            gsknn_kwargs.update(block_m=tuned[0], block_n=tuned[1])
+        gsknn_runner = lambda X, q, r, k: gsknn_data_parallel(  # noqa: E731
+            X, q, r, k, p=workers, backend=args.backend, **gsknn_kwargs
+        )
+        label = f"gsknn[{args.backend} p={workers}]"
+    else:
+        gsknn_runner = lambda X, q, r, k: gsknn(  # noqa: E731
+            X, q, r, k, blocking=blocking
+        )
+        label = "gsknn"
     registry = enable_metrics()
     tracer = enable_tracing()
 
@@ -227,14 +335,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         return min(times)
 
     try:
-        t_gsknn = best_of(gsknn, "gsknn")
+        t_gsknn = best_of(gsknn_runner, "gsknn")
         t_gemm = best_of(ref_knn, "gemm")
     finally:
         disable_tracing()
     absorb_tracer(tracer, registry)
     print(
         f"m={args.m} n={args.n} d={args.d} k={args.k}  "
-        f"gsknn={t_gsknn * 1e3:.1f} ms  gemm={t_gemm * 1e3:.1f} ms  "
+        f"{label}={t_gsknn * 1e3:.1f} ms  gemm={t_gemm * 1e3:.1f} ms  "
         f"speedup={t_gemm / t_gsknn:.2f}x"
     )
     # phase totals cover every repeat of both kernels
@@ -366,6 +474,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    if args.budget is not None:
+        return _cmd_autotune(args)
     from .core.autotune import DecisionTable
     from .model import predict_variant_threshold
 
@@ -392,6 +502,39 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.save:
         path = table.save(args.save)
         print(f"saved to {path}")
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    """``tune --budget X``: the persistent per-host autotuner."""
+    from .tune import Autotuner, default_cache_path, fingerprint_key
+
+    registry = enable_metrics()
+    tuner = Autotuner(budget=args.budget, seed=args.seed)
+    report = tuner.run(persist=not args.dry_run, cache_path=args.cache)
+    cfg = report.config
+    print(
+        f"autotune budget={args.budget}: searched "
+        f"{len(report.candidates)} candidates in {report.seconds:.1f}s"
+    )
+    print(f"  host: {fingerprint_key()}")
+    print(
+        f"  winner: block_m={cfg.block_m} block_n={cfg.block_n} "
+        f"p={cfg.p} chunks/worker={cfg.chunks_per_worker} "
+        f"backend={cfg.backend} switch_k={cfg.switch_k}"
+    )
+    for stage in ("blocking", "execution", "switch"):
+        best = report.best_seconds(stage)
+        print(f"  best {stage:>9} candidate: {best * 1e3:8.1f} ms")
+    if args.dry_run:
+        print("  dry run: winner NOT persisted")
+    else:
+        cache = args.cache if args.cache else default_cache_path()
+        print(f"  persisted to {cache} (use gsknn(..., blocking='tuned'))")
+    snapshot = registry.snapshot()
+    candidates = snapshot["counters"].get("tune.candidates")
+    if candidates:
+        print(f"  obs: {candidates} timed candidates in the metrics registry")
     return 0
 
 

@@ -19,7 +19,8 @@ from ..parallel.scheduler import ScheduledTask, execute_schedule, lpt_schedule
 from ..validation import as_coordinate_table, check_finite
 from .gsknn import gsknn
 from .neighbors import KnnResult
-from .norms import Norm, squared_norms
+from .norm_cache import cached_squared_norms
+from .norms import Norm
 
 __all__ = ["KnnProblem", "gsknn_batch"]
 
@@ -49,19 +50,23 @@ def gsknn_batch(
     X: np.ndarray,
     problems: list[KnnProblem],
     *,
-    p: int = 1,
+    p: int | str = 1,
     norm: str | float | Norm = "l2",
     variant: int | str = "auto",
+    backend: str = "threads",
 ) -> list[KnnResult]:
     """Solve a batch of independent kNN kernels over one coordinate table.
 
     Results are returned in problem order. With ``p > 1`` the kernels
-    are LPT-scheduled onto ``p`` worker threads by model-estimated
-    runtime; the squared-norm side table is computed once and shared
-    (the paper's global ``X2``).
+    are LPT-scheduled by model-estimated runtime onto ``p`` workers of
+    the chosen execution ``backend`` (``"threads"`` or ``"serial"``);
+    the squared-norm side table is shared across the batch *and across
+    batches* — repeated calls over the same table hit the identity-keyed
+    norm cache instead of recomputing the O(N d) pass.
     """
-    if p < 1:
-        raise ValidationError(f"need p >= 1 workers, got {p}")
+    from ..parallel.chunking import resolve_workers
+
+    p = resolve_workers(p)
     if not problems:
         return []
     X = as_coordinate_table(X)
@@ -71,7 +76,7 @@ def gsknn_batch(
             raise ValidationError("problem indices exceed the table size")
 
     norm_obj = norm
-    X2 = squared_norms(X)
+    X2 = cached_squared_norms(X)
 
     def solve(prob: KnnProblem) -> KnnResult:
         return gsknn(
@@ -94,5 +99,7 @@ def gsknn_batch(
         for i, prob in enumerate(problems)
     ]
     schedule = lpt_schedule(tasks, p)
-    results = execute_schedule(schedule, lambda t: solve(t.payload))
+    results = execute_schedule(
+        schedule, lambda t: solve(t.payload), backend=backend
+    )
     return [results[i] for i in range(len(problems))]

@@ -104,17 +104,24 @@ class GsknnStats:
 
 
 def _resolve_auto_variant(
-    variant: int | str | Variant, m: int, n: int, d: int, k: int
+    variant: int | str | Variant,
+    m: int,
+    n: int,
+    d: int,
+    k: int,
+    switch_k: int | None = None,
 ) -> Variant:
-    """``"auto"`` = the numpy fast path's empirical threshold;
+    """``"auto"`` = the numpy fast path's empirical threshold (or the
+    per-host tuned ``switch_k`` when one is supplied);
     ``"model"`` = Table 4's predicted threshold (Figure 5's rule);
     ``"paper"`` = the static production rule of §3 (Var#1 iff k <= 512)."""
     if isinstance(variant, str):
         key = variant.lower()
         if key == "auto":
-            return (
-                Variant.VAR1 if k <= NUMPY_VARIANT_SWITCH_K else Variant.VAR6
+            threshold = (
+                NUMPY_VARIANT_SWITCH_K if switch_k is None else switch_k
             )
+            return Variant.VAR1 if k <= threshold else Variant.VAR6
         if key == "model":
             # Lazy import: the model would otherwise create an import
             # cycle at package-init time.
@@ -128,6 +135,53 @@ def _resolve_auto_variant(
     return resolve_variant(variant)
 
 
+def _apply_blocking(
+    blocking, block_m: int, block_n: int
+) -> tuple[int, int, int | None]:
+    """Resolve the ``blocking`` selector into concrete block sizes.
+
+    Returns ``(block_m, block_n, switch_k)`` where ``switch_k`` is the
+    tuned Var#1/Var#6 threshold (``None`` when untuned — callers then
+    keep :data:`NUMPY_VARIANT_SWITCH_K`). ``"tuned"`` with no matching
+    cache entry is a clean fallback to the passed defaults, counted in
+    the metrics registry so a fleet can see how many hosts run untuned.
+    """
+    if blocking is None:
+        return block_m, block_n, None
+    if isinstance(blocking, str):
+        key = blocking.lower()
+        if key == "default":
+            return block_m, block_n, None
+        if key != "tuned":
+            raise ValidationError(
+                f"blocking must be 'tuned', 'default', None, or a "
+                f"TunedConfig, got {blocking!r}"
+            )
+        from ..tune.store import load_tuned_config
+
+        config = load_tuned_config()
+        registry = _get_registry()
+        if config is None:
+            if registry.enabled:
+                registry.inc("tune.cache_misses")
+            return block_m, block_n, None
+        if registry.enabled:
+            registry.inc("tune.cache_hits")
+        return config.block_m, config.block_n, config.switch_k
+    # duck-typed TunedConfig (avoids importing repro.tune at call time)
+    try:
+        return (
+            int(blocking.block_m),
+            int(blocking.block_n),
+            int(blocking.switch_k),
+        )
+    except AttributeError:
+        raise ValidationError(
+            f"blocking must be 'tuned', 'default', None, or a "
+            f"TunedConfig, got {blocking!r}"
+        ) from None
+
+
 def gsknn(
     X: np.ndarray,
     q_idx: np.ndarray,
@@ -139,6 +193,7 @@ def gsknn(
     X2: np.ndarray | None = None,
     block_m: int = 1024,
     block_n: int = 2048,
+    blocking: str | object | None = None,
     initial: KnnResult | None = None,
     return_stats: bool = False,
 ) -> KnnResult | tuple[KnnResult, GsknnStats]:
@@ -170,6 +225,14 @@ def gsknn(
     block_m, block_n:
         Cache-block sizes of the fast path (the numpy-scale analogues of
         ``m_c``/``n_c``).
+    blocking:
+        ``"tuned"`` loads this host's persisted autotuner result
+        (:mod:`repro.tune`) and applies its block sizes — and, when
+        ``variant="auto"``, its measured Var#1/Var#6 switch-``k`` —
+        falling back to the defaults cleanly when no cache entry
+        matches this host. A :class:`~repro.tune.TunedConfig` instance
+        applies directly; ``None``/``"default"`` uses ``block_m`` /
+        ``block_n`` as passed.
     initial:
         Existing ``(m, k)`` neighbor lists to *update* — the paper's
         kernel semantics ("update the neighbor lists of the queries").
@@ -193,6 +256,9 @@ def gsknn(
     r_idx = as_index_array(r_idx, X.shape[0], name="r_idx")
     k = check_k(k, r_idx.size)
     norm = resolve_norm(norm)
+    block_m, block_n, tuned_switch_k = _apply_blocking(
+        blocking, block_m, block_n
+    )
     if block_m < 1 or block_n < 1:
         raise ValidationError("block_m and block_n must be >= 1")
     if initial is not None:
@@ -201,7 +267,10 @@ def gsknn(
                 f"initial lists must be shape ({q_idx.size}, {k}), got "
                 f"{initial.distances.shape}"
             )
-    var = _resolve_auto_variant(variant, q_idx.size, r_idx.size, X.shape[1], k)
+    var = _resolve_auto_variant(
+        variant, q_idx.size, r_idx.size, X.shape[1], k,
+        switch_k=tuned_switch_k,
+    )
     info = VARIANT_INFO[var]
     if var not in (Variant.VAR1, Variant.VAR5, Variant.VAR6):
         raise ValidationError(

@@ -1,0 +1,100 @@
+"""Cross-call cache of reference squared norms (the paper's global X2).
+
+The paper computes ``|x_i|^2`` once per coordinate table and reuses it
+across every kernel call (§2.2's side table). The batch and streaming
+drivers used to recompute it per batch/refresh — an O(N d) pass whose
+cost is pure waste whenever the table hasn't changed. This cache keys
+on the table's *identity and shape*: the same ndarray object at the
+same shape hits; a new object (e.g. the streaming structure's
+``vstack`` after an insert) or a reshape invalidates naturally because
+the key no longer matches.
+
+Entries hold only a weak reference to the table, so caching never
+extends an array's lifetime; a handful of entries (LRU, default 8)
+bounds memory for the norm vectors themselves. Hits and misses are
+counted in the metrics registry (``norms.cache_hits`` /
+``norms.cache_misses``) when observability is on.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+from ..obs.metrics import get_registry as _get_registry
+from .norms import squared_norms
+
+__all__ = ["SquaredNormCache", "cached_squared_norms", "get_norm_cache"]
+
+
+class SquaredNormCache:
+    """Identity-keyed LRU cache of ``squared_norms(X)`` results."""
+
+    def __init__(self, max_entries: int = 8) -> None:
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        # id(X) -> (weakref to X, shape, norms)
+        self._entries: OrderedDict[
+            int, tuple[weakref.ref, tuple[int, ...], np.ndarray]
+        ] = OrderedDict()
+
+    def get(self, X: np.ndarray) -> np.ndarray:
+        """``squared_norms(X)``, cached on ``X``'s identity and shape."""
+        key = id(X)
+        registry = _get_registry()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                ref, shape, norms = entry
+                if ref() is X and shape == X.shape:
+                    self._entries.move_to_end(key)
+                    if registry.enabled:
+                        registry.inc("norms.cache_hits")
+                    return norms
+                # stale: the id was recycled by a different/reshaped array
+                del self._entries[key]
+        norms = squared_norms(X)
+        if registry.enabled:
+            registry.inc("norms.cache_misses")
+        try:
+            ref = weakref.ref(X, self._make_reaper(key))
+        except TypeError:
+            # non-weakref-able view/subclass: still correct, just uncached
+            return norms
+        with self._lock:
+            self._entries[key] = (ref, X.shape, norms)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return norms
+
+    def _make_reaper(self, key: int):
+        def _reap(_ref: weakref.ref) -> None:
+            with self._lock:
+                self._entries.pop(key, None)
+
+        return _reap
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: Process-global instance the drivers share.
+_GLOBAL_CACHE = SquaredNormCache()
+
+
+def get_norm_cache() -> SquaredNormCache:
+    return _GLOBAL_CACHE
+
+
+def cached_squared_norms(X: np.ndarray) -> np.ndarray:
+    """Module-level convenience over the global cache."""
+    return _GLOBAL_CACHE.get(X)

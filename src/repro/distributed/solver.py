@@ -29,7 +29,7 @@ import numpy as np
 
 from ..core.gsknn import gsknn
 from ..core.neighbors import KnnResult, merge_neighbor_lists_fast
-from ..core.norms import squared_norms
+from ..core.norm_cache import cached_squared_norms
 from ..core.ref_kernel import ref_knn
 from ..errors import ValidationError
 from ..model.perf_model import PerformanceModel
@@ -81,6 +81,8 @@ class DistributedAllKnn:
         kernel: str = "gsknn",
         comm_model: AlphaBetaModel | None = None,
         seed: int | None = 0,
+        backend: str = "serial",
+        workers_per_rank: int = 1,
     ) -> None:
         if n_ranks < 1:
             raise ValidationError(f"need n_ranks >= 1, got {n_ranks}")
@@ -92,12 +94,27 @@ class DistributedAllKnn:
             raise ValidationError(
                 f"kernel must be 'gsknn' or 'gemm', got {kernel!r}"
             )
+        from ..parallel.backends import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {sorted(BACKENDS)}, got {backend!r}"
+            )
+        if workers_per_rank < 1:
+            raise ValidationError(
+                f"workers_per_rank must be >= 1, got {workers_per_rank}"
+            )
         self.n_ranks = int(n_ranks)
         self.leaf_size = int(leaf_size)
         self.iterations = int(iterations)
         self.kernel = kernel
         self.comm_model = comm_model if comm_model is not None else AlphaBetaModel()
         self.seed = 0 if seed is None else int(seed)
+        #: execution backend for the per-leaf kernels: each simulated
+        #: rank's leaf kernel may itself run data-parallel (the paper's
+        #: node-level §2.5 scheme nested under the rank-level one)
+        self.backend = backend
+        self.workers_per_rank = int(workers_per_rank)
 
     # -- pieces ---------------------------------------------------------------
 
@@ -128,7 +145,15 @@ class DistributedAllKnn:
     ) -> KnnResult:
         k_eff = min(k, group.size)
         if self.kernel == "gsknn":
-            res = gsknn(X, group, group, k_eff, X2=X2)
+            if self.backend != "serial" and self.workers_per_rank > 1:
+                from ..parallel.data_parallel import gsknn_data_parallel
+
+                res = gsknn_data_parallel(
+                    X, group, group, k_eff,
+                    p=self.workers_per_rank, backend=self.backend, X2=X2,
+                )
+            else:
+                res = gsknn(X, group, group, k_eff, X2=X2)
         else:
             res = ref_knn(X, group, group, k_eff, X2=X2)
         if k_eff == k:
@@ -154,7 +179,7 @@ class DistributedAllKnn:
         comm = SimComm(self.n_ranks)
         model = PerformanceModel()
         home = self._home_rank(n)
-        X2 = squared_norms(X)
+        X2 = cached_squared_norms(X)
         current = KnnResult(
             np.full((n, k), np.inf), np.full((n, k), -1, dtype=np.intp)
         )

@@ -31,3 +31,14 @@ class ConfigurationError(ReproError, ValueError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative solver failed to reach its target within its budget."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """An execution backend failed mid-flight.
+
+    Raised e.g. when a worker process of the ``processes`` backend dies
+    (OOM-kill, segfault in a native extension) — the pool's low-level
+    ``BrokenProcessPool`` is translated into this library error so
+    callers see one clean failure instead of a hang or a foreign
+    exception type.
+    """

@@ -23,29 +23,20 @@ import numpy as np
 
 from ..config import BlockingParams, IVY_BRIDGE_BLOCKING
 from ..errors import ValidationError
+
+# NOTE: repro.parallel.chunking is imported lazily inside the driver —
+# a module-level import would cycle (gemm package -> parallel package ->
+# data_parallel -> core.gsknn -> gemm.packing).
 from .blocked import BlockedGemm, GemmObserver
 
 __all__ = ["parallel_blocked_gemm"]
-
-
-def _row_chunks(m: int, p: int, m_c: int) -> list[tuple[int, int]]:
-    """Split ``m`` rows into <= p chunks of whole ``m_c`` blocks."""
-    blocks = -(-m // m_c)
-    per_worker = -(-blocks // p)
-    chunks = []
-    start = 0
-    while start < m:
-        size = min(per_worker * m_c, m - start)
-        chunks.append((start, size))
-        start += size
-    return chunks
 
 
 def parallel_blocked_gemm(
     A: np.ndarray,
     B: np.ndarray,
     *,
-    p: int = 2,
+    p: int | str = 2,
     blocking: BlockingParams = IVY_BRIDGE_BLOCKING,
     observer: GemmObserver | None = None,
 ) -> np.ndarray:
@@ -54,8 +45,9 @@ def parallel_blocked_gemm(
     Identical results to :meth:`BlockedGemm.multiply_nt` — the split is
     over output rows, which no two workers share.
     """
-    if p < 1:
-        raise ValidationError(f"need p >= 1 workers, got {p}")
+    from ..parallel.chunking import block_aligned_chunks, resolve_workers
+
+    p = resolve_workers(p)
     A = np.ascontiguousarray(A, dtype=np.float64)
     B = np.ascontiguousarray(B, dtype=np.float64)
     if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[1]:
@@ -66,7 +58,7 @@ def parallel_blocked_gemm(
     if p == 1 or m <= blocking.m_c:
         return BlockedGemm(blocking, observer).multiply_nt(A, B)
 
-    chunks = _row_chunks(m, p, blocking.m_c)
+    chunks = block_aligned_chunks(m, p, blocking.m_c)
     C = np.empty((m, B.shape[0]), dtype=np.float64)
 
     def worker(chunk: tuple[int, int]) -> None:
@@ -76,6 +68,6 @@ def parallel_blocked_gemm(
             A[start : start + size], B
         )
 
-    with ThreadPoolExecutor(max_workers=min(p, len(chunks))) as pool:
+    with ThreadPoolExecutor(max_workers=resolve_workers(p, len(chunks))) as pool:
         list(pool.map(worker, chunks))
     return C

@@ -12,12 +12,36 @@ Two regimes, as in the paper:
   because each query owns its neighbor list; parallelizing the
   reference side instead requires per-thread private lists merged at
   the end (footnote 5), also provided.
+
+Where the decomposed work executes is an orthogonal choice:
+:mod:`repro.parallel.backends` provides interchangeable ``serial``,
+``threads``, and ``processes`` (zero-copy shared-memory) execution
+backends, and :mod:`repro.parallel.chunking` the shared partitioning /
+worker-resolution arithmetic every driver uses.
 """
 
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from .chunking import block_aligned_chunks, contiguous_chunks, resolve_workers
 from .scheduler import ScheduledTask, Schedule, lpt_schedule, graham_bound
 from .data_parallel import gsknn_data_parallel, gsknn_reference_parallel
 
 __all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "resolve_workers",
+    "contiguous_chunks",
+    "block_aligned_chunks",
     "ScheduledTask",
     "Schedule",
     "lpt_schedule",

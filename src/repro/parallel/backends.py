@@ -1,0 +1,359 @@
+"""Pluggable execution backends for the data-parallel GSKNN driver.
+
+The paper's §2.5 parallelizes the 4th loop: query chunks go to cores,
+each core updates a disjoint slice of the neighbor lists. *How* those
+chunks reach the cores is an execution-policy question this module makes
+explicit — one :class:`ExecutionBackend` contract, three interchangeable
+implementations:
+
+* :class:`SerialBackend` — runs the chunk list in-process, in order.
+  The reference point every other backend must be bit-identical to.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor``. The right choice
+  when runtime is dominated by BLAS blocks that release the GIL
+  (Var#6, large d).
+* :class:`ProcessBackend` — a ``ProcessPoolExecutor`` over
+  **zero-copy shared memory**. The coordinate table ``X``, the
+  squared-norm side table, and the index arrays are placed in
+  ``multiprocessing.shared_memory`` segments; workers attach by name
+  (no pickling, no copy — the kernel's working set is mapped, not
+  moved) and only the small ``(chunk_m, k)`` neighbor lists travel back
+  through the result pipe. This escapes the GIL for the selection-heavy
+  Var#1 regime, where per-query heap/merge work serializes threads.
+
+All three backends consume the *same* chunk list (produced by
+:func:`repro.parallel.chunking.contiguous_chunks`), so their results
+are bit-identical by construction — the cross-backend equivalence suite
+asserts exactly that.
+
+A dead worker process surfaces as :class:`repro.errors.BackendError`
+(a :class:`ReproError`), never a hang: the pool's ``BrokenProcessPool``
+is caught and translated, and the shared segments are unlinked in a
+``finally`` so a crash cannot leak ``/dev/shm`` space.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import BackendError, ValidationError
+from ..obs.metrics import get_registry as _get_registry
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "BACKENDS",
+]
+
+#: Environment hook for the crash test: a worker whose chunk start
+#: matches this value exits hard, simulating an OOM-kill / segfault.
+_CRASH_ENV = "REPRO_BACKEND_TEST_CRASH_AT"
+
+
+def _solve_chunk(
+    X: np.ndarray,
+    q_idx: np.ndarray,
+    r_idx: np.ndarray,
+    k: int,
+    chunk: tuple[int, int],
+    kernel_kwargs: dict[str, Any],
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """Solve one query chunk; shared by every backend."""
+    from ..core.gsknn import gsknn
+
+    start, size = chunk
+    res = gsknn(X, q_idx[start : start + size], r_idx, k, **kernel_kwargs)
+    return start, res.distances, res.indices
+
+
+class ExecutionBackend:
+    """Contract: run the query-chunk decomposition and map generic tasks.
+
+    ``solve_chunks`` is the GSKNN-specific entry point (assembles the
+    full ``(m, k)`` result from per-chunk pieces); ``map`` is the
+    generic fan-out the LPT schedule executor uses.
+    """
+
+    name = "abstract"
+
+    def solve_chunks(
+        self,
+        X: np.ndarray,
+        q_idx: np.ndarray,
+        r_idx: np.ndarray,
+        k: int,
+        chunks: Sequence[tuple[int, int]],
+        kernel_kwargs: dict[str, Any],
+    ):
+        from ..core.neighbors import KnnResult
+
+        m = q_idx.size
+        dist = np.empty((m, k), dtype=np.float64)
+        idx = np.empty((m, k), dtype=np.intp)
+        for start, d_chunk, i_chunk in self._run(
+            X, q_idx, r_idx, k, chunks, kernel_kwargs
+        ):
+            dist[start : start + d_chunk.shape[0]] = d_chunk
+            idx[start : start + i_chunk.shape[0]] = i_chunk
+        registry = _get_registry()
+        if registry.enabled:
+            registry.inc(f"backend.{self.name}.solves")
+            registry.inc(f"backend.{self.name}.chunks", len(chunks))
+        return KnnResult(dist, idx)
+
+    def _run(
+        self,
+        X: np.ndarray,
+        q_idx: np.ndarray,
+        r_idx: np.ndarray,
+        k: int,
+        chunks: Sequence[tuple[int, int]],
+        kernel_kwargs: dict[str, Any],
+    ) -> Iterable[tuple[int, np.ndarray, np.ndarray]]:
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Generic ordered fan-out (used by the schedule executor)."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order execution — the bit-exact reference."""
+
+    name = "serial"
+
+    def __init__(self, p: int = 1) -> None:
+        # p accepted (and ignored) so backends are constructor-compatible
+        self.p = 1
+
+    def _run(self, X, q_idx, r_idx, k, chunks, kernel_kwargs):
+        for chunk in chunks:
+            yield _solve_chunk(X, q_idx, r_idx, k, chunk, kernel_kwargs)
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """``ThreadPoolExecutor`` fan-out — today's default path."""
+
+    name = "threads"
+
+    def __init__(self, p: int = 2) -> None:
+        if p < 1:
+            raise ValidationError(f"need p >= 1 workers, got {p}")
+        self.p = int(p)
+
+    def _run(self, X, q_idx, r_idx, k, chunks, kernel_kwargs):
+        from .chunking import resolve_workers
+
+        workers = resolve_workers(self.p, len(chunks))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            yield from pool.map(
+                lambda c: _solve_chunk(X, q_idx, r_idx, k, c, kernel_kwargs),
+                chunks,
+            )
+
+    def map(self, fn, items):
+        from .chunking import resolve_workers
+
+        if not items:
+            return []
+        workers = resolve_workers(self.p, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+# -- process backend ---------------------------------------------------------
+#
+# Worker-side state: one attach per worker process (via the pool
+# initializer), reused across every chunk that worker executes. The
+# arrays are ndarray views over the shared segments — zero-copy.
+
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _shm_export(arr: np.ndarray):
+    """Copy ``arr`` into a fresh shared-memory segment; returns (shm, spec)."""
+    from multiprocessing import shared_memory
+
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[:] = arr
+    return shm, (shm.name, arr.shape, arr.dtype.str)
+
+
+def _shm_attach(spec):
+    """Attach to an exported segment; returns (shm, zero-copy ndarray view)."""
+    from multiprocessing import shared_memory
+
+    name, shape, dtype = spec
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+def _process_worker_init(specs: dict, kernel_blob: bytes) -> None:
+    segments = {}
+    arrays = {}
+    for key, spec in specs.items():
+        if spec is None:
+            arrays[key] = None
+            continue
+        shm, view = _shm_attach(spec)
+        segments[key] = shm  # keep the handle alive for the view's lifetime
+        arrays[key] = view
+    _WORKER_STATE["segments"] = segments
+    _WORKER_STATE["arrays"] = arrays
+    _WORKER_STATE["kernel_kwargs"] = pickle.loads(kernel_blob)
+
+
+def _process_worker_solve(
+    task: tuple[tuple[int, int], int]
+) -> tuple[int, np.ndarray, np.ndarray]:
+    chunk, k = task
+    crash_at = os.environ.get(_CRASH_ENV)
+    if crash_at is not None and int(crash_at) == chunk[0]:
+        os._exit(13)  # crash-injection hook for the backend crash test
+    arrays = _WORKER_STATE["arrays"]
+    kwargs = dict(_WORKER_STATE["kernel_kwargs"])
+    if arrays.get("X2") is not None:
+        kwargs["X2"] = arrays["X2"]
+    return _solve_chunk(
+        arrays["X"], arrays["q_idx"], arrays["r_idx"], k, chunk, kwargs
+    )
+
+
+class ProcessBackend(ExecutionBackend):
+    """``ProcessPoolExecutor`` over zero-copy shared-memory operands.
+
+    Parameters
+    ----------
+    p:
+        Worker processes.
+    mp_context:
+        ``multiprocessing`` start method. Defaults to ``fork`` where
+        available (cheap worker startup; the initializer re-attaches by
+        name regardless, so ``spawn`` is equally correct — just slower
+        to warm up).
+    """
+
+    name = "processes"
+
+    def __init__(self, p: int = 2, *, mp_context: str | None = None) -> None:
+        import multiprocessing
+
+        if p < 1:
+            raise ValidationError(f"need p >= 1 workers, got {p}")
+        self.p = int(p)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self.mp_context = mp_context
+
+    def _run(self, X, q_idx, r_idx, k, chunks, kernel_kwargs):
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        from ..core.norms import resolve_norm, squared_norms
+        from .chunking import resolve_workers
+
+        # Pre-compute the l2 side table once in the parent so workers
+        # never redo it per chunk; ship it through shared memory too.
+        kwargs = dict(kernel_kwargs)
+        X2 = kwargs.pop("X2", None)
+        norm = resolve_norm(kwargs.get("norm", "l2"))
+        if (norm.is_l2 or norm.is_cosine) and X2 is None:
+            X2 = squared_norms(np.ascontiguousarray(X, dtype=np.float64))
+
+        segments = []
+        specs: dict[str, Any] = {}
+        try:
+            for key, arr in (
+                ("X", X),
+                ("q_idx", q_idx),
+                ("r_idx", r_idx),
+                ("X2", X2),
+            ):
+                if arr is None:
+                    specs[key] = None
+                    continue
+                shm, spec = _shm_export(np.asarray(arr))
+                segments.append(shm)
+                specs[key] = spec
+            registry = _get_registry()
+            if registry.enabled:
+                registry.inc(
+                    "backend.processes.shm_bytes",
+                    sum(s.size for s in segments),
+                )
+            workers = resolve_workers(self.p, len(chunks))
+            ctx = multiprocessing.get_context(self.mp_context)
+            blob = pickle.dumps(kwargs)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=ctx,
+                    initializer=_process_worker_init,
+                    initargs=(specs, blob),
+                ) as pool:
+                    yield from pool.map(
+                        _process_worker_solve, [(c, k) for c in chunks]
+                    )
+            except BrokenProcessPool as exc:
+                raise BackendError(
+                    "processes backend: a worker process died before "
+                    "returning its chunk (killed, out-of-memory, or a "
+                    "crash in native code); partial results were "
+                    "discarded"
+                ) from exc
+        finally:
+            for shm in segments:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+
+    def map(self, fn, items):
+        raise ValidationError(
+            "the processes backend only executes GSKNN query chunks "
+            "(its operands travel via shared memory, not pickles); use "
+            "the serial or threads backend for generic task fan-out"
+        )
+
+
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "threads": ThreadBackend,
+    "processes": ProcessBackend,
+}
+
+
+def resolve_backend(
+    backend: str | ExecutionBackend, p: int | str = 1
+) -> ExecutionBackend:
+    """Turn a backend name (or ready instance) into an instance.
+
+    ``p`` is the worker count forwarded to a by-name construction
+    (``"auto"`` resolves to the host's core count); an instance passes
+    through unchanged.
+    """
+    from .chunking import resolve_workers
+
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if not isinstance(backend, str) or backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown backend {backend!r}; choose from "
+            f"{sorted(BACKENDS)} or pass an ExecutionBackend instance"
+        )
+    return BACKENDS[backend](resolve_workers(p))

@@ -1,0 +1,106 @@
+"""Contiguous work partitioning shared by every parallel driver.
+
+Three modules used to carry private copies of the same two pieces of
+arithmetic — how many workers to actually start, and how to split a
+contiguous range of rows between them:
+
+* ``parallel/data_parallel.py`` had ``_query_chunks`` (near-equal
+  chunks, also reused for the reference side);
+* ``gemm/parallel.py`` had ``_row_chunks`` (whole-``m_c``-block chunks)
+  and capped its pool at ``min(p, len(chunks))`` while the data-parallel
+  driver passed ``max_workers=p`` even with fewer chunks;
+* ``parallel/scheduler.py`` sized its pool straight off
+  ``schedule.n_processors``.
+
+This module is the single home for both:
+:func:`resolve_workers` turns a requested worker count (or ``"auto"``)
+into the number of workers worth starting, and :func:`contiguous_chunks`
+/ :func:`block_aligned_chunks` produce ``(start, size)`` partitions with
+the invariants the property tests pin — full coverage of ``[0, total)``,
+no empty chunks, near-equal (or whole-block) sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import ValidationError
+
+__all__ = ["resolve_workers", "contiguous_chunks", "block_aligned_chunks"]
+
+
+def resolve_workers(p: int | str, n_chunks: int | None = None) -> int:
+    """Number of workers to actually start for ``n_chunks`` work items.
+
+    ``p`` is the requested worker count, or ``"auto"`` for
+    ``os.cpu_count()``. The result is clamped to ``n_chunks`` when given
+    (a pool larger than its work list only burns thread/process startup)
+    and is always >= 1.
+    """
+    if isinstance(p, str):
+        if p != "auto":
+            raise ValidationError(
+                f"worker count must be a positive int or 'auto', got {p!r}"
+            )
+        p = os.cpu_count() or 1
+    if not isinstance(p, int) or isinstance(p, bool) or p < 1:
+        raise ValidationError(
+            f"worker count must be a positive int or 'auto', got {p!r}"
+        )
+    if n_chunks is not None:
+        if n_chunks < 1:
+            raise ValidationError(
+                f"n_chunks must be >= 1 when given, got {n_chunks}"
+            )
+        p = min(p, n_chunks)
+    return p
+
+
+def contiguous_chunks(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into <= ``parts`` near-equal ``(start, size)`` runs.
+
+    The dynamic-``m_c`` load balancing of §2.5: sizes differ by at most
+    one, chunks are contiguous and in order, empty chunks are never
+    emitted (so fewer than ``parts`` chunks come back when
+    ``total < parts``).
+    """
+    if total < 0:
+        raise ValidationError(f"total must be >= 0, got {total}")
+    if parts < 1:
+        raise ValidationError(f"parts must be >= 1, got {parts}")
+    base, extra = divmod(total, parts)
+    chunks: list[tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        if size:
+            chunks.append((start, size))
+        start += size
+    return chunks
+
+
+def block_aligned_chunks(
+    total: int, parts: int, block: int
+) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into <= ``parts`` chunks of whole ``block`` units.
+
+    The GEMM driver's variant: every worker gets a whole number of
+    ``m_c`` blocks (only the final chunk may end ragged), so block
+    boundaries — and therefore packing layouts — are identical to the
+    serial loop nest.
+    """
+    if total < 0:
+        raise ValidationError(f"total must be >= 0, got {total}")
+    if parts < 1 or block < 1:
+        raise ValidationError(
+            f"need parts >= 1 and block >= 1, got {parts}, {block}"
+        )
+    blocks = -(-total // block)
+    per_worker = -(-blocks // parts) if blocks else 0
+    chunks: list[tuple[int, int]] = []
+    start = 0
+    while start < total:
+        size = min(per_worker * block, total - start)
+        chunks.append((start, size))
+        start += size
+    return chunks

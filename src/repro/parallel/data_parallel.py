@@ -12,10 +12,13 @@ per-thread private heaps merged afterwards. Both schemes are
 implemented, the second mainly to demonstrate (and test) the merge
 resolution.
 
-Threads, not processes: the distance blocks are BLAS calls that release
-the GIL, so query blocks genuinely overlap on multicore hosts, and on a
-single-core host the decomposition still produces bit-identical
-results.
+*Where* the query chunks execute is delegated to an
+:class:`~repro.parallel.backends.ExecutionBackend`: ``threads`` (the
+default — BLAS blocks release the GIL, so Var#6-heavy work overlaps),
+``processes`` (zero-copy shared-memory workers — escapes the GIL for
+the selection-heavy Var#1 regime), or ``serial`` (the bit-exact
+reference). All backends consume the same chunk list, so results are
+identical across them by construction.
 """
 
 from __future__ import annotations
@@ -24,32 +27,14 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..config import iter_blocks
 from ..errors import ValidationError
-from ..core.gsknn import gsknn
+from ..core.gsknn import gsknn, _resolve_auto_variant
 from ..core.neighbors import KnnResult, merge_neighbor_lists
 from ..core.norms import Norm
+from .backends import ExecutionBackend, resolve_backend
+from .chunking import contiguous_chunks, resolve_workers
 
 __all__ = ["gsknn_data_parallel", "gsknn_reference_parallel"]
-
-
-def _query_chunks(m: int, p: int) -> list[tuple[int, int]]:
-    """Split ``m`` queries into ``p`` near-equal contiguous chunks.
-
-    This is the dynamic-``m_c`` load balancing of §2.5: instead of fixed
-    ``m_c`` blocks cycled over cores (imbalanced when m is not a
-    multiple of m_c * p), chunk sizes are derived from p and m.
-    """
-    base = m // p
-    extra = m % p
-    chunks = []
-    start = 0
-    for i in range(p):
-        size = base + (1 if i < extra else 0)
-        if size:
-            chunks.append((start, size))
-        start += size
-    return chunks
 
 
 def gsknn_data_parallel(
@@ -58,50 +43,49 @@ def gsknn_data_parallel(
     r_idx: np.ndarray,
     k: int,
     *,
-    p: int = 2,
+    p: int | str = 2,
     norm: str | float | Norm = "l2",
     variant: int | str = "auto",
     block_m: int = 1024,
     block_n: int = 2048,
+    backend: str | ExecutionBackend = "threads",
+    chunks_per_worker: int = 1,
+    X2: np.ndarray | None = None,
 ) -> KnnResult:
     """4th-loop (query-side) parallel GSKNN over ``p`` workers.
 
     Results are identical to the serial kernel — queries are
-    partitioned, never shared.
+    partitioned, never shared — and identical *across backends*: all
+    three execute the same chunk decomposition. ``p`` may be ``"auto"``
+    (the host's core count); ``chunks_per_worker > 1`` over-decomposes
+    (``p * chunks_per_worker`` chunks) so uneven per-chunk costs
+    rebalance across the pool. The variant is resolved once on the full
+    problem shape so chunked sub-kernels cannot disagree with the
+    serial kernel's choice.
     """
-    if p < 1:
-        raise ValidationError(f"need p >= 1, got {p}")
+    p = resolve_workers(p)
+    if chunks_per_worker < 1:
+        raise ValidationError(
+            f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+        )
     q_idx = np.asarray(q_idx, dtype=np.intp)
+    r_idx = np.asarray(r_idx, dtype=np.intp)
+    # Resolve "auto"/"model" on the FULL problem: a model-driven choice
+    # made per chunk could differ from the serial kernel's.
+    var = _resolve_auto_variant(
+        variant, q_idx.size, r_idx.size, np.asarray(X).shape[1], k
+    )
+    kernel_kwargs = dict(
+        norm=norm, variant=int(var), block_m=block_m, block_n=block_n,
+    )
+    if X2 is not None:
+        kernel_kwargs["X2"] = X2
     if p == 1 or q_idx.size <= p:
-        return gsknn(
-            X, q_idx, np.asarray(r_idx), k, norm=norm, variant=variant,
-            block_m=block_m, block_n=block_n,
-        )
+        return gsknn(X, q_idx, r_idx, k, **kernel_kwargs)
 
-    chunks = _query_chunks(q_idx.size, p)
-
-    def worker(chunk: tuple[int, int]) -> tuple[int, KnnResult]:
-        start, size = chunk
-        res = gsknn(
-            X,
-            q_idx[start : start + size],
-            r_idx,
-            k,
-            norm=norm,
-            variant=variant,
-            block_m=block_m,
-            block_n=block_n,
-        )
-        return start, res
-
-    m = q_idx.size
-    dist = np.empty((m, k), dtype=np.float64)
-    idx = np.empty((m, k), dtype=np.intp)
-    with ThreadPoolExecutor(max_workers=p) as pool:
-        for start, res in pool.map(worker, chunks):
-            dist[start : start + res.m] = res.distances
-            idx[start : start + res.m] = res.indices
-    return KnnResult(dist, idx)
+    chunks = contiguous_chunks(q_idx.size, p * chunks_per_worker)
+    engine = resolve_backend(backend, p)
+    return engine.solve_chunks(X, q_idx, r_idx, k, chunks, kernel_kwargs)
 
 
 def gsknn_reference_parallel(
@@ -110,7 +94,7 @@ def gsknn_reference_parallel(
     r_idx: np.ndarray,
     k: int,
     *,
-    p: int = 2,
+    p: int | str = 2,
     norm: str | float | Norm = "l2",
     block_m: int = 1024,
     block_n: int = 2048,
@@ -123,8 +107,7 @@ def gsknn_reference_parallel(
     parallelism). Exactness is preserved because min-k is associative
     under the dedup-merge.
     """
-    if p < 1:
-        raise ValidationError(f"need p >= 1, got {p}")
+    p = resolve_workers(p)
     r_idx = np.asarray(r_idx, dtype=np.intp)
     if k > r_idx.size:
         raise ValidationError(f"k={k} exceeds n={r_idx.size}")
@@ -133,7 +116,7 @@ def gsknn_reference_parallel(
             X, q_idx, r_idx, k, norm=norm, block_m=block_m, block_n=block_n
         )
 
-    chunks = _query_chunks(r_idx.size, p)  # same chunking math, n side
+    chunks = contiguous_chunks(r_idx.size, p)  # same chunking math, n side
 
     def worker(chunk: tuple[int, int]) -> KnnResult:
         start, size = chunk
@@ -147,7 +130,9 @@ def gsknn_reference_parallel(
             block_n=block_n,
         )
 
-    with ThreadPoolExecutor(max_workers=p) as pool:
+    with ThreadPoolExecutor(
+        max_workers=resolve_workers(p, len(chunks))
+    ) as pool:
         partials = list(pool.map(worker, chunks))
 
     # Pad any short partial lists (chunk smaller than k) to width k, then

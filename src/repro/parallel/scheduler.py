@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import heapq
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..errors import ValidationError
 from ..obs import trace as _trace
 from ..obs.metrics import get_registry as _get_registry
+from .chunking import resolve_workers
 
 __all__ = ["ScheduledTask", "Schedule", "lpt_schedule", "graham_bound", "execute_schedule"]
 
@@ -109,15 +109,24 @@ def graham_bound(p: int) -> float:
 def execute_schedule(
     schedule: Schedule,
     run: Callable[[ScheduledTask], Any],
+    *,
+    backend: str | Any = "threads",
 ) -> dict[int, Any]:
-    """Execute a schedule on real threads; returns {task_id: result}.
+    """Execute a schedule on an execution backend; returns {task_id: result}.
 
-    Each processor's task list runs sequentially on its own thread, in
-    assignment order — faithful to the static schedule rather than a
-    work-stealing pool. (On kernels that release the GIL during BLAS
-    this gives true overlap; on one core it still validates the
-    parallel decomposition.)
+    Each processor's task list runs sequentially, in assignment order —
+    faithful to the static schedule rather than a work-stealing pool.
+    ``backend`` is ``"threads"`` (default — on kernels that release the
+    GIL during BLAS this gives true overlap), ``"serial"`` (in-process,
+    for debugging and single-core determinism), or any
+    :class:`~repro.parallel.backends.ExecutionBackend` whose generic
+    ``map`` is implemented. The ``processes`` backend is rejected here:
+    schedule payloads are arbitrary closures, and its zero-copy
+    contract only covers GSKNN query chunks.
     """
+    from .backends import resolve_backend
+
+    engine = resolve_backend(backend, schedule.n_processors)
     results: dict[int, Any] = {}
     registry = _get_registry()
 
@@ -139,8 +148,13 @@ def execute_schedule(
                 out.append((t.task_id, value))
         return out
 
-    with ThreadPoolExecutor(max_workers=max(schedule.n_processors, 1)) as pool:
-        for chunk in pool.map(worker, schedule.assignments):
-            for task_id, value in chunk:
-                results[task_id] = value
+    lanes = [tasks for tasks in schedule.assignments if tasks]
+    if not lanes:
+        return results
+    # one lane per processor with work; the shared resolver clamps the
+    # pool so idle processors never cost a thread
+    engine.p = resolve_workers(max(schedule.n_processors, 1), len(lanes))
+    for chunk in engine.map(worker, lanes):
+        for task_id, value in chunk:
+            results[task_id] = value
     return results

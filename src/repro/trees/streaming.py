@@ -26,7 +26,7 @@ import numpy as np
 
 from ..core.gsknn import gsknn
 from ..core.neighbors import KnnResult, merge_neighbor_lists_fast
-from ..core.norms import squared_norms
+from ..core.norm_cache import cached_squared_norms
 from ..errors import ValidationError
 from ..validation import as_coordinate_table, check_finite
 from .lsh import LSHSolver
@@ -170,7 +170,10 @@ class StreamingAllKnn:
         if tables < 1:
             raise ValidationError("tables must be >= 1")
         alive_ids = np.flatnonzero(self._alive)
-        X2 = squared_norms(self._points)
+        # Identity-keyed cache: refresh() rounds between inserts reuse
+        # the same table object, so only the first round pays the O(N d)
+        # pass; an insert vstacks a new array and invalidates naturally.
+        X2 = cached_squared_norms(self._points)
         if alive_ids.size <= self.max_bucket:
             # The whole live population fits one kernel: solve exactly —
             # hashing only starts paying once buckets are real subsets.

@@ -1,0 +1,283 @@
+"""Guided per-host search over blocking, workers, and the variant switch.
+
+The paper fixes its parameters analytically for one known machine
+(Ivy Bridge, §2.4/§3). A reproduction running on arbitrary hosts cannot:
+cache sizes, core counts, BLAS builds, and the Python selection-path
+cost all move the optima. This module measures instead — a three-stage
+**guided** search (each stage conditions on the previous stage's
+winner, so the space stays tiny compared to a full grid):
+
+1. **Blocking** — coordinate descent over ``block_m`` x ``block_n``
+   (the fast path's ``m_c``/``n_c`` analogues) on a representative
+   Var#1 problem, serial kernel, best-of-N timing.
+2. **Execution** — worker count, chunk granularity, and backend
+   (``threads`` vs ``processes`` vs staying ``serial``) on the winning
+   blocks.
+3. **Crossover** — the empirical Var#1 <-> Var#6 switch-``k``: time both
+   variants at geometric ``k`` probes and take the measured crossover,
+   replacing the hard-coded ``NUMPY_VARIANT_SWITCH_K``.
+
+Candidate timings flow through the PR-1 observability layer — every
+measurement is a ``tune_candidate`` trace span and lands in the metrics
+registry (``tune.candidates``, ``tune.candidate_seconds``) when
+enabled — and the winner is persisted via :mod:`repro.tune.store` for
+``gsknn(..., blocking="tuned")`` to pick up transparently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry as _get_registry
+from .store import TunedConfig, save_tuned_config
+
+__all__ = ["TuneBudget", "BUDGETS", "Autotuner", "TuneReport"]
+
+
+@dataclass(frozen=True)
+class TuneBudget:
+    """How much measuring a tuning run may do."""
+
+    name: str
+    m: int  #: representative problem: queries
+    n: int  #: representative problem: references
+    d: int  #: representative problem: dimension
+    k: int  #: representative problem: neighbors (Var#1 regime)
+    repeats: int  #: best-of-N per candidate
+    block_candidates: tuple[int, ...]  #: block_m / block_n grid values
+    p_max: int | None  #: worker cap (None = host cores)
+    chunk_multipliers: tuple[int, ...]  #: chunks per worker to try
+    switch_probes: tuple[int, ...]  #: k values probed for the crossover
+
+
+BUDGETS: dict[str, TuneBudget] = {
+    "small": TuneBudget(
+        name="small",
+        m=1024, n=1024, d=32, k=16,
+        repeats=2,
+        block_candidates=(512, 1024, 2048),
+        p_max=4,
+        chunk_multipliers=(1,),
+        switch_probes=(64, 256, 512),
+    ),
+    "medium": TuneBudget(
+        name="medium",
+        m=4096, n=4096, d=32, k=32,
+        repeats=3,
+        block_candidates=(256, 512, 1024, 2048, 4096),
+        p_max=None,
+        chunk_multipliers=(1, 2),
+        switch_probes=(32, 64, 128, 256, 512, 1024),
+    ),
+    "large": TuneBudget(
+        name="large",
+        m=8192, n=8192, d=32, k=64,
+        repeats=3,
+        block_candidates=(256, 512, 1024, 2048, 4096, 8192),
+        p_max=None,
+        chunk_multipliers=(1, 2, 4),
+        switch_probes=(32, 64, 128, 256, 512, 1024, 2048),
+    ),
+}
+
+
+@dataclass
+class TuneReport:
+    """Everything a tuning run measured, plus the winner."""
+
+    config: TunedConfig
+    budget: str
+    candidates: list[dict[str, Any]] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def best_seconds(self, stage: str) -> float:
+        times = [c["seconds"] for c in self.candidates if c["stage"] == stage]
+        return min(times) if times else float("nan")
+
+
+class Autotuner:
+    """Measure this host, return (and optionally persist) the winner.
+
+    Parameters
+    ----------
+    budget:
+        ``"small"`` / ``"medium"`` / ``"large"`` or a custom
+        :class:`TuneBudget`. Small finishes in seconds and is what the
+        CI gate runs; large approaches the paper's problem sizes.
+    seed:
+        Seed of the synthetic tuning problem.
+    """
+
+    def __init__(
+        self, budget: str | TuneBudget = "small", *, seed: int = 0
+    ) -> None:
+        if isinstance(budget, str):
+            if budget not in BUDGETS:
+                raise ValidationError(
+                    f"unknown budget {budget!r}; choose from {sorted(BUDGETS)}"
+                )
+            budget = BUDGETS[budget]
+        self.budget = budget
+        self.seed = int(seed)
+
+    # -- measurement core -------------------------------------------------
+
+    def _time(self, fn, stage: str, **attrs: Any) -> float:
+        """Best-of-repeats wall clock, reported through the obs layer."""
+        best = float("inf")
+        for _ in range(self.budget.repeats):
+            with _trace.span("tune_candidate", stage=stage, **attrs):
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+        registry = _get_registry()
+        if registry.enabled:
+            registry.inc("tune.candidates")
+            registry.observe("tune.candidate_seconds", best)
+        self._report.candidates.append(
+            {"stage": stage, "seconds": best, **attrs}
+        )
+        return best
+
+    def _problem(self, k: int | None = None):
+        from ..data.synthetic import uniform_hypercube
+
+        b = self.budget
+        n_points = max(b.m, b.n)
+        ds = uniform_hypercube(n_points, b.d, seed=self.seed)
+        rng = np.random.default_rng(self.seed + 1)
+        q = rng.permutation(n_points)[: b.m]
+        r = rng.permutation(n_points)[: b.n]
+        return ds.points, q, r, (b.k if k is None else k)
+
+    # -- stages -----------------------------------------------------------
+
+    def _tune_blocking(self, X, q, r, k) -> tuple[int, int]:
+        """Coordinate descent: best block_m at default block_n, then best
+        block_n at that block_m."""
+        from ..core.gsknn import gsknn
+
+        block_n = 2048
+        timings: dict[int, float] = {}
+        for bm in self.budget.block_candidates:
+            timings[bm] = self._time(
+                lambda: gsknn(X, q, r, k, variant=1,
+                              block_m=bm, block_n=block_n),
+                "blocking", block_m=bm, block_n=block_n,
+            )
+        block_m = min(timings, key=timings.get)
+        timings = {}
+        for bn in self.budget.block_candidates:
+            timings[bn] = self._time(
+                lambda: gsknn(X, q, r, k, variant=1,
+                              block_m=block_m, block_n=bn),
+                "blocking", block_m=block_m, block_n=bn,
+            )
+        return block_m, min(timings, key=timings.get)
+
+
+    def _tune_execution(self, X, q, r, k, block_m, block_n):
+        """Workers x chunk granularity x backend, on the tuned blocks."""
+        import os
+
+        from ..parallel.data_parallel import gsknn_data_parallel
+
+        cores = os.cpu_count() or 1
+        p_cap = cores if self.budget.p_max is None else min(
+            cores, self.budget.p_max
+        )
+        p_grid = sorted({1, 2, p_cap} & set(range(1, p_cap + 1)))
+        best = (float("inf"), 1, 1, "serial")
+        for p in p_grid:
+            backends = ("serial",) if p == 1 else ("threads", "processes")
+            for backend in backends:
+                for mult in self.budget.chunk_multipliers:
+                    if p == 1 and mult > 1:
+                        continue
+                    seconds = self._time(
+                        lambda: gsknn_data_parallel(
+                            X, q, r, k, p=p, backend=backend,
+                            block_m=block_m, block_n=block_n,
+                            chunks_per_worker=mult, variant=1,
+                        ),
+                        "execution", p=p, backend=backend, chunks=mult,
+                    )
+                    if seconds < best[0]:
+                        best = (seconds, p, mult, backend)
+        return best[1], best[2], best[3]
+
+    def _tune_switch_k(self, X, q, r, block_m, block_n) -> int:
+        """Measured Var#1 <-> Var#6 crossover over geometric k probes.
+
+        Returns the largest probed k where Var#1 still wins (i.e. the
+        tuned rule is "Var#1 iff k <= switch_k").
+        """
+        from ..core.gsknn import NUMPY_VARIANT_SWITCH_K, gsknn
+
+        n = r.size
+        switch = 0
+        for k in self.budget.switch_probes:
+            if k > n:
+                break
+            t1 = self._time(
+                lambda: gsknn(X, q, r, k, variant=1,
+                              block_m=block_m, block_n=block_n),
+                "switch", variant=1, k=k,
+            )
+            t6 = self._time(
+                lambda: gsknn(X, q, r, k, variant=6,
+                              block_m=block_m, block_n=block_n),
+                "switch", variant=6, k=k,
+            )
+            if t1 <= t6:
+                switch = k
+            else:
+                break  # crossover passed; larger k only favors Var#6 more
+        return switch if switch > 0 else NUMPY_VARIANT_SWITCH_K
+
+    # -- driver -----------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        persist: bool = True,
+        cache_path=None,
+    ) -> TuneReport:
+        """Run all three stages; optionally persist the winner."""
+        self._report = TuneReport(
+            config=TunedConfig(), budget=self.budget.name
+        )
+        t0 = time.perf_counter()
+        with _trace.span("autotune", budget=self.budget.name):
+            X, q, r, k = self._problem()
+            block_m, block_n = self._tune_blocking(X, q, r, k)
+            p, mult, backend = self._tune_execution(
+                X, q, r, k, block_m, block_n
+            )
+            switch_k = self._tune_switch_k(X, q, r, block_m, block_n)
+        self._report.config = TunedConfig(
+            block_m=block_m,
+            block_n=block_n,
+            p=p,
+            chunks_per_worker=mult,
+            switch_k=switch_k,
+            backend=backend,
+        )
+        self._report.seconds = time.perf_counter() - t0
+        registry = _get_registry()
+        if registry.enabled:
+            registry.observe("tune.run_seconds", self._report.seconds)
+        if persist:
+            save_tuned_config(
+                self._report.config,
+                cache_path=cache_path,
+                budget=self.budget.name,
+                extra={"tune_seconds": self._report.seconds},
+            )
+        return self._report

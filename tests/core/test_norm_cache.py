@@ -1,0 +1,91 @@
+"""Tests for the identity-keyed squared-norm cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.norm_cache import (
+    SquaredNormCache,
+    cached_squared_norms,
+    get_norm_cache,
+)
+from repro.core.norms import squared_norms
+from repro.obs.metrics import get_registry
+
+
+@pytest.fixture
+def cache() -> SquaredNormCache:
+    return SquaredNormCache(max_entries=3)
+
+
+class TestSquaredNormCache:
+    def test_hit_returns_same_object(self, cache, rng):
+        X = rng.random((40, 7))
+        first = cache.get(X)
+        second = cache.get(X)
+        assert first is second
+        np.testing.assert_array_equal(first, squared_norms(X))
+
+    def test_new_array_misses(self, cache, rng):
+        X = rng.random((40, 7))
+        cache.get(X)
+        # same values, different object: identity key must not match
+        Y = X.copy()
+        got = cache.get(Y)
+        np.testing.assert_array_equal(got, squared_norms(Y))
+        assert len(cache) == 2
+
+    def test_shape_change_invalidates(self, cache, rng):
+        """A reshape that keeps the object id must not serve stale norms."""
+        X = rng.random((6, 4))
+        norms_before = cache.get(X)
+        assert norms_before.shape == (6,)
+        reshaped = X.reshape(8, 3)
+        got = cache.get(reshaped)
+        np.testing.assert_array_equal(got, squared_norms(reshaped))
+
+    def test_lru_eviction(self, cache, rng):
+        arrays = [rng.random((8, 3)) for _ in range(5)]
+        for arr in arrays:
+            cache.get(arr)
+        assert len(cache) == 3
+
+    def test_entry_dies_with_array(self, cache, rng):
+        X = rng.random((8, 3))
+        cache.get(X)
+        assert len(cache) == 1
+        del X
+        import gc
+
+        gc.collect()
+        assert len(cache) == 0
+
+    def test_clear(self, cache, rng):
+        cache.get(rng.random((4, 2)))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestMetricsAndGlobal:
+    def test_hits_and_misses_counted(self, rng):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        old = set_registry(MetricsRegistry(enabled=True))
+        try:
+            X = rng.random((30, 5))
+            cached_squared_norms(X)
+            cached_squared_norms(X)
+            snap = get_registry().snapshot()
+            assert snap["counters"]["norms.cache_misses"] == 1
+            assert snap["counters"]["norms.cache_hits"] == 1
+        finally:
+            set_registry(old)
+            get_norm_cache().clear()
+
+    def test_global_cache_shared(self, rng):
+        X = rng.random((10, 4))
+        try:
+            assert cached_squared_norms(X) is cached_squared_norms(X)
+        finally:
+            get_norm_cache().clear()

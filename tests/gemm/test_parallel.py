@@ -7,14 +7,17 @@ import pytest
 
 from repro.config import BlockingParams
 from repro.errors import ValidationError
-from repro.gemm.parallel import _row_chunks, parallel_blocked_gemm
+from repro.gemm.parallel import parallel_blocked_gemm
+from repro.parallel.chunking import block_aligned_chunks
 
 BLK = BlockingParams(m_r=2, n_r=2, d_c=4, m_c=4, n_c=8)
 
 
 class TestRowChunks:
+    """The GEMM driver's chunking now lives in parallel.chunking."""
+
     def test_whole_mc_blocks_per_worker(self):
-        chunks = _row_chunks(20, 3, 4)
+        chunks = block_aligned_chunks(20, 3, 4)
         for start, size in chunks[:-1]:
             assert start % 4 == 0
             assert size % 4 == 0
@@ -22,10 +25,10 @@ class TestRowChunks:
         assert covered == 20
 
     def test_single_worker(self):
-        assert _row_chunks(10, 1, 4) == [(0, 10)]
+        assert block_aligned_chunks(10, 1, 4) == [(0, 10)]
 
     def test_more_workers_than_blocks(self):
-        chunks = _row_chunks(8, 16, 4)
+        chunks = block_aligned_chunks(8, 16, 4)
         assert len(chunks) == 2
 
 

@@ -8,23 +8,23 @@ import pytest
 from repro.core.gsknn import gsknn
 from repro.errors import ValidationError
 from repro.parallel import gsknn_data_parallel, gsknn_reference_parallel
-from repro.parallel.data_parallel import _query_chunks
+from repro.parallel.chunking import contiguous_chunks
 
 
 class TestQueryChunks:
     def test_covers_all_queries(self):
-        chunks = _query_chunks(10, 3)
+        chunks = contiguous_chunks(10, 3)
         covered = []
         for start, size in chunks:
             covered.extend(range(start, start + size))
         assert covered == list(range(10))
 
     def test_near_equal_sizes(self):
-        sizes = [s for _, s in _query_chunks(10, 3)]
+        sizes = [s for _, s in contiguous_chunks(10, 3)]
         assert max(sizes) - min(sizes) <= 1
 
     def test_more_workers_than_queries(self):
-        chunks = _query_chunks(2, 5)
+        chunks = contiguous_chunks(2, 5)
         assert len(chunks) == 2
 
 

@@ -1,0 +1,112 @@
+"""Tests for the persisted per-host tuning cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.tune.store import (
+    TUNE_SCHEMA_VERSION,
+    TunedConfig,
+    default_cache_path,
+    fingerprint_key,
+    host_fingerprint,
+    load_tuned_config,
+    save_tuned_config,
+)
+
+
+@pytest.fixture
+def cache_file(tmp_path):
+    return tmp_path / "tuning.json"
+
+
+class TestTunedConfig:
+    def test_defaults_valid(self):
+        cfg = TunedConfig()
+        assert cfg.block_m == 1024 and cfg.backend == "threads"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"block_m": 0},
+            {"p": -1},
+            {"switch_k": 0},
+            {"chunks_per_worker": True},
+            {"backend": "mpi"},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValidationError):
+            TunedConfig(**kwargs)
+
+
+class TestFingerprint:
+    def test_contains_the_load_bearing_fields(self):
+        fp = host_fingerprint()
+        assert set(fp) == {"cpu_count", "machine", "numpy", "blas", "python"}
+        assert fp["cpu_count"] >= 1
+
+    def test_key_is_stable(self):
+        assert fingerprint_key() == fingerprint_key(host_fingerprint())
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, cache_file):
+        cfg = TunedConfig(block_m=512, block_n=4096, p=3, switch_k=128)
+        path = save_tuned_config(cfg, cache_path=cache_file, budget="small")
+        assert path == cache_file
+        assert load_tuned_config(cache_file) == cfg
+
+    def test_other_hosts_preserved(self, cache_file):
+        save_tuned_config(TunedConfig(), cache_path=cache_file)
+        doc = json.loads(cache_file.read_text())
+        doc["hosts"]["cpu_count=999|other=host"] = {
+            "config": {"block_m": 64}
+        }
+        cache_file.write_text(json.dumps(doc))
+        save_tuned_config(TunedConfig(block_m=256), cache_path=cache_file)
+        doc = json.loads(cache_file.read_text())
+        assert "cpu_count=999|other=host" in doc["hosts"]
+        assert load_tuned_config(cache_file).block_m == 256
+
+    def test_env_var_overrides_path(self, cache_file, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_CACHE", str(cache_file))
+        assert default_cache_path() == cache_file
+        save_tuned_config(TunedConfig(block_m=2048))
+        assert load_tuned_config().block_m == 2048
+
+
+class TestDegradation:
+    """Every unusable cache state loads as None, never an exception."""
+
+    def test_missing_file(self, tmp_path):
+        assert load_tuned_config(tmp_path / "nope.json") is None
+
+    def test_corrupt_json(self, cache_file):
+        cache_file.write_text("{not json")
+        assert load_tuned_config(cache_file) is None
+
+    def test_future_schema(self, cache_file):
+        save_tuned_config(TunedConfig(), cache_path=cache_file)
+        doc = json.loads(cache_file.read_text())
+        doc["schema_version"] = TUNE_SCHEMA_VERSION + 1
+        cache_file.write_text(json.dumps(doc))
+        assert load_tuned_config(cache_file) is None
+
+    def test_fingerprint_mismatch(self, cache_file):
+        save_tuned_config(TunedConfig(), cache_path=cache_file)
+        doc = json.loads(cache_file.read_text())
+        entry = doc["hosts"].pop(fingerprint_key())
+        doc["hosts"]["cpu_count=999|machine=m|numpy=0|blas=?|python=0"] = entry
+        cache_file.write_text(json.dumps(doc))
+        assert load_tuned_config(cache_file) is None
+
+    def test_bad_config_fields(self, cache_file):
+        save_tuned_config(TunedConfig(), cache_path=cache_file)
+        doc = json.loads(cache_file.read_text())
+        doc["hosts"][fingerprint_key()]["config"]["block_m"] = -5
+        cache_file.write_text(json.dumps(doc))
+        assert load_tuned_config(cache_file) is None
