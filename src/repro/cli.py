@@ -119,6 +119,21 @@ def build_parser() -> argparse.ArgumentParser:
     kern.add_argument("--variant", default="auto")
     add_backend_args(kern)
     kern.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the solve N times and report the cold/warm split "
+        "(first call vs best repeat)",
+    )
+    kern.add_argument(
+        "--plan",
+        action="store_true",
+        help="run through a reusable GsknnPlan (cached reference panels "
+        "+ workspace arena); repeats then reuse the plan's state "
+        "(gsknn only, in-process)",
+    )
+    kern.add_argument(
         "--trace-out",
         type=str,
         default=None,
@@ -269,11 +284,46 @@ def _load_tuned_blocks(blocking):
     return None if config is None else (config.block_m, config.block_n)
 
 
+def _run_plan_kernel(args: argparse.Namespace, repeat: int):
+    """Cold plan build+execute, then warm repeats against the same plan."""
+    from .core.plan import GsknnPlan
+    from .data import uniform_hypercube
+
+    ds = uniform_hypercube(max(args.m, args.n), args.d, seed=args.seed)
+    q = np.arange(args.m)
+    r = np.arange(args.n)
+    blocking = getattr(args, "blocking", "default")
+    blocking = None if blocking == "default" else blocking
+    t0 = time.perf_counter()
+    plan = GsknnPlan(
+        ds.points, r, norm=args.norm, variant=args.variant, blocking=blocking
+    )
+    result = plan.execute(q, args.k)
+    cold = time.perf_counter() - t0
+    warm: list[float] = []
+    for _ in range(repeat - 1):
+        t0 = time.perf_counter()
+        result = plan.execute(q, args.k)
+        warm.append(time.perf_counter() - t0)
+    return result, cold, warm
+
+
 def _cmd_kernel(args: argparse.Namespace) -> int:
+    if args.plan and args.kernel != "gsknn":
+        print("--plan requires --kernel gsknn", file=sys.stderr)
+        return 2
+    repeat = max(1, int(args.repeat))
     registry = enable_metrics()
     tracer = enable_tracing()
     try:
-        result, elapsed = _run_one_kernel(args)
+        if args.plan:
+            result, elapsed, warm = _run_plan_kernel(args, repeat)
+        else:
+            result, elapsed = _run_one_kernel(args)
+            warm = []
+            for _ in range(repeat - 1):
+                result, t_rep = _run_one_kernel(args)
+                warm.append(t_rep)
     finally:
         disable_tracing()
     absorb_tracer(tracer, registry)
@@ -281,15 +331,24 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     workers = getattr(args, "workers", "1")
     suffix = (
         f" backend={backend} p={workers}"
-        if backend != "serial" or workers not in ("1", 1)
+        if not args.plan and (backend != "serial" or workers not in ("1", 1))
         else ""
     )
+    if args.plan:
+        suffix += " [plan: cold build+execute]"
     print(
         f"{args.kernel}: m={args.m} n={args.n} d={args.d} k={args.k} "
         f"time={elapsed * 1e3:.1f} ms "
         f"gflops={gflops(args.m, args.n, args.d, elapsed):.2f}{suffix}"
     )
-    _print_phase_table(registry.snapshot(), elapsed)
+    if warm:
+        best = min(warm)
+        print(
+            f"warm repeats: n={len(warm)} best={best * 1e3:.1f} ms "
+            f"gflops={gflops(args.m, args.n, args.d, best):.2f} "
+            f"warm-vs-cold speedup={elapsed / best:.2f}x"
+        )
+    _print_phase_table(registry.snapshot(), elapsed + sum(warm))
     print(f"first query neighbors: {result.indices[0][: min(args.k, 8)]}")
     if args.trace_out:
         return _export_trace(tracer, args.trace_out)

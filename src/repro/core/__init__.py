@@ -8,6 +8,9 @@ Public surface:
 * :func:`~repro.core.ref_kernel.ref_knn` — the GEMM-based baseline
   (Algorithm 2.1), with phase timing via
   :func:`~repro.core.ref_kernel.ref_knn_timed`;
+* :class:`~repro.core.plan.GsknnPlan` / :class:`~repro.core.plan.PlanCache`
+  — the amortized repeated-query engine (cached reference panels, a
+  reusable workspace arena, resolved blocking; see ``docs/PERF.md``);
 * :class:`~repro.core.neighbors.KnnResult` and merge/recall utilities;
 * :mod:`repro.core.tuning` — blocking-parameter derivation and variant
   switching (imported lazily to keep the model package optional at
@@ -17,6 +20,7 @@ Public surface:
 from .gsknn import DEFAULT_VARIANT_SWITCH_K, GsknnStats, gsknn, gsknn_exact_loops
 from .neighbors import KnnResult, merge_neighbor_lists, recall
 from .norms import Norm, pairwise_block, pairwise_lp, pairwise_sq_l2, resolve_norm
+from .plan import GsknnPlan, PlanCache
 from .ref_kernel import ref_knn, ref_knn_timed
 from .variants import Variant, VariantInfo, VARIANT_INFO, resolve_variant
 
@@ -24,6 +28,8 @@ __all__ = [
     "gsknn",
     "gsknn_exact_loops",
     "GsknnStats",
+    "GsknnPlan",
+    "PlanCache",
     "DEFAULT_VARIANT_SWITCH_K",
     "KnnResult",
     "merge_neighbor_lists",

@@ -1,0 +1,193 @@
+"""Workspace arenas: preallocated, reusable kernel buffers.
+
+The fused kernel's steady state touches the same intermediate shapes on
+every block — one ``(block_m, block_n)`` distance tile, one boolean
+survivor mask, the ``(m, k)`` running neighbor lists — yet the one-shot
+path allocates them fresh per block and per call. A
+:class:`WorkspaceArena` keeps one grow-only buffer per *role* and hands
+out right-sized views, so a plan's repeated executions perform no large
+allocations after the first call (the property the tracemalloc
+regression test pins down).
+
+Three pieces:
+
+* :class:`WorkspaceArena` — keyed, grow-only buffers; ``take`` returns
+  an uninitialized view of exactly the requested shape. Not thread-safe
+  by design (an arena belongs to one execution at a time).
+* :class:`NullArena` — same interface, always allocates. The ephemeral
+  one-shot kernel path uses it so its behavior (and memory profile)
+  stays exactly the seed's.
+* :class:`ArenaPool` — a thread-safe borrow/return pool of arenas.
+  Concurrent executions (thread backends, task-parallel group solves)
+  each borrow a private arena, so reuse never races.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["WorkspaceArena", "NullArena", "ArenaPool"]
+
+
+class WorkspaceArena:
+    """Keyed grow-only buffers for ``out=``-style kernel internals.
+
+    ``take(key, shape, dtype)`` returns a view of the key's backing
+    buffer with exactly ``shape``; the buffer grows (never shrinks) to
+    the elementwise max shape ever requested, so a steady-state workload
+    stops allocating after its first pass. Contents are *not* cleared —
+    callers own initialization, exactly like ``np.empty``.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def take(
+        self,
+        key: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ValidationError(f"arena shape must be non-negative, got {shape}")
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(key)
+        if (
+            buf is None
+            or buf.dtype != dtype
+            or buf.ndim != len(shape)
+            or any(b < s for b, s in zip(buf.shape, shape))
+        ):
+            grown = (
+                shape
+                if buf is None or buf.dtype != dtype or buf.ndim != len(shape)
+                else tuple(max(b, s) for b, s in zip(buf.shape, shape))
+            )
+            buf = np.empty(grown, dtype=dtype)
+            self._buffers[key] = buf
+        if buf.shape == shape:
+            return buf
+        return buf[tuple(slice(0, s) for s in shape)]
+
+    def take_c(
+        self,
+        key: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        """Like :meth:`take`, but the view is always C-contiguous.
+
+        Backed by a flat grow-only buffer reshaped per request, so a key
+        whose shape varies call-to-call (ragged leaf groups) still hands
+        out dense arrays — BLAS ``out=`` destinations and mask scans
+        need contiguity to stay on their fast paths, and a strided view
+        of a larger 2-D buffer would silently fall off them.
+        """
+        shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ValidationError(f"arena shape must be non-negative, got {shape}")
+        dtype = np.dtype(dtype)
+        size = 1
+        for s in shape:
+            size *= s
+        buf = self._buffers.get(key)
+        if buf is None or buf.dtype != dtype or buf.ndim != 1 or buf.size < size:
+            grown = size if buf is None or buf.ndim != 1 else max(buf.size, size)
+            buf = np.empty(grown, dtype=dtype)
+            self._buffers[key] = buf
+        return buf[:size].reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held across all keys."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+class NullArena:
+    """Arena interface that always allocates — the ephemeral path.
+
+    One-shot kernel calls run through a plan too, but must keep the
+    seed's exact allocation behavior (nothing retained after the call);
+    they get this arena.
+    """
+
+    def take(
+        self,
+        key: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        return np.empty(tuple(int(s) for s in shape), dtype=np.dtype(dtype))
+
+    take_c = take
+
+    @property
+    def nbytes(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        return None
+
+
+class ArenaPool:
+    """Thread-safe borrow/return pool of workspace arenas.
+
+    A plan owns one pool; every ``execute`` borrows a private arena for
+    the duration of the call. Under a thread backend, concurrent
+    executions each get their own arena (the pool grows to the peak
+    concurrency and then stops allocating); serial repetition always
+    reuses the same one.
+    """
+
+    def __init__(
+        self, factory: Callable[[], WorkspaceArena | NullArena] = WorkspaceArena
+    ) -> None:
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._free: list[WorkspaceArena | NullArena] = []
+        self._created = 0
+
+    @contextmanager
+    def borrow(self) -> Iterator[WorkspaceArena | NullArena]:
+        with self._lock:
+            if self._free:
+                arena = self._free.pop()
+            else:
+                arena = self._factory()
+                self._created += 1
+        try:
+            yield arena
+        finally:
+            with self._lock:
+                self._free.append(arena)
+
+    @property
+    def created(self) -> int:
+        return self._created
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by *idle* arenas (borrowed ones are not counted)."""
+        with self._lock:
+            return sum(a.nbytes for a in self._free)
+
+
+def null_arena_pool() -> ArenaPool:
+    """A pool whose arenas never retain memory (ephemeral plan calls)."""
+    return ArenaPool(factory=NullArena)

@@ -24,6 +24,20 @@ from .norms import Norm
 
 __all__ = ["KnnProblem", "gsknn_batch"]
 
+#: Shared across batches: a later call over the same table and reference
+#: sets reuses the earlier call's plans (panels + arenas). Lazy so the
+#: plan module only loads when batching is actually used.
+_PLAN_CACHE = None
+
+
+def _get_plan_cache():
+    global _PLAN_CACHE
+    if _PLAN_CACHE is None:
+        from .plan import PlanCache
+
+        _PLAN_CACHE = PlanCache(max_plans=32)
+    return _PLAN_CACHE
+
 
 @dataclass(frozen=True)
 class KnnProblem:
@@ -54,6 +68,7 @@ def gsknn_batch(
     norm: str | float | Norm = "l2",
     variant: int | str = "auto",
     backend: str = "threads",
+    plan_reuse: bool = True,
 ) -> list[KnnResult]:
     """Solve a batch of independent kNN kernels over one coordinate table.
 
@@ -62,7 +77,12 @@ def gsknn_batch(
     the chosen execution ``backend`` (``"threads"`` or ``"serial"``);
     the squared-norm side table is shared across the batch *and across
     batches* — repeated calls over the same table hit the identity-keyed
-    norm cache instead of recomputing the O(N d) pass.
+    norm cache instead of recomputing the O(N d) pass. With
+    ``plan_reuse`` (default) each problem additionally runs through a
+    module-shared :class:`~repro.core.plan.PlanCache`: problems that
+    repeat a reference set — within this batch or a later one — reuse
+    its gathered panels, and every kernel in the batch shares one
+    workspace arena pool. Results are identical either way.
     """
     from ..parallel.chunking import resolve_workers
 
@@ -77,8 +97,14 @@ def gsknn_batch(
 
     norm_obj = norm
     X2 = cached_squared_norms(X)
+    plans = _get_plan_cache() if plan_reuse else None
 
     def solve(prob: KnnProblem) -> KnnResult:
+        if plans is not None:
+            plan = plans.get(
+                X, prob.r_idx, norm=norm_obj, variant=variant, X2=X2
+            )
+            return plan.execute(prob.q_idx, prob.k)
         return gsknn(
             X, prob.q_idx, prob.r_idx, prob.k, norm=norm_obj,
             variant=variant, X2=X2,

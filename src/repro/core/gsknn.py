@@ -33,11 +33,10 @@ from ..gemm.packing import pack_micropanels
 from ..obs import trace as _trace
 from ..obs.metrics import get_registry as _get_registry
 from ..select.heap import BinaryMaxHeap, DHeap
-from ..select.vectorized import BatchedNeighborLists
 from ..validation import as_coordinate_table, as_index_array, check_finite, check_k
 from . import microkernel
 from .neighbors import KnnResult
-from .norms import Norm, pairwise_block, resolve_norm, squared_norms
+from .norms import Norm, resolve_norm, squared_norms
 from .variants import Variant, VARIANT_INFO, resolve_variant
 
 __all__ = [
@@ -280,38 +279,32 @@ def gsknn(
     m, n = q_idx.size, r_idx.size
     stats = GsknnStats(variant=var, m=m, n=n, d=X.shape[1])
 
+    # One-shot calls run through an *ephemeral* plan (lazy import: the
+    # plan module imports this one at load time). Panels are gathered
+    # per block as before and the NullArena allocates fresh buffers, so
+    # this path's work, spans and memory profile are exactly the
+    # historical fast path's; the plan layer just owns the loop nest.
+    # Callers with repeated queries build a GsknnPlan and keep it.
+    from .arena import NullArena
+    from .plan import GsknnPlan
+
+    plan = GsknnPlan(
+        X,
+        r_idx,
+        norm=norm,
+        X2=X2,
+        block_m=block_m,
+        block_n=block_n,
+        cache_panels=False,
+        track_staleness=False,
+        validate=False,
+    )
     with _trace.span(
         "gsknn", variant=int(var), m=m, n=n, d=X.shape[1], k=k
     ):
-        # Fused gather-as-packing: queries once, refs per 6th-loop block.
-        with _trace.span("pack", which="Q", rows=m):
-            Q = X[q_idx]
-            if norm.is_l2 or norm.is_cosine:
-                if X2 is not None:
-                    X2 = np.asarray(X2, dtype=np.float64)
-                    if X2.shape != (X.shape[0],):
-                        raise ValidationError(
-                            f"X2 must have shape ({X.shape[0]},), got {X2.shape}"
-                        )
-                    Q2 = X2[q_idx]
-                else:
-                    Q2 = squared_norms(Q)
-            else:
-                Q2 = None
-
-        if var is Variant.VAR6:
-            result = _gsknn_var6(X, Q, Q2, r_idx, k, norm, X2, block_n, stats)
-        else:
-            use_filter = var is Variant.VAR1
-            result = _gsknn_blocked(
-                X, Q, Q2, r_idx, k, norm, X2, block_m, block_n, stats,
-                use_filter, initial,
-            )
-        if initial is not None:
-            from .neighbors import merge_neighbor_lists_fast
-
-            with _trace.span("heap", stage="warm_merge"):
-                result = merge_neighbor_lists_fast(result, initial)
+        result = plan._execute_impl(
+            q_idx, k, var, initial, "legacy", NullArena(), stats
+        )
 
     registry = _get_registry()
     if registry.enabled:
@@ -336,112 +329,6 @@ def _reference_block(
     if X2 is not None:
         return Rc, X2[r_block]
     return Rc, squared_norms(Rc)
-
-
-def _gsknn_blocked(
-    X: np.ndarray,
-    Q: np.ndarray,
-    Q2: np.ndarray | None,
-    r_idx: np.ndarray,
-    k: int,
-    norm: Norm,
-    X2: np.ndarray | None,
-    block_m: int,
-    block_n: int,
-    stats: GsknnStats,
-    use_filter: bool,
-    initial: KnnResult | None = None,
-) -> KnnResult:
-    """Var#1 (root-filtered) / Var#5 (slab) fused path.
-
-    6th loop over reference blocks, 4th loop over query blocks; each
-    block's distances are merged into the running lists and discarded.
-    With warm ``initial`` lists, the filter threshold starts at their
-    per-row k-th distance: any candidate at or above it cannot survive
-    the final merge, so discarding it immediately is lossless.
-    """
-    m, n = Q.shape[0], r_idx.size
-    lists = BatchedNeighborLists(m, k)
-    if use_filter and initial is not None:
-        warm = initial.distances.max(axis=1)
-        lists.row_max[:] = warm
-        # mark warm rows touched so the min-pass filter engages at once
-        lists._touched[:] = np.isfinite(warm)
-    if not use_filter:
-        # Var#5 semantics: every slab is merged wholesale (no register-
-        # level early discard). Disable the filter by keeping row_max at
-        # +inf — updates then always merge.
-        lists.row_max[:] = np.inf
-
-    for j_c, n_b in iter_blocks(n, block_n):  # 6th loop
-        r_block = r_idx[j_c : j_c + n_b]
-        with _trace.span("pack", which="R", rows=n_b, j_c=j_c):
-            Rc, R2c = _reference_block(X, r_block, norm, X2)
-        for i_c, m_b in iter_blocks(m, block_m):  # 4th loop
-            q2c = Q2[i_c : i_c + m_b] if Q2 is not None else None
-            with _trace.span("rank_update", rows=m_b, cols=n_b):
-                tile = pairwise_block(Q[i_c : i_c + m_b], Rc, norm, q2c, R2c)
-            stats.blocks += 1
-            with _trace.span("heap", rows=m_b, cols=n_b):
-                lists.update(i_c, tile, r_block)
-            if not use_filter:
-                # keep Var#5 merging unconditionally on later blocks too
-                lists.row_max[i_c : i_c + m_b] = np.inf
-    stats.candidates_offered = lists.stats.candidates_offered
-    stats.candidates_discarded = (
-        lists.stats.candidates_offered - lists.stats.candidates_surviving
-    )
-    with _trace.span("heap", stage="final_sort"):
-        dist, idx = lists.sorted()
-    return KnnResult(dist, idx)
-
-
-def _gsknn_var6(
-    X: np.ndarray,
-    Q: np.ndarray,
-    Q2: np.ndarray | None,
-    r_idx: np.ndarray,
-    k: int,
-    norm: Norm,
-    X2: np.ndarray | None,
-    block_n: int,
-    stats: GsknnStats,
-) -> KnnResult:
-    """Var#6: materialize the full ``m x n`` matrix, select at the end.
-
-    Still fused relative to Algorithm 2.1 — coordinates are packed from
-    ``X`` per block (no separate gather pass) — but pays the full
-    ``tau_b * m * n`` store the model charges it.
-    """
-    m, n = Q.shape[0], r_idx.size
-    if n <= block_n:
-        # single slab: the block's distance matrix IS the full C — skip
-        # the copy into a preallocated buffer
-        with _trace.span("pack", which="R", rows=n):
-            Rc, R2c = _reference_block(X, r_idx, norm, X2)
-        with _trace.span("rank_update", rows=m, cols=n):
-            C = pairwise_block(Q, Rc, norm, Q2, R2c)
-        stats.blocks = 1
-    else:
-        C = np.empty((m, n), dtype=np.float64)
-        for j_c, n_b in iter_blocks(n, block_n):
-            r_block = r_idx[j_c : j_c + n_b]
-            with _trace.span("pack", which="R", rows=n_b, j_c=j_c):
-                Rc, R2c = _reference_block(X, r_block, norm, X2)
-            with _trace.span("rank_update", rows=m, cols=n_b):
-                C[:, j_c : j_c + n_b] = pairwise_block(Q, Rc, norm, Q2, R2c)
-            stats.blocks += 1
-    stats.candidates_offered = m * n
-
-    with _trace.span("heap", stage="full_select", rows=m, cols=n):
-        if k < n:
-            part = np.argpartition(C, k - 1, axis=1)[:, :k]
-        else:
-            part = np.broadcast_to(np.arange(n), (m, n)).copy()
-        rows = np.arange(m)[:, None]
-        dist = C[rows, part]
-        order = np.argsort(dist, axis=1, kind="stable")
-        return KnnResult(dist[rows, order], r_idx[part[rows, order]])
 
 
 def gsknn_exact_loops(

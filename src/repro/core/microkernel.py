@@ -90,13 +90,24 @@ def finalize_tile(
     q2: np.ndarray | None,
     r2: np.ndarray | None,
     norm: Norm,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Convert a fully accumulated tile into distances.
 
     For l2: ``dist = q2 + r2 - 2 * acc`` (clamped at 0). For p < inf:
     ``dist = acc^(1/p)`` (identity for p = 1). For l-inf the accumulator
     already is the distance.
+
+    ``out`` is an opt-in destination buffer (the plan path passes arena
+    tiles so the steady state allocates nothing). Without it, behavior
+    is unchanged — in particular l1/l-inf return a *copy* so the caller
+    may keep mutating the accumulator. With ``out is c_tile`` the
+    finalization is fully in place and the l1/l-inf copy disappears.
     """
+    if out is not None and out.shape != c_tile.shape:
+        raise ValidationError(
+            f"out shape {out.shape} does not match tile {c_tile.shape}"
+        )
     if norm.is_cosine:
         if q2 is None or r2 is None:
             raise ValidationError("cosine finalization requires q2 and r2 norms")
@@ -105,15 +116,33 @@ def finalize_tile(
             sim = c_tile / denom
         sim = np.where(denom > 0.0, sim, 0.0)
         np.clip(sim, -1.0, 1.0, out=sim)
+        if out is not None:
+            np.subtract(1.0, sim, out=out)
+            return out
         return 1.0 - sim
     if norm.is_l2:
         if q2 is None or r2 is None:
             raise ValidationError("l2 finalization requires q2 and r2 norms")
+        if out is not None and out is not c_tile:
+            np.add(q2[:, None], r2[None, :], out=out)
+            np.subtract(out, 2.0 * c_tile, out=out)
+            np.maximum(out, 0.0, out=out)
+            return out
         dist = q2[:, None] + r2[None, :] - 2.0 * c_tile
         np.maximum(dist, 0.0, out=dist)
+        if out is not None:
+            np.copyto(out, dist)
+            return out
         return dist
     if norm.is_linf or norm.p == 1.0:
-        return c_tile.copy()
+        if out is None:
+            return c_tile.copy()
+        if out is not c_tile:
+            np.copyto(out, c_tile)
+        return out
+    if out is not None:
+        np.power(c_tile, 1.0 / norm.p, out=out)
+        return out
     return np.power(c_tile, 1.0 / norm.p)
 
 
@@ -153,7 +182,12 @@ def fused_select(
         heap.stats.comparisons += 1
         if survivors.size == 0:
             continue
-        for j in survivors:
+        # insert in ascending distance so the root tightens as fast as
+        # possible: later (larger) survivors then fail the root check
+        # inside ``update`` instead of sifting. The final heap contents
+        # are identical either way (same multiset of accepted pairs).
+        order = np.argsort(row[survivors], kind="stable")
+        for j in survivors[order]:
             if heap.update(float(row[j]), int(ref_ids[j])):
                 accepted += 1
     return accepted

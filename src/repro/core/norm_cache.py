@@ -9,6 +9,16 @@ same shape hits; a new object (e.g. the streaming structure's
 ``vstack`` after an insert) or a reshape invalidates naturally because
 the key no longer matches.
 
+Identity alone has a staleness hazard: mutate ``X`` *in place* and the
+object id (and shape) still match, silently serving norms of the old
+contents. Entries therefore also record a cheap content fingerprint —
+``(shape, dtype, writeable)`` plus CRC32 hashes of the first and last
+rows (see :func:`array_fingerprint`) — and any mismatch is treated as a
+miss. The fingerprint is O(d), not O(N d), so a hit stays cheap; an
+in-place edit that touches neither boundary row can still slip through,
+which is the documented trade-off of a sentinel check (callers that
+rewrite interior rows should replace the array object instead).
+
 Entries hold only a weak reference to the table, so caching never
 extends an array's lifetime; a handful of entries (LRU, default 8)
 bounds memory for the norm vectors themselves. Hits and misses are
@@ -20,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import weakref
+import zlib
 from collections import OrderedDict
 
 import numpy as np
@@ -27,7 +38,30 @@ import numpy as np
 from ..obs.metrics import get_registry as _get_registry
 from .norms import squared_norms
 
-__all__ = ["SquaredNormCache", "cached_squared_norms", "get_norm_cache"]
+__all__ = [
+    "SquaredNormCache",
+    "array_fingerprint",
+    "cached_squared_norms",
+    "get_norm_cache",
+]
+
+
+def array_fingerprint(X: np.ndarray) -> tuple:
+    """Cheap staleness sentinel for an array's contents.
+
+    ``(shape, dtype, writeable, crc32(first row), crc32(last row))`` —
+    O(d) to compute, so it can guard every cache hit. Used by this
+    cache and by :class:`repro.core.plan.GsknnPlan` to invalidate
+    cached reference panels when the coordinate table is mutated in
+    place between calls.
+    """
+    arr = np.asarray(X)
+    if arr.size == 0:
+        first = last = 0
+    else:
+        first = zlib.crc32(np.ascontiguousarray(arr[0]).tobytes())
+        last = zlib.crc32(np.ascontiguousarray(arr[-1]).tobytes())
+    return (arr.shape, arr.dtype.str, bool(arr.flags.writeable), first, last)
 
 
 class SquaredNormCache:
@@ -36,26 +70,30 @@ class SquaredNormCache:
     def __init__(self, max_entries: int = 8) -> None:
         self.max_entries = int(max_entries)
         self._lock = threading.Lock()
-        # id(X) -> (weakref to X, shape, norms)
+        # id(X) -> (weakref to X, content fingerprint, norms)
         self._entries: OrderedDict[
-            int, tuple[weakref.ref, tuple[int, ...], np.ndarray]
+            int, tuple[weakref.ref, tuple, np.ndarray]
         ] = OrderedDict()
 
     def get(self, X: np.ndarray) -> np.ndarray:
-        """``squared_norms(X)``, cached on ``X``'s identity and shape."""
+        """``squared_norms(X)``, cached on identity + content fingerprint."""
         key = id(X)
         registry = _get_registry()
+        fingerprint = array_fingerprint(X)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                ref, shape, norms = entry
-                if ref() is X and shape == X.shape:
+                ref, stored_fp, norms = entry
+                if ref() is X and stored_fp == fingerprint:
                     self._entries.move_to_end(key)
                     if registry.enabled:
                         registry.inc("norms.cache_hits")
                     return norms
-                # stale: the id was recycled by a different/reshaped array
+                # stale: the id was recycled by a different/reshaped
+                # array, or the contents were mutated in place
                 del self._entries[key]
+                if registry.enabled and ref() is X:
+                    registry.inc("norms.cache_stale")
         norms = squared_norms(X)
         if registry.enabled:
             registry.inc("norms.cache_misses")
@@ -65,7 +103,7 @@ class SquaredNormCache:
             # non-weakref-able view/subclass: still correct, just uncached
             return norms
         with self._lock:
-            self._entries[key] = (ref, X.shape, norms)
+            self._entries[key] = (ref, fingerprint, norms)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)

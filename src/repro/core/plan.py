@@ -1,0 +1,724 @@
+"""Kernel plans: amortized state for repeated GSKNN queries (§2.2's
+amortization, carried *across* calls).
+
+GSKNN's in-call trick is amortization — gather/pack once per cache
+block, reuse across the micro-kernel loops — but the repeated-call
+drivers (tree iterations, streaming refreshes, batches, data-parallel
+chunks) historically rebuilt everything between calls: re-gathered the
+same reference rows, recomputed their squared-norm side table,
+re-resolved the variant, and reallocated every distance/merge temporary.
+A :class:`GsknnPlan` hoists all of that to construction time:
+
+* **cached reference panels** — the 6th loop's ``(R_c, R2_c)`` blocks,
+  gathered once and reused by every execute; invalidated through the
+  same cheap content fingerprint :mod:`repro.core.norm_cache` uses
+  (in-place mutation of ``X`` triggers a rebuild, not a wrong answer);
+* **a workspace arena** (:mod:`repro.core.arena`) — distance tiles,
+  survivor masks, and the neighbor-list state are ``out=``-written into
+  grow-only buffers, so the warm steady state performs no large
+  allocations per call (pinned by a tracemalloc regression test);
+* **resolved blocking/variant decisions** — tuned block sizes load
+  once; the Var#1/Var#6 choice is memoized per ``(m, k)``.
+
+Two selection modes share one loop nest. ``select="legacy"`` replicates
+the historical one-shot path operation-for-operation (it is what
+:func:`repro.core.gsknn.gsknn` runs through, via an ephemeral plan with
+a :class:`~repro.core.arena.NullArena`). ``select="masked"`` is the
+plan path: a threshold mask extracts only the candidates that can
+possibly enter a list, so warm calls touch a few survivors per row
+instead of copying and partitioning whole tiles. Both produce identical
+results whenever distances are tie-free (ties are broken arbitrarily,
+exactly as the heaps document).
+
+Repeated executes against the *same* queries warm-start automatically:
+the previous result seeds the root filter, and when nothing beats it
+the call returns without sorting or merging at all. Cold vs warm cost
+is observable as ``plan.build`` / ``plan.execute`` spans and
+``plan.reuse_hits`` metrics through the observability layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+import zlib
+from collections import OrderedDict
+
+import numpy as np
+
+from ..config import iter_blocks
+from ..errors import ValidationError
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry as _get_registry
+from ..select.vectorized import ArenaNeighborLists, BatchedNeighborLists
+from ..validation import as_coordinate_table, as_index_array, check_finite, check_k
+from .arena import ArenaPool, NullArena
+from .gsknn import (
+    GsknnStats,
+    _apply_blocking,
+    _reference_block,
+    _resolve_auto_variant,
+)
+from .microkernel import finalize_tile
+from .neighbors import KnnResult, merge_neighbor_lists_fast
+from .norm_cache import array_fingerprint
+from .norms import Norm, pairwise_block, resolve_norm, squared_norms
+from .variants import Variant, VARIANT_INFO
+
+__all__ = ["GsknnPlan", "PlanCache"]
+
+
+class GsknnPlan:
+    """Reusable execution state for kNN queries against a fixed reference set.
+
+    Parameters
+    ----------
+    X:
+        ``(N, d)`` coordinate table. The plan holds a reference; mutating
+        it in place between executes is detected (content fingerprint)
+        and triggers a panel rebuild.
+    r_idx:
+        Global indices of the ``n`` reference points — fixed for the
+        plan's lifetime.
+    norm, variant, X2, block_m, block_n, blocking:
+        Exactly as :func:`repro.core.gsknn.gsknn`. ``variant`` is the
+        *spec* (``"auto"``/``"model"``/``"paper"``/1/5/6); resolution
+        happens per execute and is memoized per ``(m, k)``.
+    arena_pool:
+        Workspace pool shared with other plans (a :class:`PlanCache`
+        passes one pool to all its plans so tile buffers are shared).
+        Defaults to a private pool.
+    cache_panels:
+        Gather the reference panels at construction (default). ``False``
+        gathers lazily per block on every execute — the ephemeral
+        one-shot configuration, preserving that path's memory profile.
+    track_staleness:
+        Fingerprint ``X`` on every execute and rebuild cached panels on
+        mismatch (default). The check is O(d); see
+        :func:`repro.core.norm_cache.array_fingerprint` for what it can
+        and cannot catch.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        r_idx: np.ndarray,
+        *,
+        norm: str | float | Norm = "l2",
+        variant: int | str | Variant = "auto",
+        X2: np.ndarray | None = None,
+        block_m: int = 1024,
+        block_n: int = 2048,
+        blocking: str | object | None = None,
+        arena_pool: ArenaPool | None = None,
+        cache_panels: bool = True,
+        track_staleness: bool = True,
+        validate: bool = True,
+    ) -> None:
+        if validate:
+            X = as_coordinate_table(X)
+            check_finite(X)
+            r_idx = as_index_array(r_idx, X.shape[0], name="r_idx")
+        else:
+            r_idx = np.asarray(r_idx, dtype=np.intp)
+        self.X = X
+        self.r_idx = r_idx
+        self.norm = resolve_norm(norm)
+        self._variant_spec = variant
+        block_m, block_n, tuned_switch_k = _apply_blocking(
+            blocking, block_m, block_n
+        )
+        if block_m < 1 or block_n < 1:
+            raise ValidationError("block_m and block_n must be >= 1")
+        self.block_m = int(block_m)
+        self.block_n = int(block_n)
+        self._switch_k = tuned_switch_k
+        if X2 is not None and (self.norm.is_l2 or self.norm.is_cosine):
+            X2 = np.asarray(X2, dtype=np.float64)
+            if X2.shape != (X.shape[0],):
+                raise ValidationError(
+                    f"X2 must have shape ({X.shape[0]},), got {X2.shape}"
+                )
+        else:
+            # the kernel contract: X2 is ignored for non-l2 norms
+            X2 = X2 if (self.norm.is_l2 or self.norm.is_cosine) else None
+        self.X2 = X2
+        self.arena_pool = arena_pool if arena_pool is not None else ArenaPool()
+        self._cache_panels = bool(cache_panels)
+        self._track_staleness = bool(track_staleness)
+        self._panels: list | None = None
+        self._fingerprint: tuple | None = None
+        self._variant_memo: dict[tuple[int, int], Variant] = {}
+        self._lock = threading.Lock()
+        self._executes = 0
+        self.stale_rebuilds = 0
+        self._prev: tuple[np.ndarray, int, KnnResult] | None = None
+        if self._cache_panels:
+            self._build()
+
+    # -- derived shape ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.r_idx.size
+
+    @property
+    def d(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def panels_cached(self) -> bool:
+        return self._panels is not None
+
+    # -- build / invalidation --------------------------------------------------
+
+    def _build(self) -> None:
+        """Gather and cache the 6th loop's reference panels."""
+        registry = _get_registry()
+        with _trace.span(
+            "plan.build", n=self.n, d=self.d, block_n=self.block_n
+        ):
+            panels = []
+            for j_c, n_b in iter_blocks(self.n, self.block_n):
+                r_block = self.r_idx[j_c : j_c + n_b]
+                Rc, R2c = _reference_block(self.X, r_block, self.norm, self.X2)
+                panels.append((j_c, n_b, r_block, Rc, R2c))
+            fingerprint = (
+                array_fingerprint(self.X) if self._track_staleness else None
+            )
+        with self._lock:
+            self._panels = panels
+            self._fingerprint = fingerprint
+            self._prev = None  # panels changed: the previous result is void
+        if registry.enabled:
+            registry.inc("plan.builds")
+
+    def _maybe_rebuild(self, registry) -> None:
+        """Rebuild cached panels when ``X``'s content fingerprint moved."""
+        if self._panels is None or self._fingerprint is None:
+            return
+        if array_fingerprint(self.X) == self._fingerprint:
+            return
+        self.stale_rebuilds += 1
+        if registry.enabled:
+            registry.inc("plan.stale_rebuilds")
+        self._build()
+
+    # -- variant resolution ----------------------------------------------------
+
+    def _resolve_variant(
+        self, m: int, k: int, variant: int | str | Variant | None
+    ) -> Variant:
+        spec = self._variant_spec if variant is None else variant
+        memo_key = (m, k) if variant is None else None
+        if memo_key is not None:
+            memo = self._variant_memo.get(memo_key)
+            if memo is not None:
+                return memo
+        var = _resolve_auto_variant(
+            spec, m, self.n, self.d, k, switch_k=self._switch_k
+        )
+        if var not in (Variant.VAR1, Variant.VAR5, Variant.VAR6):
+            raise ValidationError(
+                f"Var#{int(var)} is not executable: {VARIANT_INFO[var].notes}"
+            )
+        if memo_key is not None:
+            self._variant_memo[memo_key] = var
+        return var
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(
+        self,
+        q_idx: np.ndarray,
+        k: int,
+        *,
+        initial: KnnResult | None = None,
+        warm_start: bool = True,
+        variant: int | str | Variant | None = None,
+        select: str = "masked",
+        return_stats: bool = False,
+        validate: bool = True,
+    ) -> KnnResult | tuple[KnnResult, GsknnStats]:
+        """Solve ``k`` nearest neighbors of ``X[q_idx]`` among the plan's refs.
+
+        With ``warm_start`` (default), a repeat of the previous call's
+        exact ``(q_idx, k)`` reuses its result to seed the root filter —
+        lossless, and when nothing in the reference set beats it the
+        call returns without selection work. Pass ``initial`` to seed
+        from caller-held lists instead (the kernel's update semantics).
+        ``select="legacy"`` forces the historical unmasked selection.
+        """
+        if select not in ("masked", "legacy"):
+            raise ValidationError(
+                f"select must be 'masked' or 'legacy', got {select!r}"
+            )
+        if validate:
+            q_idx = as_index_array(q_idx, self.X.shape[0], name="q_idx")
+            k = check_k(k, self.r_idx.size)
+            if initial is not None and initial.distances.shape != (
+                q_idx.size,
+                k,
+            ):
+                raise ValidationError(
+                    f"initial lists must be shape ({q_idx.size}, {k}), got "
+                    f"{initial.distances.shape}"
+                )
+        else:
+            q_idx = np.asarray(q_idx, dtype=np.intp)
+        registry = _get_registry()
+        if self._track_staleness:
+            self._maybe_rebuild(registry)
+        auto_warm = False
+        if initial is None and warm_start:
+            with self._lock:
+                prev = self._prev
+            if (
+                prev is not None
+                and prev[1] == k
+                and prev[0].shape == q_idx.shape
+                and np.array_equal(prev[0], q_idx)
+            ):
+                initial = prev[2]
+                auto_warm = True
+        var = self._resolve_variant(q_idx.size, k, variant)
+        m = q_idx.size
+        stats = GsknnStats(variant=var, m=m, n=self.n, d=self.d)
+        with self._lock:
+            first = self._executes == 0
+            self._executes += 1
+        with _trace.span(
+            "plan.execute",
+            variant=int(var),
+            m=m,
+            n=self.n,
+            d=self.d,
+            k=k,
+            warm=initial is not None,
+        ):
+            with self.arena_pool.borrow() as arena:
+                result = self._execute_impl(
+                    q_idx, k, var, initial, select, arena, stats
+                )
+        if warm_start:
+            with self._lock:
+                self._prev = (np.array(q_idx, copy=True), k, result)
+        if registry.enabled:
+            registry.inc("plan.executes")
+            if not first:
+                registry.inc("plan.reuse_hits")
+            if auto_warm:
+                registry.inc("plan.warm_starts")
+            from ..obs.adapters import absorb_gsknn_stats
+
+            absorb_gsknn_stats(stats, registry)
+        if return_stats:
+            return result, stats
+        return result
+
+    def _execute_impl(
+        self,
+        q_idx: np.ndarray,
+        k: int,
+        var: Variant,
+        initial: KnnResult | None,
+        select: str,
+        arena,
+        stats: GsknnStats,
+    ) -> KnnResult:
+        """The loop nest shared by plan executes and one-shot kernel calls.
+
+        Emits the kernel's span tree (``pack``/``rank_update``/``heap``);
+        the caller owns the root span (``gsknn`` or ``plan.execute``).
+        """
+        X, norm, X2 = self.X, self.norm, self.X2
+        m = q_idx.size
+        panels = self._panels
+        if (
+            select != "legacy"
+            and panels is not None
+            and len(panels) == 1
+            and m == self.n
+            and (q_idx is self.r_idx or np.array_equal(q_idx, self.r_idx))
+        ):
+            # Self-join fast path (the tree solver's groups query
+            # themselves): the cached reference panel IS the gathered
+            # query block, and its norm side table was computed with the
+            # same einsum — reuse both, bit-identically, gather-free.
+            with _trace.span("pack", which="Q", rows=m, cached=True):
+                Q, Q2 = panels[0][3], panels[0][4]
+            return self._dispatch(Q, Q2, k, var, initial, select, arena, stats)
+        with _trace.span("pack", which="Q", rows=m):
+            if select == "legacy":
+                Q = X[q_idx]
+            else:
+                Q = arena.take_c("Q", (m, X.shape[1]), np.float64)
+                np.take(X, q_idx, axis=0, out=Q)
+            if norm.is_l2 or norm.is_cosine:
+                if X2 is not None:
+                    Q2 = X2[q_idx]
+                elif select == "legacy":
+                    Q2 = squared_norms(Q)
+                else:
+                    Q2 = arena.take_c("Q2", (m,), np.float64)
+                    np.einsum("ij,ij->i", Q, Q, out=Q2)
+            else:
+                Q2 = None
+        return self._dispatch(Q, Q2, k, var, initial, select, arena, stats)
+
+    def _dispatch(
+        self,
+        Q: np.ndarray,
+        Q2: np.ndarray | None,
+        k: int,
+        var: Variant,
+        initial: KnnResult | None,
+        select: str,
+        arena,
+        stats: GsknnStats,
+    ) -> KnnResult:
+        if var is Variant.VAR6:
+            result = self._run_var6(Q, Q2, k, stats)
+            shortcut = False
+        else:
+            result, shortcut = self._run_blocked(
+                Q, Q2, k, var is Variant.VAR1, initial, select, arena, stats
+            )
+        if initial is not None and not shortcut:
+            with _trace.span("heap", stage="warm_merge"):
+                result = merge_neighbor_lists_fast(result, initial)
+        return result
+
+    def _iter_panels(self):
+        """Yield ``(j_c, n_b, r_block, Rc, R2c)`` — cached or gathered."""
+        if self._panels is not None:
+            for j_c, n_b, r_block, Rc, R2c in self._panels:
+                with _trace.span(
+                    "pack", which="R", rows=n_b, j_c=j_c, cached=True
+                ):
+                    pass
+                yield j_c, n_b, r_block, Rc, R2c
+            return
+        for j_c, n_b in iter_blocks(self.n, self.block_n):
+            r_block = self.r_idx[j_c : j_c + n_b]
+            with _trace.span("pack", which="R", rows=n_b, j_c=j_c):
+                Rc, R2c = _reference_block(self.X, r_block, self.norm, self.X2)
+            yield j_c, n_b, r_block, Rc, R2c
+
+    def _run_blocked(
+        self,
+        Q: np.ndarray,
+        Q2: np.ndarray | None,
+        k: int,
+        use_filter: bool,
+        initial: KnnResult | None,
+        select: str,
+        arena,
+        stats: GsknnStats,
+    ) -> tuple[KnnResult, bool]:
+        """Var#1 (root-filtered) / Var#5 (slab) fused path.
+
+        Returns ``(result, merged)`` where ``merged`` means ``result``
+        already accounts for ``initial`` (the warm zero-survivor fast
+        path fired, or the seed was folded into the lists) and must not
+        be merged with it again.
+        """
+        m = Q.shape[0]
+        if select == "legacy":
+            lists = BatchedNeighborLists(m, k)
+        else:
+            lists = ArenaNeighborLists(m, k, arena)
+        folded = False
+        if use_filter and initial is not None:
+            finite = np.isfinite(initial.distances)
+            if select != "legacy" and finite.all():
+                # Fold the seed into the lists themselves: every update
+                # then merges candidates directly against it (with id
+                # dedup), and the final warm-merge pass disappears.
+                lists.seed(initial.distances, initial.indices)
+                folded = True
+            elif select != "legacy" and not finite.any():
+                # an empty seed (all +inf) can never change the answer;
+                # skip the identity merge too
+                folded = True
+            else:
+                warm = initial.distances.max(axis=1)
+                lists.row_max[:] = warm
+                # mark warm rows touched so the min-pass filter engages
+                # at once
+                lists._touched[:] = np.isfinite(warm)
+        if not use_filter:
+            # Var#5 semantics: every slab is merged wholesale (no register-
+            # level early discard). Disable the filter by keeping row_max at
+            # +inf — updates then always merge.
+            lists.row_max[:] = np.inf
+
+        for j_c, n_b, r_block, Rc, R2c in self._iter_panels():  # 6th loop
+            for i_c, m_b in iter_blocks(m, self.block_m):  # 4th loop
+                q2c = Q2[i_c : i_c + m_b] if Q2 is not None else None
+                with _trace.span("rank_update", rows=m_b, cols=n_b):
+                    if select == "legacy":
+                        tile = pairwise_block(
+                            Q[i_c : i_c + m_b], Rc, self.norm, q2c, R2c
+                        )
+                    else:
+                        tile = self._tile_into_arena(
+                            Q[i_c : i_c + m_b], q2c, Rc, R2c, arena
+                        )
+                stats.blocks += 1
+                with _trace.span("heap", rows=m_b, cols=n_b):
+                    lists.update(i_c, tile, r_block)
+                if not use_filter:
+                    # keep Var#5 merging unconditionally on later blocks too
+                    lists.row_max[i_c : i_c + m_b] = np.inf
+        stats.candidates_offered = lists.stats.candidates_offered
+        stats.candidates_discarded = (
+            lists.stats.candidates_offered - lists.stats.candidates_surviving
+        )
+        if (
+            select != "legacy"
+            and use_filter
+            and initial is not None
+            and lists.stats.rows_merged == 0
+            and not lists._seed_dirty
+            and initial.is_sorted()
+        ):
+            # Warm zero-survivor fast path: no candidate anywhere beat the
+            # seeded thresholds, so the merged answer IS the initial lists —
+            # skip the final sort and the merge entirely. Returned arrays
+            # are fresh copies so callers never alias their own input.
+            registry = _get_registry()
+            if registry.enabled:
+                registry.inc("plan.unchanged_returns")
+            return (
+                KnnResult(
+                    initial.distances.copy(), initial.indices.copy()
+                ),
+                True,
+            )
+        with _trace.span("heap", stage="final_sort"):
+            dist, idx = lists.sorted()
+        return KnnResult(dist, idx), folded
+
+    def _run_var6(
+        self,
+        Q: np.ndarray,
+        Q2: np.ndarray | None,
+        k: int,
+        stats: GsknnStats,
+    ) -> KnnResult:
+        """Var#6: materialize the full ``m x n`` matrix, select at the end."""
+        m, n = Q.shape[0], self.n
+        r_idx = self.r_idx
+        if n <= self.block_n:
+            # single slab: the block's distance matrix IS the full C — skip
+            # the copy into a preallocated buffer
+            if self._panels is not None:
+                _, _, _, Rc, R2c = self._panels[0]
+                with _trace.span("pack", which="R", rows=n, cached=True):
+                    pass
+            else:
+                with _trace.span("pack", which="R", rows=n):
+                    Rc, R2c = _reference_block(self.X, r_idx, self.norm, self.X2)
+            with _trace.span("rank_update", rows=m, cols=n):
+                C = pairwise_block(Q, Rc, self.norm, Q2, R2c)
+            stats.blocks = 1
+        else:
+            C = np.empty((m, n), dtype=np.float64)
+            for j_c, n_b, r_block, Rc, R2c in self._iter_panels():
+                with _trace.span("rank_update", rows=m, cols=n_b):
+                    C[:, j_c : j_c + n_b] = pairwise_block(
+                        Q, Rc, self.norm, Q2, R2c
+                    )
+                stats.blocks += 1
+        stats.candidates_offered = m * n
+
+        with _trace.span("heap", stage="full_select", rows=m, cols=n):
+            if k < n:
+                part = np.argpartition(C, k - 1, axis=1)[:, :k]
+            else:
+                part = np.broadcast_to(np.arange(n), (m, n)).copy()
+            rows = np.arange(m)[:, None]
+            dist = C[rows, part]
+            order = np.argsort(dist, axis=1, kind="stable")
+            return KnnResult(dist[rows, order], r_idx[part[rows, order]])
+
+    def _tile_into_arena(
+        self,
+        Qb: np.ndarray,
+        q2c: np.ndarray | None,
+        Rc: np.ndarray,
+        R2c: np.ndarray | None,
+        arena,
+    ) -> np.ndarray:
+        """One block's distances, written into arena buffers.
+
+        Operation-for-operation the same floating-point sequence as
+        :func:`repro.core.norms.pairwise_block` — only the destination
+        changes — so plan results stay bit-identical to the one-shot
+        path.
+        """
+        norm = self.norm
+        m_b, n_b = Qb.shape[0], Rc.shape[0]
+        T = arena.take_c("tile", (m_b, n_b), np.float64)
+        if norm.is_l2:
+            np.matmul(Qb, Rc.T, out=T)
+            np.multiply(T, -2.0, out=T)
+            np.add(T, q2c[:, None], out=T)
+            np.add(T, R2c[None, :], out=T)
+            np.maximum(T, 0.0, out=T)
+            return T
+        if norm.is_cosine:
+            D = arena.take_c("denom", (m_b, n_b), np.float64)
+            np.multiply(q2c[:, None], R2c[None, :], out=D)
+            np.maximum(D, 0.0, out=D)
+            np.sqrt(D, out=D)
+            np.matmul(Qb, Rc.T, out=T)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                np.divide(T, D, out=T)
+            Z = arena.take_c("denom_zero", (m_b, n_b), np.bool_)
+            np.less_equal(D, 0.0, out=Z)
+            T[Z] = 0.0
+            np.clip(T, -1.0, 1.0, out=T)
+            np.subtract(1.0, T, out=T)
+            return T
+        # General lp: the O(m_b n_b d) broadcast differences stay ephemeral
+        # (matching the one-shot path's footprint); only the reduced tile
+        # lives in the arena, finalized in place via finalize_tile's out=
+        # path (which eliminates the l1/l-inf copy).
+        diff = np.abs(Qb[:, None, :] - Rc[None, :, :])
+        if norm.is_linf:
+            np.max(diff, axis=2, out=T)
+        elif norm.p == 1.0:
+            np.sum(diff, axis=2, out=T)
+        else:
+            np.sum(np.power(diff, norm.p), axis=2, out=T)
+        return finalize_tile(T, None, None, norm, out=T)
+
+
+class PlanCache:
+    """LRU cache of :class:`GsknnPlan` keyed by table identity + ``r_idx`` content.
+
+    The drivers' entry point for plan reuse: ``get`` returns an existing
+    plan when the same coordinate table object and the same reference
+    index content (CRC-keyed, then verified with ``np.array_equal`` so a
+    hash collision can never alias two reference sets) were seen before,
+    and builds one otherwise. All plans share one workspace
+    :class:`~repro.core.arena.ArenaPool`, so even cache *misses* reuse
+    tile buffers. Cached plans hold strong references to their tables —
+    an entry's ``id(X)`` therefore cannot be recycled while it lives.
+    """
+
+    def __init__(
+        self, max_plans: int = 16, arena_pool: ArenaPool | None = None
+    ) -> None:
+        if max_plans < 1:
+            raise ValidationError(f"max_plans must be >= 1, got {max_plans}")
+        self.max_plans = int(max_plans)
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, GsknnPlan] = OrderedDict()
+        self._pool = arena_pool if arena_pool is not None else ArenaPool()
+        # tables already validated (finite, 2-D float) by an earlier plan
+        # construction — repeated misses against the same table (distinct
+        # groups, as in the tree solver) skip the O(N d) finiteness scan.
+        # Weakrefs guard against id() recycling: a dead entry revalidates.
+        self._validated_tables: dict[tuple, weakref.ref] = {}
+
+    @staticmethod
+    def _blocking_key(blocking):
+        if blocking is None:
+            return None
+        if isinstance(blocking, str):
+            return blocking.lower()
+        try:
+            return (
+                int(blocking.block_m),
+                int(blocking.block_n),
+                int(blocking.switch_k),
+            )
+        except AttributeError:
+            raise ValidationError(
+                f"blocking must be 'tuned', 'default', None, or a "
+                f"TunedConfig, got {blocking!r}"
+            ) from None
+
+    def get(
+        self,
+        X: np.ndarray,
+        r_idx: np.ndarray,
+        *,
+        norm: str | float | Norm = "l2",
+        variant: int | str | Variant = "auto",
+        X2: np.ndarray | None = None,
+        block_m: int = 1024,
+        block_n: int = 2048,
+        blocking: str | object | None = None,
+    ) -> GsknnPlan:
+        r = np.asarray(r_idx, dtype=np.intp)
+        norm_obj = resolve_norm(norm)
+        var_key = variant.lower() if isinstance(variant, str) else int(variant)
+        key = (
+            id(X),
+            np.asarray(X).shape,
+            norm_obj,
+            var_key,
+            int(r.size),
+            zlib.crc32(np.ascontiguousarray(r).tobytes()),
+            int(block_m),
+            int(block_n),
+            self._blocking_key(blocking),
+        )
+        registry = _get_registry()
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                if plan.X is X and np.array_equal(plan.r_idx, r):
+                    self._plans.move_to_end(key)
+                    if registry.enabled:
+                        registry.inc("plan.cache_hits")
+                    return plan
+                del self._plans[key]
+            table_token = (id(X), np.asarray(X).shape)
+            known = self._validated_tables.get(table_token)
+            validate = known is None or known() is not X
+        if not validate:
+            # the table is known good; the group indices still need their
+            # (cheap) bounds check
+            r = as_index_array(r, np.asarray(X).shape[0], name="r_idx")
+        plan = GsknnPlan(
+            X,
+            r,
+            norm=norm_obj,
+            variant=variant,
+            X2=X2,
+            block_m=block_m,
+            block_n=block_n,
+            blocking=blocking,
+            arena_pool=self._pool,
+            validate=validate,
+        )
+        with self._lock:
+            if len(self._validated_tables) > 256:
+                self._validated_tables = {
+                    tok: wr
+                    for tok, wr in self._validated_tables.items()
+                    if wr() is not None
+                }
+            self._validated_tables[table_token] = weakref.ref(plan.X)
+        if registry.enabled:
+            registry.inc("plan.cache_misses")
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+        return plan
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self._validated_tables.clear()

@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.gsknn import gsknn
 from ..core.neighbors import KnnResult, merge_neighbor_lists_fast
 from ..core.norm_cache import cached_squared_norms
 from ..core.ref_kernel import ref_knn
@@ -115,6 +114,12 @@ class DistributedAllKnn:
         #: node-level §2.5 scheme nested under the rank-level one)
         self.backend = backend
         self.workers_per_rank = int(workers_per_rank)
+        # Per-leaf kernels on the serial path run through cached plans:
+        # every leaf of a solve shares one workspace arena pool, and a
+        # leaf that recurs across iterations reuses its gathered panels.
+        from ..core.plan import PlanCache
+
+        self._plans = PlanCache(max_plans=32)
 
     # -- pieces ---------------------------------------------------------------
 
@@ -153,7 +158,8 @@ class DistributedAllKnn:
                     p=self.workers_per_rank, backend=self.backend, X2=X2,
                 )
             else:
-                res = gsknn(X, group, group, k_eff, X2=X2)
+                plan = self._plans.get(X, group, X2=X2)
+                res = plan.execute(group, k_eff)
         else:
             res = ref_knn(X, group, group, k_eff, X2=X2)
         if k_eff == k:

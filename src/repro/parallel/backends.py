@@ -57,6 +57,26 @@ __all__ = [
 _CRASH_ENV = "REPRO_BACKEND_TEST_CRASH_AT"
 
 
+#: kernel_kwargs keys that map one-to-one onto GsknnPlan configuration;
+#: anything else (e.g. initial=, return_stats=) falls back to plain
+#: per-chunk gsknn calls.
+_PLAN_KWARGS = frozenset({"norm", "variant", "X2", "block_m", "block_n", "blocking"})
+
+
+def _plan_for(X, r_idx, kernel_kwargs):
+    """One reusable plan per backend run (or worker attach), or ``None``.
+
+    Every chunk of a data-parallel solve shares the same reference set,
+    so the gathered panels and workspace buffers are built once and
+    reused across chunks instead of once per chunk.
+    """
+    if set(kernel_kwargs) - _PLAN_KWARGS:
+        return None
+    from ..core.plan import GsknnPlan
+
+    return GsknnPlan(X, r_idx, **kernel_kwargs)
+
+
 def _solve_chunk(
     X: np.ndarray,
     q_idx: np.ndarray,
@@ -64,12 +84,17 @@ def _solve_chunk(
     k: int,
     chunk: tuple[int, int],
     kernel_kwargs: dict[str, Any],
+    plan=None,
 ) -> tuple[int, np.ndarray, np.ndarray]:
     """Solve one query chunk; shared by every backend."""
-    from ..core.gsknn import gsknn
-
     start, size = chunk
-    res = gsknn(X, q_idx[start : start + size], r_idx, k, **kernel_kwargs)
+    if plan is not None:
+        # warm_start off: chunks are disjoint query slices, never repeats
+        res = plan.execute(q_idx[start : start + size], k, warm_start=False)
+    else:
+        from ..core.gsknn import gsknn
+
+        res = gsknn(X, q_idx[start : start + size], r_idx, k, **kernel_kwargs)
     return start, res.distances, res.indices
 
 
@@ -134,8 +159,9 @@ class SerialBackend(ExecutionBackend):
         self.p = 1
 
     def _run(self, X, q_idx, r_idx, k, chunks, kernel_kwargs):
+        plan = _plan_for(X, r_idx, kernel_kwargs)
         for chunk in chunks:
-            yield _solve_chunk(X, q_idx, r_idx, k, chunk, kernel_kwargs)
+            yield _solve_chunk(X, q_idx, r_idx, k, chunk, kernel_kwargs, plan)
 
     def map(self, fn, items):
         return [fn(item) for item in items]
@@ -155,9 +181,14 @@ class ThreadBackend(ExecutionBackend):
         from .chunking import resolve_workers
 
         workers = resolve_workers(self.p, len(chunks))
+        # one shared plan: concurrent executes each borrow a private
+        # arena from its pool, so reuse never races
+        plan = _plan_for(X, r_idx, kernel_kwargs)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             yield from pool.map(
-                lambda c: _solve_chunk(X, q_idx, r_idx, k, c, kernel_kwargs),
+                lambda c: _solve_chunk(
+                    X, q_idx, r_idx, k, c, kernel_kwargs, plan
+                ),
                 chunks,
             )
 
@@ -213,6 +244,9 @@ def _process_worker_init(specs: dict, kernel_blob: bytes) -> None:
     _WORKER_STATE["segments"] = segments
     _WORKER_STATE["arrays"] = arrays
     _WORKER_STATE["kernel_kwargs"] = pickle.loads(kernel_blob)
+    # a fork-started worker inherits the parent's module state; drop any
+    # stale plan so this attach builds its own against the new segments
+    _WORKER_STATE.pop("plan", None)
 
 
 def _process_worker_solve(
@@ -226,8 +260,18 @@ def _process_worker_solve(
     kwargs = dict(_WORKER_STATE["kernel_kwargs"])
     if arrays.get("X2") is not None:
         kwargs["X2"] = arrays["X2"]
+    if "plan" not in _WORKER_STATE:
+        # one plan per shared-memory attach: built on the worker's first
+        # chunk, reused for every later chunk this worker executes
+        _WORKER_STATE["plan"] = _plan_for(arrays["X"], arrays["r_idx"], kwargs)
     return _solve_chunk(
-        arrays["X"], arrays["q_idx"], arrays["r_idx"], k, chunk, kwargs
+        arrays["X"],
+        arrays["q_idx"],
+        arrays["r_idx"],
+        k,
+        chunk,
+        kwargs,
+        _WORKER_STATE["plan"],
     )
 
 

@@ -30,7 +30,7 @@ from .counters import SelectionStats
 from .heap import BinaryMaxHeap, DHeap, heap_select_smallest
 from .mergeselect import merge_select
 from .quickselect import quickselect_smallest
-from .vectorized import BatchedNeighborLists, merge_block
+from .vectorized import ArenaNeighborLists, BatchedNeighborLists, merge_block
 
 __all__ = [
     "SelectionStats",
@@ -39,6 +39,7 @@ __all__ = [
     "heap_select_smallest",
     "quickselect_smallest",
     "merge_select",
+    "ArenaNeighborLists",
     "BatchedNeighborLists",
     "merge_block",
     "bitonic_sort_rows",

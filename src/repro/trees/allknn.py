@@ -60,15 +60,26 @@ def _run_kernel(
     X2: np.ndarray,
     variant: int | str,
     initial: KnnResult | None = None,
+    plans: "PlanCache | None" = None,
 ) -> KnnResult:
     """Solve one group; with ``initial`` (the group's current lists) the
     fused kernel both warm-starts its filter and performs the update
-    merge itself — the paper's 'update the neighbor lists' semantics."""
+    merge itself — the paper's 'update the neighbor lists' semantics.
+    With ``plans``, the group's kernel runs through a cached
+    :class:`~repro.core.plan.GsknnPlan` (arena-backed buffers shared
+    across every group of the run, reference panels reused whenever the
+    same group recurs across iterations)."""
     k_eff = min(k, group.size)
     folded = False
     if kernel == "gsknn":
         warm = initial if (initial is not None and k_eff == k) else None
-        res = gsknn(X, group, group, k_eff, X2=X2, variant=variant, initial=warm)
+        if plans is not None:
+            plan = plans.get(X, group, variant=variant, X2=X2)
+            res = plan.execute(group, k_eff, initial=warm)
+        else:
+            res = gsknn(
+                X, group, group, k_eff, X2=X2, variant=variant, initial=warm
+            )
         folded = warm is not None
     elif kernel == "gemm":
         res = ref_knn(X, group, group, k_eff, X2=X2)
@@ -96,6 +107,7 @@ def _solve_groups(
     variant: int | str,
     n_workers: int,
     current: KnnResult,
+    plans: "PlanCache | None" = None,
 ) -> list[KnnResult]:
     """Solve one iteration's group kernels, serially or task-parallel.
 
@@ -109,7 +121,8 @@ def _solve_groups(
 
     if n_workers == 1 or len(groups) <= 1:
         return [
-            _run_kernel(kernel, X, g, k, X2, variant, warm(g)) for g in groups
+            _run_kernel(kernel, X, g, k, X2, variant, warm(g), plans)
+            for g in groups
         ]
 
     # §2.5 task parallelism: LPT-schedule groups by modeled runtime
@@ -131,7 +144,7 @@ def _solve_groups(
     results = execute_schedule(
         schedule,
         lambda t: _run_kernel(
-            kernel, X, t.payload, k, X2, variant, warm(t.payload)
+            kernel, X, t.payload, k, X2, variant, warm(t.payload), plans
         ),
     )
     return [results[i] for i in range(len(groups))]
@@ -186,6 +199,7 @@ def all_nearest_neighbors(
     truth: KnnResult | None = None,
     lsh: LSHSolver | None = None,
     n_workers: int = 1,
+    plan_reuse: "bool | PlanCache" = True,
 ) -> AllKnnReport:
     """Approximate all-nearest-neighbors via iterated random groupings.
 
@@ -212,6 +226,18 @@ def all_nearest_neighbors(
         (§2.5): groups are LPT-scheduled onto ``n_workers`` threads by
         model-estimated runtime. Results are identical to serial
         (groups within one iteration are disjoint). 1 = serial.
+    plan_reuse:
+        Run each group kernel through a cached
+        :class:`~repro.core.plan.GsknnPlan` (default). All groups share
+        one workspace arena pool, so the per-group distance/merge
+        temporaries are allocated once per run instead of once per
+        group, and warm-started groups use the masked selection path.
+        Results are identical either way; ``False`` restores the plain
+        one-shot kernel calls. Pass an existing
+        :class:`~repro.core.plan.PlanCache` to carry plans *across*
+        solves: repeated solves over the same table with the same seed
+        regrow identical trees, so every leaf group hits its cached
+        reference panels and the already-grown workspace arenas.
     """
     X = as_coordinate_table(X)
     check_finite(X)
@@ -250,6 +276,16 @@ def all_nearest_neighbors(
         )
 
     X2 = squared_norms(X)
+    plans = None
+    if kernel == "gsknn":
+        from ..core.plan import PlanCache
+
+        # NOTE: an empty PlanCache is falsy (len == 0), so the instance
+        # check must come before the truthiness one
+        if isinstance(plan_reuse, PlanCache):
+            plans = plan_reuse
+        elif plan_reuse:
+            plans = PlanCache(max_plans=64)
     current = KnnResult(
         np.full((n, k), np.inf), np.full((n, k), -1, dtype=np.intp)
     )
@@ -276,7 +312,7 @@ def all_nearest_neighbors(
         group_size_total += int(sum(g.size for g in groups))
         t0 = time.perf_counter()
         locals_by_group = _solve_groups(
-            kernel, X, groups, k, X2, variant, n_workers, current
+            kernel, X, groups, k, X2, variant, n_workers, current, plans
         )
         kernel_seconds += time.perf_counter() - t0
         for group, local in zip(groups, locals_by_group):

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.gsknn import gsknn
 from ..core.neighbors import KnnResult, merge_neighbor_lists_fast
 from ..core.norm_cache import cached_squared_norms
 from ..errors import ValidationError
@@ -69,6 +68,13 @@ class StreamingAllKnn:
         self.max_bucket = int(max_bucket)
         self._seed = 0 if seed is None else int(seed)
         self._batches_ingested = 0
+        # Bucket kernels run through cached plans: repeated refresh()
+        # rounds between inserts regenerate the same buckets (the LSH
+        # seed is a function of the ingest count), so their gathered
+        # panels are reused; all buckets share one workspace arena pool.
+        from ..core.plan import PlanCache
+
+        self._plans = PlanCache(max_plans=16)
         self._points = np.empty((0, dim), dtype=np.float64)
         self._distances = np.empty((0, k), dtype=np.float64)
         self._indices = np.empty((0, k), dtype=np.intp)
@@ -106,6 +112,9 @@ class StreamingAllKnn:
             )
         n_new = batch.shape[0]
         self._points = np.vstack([self._points, batch])
+        # the old table object is gone; drop plans built against it so
+        # the cache never pins dead coordinate arrays in memory
+        self._plans.clear()
         self._distances = np.vstack(
             [self._distances, np.full((n_new, self.k), np.inf)]
         )
@@ -193,7 +202,8 @@ class StreamingAllKnn:
 
     def _solve_bucket(self, bucket: np.ndarray, X2: np.ndarray) -> None:
         k_eff = min(self.k, bucket.size)
-        local = gsknn(self._points, bucket, bucket, k_eff, X2=X2)
+        plan = self._plans.get(self._points, bucket, X2=X2)
+        local = plan.execute(bucket, k_eff)
         if k_eff < self.k:
             pad = self.k - k_eff
             local = KnnResult(

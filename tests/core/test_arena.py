@@ -1,0 +1,91 @@
+"""Tests for the workspace arena (grow-only buffers, pools)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arena import ArenaPool, NullArena, WorkspaceArena, null_arena_pool
+from repro.errors import ValidationError
+
+
+class TestWorkspaceArena:
+    def test_same_shape_reuses_buffer(self):
+        arena = WorkspaceArena()
+        a = arena.take("tile", (4, 5))
+        a[:] = 7.0
+        b = arena.take("tile", (4, 5))
+        assert b.base is a.base or b is a
+        assert np.shares_memory(a, b)
+
+    def test_grow_only(self):
+        arena = WorkspaceArena()
+        arena.take("tile", (4, 8))
+        big = arena.take("tile", (6, 2))  # grows rows, keeps cols
+        assert big.shape == (6, 2)
+        again = arena.take("tile", (6, 8))
+        assert again.shape == (6, 8)
+        assert len(arena) == 1
+
+    def test_smaller_request_returns_view(self):
+        arena = WorkspaceArena()
+        full = arena.take("tile", (8, 8))
+        small = arena.take("tile", (3, 5))
+        assert small.shape == (3, 5)
+        assert np.shares_memory(full, small)
+
+    def test_dtype_change_reallocates(self):
+        arena = WorkspaceArena()
+        a = arena.take("buf", (4,), np.float64)
+        b = arena.take("buf", (4,), np.bool_)
+        assert b.dtype == np.bool_
+        assert not np.shares_memory(a, b)
+
+    def test_distinct_keys_are_independent(self):
+        arena = WorkspaceArena()
+        a = arena.take("a", (4,))
+        b = arena.take("b", (4,))
+        assert not np.shares_memory(a, b)
+
+    def test_nbytes_and_clear(self):
+        arena = WorkspaceArena()
+        arena.take("tile", (10, 10))
+        assert arena.nbytes == 10 * 10 * 8
+        arena.clear()
+        assert arena.nbytes == 0 and len(arena) == 0
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkspaceArena().take("x", (-1, 2))
+
+
+class TestNullArena:
+    def test_always_allocates(self):
+        arena = NullArena()
+        a = arena.take("tile", (4, 4))
+        b = arena.take("tile", (4, 4))
+        assert a.shape == b.shape == (4, 4)
+        assert not np.shares_memory(a, b)
+        assert arena.nbytes == 0
+
+
+class TestArenaPool:
+    def test_serial_borrow_reuses_one_arena(self):
+        pool = ArenaPool()
+        with pool.borrow() as a:
+            a.take("t", (4,))
+        with pool.borrow() as b:
+            assert b.nbytes == 4 * 8  # the same arena came back
+        assert pool.created == 1
+
+    def test_nested_borrows_get_distinct_arenas(self):
+        pool = ArenaPool()
+        with pool.borrow() as a, pool.borrow() as b:
+            assert a is not b
+        assert pool.created == 2
+
+    def test_null_pool_never_retains(self):
+        pool = null_arena_pool()
+        with pool.borrow() as a:
+            a.take("t", (100,))
+        assert pool.nbytes == 0

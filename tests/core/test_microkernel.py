@@ -97,6 +97,52 @@ class TestFinalizeTile:
             finalize_tile(tile, None, None, Norm(np.inf)), tile
         )
 
+    def test_default_returns_copy_for_l1_linf(self):
+        """Without out=, the caller may keep mutating the accumulator."""
+        tile = np.array([[2.5]])
+        for norm in (Norm(1.0), Norm(np.inf)):
+            got = finalize_tile(tile, None, None, norm)
+            assert got is not tile
+            tile[0, 0] = -1.0
+            assert got[0, 0] == 2.5
+            tile[0, 0] = 2.5
+
+    def test_out_inplace_eliminates_l1_linf_copy(self):
+        tile = np.array([[2.5, 0.5]])
+        got = finalize_tile(tile, None, None, Norm(1.0), out=tile)
+        assert got is tile  # no copy at all
+
+    def test_out_matches_default_all_norms(self, rng):
+        q2 = rng.random(3)
+        r2 = rng.random(4)
+        for norm in (Norm(2.0), Norm(1.0), Norm(3.0), Norm(np.inf), Norm.cosine()):
+            tile = rng.random((3, 4))
+            needs = norm.is_l2 or norm.is_cosine
+            want = finalize_tile(
+                tile.copy(), q2 if needs else None, r2 if needs else None, norm
+            )
+            # separate destination buffer
+            out = np.empty_like(tile)
+            got = finalize_tile(
+                tile.copy(), q2 if needs else None, r2 if needs else None,
+                norm, out=out,
+            )
+            assert got is out
+            np.testing.assert_array_equal(got, want)
+            # fully in place
+            scratch = tile.copy()
+            got2 = finalize_tile(
+                scratch, q2 if needs else None, r2 if needs else None,
+                norm, out=scratch,
+            )
+            np.testing.assert_array_equal(got2, want)
+
+    def test_out_shape_validated(self):
+        with pytest.raises(ValidationError):
+            finalize_tile(
+                np.ones((2, 2)), None, None, Norm(1.0), out=np.empty((2, 3))
+            )
+
 
 class TestFusedSelect:
     def test_inserts_survivors(self):
@@ -137,3 +183,33 @@ class TestFusedSelect:
             fused_select(
                 np.ones((2, 2)), [BinaryMaxHeap(1)] * 2, 0, np.arange(2), live_rows=3
             )
+
+    def test_ascending_insertion_cuts_accepted_count(self):
+        """Adversarial descending tile: naive column-order insertion accepts
+        every survivor (each one beats the then-root); ascending-order
+        insertion accepts only the k that actually belong."""
+        n = 64
+        k = 4
+        row = np.linspace(1.0, 0.01, n)[None, :]  # strictly descending
+        ids = np.arange(n)
+
+        # naive column-order baseline
+        naive_heap = BinaryMaxHeap(k)
+        naive_accepted = 0
+        for j in range(n):
+            if naive_heap.update(float(row[0, j]), int(ids[j])):
+                naive_accepted += 1
+        assert naive_accepted == n  # every insert displaces the root
+
+        heap = BinaryMaxHeap(k)
+        accepted = fused_select(row, [heap], 0, ids)
+        assert accepted == k  # insertions after the k smallest short-circuit
+        assert accepted < naive_accepted
+
+        # bit-identical final contents either way
+        np.testing.assert_array_equal(
+            heap.sorted_pairs()[0], naive_heap.sorted_pairs()[0]
+        )
+        np.testing.assert_array_equal(
+            heap.sorted_pairs()[1], naive_heap.sorted_pairs()[1]
+        )

@@ -66,6 +66,37 @@ class TestSquaredNormCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_inplace_mutation_recomputes(self, cache, rng):
+        """The staleness hazard: same object, new contents, must miss."""
+        X = rng.random((12, 5))
+        stale = cache.get(X).copy()
+        X[0] += 1.0  # first row is fingerprinted
+        got = cache.get(X)
+        np.testing.assert_array_equal(got, squared_norms(X))
+        assert got[0] != stale[0]
+
+    def test_inplace_mutation_of_last_row_recomputes(self, cache, rng):
+        X = rng.random((12, 5))
+        cache.get(X)
+        X[-1] *= 3.0  # last row is fingerprinted too
+        np.testing.assert_array_equal(cache.get(X), squared_norms(X))
+
+    def test_stale_entries_counted(self, rng):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        old = set_registry(MetricsRegistry(enabled=True))
+        try:
+            local = SquaredNormCache()
+            X = rng.random((10, 4))
+            local.get(X)
+            X[0] += 1.0
+            local.get(X)
+            snap = get_registry().snapshot()
+            assert snap["counters"]["norms.cache_stale"] == 1
+            assert snap["counters"]["norms.cache_misses"] == 2
+        finally:
+            set_registry(old)
+
 
 class TestMetricsAndGlobal:
     def test_hits_and_misses_counted(self, rng):

@@ -1,0 +1,354 @@
+"""Tests for the amortized repeated-query engine (GsknnPlan / PlanCache)."""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.gsknn import gsknn
+from repro.core.neighbors import KnnResult
+from repro.core.plan import GsknnPlan, PlanCache
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+from ..conftest import brute_force_knn
+
+
+@pytest.fixture
+def problem(small_cloud, rng):
+    q = rng.permutation(300)[:93]
+    r = rng.permutation(300)[:211]
+    return small_cloud, q, r
+
+
+class TestPlanEquivalence:
+    """Plan executes must be bit-identical to the one-shot kernel."""
+
+    @pytest.mark.parametrize("norm", ["l2", "l1", "linf", "cosine", 2.5])
+    @pytest.mark.parametrize("variant", [1, 5, 6])
+    def test_bitwise_matches_gsknn(self, problem, norm, variant):
+        X, q, r = problem
+        want = gsknn(X, q, r, 9, norm=norm, variant=variant)
+        plan = GsknnPlan(X, r, norm=norm, variant=variant)
+        got = plan.execute(q, 9)
+        np.testing.assert_array_equal(got.distances, want.distances)
+        np.testing.assert_array_equal(got.indices, want.indices)
+        # a warm repeat must not change the answer either
+        again = plan.execute(q, 9)
+        np.testing.assert_array_equal(again.distances, want.distances)
+        np.testing.assert_array_equal(again.indices, want.indices)
+
+    @pytest.mark.parametrize("norm,p", [("l2", 2.0), ("l1", 1.0), (3.0, 3.0)])
+    def test_matches_brute_force(self, problem, norm, p):
+        X, q, r = problem
+        plan = GsknnPlan(X, r, norm=norm)
+        got = plan.execute(q, 7)
+        truth_d, _ = brute_force_knn(X, q, r, 7, p=p)
+        np.testing.assert_allclose(got.distances, truth_d, atol=1e-9)
+
+    def test_legacy_select_matches_masked(self, problem):
+        X, q, r = problem
+        plan = GsknnPlan(X, r)
+        masked = plan.execute(q, 6, select="masked", warm_start=False)
+        legacy = plan.execute(q, 6, select="legacy", warm_start=False)
+        np.testing.assert_array_equal(masked.distances, legacy.distances)
+        np.testing.assert_array_equal(masked.indices, legacy.indices)
+
+    def test_initial_lists_match_gsknn(self, problem):
+        X, q, r = problem
+        seed = gsknn(X, q, r[:50], 5)
+        want = gsknn(X, q, r[50:], 5, initial=seed)
+        plan = GsknnPlan(X, r[50:])
+        got = plan.execute(q, 5, initial=seed)
+        np.testing.assert_array_equal(got.distances, want.distances)
+        np.testing.assert_array_equal(got.indices, want.indices)
+
+    def test_uncached_panels_match(self, problem):
+        X, q, r = problem
+        want = gsknn(X, q, r, 9)
+        plan = GsknnPlan(X, r, cache_panels=False)
+        assert not plan.panels_cached
+        got = plan.execute(q, 9)
+        np.testing.assert_array_equal(got.distances, want.distances)
+        np.testing.assert_array_equal(got.indices, want.indices)
+
+    def test_ragged_blocks(self, small_cloud, rng):
+        """Odd block sizes force ragged panels and partial tiles."""
+        q = rng.permutation(300)[:31]
+        r = rng.permutation(300)[:97]
+        want = gsknn(small_cloud, q, r, 4, block_m=7, block_n=13)
+        plan = GsknnPlan(small_cloud, r, block_m=7, block_n=13)
+        got = plan.execute(q, 4)
+        np.testing.assert_array_equal(got.distances, want.distances)
+        np.testing.assert_array_equal(got.indices, want.indices)
+
+    def test_precomputed_x2(self, problem):
+        X, q, r = problem
+        X2 = (X**2).sum(axis=1)
+        want = gsknn(X, q, r, 6, X2=X2)
+        got = GsknnPlan(X, r, X2=X2).execute(q, 6)
+        np.testing.assert_array_equal(got.distances, want.distances)
+        np.testing.assert_array_equal(got.indices, want.indices)
+
+
+class TestWarmStart:
+    def test_auto_warm_repeat_is_bit_identical(self, problem):
+        X, q, r = problem
+        plan = GsknnPlan(X, r)
+        old = set_registry(MetricsRegistry(enabled=True))
+        try:
+            first = plan.execute(q, 8)
+            second = plan.execute(q, 8)
+            snap = get_registry().snapshot()["counters"]
+            assert snap["plan.executes"] == 2
+            assert snap["plan.reuse_hits"] == 1
+            assert snap["plan.warm_starts"] == 1
+        finally:
+            set_registry(old)
+        np.testing.assert_array_equal(first.distances, second.distances)
+        np.testing.assert_array_equal(first.indices, second.indices)
+
+    def test_different_queries_do_not_warm(self, problem):
+        X, q, r = problem
+        plan = GsknnPlan(X, r)
+        old = set_registry(MetricsRegistry(enabled=True))
+        try:
+            plan.execute(q, 8)
+            plan.execute(q[:-1], 8)
+            plan.execute(q, 7)  # same q, different k: no warm either
+            snap = get_registry().snapshot()["counters"]
+            assert snap.get("plan.warm_starts", 0) == 0
+        finally:
+            set_registry(old)
+
+    def test_warm_start_false_never_seeds(self, problem):
+        X, q, r = problem
+        plan = GsknnPlan(X, r)
+        plan.execute(q, 8, warm_start=False)
+        old = set_registry(MetricsRegistry(enabled=True))
+        try:
+            plan.execute(q, 8, warm_start=False)
+            snap = get_registry().snapshot()["counters"]
+            assert snap.get("plan.warm_starts", 0) == 0
+        finally:
+            set_registry(old)
+
+    def test_zero_survivor_shortcut(self, problem):
+        """When the seeded lists beat every candidate, the call returns the
+        initial lists — without sorting or merging — as fresh copies."""
+        X, q, r = problem
+        plan = GsknnPlan(X, r)
+        k = 5
+        initial = KnnResult(
+            np.full((q.size, k), -1.0),
+            np.tile(np.arange(k, dtype=np.intp), (q.size, 1)),
+        )
+        old = set_registry(MetricsRegistry(enabled=True))
+        try:
+            got = plan.execute(q, k, initial=initial)
+            snap = get_registry().snapshot()["counters"]
+            assert snap["plan.unchanged_returns"] == 1
+        finally:
+            set_registry(old)
+        np.testing.assert_array_equal(got.distances, initial.distances)
+        np.testing.assert_array_equal(got.indices, initial.indices)
+        assert got.distances is not initial.distances  # no aliasing
+        assert got.indices is not initial.indices
+        # the legacy one-shot path agrees on the merged answer (ids within
+        # an all-tied row are permuted arbitrarily, as the heaps document)
+        want = gsknn(X, q, r, k, initial=initial)
+        np.testing.assert_array_equal(got.distances, want.distances)
+        np.testing.assert_array_equal(
+            np.sort(got.indices, axis=1), np.sort(want.indices, axis=1)
+        )
+
+
+class TestStaleness:
+    def test_inplace_mutation_triggers_rebuild(self, problem):
+        X, q, r = problem
+        X = X.copy()
+        plan = GsknnPlan(X, r)
+        plan.execute(q, 6)
+        X[0] += 1.0  # first row is fingerprinted
+        got = plan.execute(q, 6)
+        assert plan.stale_rebuilds == 1
+        want = gsknn(X, q, r, 6)
+        np.testing.assert_array_equal(got.distances, want.distances)
+        np.testing.assert_array_equal(got.indices, want.indices)
+
+    def test_rebuild_drops_previous_result(self, problem):
+        """A stale rebuild must void the auto-warm seed: the old result
+        may contain distances the mutated table no longer attains."""
+        X, q, r = problem
+        X = X.copy()
+        plan = GsknnPlan(X, r)
+        plan.execute(q, 6)
+        X[-1] *= 3.0
+        old = set_registry(MetricsRegistry(enabled=True))
+        try:
+            got = plan.execute(q, 6)
+            snap = get_registry().snapshot()["counters"]
+            assert snap["plan.stale_rebuilds"] == 1
+            assert snap.get("plan.warm_starts", 0) == 0
+        finally:
+            set_registry(old)
+        want = gsknn(X, q, r, 6)
+        np.testing.assert_array_equal(got.distances, want.distances)
+
+    def test_tracking_disabled_skips_check(self, problem):
+        X, q, r = problem
+        X = X.copy()
+        plan = GsknnPlan(X, r, track_staleness=False)
+        plan.execute(q, 6)
+        X[0] += 1.0
+        plan.execute(q, 6)
+        assert plan.stale_rebuilds == 0
+
+
+class TestValidation:
+    def test_bad_select_rejected(self, problem):
+        X, q, r = problem
+        with pytest.raises(ValidationError, match="select"):
+            GsknnPlan(X, r).execute(q, 3, select="bogus")
+
+    def test_bad_initial_shape_rejected(self, problem):
+        X, q, r = problem
+        bad = KnnResult(np.zeros((2, 3)), np.zeros((2, 3), dtype=np.intp))
+        with pytest.raises(ValidationError, match="initial lists"):
+            GsknnPlan(X, r).execute(q, 3, initial=bad)
+
+    def test_non_executable_variant_rejected(self, problem):
+        X, q, r = problem
+        with pytest.raises(ValidationError, match="not executable"):
+            GsknnPlan(X, r).execute(q, 3, variant=2)
+
+    def test_bad_blocks_rejected(self, problem):
+        X, _, r = problem
+        with pytest.raises(ValidationError):
+            GsknnPlan(X, r, block_m=0)
+
+    def test_bad_x2_shape_rejected(self, problem):
+        X, _, r = problem
+        with pytest.raises(ValidationError, match="X2"):
+            GsknnPlan(X, r, X2=np.zeros(X.shape[0] - 1))
+
+
+class TestPlanCache:
+    def test_hit_returns_same_plan(self, problem):
+        X, _, r = problem
+        cache = PlanCache()
+        old = set_registry(MetricsRegistry(enabled=True))
+        try:
+            p1 = cache.get(X, r)
+            p2 = cache.get(X, r)
+            snap = get_registry().snapshot()["counters"]
+            assert snap["plan.cache_misses"] == 1
+            assert snap["plan.cache_hits"] == 1
+        finally:
+            set_registry(old)
+        assert p1 is p2
+        assert len(cache) == 1
+
+    def test_distinct_refs_get_distinct_plans(self, problem):
+        X, _, r = problem
+        cache = PlanCache()
+        assert cache.get(X, r) is not cache.get(X, r[:-1])
+        assert len(cache) == 2
+
+    def test_distinct_norms_get_distinct_plans(self, problem):
+        X, _, r = problem
+        cache = PlanCache()
+        assert cache.get(X, r, norm="l2") is not cache.get(X, r, norm="l1")
+
+    def test_lru_eviction(self, problem, rng):
+        X, _, r = problem
+        cache = PlanCache(max_plans=2)
+        p1 = cache.get(X, r[:50])
+        cache.get(X, r[:60])
+        cache.get(X, r[:70])  # evicts the r[:50] plan
+        assert len(cache) == 2
+        assert cache.get(X, r[:50]) is not p1
+
+    def test_plans_share_one_arena_pool(self, problem):
+        X, _, r = problem
+        cache = PlanCache()
+        assert cache.get(X, r).arena_pool is cache.get(X, r[:-1]).arena_pool
+
+    def test_clear(self, problem):
+        X, _, r = problem
+        cache = PlanCache()
+        cache.get(X, r)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_bad_blocking_rejected(self, problem):
+        X, _, r = problem
+        with pytest.raises(ValidationError, match="blocking"):
+            PlanCache().get(X, r, blocking=42)
+
+    def test_bad_max_plans_rejected(self):
+        with pytest.raises(ValidationError):
+            PlanCache(max_plans=0)
+
+
+class TestMemoryAmortization:
+    """The plan's reason to exist: warm executes stop allocating."""
+
+    def test_serial_executes_reuse_one_arena(self, rng):
+        X = rng.random((2048, 16))
+        q = np.arange(1024)
+        r = np.arange(1024, 2048)
+        plan = GsknnPlan(X, r)
+        for _ in range(3):
+            plan.execute(q, 16, warm_start=False)
+        assert plan.arena_pool.created == 1
+        stable = plan.arena_pool.nbytes
+        assert stable > 0  # the arena really is holding the tile buffers
+        plan.execute(q, 16, warm_start=False)
+        assert plan.arena_pool.nbytes == stable  # grow-only, fully grown
+
+    def test_warm_repeats_do_not_grow_memory(self, rng):
+        """tracemalloc regression: steady-state repeats neither retain new
+        memory nor spike transient allocations anywhere near tile size
+        (one (block_m, n) tile here is 16 MiB)."""
+        X = rng.random((2048, 16))
+        q = np.arange(1024)
+        r = np.arange(1024, 2048)
+        tracemalloc.start()
+        try:
+            plan = GsknnPlan(X, r)
+            for _ in range(2):  # grow the arena, seed the warm path
+                plan.execute(q, 16)
+            gc.collect()
+            base, _ = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            for _ in range(5):
+                plan.execute(q, 16)  # results discarded
+            gc.collect()
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        growth = current - base
+        transient = peak - base
+        # (1024, 16) result copies and sort scratch are fine; a fresh tile
+        # (1024 x 1024 doubles = 8 MiB) or a leaked arena is not.
+        assert growth < 2 * 2**20, f"retained {growth / 2**20:.2f} MiB"
+        assert transient < 4 * 2**20, f"transient peak {transient / 2**20:.2f} MiB"
+
+
+class TestEphemeralOneShot:
+    def test_gsknn_retains_nothing(self, problem):
+        """The one-shot path's ephemeral plan must not pin panel memory."""
+        X, q, r = problem
+        gc.collect()
+        tracemalloc.start()
+        try:
+            gsknn(X, q, r, 5)
+            gc.collect()
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert current < 256 * 1024  # nothing kernel-sized survives the call

@@ -5,8 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.arena import WorkspaceArena
 from repro.errors import ValidationError
-from repro.select import BatchedNeighborLists, merge_block
+from repro.select import ArenaNeighborLists, BatchedNeighborLists, merge_block
 from repro.select.heap import BinaryMaxHeap
 
 
@@ -120,3 +121,61 @@ class TestBatchedNeighborLists:
         lists = BatchedNeighborLists(2, 2)
         with pytest.raises(ValidationError):
             lists.update(0, np.ones(3), np.arange(3))
+
+
+class TestArenaNeighborLists:
+    @staticmethod
+    def _pair(m, k):
+        return BatchedNeighborLists(m, k), ArenaNeighborLists(
+            m, k, WorkspaceArena()
+        )
+
+    def test_streaming_matches_batched(self, rng):
+        """Cold rows fall back, warm rows take the masked path — the final
+        lists must match the legacy structure on tie-free data."""
+        m, k, n = 9, 4, 160
+        legacy, masked = self._pair(m, k)
+        for start in range(0, n, 23):
+            ids = np.arange(start, min(start + 23, n))
+            tile = rng.random((m, ids.size))
+            legacy.update(0, tile, ids)
+            masked.update(0, tile, ids)
+        ld, li = legacy.sorted()
+        md, mi = masked.sorted()
+        np.testing.assert_array_equal(md, ld)
+        np.testing.assert_array_equal(mi, li)
+
+    def test_warm_seeded_thresholds_match(self, rng):
+        """Seeded row_max (the plan's warm start) must behave like legacy
+        lists seeded the same way."""
+        m, k = 6, 3
+        warm = np.full(m, 0.25)
+        legacy, masked = self._pair(m, k)
+        for lists in (legacy, masked):
+            lists.row_max[:] = warm
+            lists._touched[:] = True
+        tile = rng.random((m, 40))
+        ids = np.arange(40)
+        legacy.update(0, tile, ids)
+        masked.update(0, tile, ids)
+        np.testing.assert_array_equal(masked.values, legacy.values)
+        np.testing.assert_array_equal(masked.ids, legacy.ids)
+
+    def test_zero_survivors_merge_nothing(self):
+        m, k = 3, 2
+        _, masked = self._pair(m, k)
+        masked.row_max[:] = 0.1
+        masked._touched[:] = True
+        masked.update(0, np.full((m, 5), 9.0), np.arange(5))
+        assert masked.stats.rows_merged == 0
+        assert (masked.ids == -1).all()
+
+    def test_partial_row_update_falls_back(self, rng):
+        """Rows outside the update window stay cold; the fallback must keep
+        them untouched exactly like the legacy structure."""
+        legacy, masked = self._pair(10, 2)
+        tile = rng.random((4, 5))
+        legacy.update(3, tile, np.arange(5))
+        masked.update(3, tile, np.arange(5))
+        np.testing.assert_array_equal(masked.ids, legacy.ids)
+        np.testing.assert_array_equal(masked.values, legacy.values)
