@@ -1,0 +1,125 @@
+"""Resilience layer — what recovery and budget enforcement cost.
+
+The paper positions GSKNN inside long-running production solvers, where
+the execution layer has to survive worker deaths and bounded-latency
+demands. This bench quantifies the price of that machinery on the
+data-parallel driver:
+
+* **clean overhead**: the resilient chunk executor (per-chunk ledger,
+  deadline checks, retry accounting) vs the plain backend on the same
+  decomposition, no faults injected — the tax every budgeted solve pays;
+* **recovery cost**: the same solve with a seeded crash plan that kills
+  a worker on its first chunk every attempt, forcing the full
+  ``processes -> threads -> serial`` ladder — wall clock and the
+  ``resilience.*`` counters that recovery produced (bit-identity
+  asserted against the plain serial kernel);
+* **deadline enforcement latency**: how far past an impossible budget
+  the ``KernelTimeoutError`` actually lands (the cooperative-check
+  guarantee is "within one chunk", the acceptance bound is 2x).
+
+Numbers land in ``results/BENCH_resilience.json`` via ``rep.metric``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.gsknn import gsknn
+from repro.errors import KernelTimeoutError
+from repro.obs.metrics import disable_metrics, enable_metrics
+from repro.parallel import gsknn_data_parallel
+from repro.resilience import FaultPlan, RetryPolicy
+
+from .conftest import run_report, SCALE, best_time, uniform_problem
+
+SIZE = 1024 * SCALE
+
+
+def test_resilience_report(benchmark, report):
+    def _run():
+        cores = os.cpu_count() or 1
+        p = max(2, min(4, cores))
+        rep = report(
+            "resilience",
+            f"resilience layer overhead and recovery (m=n={SIZE}, d=32, "
+            f"k=16; {cores}-core host, p={p})",
+        )
+        rep.problem(m=SIZE, n=SIZE, d=32, k=16, p=p, cores=cores)
+        X, q, r = uniform_problem(SIZE, SIZE, 32, seed=0)
+        truth = gsknn(X, q, r, 16)
+
+        plain = best_time(
+            lambda: gsknn_data_parallel(X, q, r, 16, p=p, backend="threads"),
+            repeats=3,
+        )
+        # any resilience input routes through the resilient executor;
+        # a generous deadline keeps the solve itself unconstrained
+        resilient = best_time(
+            lambda: gsknn_data_parallel(
+                X, q, r, 16, p=p, backend="threads", deadline=600.0
+            ),
+            repeats=3,
+        )
+        rep.row(
+            f"threads p={p}: plain {plain * 1e3:.0f} ms, resilient "
+            f"executor {resilient * 1e3:.0f} ms "
+            f"({resilient / plain - 1:+.1%} overhead)"
+        )
+        rep.metric("plain_seconds", plain)
+        rep.metric("resilient_clean_seconds", resilient)
+        rep.metric("clean_overhead_ratio", resilient / plain)
+
+        # recovery: kill the first chunk's worker on every attempt, so
+        # the solve must walk the whole ladder — and still be bit-exact
+        registry = enable_metrics()
+        try:
+            t0 = time.perf_counter()
+            recovered = gsknn_data_parallel(
+                X, q, r, 16,
+                p=p, backend="processes",
+                fault_plan=FaultPlan(crash_at=(0,)),
+                retry=RetryPolicy(backoff_base=0.001),
+            )
+            recovery = time.perf_counter() - t0
+            counters = registry.snapshot()["counters"]
+        finally:
+            disable_metrics()
+        assert np.array_equal(recovered.distances, truth.distances)
+        assert np.array_equal(recovered.indices, truth.indices)
+        retries = counters.get("resilience.retries", 0)
+        fallbacks = counters.get("resilience.fallbacks", 0)
+        rep.row(
+            f"crash_at=0 recovery (processes, full ladder): "
+            f"{recovery * 1e3:.0f} ms, {retries} retries, "
+            f"{fallbacks} fallbacks; bit-identity asserted"
+        )
+        rep.metric("recovery_seconds", recovery)
+        rep.metric("recovery_retries", retries)
+        rep.metric("recovery_fallbacks", fallbacks)
+
+        # deadline enforcement: every chunk sleeps past an 80 ms budget;
+        # measure how far past the budget the timeout error lands
+        budget = 0.08
+        t0 = time.perf_counter()
+        with pytest.raises(KernelTimeoutError):
+            gsknn_data_parallel(
+                X, q, r, 16,
+                p=p, backend="threads",
+                deadline=budget,
+                fault_plan=FaultPlan(slow=1.0, slow_seconds=10 * budget),
+            )
+        landed = time.perf_counter() - t0
+        rep.row(
+            f"deadline {budget * 1e3:.0f} ms vs all-slow chunks: error "
+            f"raised at {landed * 1e3:.0f} ms "
+            f"({landed / budget:.2f}x budget; acceptance bound 2x)"
+        )
+        rep.metric("deadline_budget_seconds", budget)
+        rep.metric("deadline_landed_seconds", landed)
+        rep.metric("deadline_overrun_ratio", landed / budget)
+
+    run_report(benchmark, _run)

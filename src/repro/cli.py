@@ -10,6 +10,14 @@ Subcommands:
 * ``compare`` — run both kernels on the same problem and print the
   speedup (a one-problem slice of the Figure 6 grid); also accepts
   ``--backend``/``-p``/``--blocking`` and ``--trace-out``;
+
+``kernel``, ``compare``, and ``distributed`` additionally take the
+resilience flags ``--deadline-ms`` (budget the solve; expiry exits 3
+with partial progress on stderr), ``--fault-plan SPEC`` (deterministic
+fault injection — see ``docs/RESILIENCE.md``), and ``--retries N``;
+any ``resilience.*`` counters the run produced are printed after the
+phase table.
+
 * ``stats`` — run one kernel with full observability on and print the
   metrics-registry snapshot (``--json`` for the raw dict);
 * ``allknn`` — run the approximate all-NN solver and report recall;
@@ -89,6 +97,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-k", type=int, default=16, help="neighbors")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_resilience_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--deadline-ms",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="wall-clock budget for the solve; expiry raises a clean "
+            "KernelTimeoutError with partial-progress metadata",
+        )
+        p.add_argument(
+            "--fault-plan",
+            type=str,
+            default=None,
+            metavar="SPEC",
+            help="deterministic fault injection, e.g. "
+            "'seed=7,crash=0.3,slow=0.2,slow_ms=20,crash_at=0|128' "
+            "(also read from $REPRO_FAULT_PLAN)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="max attempts per failed chunk before backend fallback "
+            "(default 3 when a fault plan or deadline is active)",
+        )
+
     def add_backend_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--backend",
@@ -140,11 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a chrome://tracing JSON of the run to PATH",
     )
+    add_resilience_args(kern)
 
     comp = sub.add_parser("compare", help="GSKNN vs GEMM approach")
     add_problem_args(comp)
     comp.add_argument("--repeats", type=int, default=3)
     add_backend_args(comp)
+    add_resilience_args(comp)
     comp.add_argument(
         "--trace-out",
         type=str,
@@ -231,12 +268,60 @@ def build_parser() -> argparse.ArgumentParser:
     dist.add_argument("--iterations", type=int, default=2)
     dist.add_argument("--kernel", choices=("gsknn", "gemm"), default="gsknn")
     dist.add_argument("--seed", type=int, default=0)
+    add_resilience_args(dist)
 
     return parser
 
 
 def _parse_workers(value: str):
     return value if value == "auto" else int(value)
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """deadline/retry/fault_plan kwargs from CLI flags ({} when unused)."""
+    kwargs: dict = {}
+    deadline_ms = getattr(args, "deadline_ms", None)
+    if deadline_ms is not None:
+        kwargs["deadline"] = deadline_ms / 1e3
+    fault_plan = getattr(args, "fault_plan", None)
+    if fault_plan is not None:
+        kwargs["fault_plan"] = fault_plan
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        from .resilience import RetryPolicy
+
+        kwargs["retry"] = RetryPolicy(max_attempts=retries)
+    return kwargs
+
+
+def _print_resilience_counters(snapshot: dict) -> None:
+    rows = {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if name.startswith("resilience.")
+    }
+    if not rows:
+        return
+    print("resilience:")
+    for name, value in sorted(rows.items()):
+        print(f"  {name:<32} {value}")
+
+
+def _print_timeout(exc) -> int:
+    """Render a KernelTimeoutError cleanly; exit code 3 = deadline hit."""
+    budget = f"{exc.budget * 1e3:.0f} ms" if exc.budget else "?"
+    elapsed = f"{exc.elapsed * 1e3:.0f} ms" if exc.elapsed else "?"
+    progress = (
+        " ".join(f"{k}={v}" for k, v in exc.partial.items())
+        if exc.partial
+        else "none"
+    )
+    print(
+        f"deadline exceeded: budget={budget} elapsed={elapsed} "
+        f"site={exc.site or '?'} progress: {progress}",
+        file=sys.stderr,
+    )
+    return 3
 
 
 def _run_one_kernel(args: argparse.Namespace):
@@ -254,14 +339,17 @@ def _run_one_kernel(args: argparse.Namespace):
     blocking = getattr(args, "blocking", "default")
     blocking = None if blocking == "default" else blocking
     kwargs = {"norm": args.norm}
+    res_kwargs = _resilience_kwargs(args)
     if args.kernel == "gsknn":
         kwargs["variant"] = args.variant
-        if workers > 1 or backend != "serial":
+        # resilience flags route through the data-parallel driver even at
+        # p=1/serial: that is where the deadline and retry machinery live
+        if workers > 1 or backend != "serial" or res_kwargs:
             tuned = _load_tuned_blocks(blocking)
             if tuned is not None:
                 kwargs.update(block_m=tuned[0], block_n=tuned[1])
             runner = lambda X, q, r, k, **kw: gsknn_data_parallel(  # noqa: E731
-                X, q, r, k, p=workers, backend=backend, **kw
+                X, q, r, k, p=workers, backend=backend, **res_kwargs, **kw
             )
         else:
             kwargs["blocking"] = blocking
@@ -312,6 +400,8 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     if args.plan and args.kernel != "gsknn":
         print("--plan requires --kernel gsknn", file=sys.stderr)
         return 2
+    from .errors import KernelTimeoutError
+
     repeat = max(1, int(args.repeat))
     registry = enable_metrics()
     tracer = enable_tracing()
@@ -324,6 +414,8 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
             for _ in range(repeat - 1):
                 result, t_rep = _run_one_kernel(args)
                 warm.append(t_rep)
+    except KernelTimeoutError as exc:
+        return _print_timeout(exc)
     finally:
         disable_tracing()
     absorb_tracer(tracer, registry)
@@ -348,7 +440,9 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
             f"gflops={gflops(args.m, args.n, args.d, best):.2f} "
             f"warm-vs-cold speedup={elapsed / best:.2f}x"
         )
-    _print_phase_table(registry.snapshot(), elapsed + sum(warm))
+    snapshot = registry.snapshot()
+    _print_phase_table(snapshot, elapsed + sum(warm))
+    _print_resilience_counters(snapshot)
     print(f"first query neighbors: {result.indices[0][: min(args.k, 8)]}")
     if args.trace_out:
         return _export_trace(tracer, args.trace_out)
@@ -368,12 +462,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     workers = resolve_workers(_parse_workers(args.workers))
     blocking = None if args.blocking == "default" else args.blocking
     gsknn_kwargs = {}
-    if workers > 1 or args.backend != "serial":
+    res_kwargs = _resilience_kwargs(args)
+    if workers > 1 or args.backend != "serial" or res_kwargs:
         tuned = _load_tuned_blocks(blocking)
         if tuned is not None:
             gsknn_kwargs.update(block_m=tuned[0], block_n=tuned[1])
         gsknn_runner = lambda X, q, r, k: gsknn_data_parallel(  # noqa: E731
-            X, q, r, k, p=workers, backend=args.backend, **gsknn_kwargs
+            X, q, r, k, p=workers, backend=args.backend,
+            **res_kwargs, **gsknn_kwargs
         )
         label = f"gsknn[{args.backend} p={workers}]"
     else:
@@ -393,9 +489,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             times.append(time.perf_counter() - t0)
         return min(times)
 
+    from .errors import KernelTimeoutError
+
     try:
         t_gsknn = best_of(gsknn_runner, "gsknn")
         t_gemm = best_of(ref_knn, "gemm")
+    except KernelTimeoutError as exc:
+        return _print_timeout(exc)
     finally:
         disable_tracing()
     absorb_tracer(tracer, registry)
@@ -406,7 +506,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     # phase totals cover every repeat of both kernels
     total = sum(s.duration for s in tracer.roots())
-    _print_phase_table(registry.snapshot(), total)
+    snapshot = registry.snapshot()
+    _print_phase_table(snapshot, total)
+    _print_resilience_counters(snapshot)
     if args.trace_out:
         return _export_trace(tracer, args.trace_out)
     return 0
@@ -600,6 +702,7 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
 def _cmd_distributed(args: argparse.Namespace) -> int:
     from .data import embedded_gaussian
     from .distributed import DistributedAllKnn
+    from .errors import KernelTimeoutError
 
     ds = embedded_gaussian(
         args.N, args.d, intrinsic_dim=min(10, args.d), seed=args.seed
@@ -611,7 +714,12 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         seed=args.seed,
     )
-    report = solver.solve(ds.points, args.k)
+    res_kwargs = _resilience_kwargs(args)
+    registry = enable_metrics() if res_kwargs else None
+    try:
+        report = solver.solve(ds.points, args.k, **res_kwargs)
+    except KernelTimeoutError as exc:
+        return _print_timeout(exc)
     print(
         f"{args.kernel} on {args.ranks} simulated ranks: "
         f"N={args.N} d={args.d} k={args.k}"
@@ -624,6 +732,8 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
         f"  projected wall clock: {report.projected_seconds:7.2f} s "
         f"({report.projected_speedup:.1f}x over serial)"
     )
+    if registry is not None:
+        _print_resilience_counters(registry.snapshot())
     return 0
 
 

@@ -73,12 +73,17 @@ class SimComm:
     construction, which the tests assert.
     """
 
-    def __init__(self, n_ranks: int) -> None:
+    def __init__(self, n_ranks: int, *, deadline=None) -> None:
         if n_ranks < 1:
             raise ValidationError(f"need n_ranks >= 1, got {n_ranks}")
         self.n_ranks = int(n_ranks)
         self.stats = [CommStats() for _ in range(self.n_ranks)]
         self._channels: dict[tuple[int, int, str], deque] = defaultdict(deque)
+        #: optional :class:`repro.resilience.Deadline` — checked on every
+        #: send/recv so a budgeted solve cannot overrun inside an
+        #: exchange phase (the real solver's alltoallv is where stragglers
+        #: hide); expiry raises KernelTimeoutError mid-collective
+        self.deadline = deadline
 
     def _check_rank(self, rank: int, name: str) -> None:
         if not 0 <= rank < self.n_ranks:
@@ -88,6 +93,8 @@ class SimComm:
 
     def send(self, src: int, dst: int, payload, tag: str = "") -> None:
         """Post ``payload`` from ``src`` to ``dst`` (self-sends are free)."""
+        if self.deadline is not None:
+            self.deadline.check("comm.send", src=src, dst=dst, tag=tag)
         self._check_rank(src, "src")
         self._check_rank(dst, "dst")
         self._channels[(src, dst, tag)].append(payload)
@@ -97,6 +104,8 @@ class SimComm:
 
     def recv(self, dst: int, src: int, tag: str = ""):
         """Pop the oldest pending message on the (src, dst, tag) channel."""
+        if self.deadline is not None:
+            self.deadline.check("comm.recv", src=src, dst=dst, tag=tag)
         self._check_rank(src, "src")
         self._check_rank(dst, "dst")
         channel = self._channels[(src, dst, tag)]

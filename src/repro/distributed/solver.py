@@ -170,9 +170,74 @@ class DistributedAllKnn:
             np.pad(res.indices, ((0, 0), (0, pad)), constant_values=-1),
         )
 
+    def _run_kernel_resilient(
+        self,
+        X: np.ndarray,
+        group: np.ndarray,
+        k: int,
+        X2: np.ndarray,
+        *,
+        key: str,
+        deadline=None,
+        retry=None,
+        fault_plan=None,
+    ) -> KnnResult:
+        """Per-leaf kernel with rank-level retry and fault injection.
+
+        ``key`` identifies the leaf deterministically across runs
+        (``iteration:rank:leaf``), so a seeded :class:`FaultPlan` fails
+        the same leaves every time. The last attempt runs fault-free and
+        a failed leaf re-runs on the same (simulated) rank, so the
+        merged table is unchanged by injection.
+        """
+        from ..resilience import is_retryable
+
+        if retry is None and fault_plan is None:
+            return self._run_kernel(X, group, k, X2)
+        attempts = retry.max_attempts if retry is not None else 1
+        registry = _get_registry()
+        for attempt in range(attempts):
+            try:
+                if fault_plan is not None and attempt < attempts - 1:
+                    fault_plan.apply("rank", key, attempt)
+                return self._run_kernel(X, group, k, X2)
+            except Exception as exc:
+                if attempt == attempts - 1 or not is_retryable(exc):
+                    raise
+                if registry.enabled:
+                    registry.inc("resilience.retries")
+                    registry.inc("resilience.rank_retries")
+                if retry is not None:
+                    retry.sleep(attempt, deadline)
+        raise AssertionError("unreachable")  # pragma: no cover
+
     # -- the solve ---------------------------------------------------------------
 
-    def solve(self, X: np.ndarray, k: int) -> DistributedReport:
+    def solve(
+        self,
+        X: np.ndarray,
+        k: int,
+        *,
+        deadline=None,
+        retry=None,
+        fault_plan=None,
+    ) -> DistributedReport:
+        """Run the simulated distributed solve.
+
+        Resilience: ``deadline`` (a :class:`~repro.resilience.Deadline`
+        or a budget in seconds) bounds the whole solve — it is checked
+        before every leaf kernel *and* on every simulated send/recv, so
+        expiry raises :class:`~repro.errors.KernelTimeoutError` (with
+        iteration/rank progress metadata) instead of grinding on.
+        ``fault_plan`` (or ``$REPRO_FAULT_PLAN``) injects deterministic
+        rank-level faults into leaf kernels; ``retry`` (defaulted on
+        when faults are active) re-runs a failed leaf on the same rank
+        with backoff — the recovery the paper's outer solver [34]
+        assumes at rank level. The final attempt is fault-free, so
+        results are unchanged by injection.
+        """
+        from ..resilience import Deadline, FaultPlan, RetryPolicy
+
         X = as_coordinate_table(X)
         check_finite(X)
         n, d = X.shape
@@ -181,8 +246,14 @@ class DistributedAllKnn:
             raise ValidationError(
                 f"leaf_size ({self.leaf_size}) must exceed k ({k})"
             )
+        deadline = Deadline.coerce(deadline)
+        fault_plan = FaultPlan.coerce(fault_plan)
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        if retry is None and fault_plan is not None:
+            retry = RetryPolicy()
 
-        comm = SimComm(self.n_ranks)
+        comm = SimComm(self.n_ranks, deadline=deadline)
         model = PerformanceModel()
         home = self._home_rank(n)
         X2 = cached_squared_norms(X)
@@ -233,12 +304,24 @@ class DistributedAllKnn:
                 [[] for _ in range(self.n_ranks)] for _ in range(self.n_ranks)
             ]
             for solver_rank, rank_leaves in enumerate(assignments):
-                for leaf in rank_leaves:
+                for leaf_index, leaf in enumerate(rank_leaves):
+                    if deadline is not None:
+                        deadline.check(
+                            "rank kernel",
+                            iteration=iteration,
+                            rank=solver_rank,
+                        )
                     t0 = time.perf_counter()
                     with _trace.span(
                         "kernel", rank=solver_rank, leaf_size=int(leaf.size)
                     ):
-                        local = self._run_kernel(X, leaf, k, X2)
+                        local = self._run_kernel_resilient(
+                            X, leaf, k, X2,
+                            key=f"{iteration}:{solver_rank}:{leaf_index}",
+                            deadline=deadline,
+                            retry=retry,
+                            fault_plan=fault_plan,
+                        )
                     elapsed = time.perf_counter() - t0
                     rank_kernel_seconds[solver_rank] += elapsed
                     serial_kernel += elapsed

@@ -41,4 +41,60 @@ class BackendError(ReproError, RuntimeError):
     ``BrokenProcessPool`` is translated into this library error so
     callers see one clean failure instead of a hang or a foreign
     exception type.
+
+    Without a retry policy this is terminal. Under the resilience layer
+    (:mod:`repro.resilience`) the same condition is instead handled
+    per chunk: only the failed ``(chunk_m, k)`` pieces are resubmitted,
+    with backend fallback, and ``BackendError`` only escapes once every
+    rung of the ladder is exhausted.
+    """
+
+
+class KernelTimeoutError(ReproError, TimeoutError):
+    """A solve exceeded its :class:`repro.resilience.Deadline`.
+
+    Raised instead of hanging: the executor stops dispatching new work,
+    reaps worker processes, and unlinks shared-memory segments before
+    this propagates. Subclasses ``TimeoutError`` so generic timeout
+    handling keeps working.
+
+    Attributes
+    ----------
+    budget:
+        The deadline budget in seconds (``None`` if unknown).
+    elapsed:
+        Seconds elapsed on the deadline's clock when the budget was
+        found exhausted.
+    site:
+        Where the expiry was detected (e.g. ``"processes chunk wait"``,
+        ``"comm.recv"``, ``"schedule task"``).
+    partial:
+        Free-form progress metadata — for chunked solves a dict with
+        ``completed`` / ``total`` chunk counts, so callers can reason
+        about how far the solve got before the budget ran out.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: float | None = None,
+        elapsed: float | None = None,
+        site: str | None = None,
+        partial: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.elapsed = elapsed
+        self.site = site
+        self.partial = dict(partial) if partial else {}
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A failure deliberately injected by a :class:`repro.resilience.FaultPlan`.
+
+    Only ever raised when a fault plan is active (tests, the CI
+    fault-matrix job, ``--fault-plan`` experiments). The retry machinery
+    treats it exactly like a real worker failure; seeing it escape to
+    user code means recovery was disabled or exhausted.
     """

@@ -27,8 +27,15 @@ asserts exactly that.
 
 A dead worker process surfaces as :class:`repro.errors.BackendError`
 (a :class:`ReproError`), never a hang: the pool's ``BrokenProcessPool``
-is caught and translated, and the shared segments are unlinked in a
-``finally`` so a crash cannot leak ``/dev/shm`` space.
+is caught and translated, and the shared segments are unlinked by a
+:class:`_SharedOperands` context manager so neither a crash, a pool
+startup failure, nor a ``KeyboardInterrupt`` mid-map can leak
+``/dev/shm`` space.
+
+Chunk-level recovery (retry a failed chunk, degrade
+``processes -> threads -> serial``) lives one layer up, in
+:mod:`repro.resilience.executor`, which reuses this module's
+shared-memory session and worker entry points.
 """
 
 from __future__ import annotations
@@ -52,8 +59,11 @@ __all__ = [
     "BACKENDS",
 ]
 
-#: Environment hook for the crash test: a worker whose chunk start
-#: matches this value exits hard, simulating an OOM-kill / segfault.
+#: Legacy environment hook: a worker whose chunk start matches this
+#: value exits hard, simulating an OOM-kill / segfault. Kept for
+#: backward compatibility but now implemented as a one-entry
+#: :class:`repro.resilience.FaultPlan` (``crash_at``) in the worker
+#: initializer.
 _CRASH_ENV = "REPRO_BACKEND_TEST_CRASH_AT"
 
 
@@ -122,11 +132,17 @@ class ExecutionBackend:
         m = q_idx.size
         dist = np.empty((m, k), dtype=np.float64)
         idx = np.empty((m, k), dtype=np.intp)
-        for start, d_chunk, i_chunk in self._run(
-            X, q_idx, r_idx, k, chunks, kernel_kwargs
-        ):
-            dist[start : start + d_chunk.shape[0]] = d_chunk
-            idx[start : start + i_chunk.shape[0]] = i_chunk
+        runs = self._run(X, q_idx, r_idx, k, chunks, kernel_kwargs)
+        try:
+            for start, d_chunk, i_chunk in runs:
+                dist[start : start + d_chunk.shape[0]] = d_chunk
+                idx[start : start + i_chunk.shape[0]] = i_chunk
+        finally:
+            # close the generator NOW, not at garbage collection: its
+            # finally blocks unlink shared-memory segments, and a
+            # KeyboardInterrupt (or an assembly error above) must not
+            # leave /dev/shm space pinned until the GC gets around to it
+            runs.close()
         registry = _get_registry()
         if registry.enabled:
             registry.inc(f"backend.{self.name}.solves")
@@ -212,14 +228,97 @@ _WORKER_STATE: dict[str, Any] = {}
 
 
 def _shm_export(arr: np.ndarray):
-    """Copy ``arr`` into a fresh shared-memory segment; returns (shm, spec)."""
+    """Copy ``arr`` into a fresh shared-memory segment; returns (shm, spec).
+
+    If the copy into the segment fails (or is interrupted) the segment
+    is unlinked before re-raising — a half-exported segment is not yet
+    in any caller's cleanup list, so it must clean up after itself.
+    """
     from multiprocessing import shared_memory
 
     arr = np.ascontiguousarray(arr)
     shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
-    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-    view[:] = arr
+    try:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[:] = arr
+    except BaseException:
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        raise
     return shm, (shm.name, arr.shape, arr.dtype.str)
+
+
+class _SharedOperands:
+    """One solve's shared-memory session: export on enter, unlink on exit.
+
+    Owns the ``X`` / ``q_idx`` / ``r_idx`` / ``X2`` segments plus the
+    pickled kernel kwargs, so both :class:`ProcessBackend` and the
+    resilient executor (which may rebuild the worker pool several times
+    against the *same* segments) manage the lifecycle identically: no
+    matter how the block is left — clean finish, worker crash, pool
+    startup failure, deadline expiry, ``KeyboardInterrupt`` — the
+    segments are unlinked exactly once.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        q_idx: np.ndarray,
+        r_idx: np.ndarray,
+        kernel_kwargs: dict[str, Any],
+    ) -> None:
+        from ..core.norms import resolve_norm, squared_norms
+
+        # Pre-compute the l2 side table once in the parent so workers
+        # never redo it per chunk; ship it through shared memory too.
+        kwargs = dict(kernel_kwargs)
+        X2 = kwargs.pop("X2", None)
+        norm = resolve_norm(kwargs.get("norm", "l2"))
+        if (norm.is_l2 or norm.is_cosine) and X2 is None:
+            X2 = squared_norms(np.ascontiguousarray(X, dtype=np.float64))
+        self._segments: list[Any] = []
+        self.specs: dict[str, Any] = {}
+        try:
+            for key, arr in (
+                ("X", X),
+                ("q_idx", q_idx),
+                ("r_idx", r_idx),
+                ("X2", X2),
+            ):
+                if arr is None:
+                    self.specs[key] = None
+                    continue
+                shm, spec = _shm_export(np.asarray(arr))
+                self._segments.append(shm)
+                self.specs[key] = spec
+        except BaseException:
+            self.unlink()
+            raise
+        self.blob = pickle.dumps(kwargs)
+        registry = _get_registry()
+        if registry.enabled:
+            registry.inc(
+                "backend.processes.shm_bytes",
+                sum(s.size for s in self._segments),
+            )
+
+    def __enter__(self) -> "_SharedOperands":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unlink()
+
+    def unlink(self) -> None:
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
 
 
 def _shm_attach(spec):
@@ -231,7 +330,33 @@ def _shm_attach(spec):
     return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
 
 
-def _process_worker_init(specs: dict, kernel_blob: bytes) -> None:
+def _worker_fault_plan(fault_spec: str | None):
+    """The worker's fault plan: the explicit spec merged with the legacy
+    ``REPRO_BACKEND_TEST_CRASH_AT`` env hook (now just a one-entry
+    ``crash_at`` plan)."""
+    from ..resilience.faults import FaultPlan
+
+    plan = FaultPlan.parse(fault_spec) if fault_spec else None
+    crash_at = os.environ.get(_CRASH_ENV)
+    if crash_at is not None:
+        legacy = (int(crash_at),)
+        if plan is None:
+            plan = FaultPlan(crash_at=legacy)
+        else:
+            plan = FaultPlan(
+                seed=plan.seed,
+                crash=plan.crash,
+                slow=plan.slow,
+                alloc=plan.alloc,
+                slow_seconds=plan.slow_seconds,
+                crash_at=tuple(plan.crash_at) + legacy,
+            )
+    return plan
+
+
+def _process_worker_init(
+    specs: dict, kernel_blob: bytes, fault_spec: str | None = None
+) -> None:
     segments = {}
     arrays = {}
     for key, spec in specs.items():
@@ -244,18 +369,23 @@ def _process_worker_init(specs: dict, kernel_blob: bytes) -> None:
     _WORKER_STATE["segments"] = segments
     _WORKER_STATE["arrays"] = arrays
     _WORKER_STATE["kernel_kwargs"] = pickle.loads(kernel_blob)
+    _WORKER_STATE["fault_plan"] = _worker_fault_plan(fault_spec)
     # a fork-started worker inherits the parent's module state; drop any
     # stale plan so this attach builds its own against the new segments
     _WORKER_STATE.pop("plan", None)
 
 
 def _process_worker_solve(
-    task: tuple[tuple[int, int], int]
+    task: tuple[tuple[int, int], int] | tuple[tuple[int, int], int, int]
 ) -> tuple[int, np.ndarray, np.ndarray]:
-    chunk, k = task
-    crash_at = os.environ.get(_CRASH_ENV)
-    if crash_at is not None and int(crash_at) == chunk[0]:
-        os._exit(13)  # crash-injection hook for the backend crash test
+    chunk, k = task[0], task[1]
+    attempt = task[2] if len(task) > 2 else 0
+    fault_plan = _WORKER_STATE.get("fault_plan")
+    if fault_plan is not None:
+        # hard_exit: in a pool worker an injected crash must be a real
+        # process death so the parent exercises its BrokenProcessPool
+        # handling, not a tidy in-band exception
+        fault_plan.apply("chunk", chunk[0], attempt, hard_exit=True)
     arrays = _WORKER_STATE["arrays"]
     kwargs = dict(_WORKER_STATE["kernel_kwargs"])
     if arrays.get("X2") is not None:
@@ -307,47 +437,17 @@ class ProcessBackend(ExecutionBackend):
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
-        from ..core.norms import resolve_norm, squared_norms
         from .chunking import resolve_workers
 
-        # Pre-compute the l2 side table once in the parent so workers
-        # never redo it per chunk; ship it through shared memory too.
-        kwargs = dict(kernel_kwargs)
-        X2 = kwargs.pop("X2", None)
-        norm = resolve_norm(kwargs.get("norm", "l2"))
-        if (norm.is_l2 or norm.is_cosine) and X2 is None:
-            X2 = squared_norms(np.ascontiguousarray(X, dtype=np.float64))
-
-        segments = []
-        specs: dict[str, Any] = {}
-        try:
-            for key, arr in (
-                ("X", X),
-                ("q_idx", q_idx),
-                ("r_idx", r_idx),
-                ("X2", X2),
-            ):
-                if arr is None:
-                    specs[key] = None
-                    continue
-                shm, spec = _shm_export(np.asarray(arr))
-                segments.append(shm)
-                specs[key] = spec
-            registry = _get_registry()
-            if registry.enabled:
-                registry.inc(
-                    "backend.processes.shm_bytes",
-                    sum(s.size for s in segments),
-                )
+        with _SharedOperands(X, q_idx, r_idx, kernel_kwargs) as ops:
             workers = resolve_workers(self.p, len(chunks))
             ctx = multiprocessing.get_context(self.mp_context)
-            blob = pickle.dumps(kwargs)
             try:
                 with ProcessPoolExecutor(
                     max_workers=workers,
                     mp_context=ctx,
                     initializer=_process_worker_init,
-                    initargs=(specs, blob),
+                    initargs=(ops.specs, ops.blob),
                 ) as pool:
                     yield from pool.map(
                         _process_worker_solve, [(c, k) for c in chunks]
@@ -359,13 +459,6 @@ class ProcessBackend(ExecutionBackend):
                     "crash in native code); partial results were "
                     "discarded"
                 ) from exc
-        finally:
-            for shm in segments:
-                try:
-                    shm.close()
-                    shm.unlink()
-                except OSError:  # pragma: no cover - already gone
-                    pass
 
     def map(self, fn, items):
         raise ValidationError(

@@ -51,6 +51,9 @@ def gsknn_data_parallel(
     backend: str | ExecutionBackend = "threads",
     chunks_per_worker: int = 1,
     X2: np.ndarray | None = None,
+    deadline=None,
+    retry=None,
+    fault_plan=None,
 ) -> KnnResult:
     """4th-loop (query-side) parallel GSKNN over ``p`` workers.
 
@@ -62,7 +65,22 @@ def gsknn_data_parallel(
     rebalance across the pool. The variant is resolved once on the full
     problem shape so chunked sub-kernels cannot disagree with the
     serial kernel's choice.
+
+    Resilience (:mod:`repro.resilience`): ``deadline`` (a
+    :class:`~repro.resilience.Deadline` or a budget in seconds) bounds
+    the solve, raising :class:`~repro.errors.KernelTimeoutError` instead
+    of hanging; ``retry`` (a :class:`~repro.resilience.RetryPolicy`)
+    resubmits failed chunks with backend fallback
+    (``processes -> threads -> serial``) so a dead worker costs one
+    chunk, not the solve; ``fault_plan`` (a
+    :class:`~repro.resilience.FaultPlan` or its spec string) injects
+    deterministic failures for testing. Passing any of the three — or
+    setting ``$REPRO_FAULT_PLAN`` — routes execution through the
+    resilient chunk executor; results remain bit-identical because the
+    decomposition and variant are unchanged.
     """
+    from ..resilience import Deadline, FaultPlan, solve_chunks_resilient
+
     p = resolve_workers(p)
     if chunks_per_worker < 1:
         raise ValidationError(
@@ -80,11 +98,28 @@ def gsknn_data_parallel(
     )
     if X2 is not None:
         kernel_kwargs["X2"] = X2
-    if p == 1 or q_idx.size <= p:
+    deadline = Deadline.coerce(deadline)
+    fault_plan = FaultPlan.coerce(fault_plan)
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    resilient = (
+        deadline is not None or retry is not None or fault_plan is not None
+    )
+    if not resilient and (p == 1 or q_idx.size <= p):
         return gsknn(X, q_idx, r_idx, k, **kernel_kwargs)
 
-    chunks = contiguous_chunks(q_idx.size, p * chunks_per_worker)
+    chunks = contiguous_chunks(q_idx.size, max(p * chunks_per_worker, 1))
     engine = resolve_backend(backend, p)
+    if resilient:
+        return solve_chunks_resilient(
+            X, q_idx, r_idx, k, chunks, kernel_kwargs,
+            backend=engine.name,
+            p=engine.p,
+            retry=retry,
+            deadline=deadline,
+            fault_plan=fault_plan,
+            mp_context=getattr(engine, "mp_context", None),
+        )
     return engine.solve_chunks(X, q_idx, r_idx, k, chunks, kernel_kwargs)
 
 

@@ -12,6 +12,7 @@ module reproduces that, and can execute the schedule on real threads.
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -99,6 +100,21 @@ def lpt_schedule(tasks: Sequence[ScheduledTask], p: int) -> Schedule:
     return schedule
 
 
+class _ExecutedCount:
+    """Shared executed-task tally for deadline metadata (lane threads
+    update it concurrently; a lock keeps the count honest)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def bump(self) -> None:
+        with self._lock:
+            self.value += 1
+
+
 def graham_bound(p: int) -> float:
     """LPT's worst-case makespan ratio vs optimal: ``4/3 - 1/(3p)``."""
     if p < 1:
@@ -111,6 +127,9 @@ def execute_schedule(
     run: Callable[[ScheduledTask], Any],
     *,
     backend: str | Any = "threads",
+    deadline=None,
+    retry=None,
+    fault_plan=None,
 ) -> dict[int, Any]:
     """Execute a schedule on an execution backend; returns {task_id: result}.
 
@@ -123,12 +142,52 @@ def execute_schedule(
     ``map`` is implemented. The ``processes`` backend is rejected here:
     schedule payloads are arbitrary closures, and its zero-copy
     contract only covers GSKNN query chunks.
+
+    Resilience: ``deadline`` (a :class:`~repro.resilience.Deadline` or a
+    budget in seconds) is checked before every task — expiry raises
+    :class:`~repro.errors.KernelTimeoutError` with executed/total task
+    metadata. ``fault_plan`` (or ``$REPRO_FAULT_PLAN``) injects
+    deterministic per-task faults, and ``retry`` (a
+    :class:`~repro.resilience.RetryPolicy`, defaulted on when a fault
+    plan is active) re-runs a failed task in place with backoff; the
+    final attempt is fault-free so injection can never make a schedule
+    unfinishable.
     """
+    from ..resilience import Deadline, FaultPlan, RetryPolicy, is_retryable
     from .backends import resolve_backend
 
     engine = resolve_backend(backend, schedule.n_processors)
     results: dict[int, Any] = {}
     registry = _get_registry()
+    deadline = Deadline.coerce(deadline)
+    fault_plan = FaultPlan.coerce(fault_plan)
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    if retry is None and fault_plan is not None:
+        retry = RetryPolicy()
+    total_tasks = sum(len(tasks) for tasks in schedule.assignments)
+    executed = _ExecutedCount()
+
+    def run_task(t: ScheduledTask) -> Any:
+        attempts = retry.max_attempts if retry is not None else 1
+        for attempt in range(attempts):
+            if deadline is not None:
+                deadline.check(
+                    "schedule task", executed=executed.value, total=total_tasks
+                )
+            try:
+                if fault_plan is not None and attempt < attempts - 1:
+                    # the last attempt is always clean — injection
+                    # exercises recovery, never permafailure
+                    fault_plan.apply("task", t.task_id, attempt)
+                return run(t)
+            except Exception as exc:
+                if attempt == attempts - 1 or not is_retryable(exc):
+                    raise
+                if registry.enabled:
+                    registry.inc("resilience.retries")
+                retry.sleep(attempt, deadline)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def worker(tasks: list[ScheduledTask]) -> list[tuple[int, Any]]:
         out: list[tuple[int, Any]] = []
@@ -137,14 +196,15 @@ def execute_schedule(
                 if registry.enabled:
                     t0 = time.perf_counter()
                     with _trace.span("task", task_id=t.task_id, estimate=t.estimate):
-                        value = run(t)
+                        value = run_task(t)
                     registry.inc("sched.executed_tasks")
                     registry.observe(
                         "sched.task_seconds", time.perf_counter() - t0
                     )
                 else:
                     with _trace.span("task", task_id=t.task_id, estimate=t.estimate):
-                        value = run(t)
+                        value = run_task(t)
+                executed.bump()
                 out.append((t.task_id, value))
         return out
 

@@ -1,0 +1,47 @@
+"""Fault tolerance for the execution layer (deadlines, retry, fault injection).
+
+The paper positions GSKNN as the kernel inside long-running production
+solvers — the tree-based all-NN iteration and "streaming datasets
+[with] frequent updates of X". At that altitude partial failure and
+bounded latency are first-class concerns, so this package threads three
+primitives through every execution path:
+
+* :class:`Deadline` — one monotonic wall-clock budget shared by the
+  data-parallel driver, the backend wait loops, the schedule executor,
+  and the distributed solver; expiry raises
+  :class:`~repro.errors.KernelTimeoutError` with partial-result
+  metadata instead of hanging, with workers reaped and shared-memory
+  segments unlinked;
+* :class:`RetryPolicy` + the ``processes -> threads -> serial``
+  fallback ladder (:data:`FALLBACK_LADDER`) — failed ``(chunk_m, k)``
+  chunks are resubmitted with exponential backoff and degraded
+  per-chunk, so a dead worker costs one chunk's recomputation, not the
+  solve, and the answer stays bit-identical (the variant and chunk
+  decomposition were resolved once on the full problem);
+* :class:`FaultPlan` — a seeded, deterministic schedule of worker
+  crashes, slow chunks, and injected allocation failures, consumed by
+  all three backends, the scheduler, and the distributed rank loop, so
+  every recovery path is pinned by tests (and the CI fault-matrix job)
+  rather than luck.
+
+Recovery is observable through the standard :mod:`repro.obs` registry:
+the ``resilience.*`` counter family (``retries``, ``fallbacks``,
+``chunks_recovered``, ``deadline_hits``, ``faults_injected``,
+``pool_rebuilds``, ...) and ``resilience.rung`` spans. See
+``docs/RESILIENCE.md``.
+"""
+
+from .deadline import Deadline
+from .faults import FAULT_PLAN_ENV, FaultPlan
+from .retry import FALLBACK_LADDER, RetryPolicy, is_retryable
+from .executor import solve_chunks_resilient
+
+__all__ = [
+    "Deadline",
+    "FaultPlan",
+    "FAULT_PLAN_ENV",
+    "RetryPolicy",
+    "FALLBACK_LADDER",
+    "is_retryable",
+    "solve_chunks_resilient",
+]

@@ -1,0 +1,360 @@
+"""Chunk-level resilient execution of the data-parallel decomposition.
+
+The plain backends are fail-whole-solve: one dead worker aborts the
+entire ``gsknn_data_parallel`` call. This executor keeps the *same*
+chunk decomposition (so results stay bit-identical to the serial
+backend — the variant was resolved once on the full problem and every
+chunk is an independent sub-solve) but tracks each ``(chunk_m, k)``
+chunk individually:
+
+* a chunk whose worker dies, hits an injected fault, or raises a
+  transient error is **resubmitted** with exponential backoff, up to
+  :attr:`RetryPolicy.max_attempts` per ladder rung;
+* a rung that cannot complete its chunks **degrades** —
+  ``processes -> threads -> serial`` — carrying only the unfinished
+  chunks; completed results are never recomputed. The final ``serial``
+  rung executes fault-free, so under any fault plan the solve
+  terminates with the correct answer (or a deliberate deadline error);
+* a :class:`~repro.resilience.Deadline` bounds the whole solve: waits
+  are sliced from the remaining budget, expiry reaps worker processes,
+  unlinks shared segments, and raises
+  :class:`~repro.errors.KernelTimeoutError` carrying
+  ``completed``/``total`` chunk metadata instead of hanging.
+
+Every recovery action is observable: ``resilience.retries``,
+``resilience.fallbacks``, ``resilience.chunks_recovered``,
+``resilience.pool_rebuilds``, ``resilience.deadline_hits``, and
+``resilience.faults_injected`` counters plus ``resilience.rung`` spans
+flow through the standard :mod:`repro.obs` registry/tracer.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import BackendError
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry as _get_registry
+from .deadline import Deadline
+from .faults import FaultPlan
+from .retry import FALLBACK_LADDER, RetryPolicy, is_retryable
+
+__all__ = ["solve_chunks_resilient"]
+
+#: Poll cap for pool waits, seconds. Bounds how stale a deadline check
+#: can get while all in-flight futures are stuck on slow chunks.
+_WAIT_SLICE = 0.05
+
+
+def _reap_pool(pool) -> None:
+    """Stop a process pool *now*: cancel queued work, terminate workers.
+
+    ``shutdown(wait=False)`` alone leaves a worker grinding on its
+    current chunk past the deadline; the acceptance contract is
+    "workers reaped", so the pool's processes are terminated directly.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    procs = getattr(pool, "_processes", None)
+    if procs:
+        for proc in list(procs.values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+
+
+class _ChunkLedger:
+    """Progress accounting shared by every rung: what is done, what
+    remains, how often each chunk has failed."""
+
+    def __init__(self, chunks: Sequence[tuple[int, int]]) -> None:
+        self.pending: dict[int, tuple[int, int]] = {c[0]: c for c in chunks}
+        self.results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self.attempts: dict[int, int] = {c[0]: 0 for c in chunks}
+        self.total = len(chunks)
+
+    def complete(self, start: int, dist: np.ndarray, idx: np.ndarray) -> None:
+        self.results[start] = (dist, idx)
+        self.pending.pop(start, None)
+
+    def fail(self, start: int) -> None:
+        self.attempts[start] += 1
+
+    @property
+    def recovered(self) -> int:
+        """Chunks that failed at least once but completed anyway."""
+        return sum(
+            1 for s in self.results if self.attempts[s] > 0
+        )
+
+    def progress(self) -> dict[str, int]:
+        return {"completed": len(self.results), "total": self.total}
+
+
+def solve_chunks_resilient(
+    X: np.ndarray,
+    q_idx: np.ndarray,
+    r_idx: np.ndarray,
+    k: int,
+    chunks: Sequence[tuple[int, int]],
+    kernel_kwargs: dict[str, Any],
+    *,
+    backend: str = "processes",
+    p: int = 2,
+    retry: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
+    fault_plan: FaultPlan | None = None,
+    mp_context: str | None = None,
+):
+    """Run the chunk list to completion (or deadline) with recovery.
+
+    Same contract as ``ExecutionBackend.solve_chunks`` plus the three
+    resilience inputs. Results are bit-identical to the serial backend
+    on the same chunk list, regardless of which rungs executed which
+    chunks.
+    """
+    from ..core.neighbors import KnnResult
+    from ..errors import ValidationError
+
+    if backend not in FALLBACK_LADDER:
+        raise ValidationError(
+            f"resilient execution supports backends "
+            f"{sorted(FALLBACK_LADDER)}, got {backend!r}"
+        )
+    retry = retry if retry is not None else RetryPolicy()
+    ledger = _ChunkLedger(chunks)
+    ladder = FALLBACK_LADDER[backend]
+    registry = _get_registry()
+    degraded_to = backend
+    for rung_index, rung in enumerate(ladder):
+        if not ledger.pending:
+            break
+        last_rung = rung_index == len(ladder) - 1
+        if rung_index > 0:
+            degraded_to = rung
+            if registry.enabled:
+                registry.inc("resilience.fallbacks")
+                registry.inc(f"resilience.fallbacks.{rung}")
+        with _trace.span(
+            "resilience.rung",
+            backend=rung,
+            pending=len(ledger.pending),
+            degraded=rung_index > 0,
+        ):
+            # the serial rung of last resort runs fault-free: injection
+            # exercises recovery, it must never make completion impossible
+            plan = None if (last_rung and rung == "serial") else fault_plan
+            if rung == "processes":
+                _run_processes_rung(
+                    X, q_idx, r_idx, k, kernel_kwargs, ledger,
+                    p=p, retry=retry, deadline=deadline,
+                    fault_plan=plan, mp_context=mp_context,
+                )
+            elif rung == "threads":
+                _run_threads_rung(
+                    X, q_idx, r_idx, k, kernel_kwargs, ledger,
+                    p=p, retry=retry, deadline=deadline, fault_plan=plan,
+                )
+            else:
+                _run_serial_rung(
+                    X, q_idx, r_idx, k, kernel_kwargs, ledger,
+                    retry=retry, deadline=deadline, fault_plan=plan,
+                )
+    if ledger.pending:
+        # serial is fault-free, so reaching here means a genuine,
+        # non-transient failure happened on every rung
+        raise BackendError(
+            f"resilient execution exhausted the "
+            f"{' -> '.join(ladder)} ladder with "
+            f"{len(ledger.pending)}/{ledger.total} chunks unfinished"
+        )
+    if registry.enabled:
+        registry.inc("resilience.solves")
+        recovered = ledger.recovered
+        if recovered:
+            registry.inc("resilience.chunks_recovered", recovered)
+        if degraded_to != backend:
+            registry.inc("resilience.degraded_solves")
+    m = q_idx.size
+    dist = np.empty((m, k), dtype=np.float64)
+    idx = np.empty((m, k), dtype=np.intp)
+    for start, (d_chunk, i_chunk) in ledger.results.items():
+        dist[start : start + d_chunk.shape[0]] = d_chunk
+        idx[start : start + i_chunk.shape[0]] = i_chunk
+    return KnnResult(dist, idx)
+
+
+# -- rungs --------------------------------------------------------------------
+
+
+def _note_retry(registry, ledger: _ChunkLedger, start: int) -> None:
+    ledger.fail(start)
+    if registry.enabled:
+        registry.inc("resilience.retries")
+
+
+def _run_serial_rung(
+    X, q_idx, r_idx, k, kernel_kwargs, ledger, *, retry, deadline, fault_plan
+):
+    from ..parallel.backends import _plan_for, _solve_chunk
+
+    registry = _get_registry()
+    plan = _plan_for(X, r_idx, kernel_kwargs)
+    for attempt_round in range(retry.max_attempts):
+        for start in list(ledger.pending):
+            chunk = ledger.pending[start]
+            if deadline is not None:
+                deadline.check("serial chunk", **ledger.progress())
+            try:
+                if fault_plan is not None:
+                    fault_plan.apply("chunk", start, ledger.attempts[start])
+                s, d, i = _solve_chunk(
+                    X, q_idx, r_idx, k, chunk, kernel_kwargs, plan
+                )
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                _note_retry(registry, ledger, start)
+            else:
+                ledger.complete(s, d, i)
+        if not ledger.pending or attempt_round == retry.max_attempts - 1:
+            break
+        retry.sleep(attempt_round, deadline)
+
+
+def _drain_futures(futures, ledger, deadline, registry, site):
+    """Collect results from ``futures`` ({future: start}) under the
+    deadline; returns True if the pool broke (processes only)."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    broken = False
+    not_done = set(futures)
+    while not_done:
+        if deadline is not None and deadline.expired():
+            for f in not_done:
+                f.cancel()
+            deadline.raise_expired(site, **ledger.progress())
+        timeout = (
+            _WAIT_SLICE
+            if deadline is None
+            else deadline.timeout(cap=_WAIT_SLICE)
+        )
+        done, not_done = wait(
+            not_done, timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        for future in done:
+            start = futures[future]
+            try:
+                s, d, i = future.result()
+            except BrokenProcessPool:
+                broken = True
+                _note_retry(registry, ledger, start)
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                _note_retry(registry, ledger, start)
+            else:
+                ledger.complete(s, d, i)
+    return broken
+
+
+def _run_threads_rung(
+    X, q_idx, r_idx, k, kernel_kwargs, ledger, *, p, retry, deadline, fault_plan
+):
+    from ..parallel.backends import _plan_for, _solve_chunk
+    from ..parallel.chunking import resolve_workers
+
+    registry = _get_registry()
+    plan = _plan_for(X, r_idx, kernel_kwargs)
+
+    def solve_one(chunk: tuple[int, int], attempt: int):
+        if fault_plan is not None:
+            fault_plan.apply("chunk", chunk[0], attempt)
+        return _solve_chunk(X, q_idx, r_idx, k, chunk, kernel_kwargs, plan)
+
+    pool = ThreadPoolExecutor(
+        max_workers=resolve_workers(p, len(ledger.pending))
+    )
+    try:
+        for attempt_round in range(retry.max_attempts):
+            futures = {
+                pool.submit(solve_one, chunk, ledger.attempts[start]): start
+                for start, chunk in ledger.pending.items()
+            }
+            _drain_futures(
+                futures, ledger, deadline, registry, "threads chunk wait"
+            )
+            if not ledger.pending or attempt_round == retry.max_attempts - 1:
+                break
+            retry.sleep(attempt_round, deadline)
+    finally:
+        # no waiting on stragglers: a slow chunk must not hold the
+        # deadline error (or the fallback) hostage
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_processes_rung(
+    X, q_idx, r_idx, k, kernel_kwargs, ledger,
+    *, p, retry, deadline, fault_plan, mp_context,
+):
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    from ..parallel.backends import (
+        _process_worker_init,
+        _process_worker_solve,
+        _SharedOperands,
+    )
+    from ..parallel.chunking import resolve_workers
+
+    registry = _get_registry()
+    if mp_context is None:
+        methods = multiprocessing.get_all_start_methods()
+        mp_context = "fork" if "fork" in methods else "spawn"
+    ctx = multiprocessing.get_context(mp_context)
+    fault_spec = fault_plan.spec() if fault_plan is not None else None
+
+    with _SharedOperands(X, q_idx, r_idx, kernel_kwargs) as ops:
+        pool = None
+
+        def make_pool():
+            return ProcessPoolExecutor(
+                max_workers=resolve_workers(p, len(ledger.pending)),
+                mp_context=ctx,
+                initializer=_process_worker_init,
+                initargs=(ops.specs, ops.blob, fault_spec),
+            )
+
+        try:
+            for attempt_round in range(retry.max_attempts):
+                if deadline is not None:
+                    deadline.check("processes round", **ledger.progress())
+                if pool is None:
+                    pool = make_pool()
+                    if attempt_round > 0 and registry.enabled:
+                        registry.inc("resilience.pool_rebuilds")
+                futures = {
+                    pool.submit(
+                        _process_worker_solve,
+                        (chunk, k, ledger.attempts[start]),
+                    ): start
+                    for start, chunk in ledger.pending.items()
+                }
+                broken = _drain_futures(
+                    futures, ledger, deadline, registry,
+                    "processes chunk wait",
+                )
+                if broken:
+                    # the executor marks itself unusable after a worker
+                    # death; drop it so the next round starts fresh
+                    _reap_pool(pool)
+                    pool = None
+                if not ledger.pending or attempt_round == retry.max_attempts - 1:
+                    break
+                retry.sleep(attempt_round, deadline)
+        finally:
+            if pool is not None:
+                _reap_pool(pool)

@@ -148,6 +148,13 @@ class StreamingAllKnn:
                 f"delete ids out of range for {self.n_points} points"
             )
         self._alive[ids] = False
+        # Cached plans were built before the tombstones: their gathered
+        # reference panels and warm-start lists still contain the deleted
+        # ids, so a post-delete refresh hitting a stale plan could
+        # resurrect them into merged lists. Same invalidation insert()
+        # performs, for the same reason: the cache must never outlive a
+        # membership change.
+        self._plans.clear()
         # clear the deleted rows
         self._distances[ids] = np.inf
         self._indices[ids] = -1

@@ -63,12 +63,35 @@ def as_index_array(idx: np.ndarray, n_points: int, *, name: str = "idx") -> np.n
     if arr.size == 0:
         raise ValidationError(f"{name} must be non-empty")
     if not np.issubdtype(arr.dtype, np.integer):
-        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == arr.astype(np.intp)):
-            arr = arr.astype(np.intp)
-        else:
+        if not np.issubdtype(arr.dtype, np.floating):
             raise ValidationError(
                 f"{name} must be an integer index array, got dtype {arr.dtype}"
             )
+        # Whole-number float arrays are coerced as a convenience, but the
+        # naive round-trip check (arr == arr.astype(intp)) is unsound
+        # above the dtype's exact-integer range: a float64 cannot
+        # represent every integer >= 2**53, so a corrupted index would
+        # cast, compare equal to its own lossy self, and pass. Bound the
+        # magnitude by the mantissa width (2**53 for float64, 2**24 for
+        # float32) before trusting the cast.
+        if not np.isfinite(arr).all():
+            raise ValidationError(
+                f"{name} contains non-finite values; cannot be coerced to "
+                "integer indices"
+            )
+        exact_bound = 2.0 ** (np.finfo(arr.dtype).nmant + 1)
+        if np.abs(arr).max() >= exact_bound:
+            raise ValidationError(
+                f"{name} has float magnitude >= 2**{np.finfo(arr.dtype).nmant + 1}, "
+                f"beyond {arr.dtype}'s exact integer range; pass an integer "
+                "dtype array instead"
+            )
+        if not np.all(arr == np.trunc(arr)):
+            raise ValidationError(
+                f"{name} contains non-integral float values; indices must "
+                "be whole numbers"
+            )
+        arr = arr.astype(np.intp)
     arr = np.ascontiguousarray(arr, dtype=np.intp)
     if arr.min(initial=0) < 0 or (arr.size and arr.min() < 0):
         raise ValidationError(f"{name} contains negative indices")

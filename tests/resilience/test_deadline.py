@@ -1,0 +1,101 @@
+"""Unit tests for Deadline: budget arithmetic with an injectable clock."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import KernelTimeoutError, ValidationError
+from repro.resilience import Deadline
+
+
+class FakeClock:
+    def __init__(self, t: float = 100.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestConstruction:
+    def test_rejects_non_positive(self):
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValidationError):
+                Deadline(bad)
+
+    def test_coerce(self):
+        assert Deadline.coerce(None) is None
+        d = Deadline(1.0)
+        assert Deadline.coerce(d) is d
+        assert Deadline.coerce(0.5).budget == 0.5
+
+    def test_after_alias(self):
+        clock = FakeClock()
+        d = Deadline.after(2.0, clock=clock)
+        assert d.budget == 2.0
+        assert d.remaining() == 2.0
+
+
+class TestArithmetic:
+    def test_elapsed_and_remaining_track_clock(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        clock.advance(0.4)
+        assert d.elapsed() == pytest.approx(0.4)
+        assert d.remaining() == pytest.approx(0.6)
+        assert not d.expired()
+        clock.advance(0.7)
+        assert d.expired()
+        assert d.remaining() == pytest.approx(-0.1)
+
+    def test_unlimited(self):
+        d = Deadline(math.inf)
+        assert d.unlimited
+        assert not d.expired()
+        assert d.timeout() is None
+        assert d.timeout(cap=0.05) == 0.05
+        d.check("anywhere")  # never raises
+
+    def test_timeout_clamps_to_remaining_and_cap(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        assert d.timeout() == pytest.approx(1.0)
+        assert d.timeout(cap=0.2) == pytest.approx(0.2)
+        clock.advance(0.95)
+        assert d.timeout(cap=0.2) == pytest.approx(0.05)
+        clock.advance(1.0)
+        assert d.timeout() == 0.0  # never negative
+
+
+class TestEnforcement:
+    def test_check_is_noop_before_expiry(self):
+        clock = FakeClock()
+        Deadline(1.0, clock=clock).check("site", completed=0)
+
+    def test_check_raises_with_partial_metadata(self):
+        clock = FakeClock()
+        d = Deadline(0.5, clock=clock)
+        clock.advance(0.6)
+        with pytest.raises(KernelTimeoutError) as excinfo:
+            d.check("chunk wait", completed=3, total=8)
+        exc = excinfo.value
+        assert exc.budget == 0.5
+        assert exc.elapsed == pytest.approx(0.6)
+        assert exc.site == "chunk wait"
+        assert exc.partial == {"completed": 3, "total": 8}
+        assert "completed=3" in str(exc)
+
+    def test_timeout_error_is_also_builtin_timeout(self):
+        assert issubclass(KernelTimeoutError, TimeoutError)
+
+    def test_deadline_hit_counter(self, metrics):
+        clock = FakeClock()
+        d = Deadline(0.1, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(KernelTimeoutError):
+            d.check("site")
+        assert metrics.snapshot()["counters"]["resilience.deadline_hits"] == 1

@@ -1,0 +1,243 @@
+"""The resilient chunk executor: recovery, bit-identity, deadlines, shm.
+
+These are the acceptance tests of the resilience layer:
+
+* a fault plan that kills a worker mid-solve must not fail the solve —
+  chunk retry and the ``processes -> threads -> serial`` ladder complete
+  it **bit-identical** to the serial backend, with ``resilience.*``
+  counters recording the recovery and no shared-memory leak;
+* a solve that exceeds its deadline must raise ``KernelTimeoutError``
+  within 2x the budget, with worker processes reaped and ``/dev/shm``
+  segments unlinked.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.gsknn import gsknn
+from repro.errors import KernelTimeoutError, ValidationError
+from repro.parallel.backends import ProcessBackend, _SharedOperands
+from repro.parallel.chunking import contiguous_chunks
+from repro.parallel.data_parallel import gsknn_data_parallel
+from repro.resilience import FaultPlan, RetryPolicy, solve_chunks_resilient
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="needs POSIX shared memory"
+)
+
+
+def shm_segments() -> set[str]:
+    return set(os.listdir("/dev/shm"))
+
+
+@pytest.fixture
+def problem(cloud):
+    q = np.arange(160, dtype=np.intp)
+    r = np.arange(cloud.shape[0], dtype=np.intp)
+    k = 6
+    return cloud, q, r, k, gsknn(cloud, q, r, k)
+
+
+class TestBitIdentityUnderFaults:
+    def test_worker_crash_mid_solve_recovers_bit_identical(
+        self, problem, metrics, clean_env
+    ):
+        """The headline acceptance path: crash_at kills a real worker
+        process on every attempt, so recovery must walk the whole
+        ladder — and the answer must not change by a single bit."""
+        X, q, r, k, truth = problem
+        before = shm_segments()
+        got = gsknn_data_parallel(
+            X, q, r, k,
+            p=2, backend="processes",
+            fault_plan=FaultPlan(crash_at=(0,)),
+            retry=RetryPolicy(backoff_base=0.001),
+        )
+        assert np.array_equal(got.distances, truth.distances)
+        assert np.array_equal(got.indices, truth.indices)
+        counters = metrics.snapshot()["counters"]
+        assert counters["resilience.solves"] == 1
+        assert counters["resilience.retries"] >= 1
+        assert counters["resilience.fallbacks"] >= 1
+        assert counters["resilience.chunks_recovered"] >= 1
+        assert counters["resilience.degraded_solves"] == 1
+        assert shm_segments() == before
+
+    def test_seeded_crash_plan_threads(self, problem, clean_env):
+        X, q, r, k, truth = problem
+        got = gsknn_data_parallel(
+            X, q, r, k,
+            p=2, backend="threads", chunks_per_worker=3,
+            fault_plan="seed=101,crash=0.4",
+            retry=RetryPolicy(backoff_base=0.001),
+        )
+        assert np.array_equal(got.distances, truth.distances)
+        assert np.array_equal(got.indices, truth.indices)
+
+    def test_certain_alloc_failure_degrades_to_serial(
+        self, problem, metrics, clean_env
+    ):
+        """alloc=1.0 fails every attempt on every rung except the final
+        fault-free serial rung — the solve must still complete."""
+        X, q, r, k, truth = problem
+        got = gsknn_data_parallel(
+            X, q, r, k,
+            p=2, backend="threads",
+            fault_plan=FaultPlan(alloc=1.0),
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.001),
+        )
+        assert np.array_equal(got.distances, truth.distances)
+        counters = metrics.snapshot()["counters"]
+        assert counters["resilience.fallbacks.serial"] == 1
+        assert counters["resilience.faults_injected.alloc"] >= 1
+
+    def test_slow_faults_complete(self, problem, clean_env):
+        X, q, r, k, truth = problem
+        got = gsknn_data_parallel(
+            X, q, r, k,
+            p=2, backend="threads",
+            fault_plan="seed=5,slow=1.0,slow_ms=1",
+        )
+        assert np.array_equal(got.distances, truth.distances)
+
+    def test_executor_serial_matches_kernel(self, problem, clean_env):
+        X, q, r, k, truth = problem
+        chunks = contiguous_chunks(q.size, 4)
+        got = solve_chunks_resilient(
+            X, q, r, k, chunks, {"variant": 1}, backend="serial", p=1
+        )
+        want = gsknn(X, q, r, k, variant=1)
+        assert np.array_equal(got.distances, want.distances)
+        assert np.array_equal(got.indices, want.indices)
+
+    def test_unknown_backend_rejected(self, problem):
+        X, q, r, k, _ = problem
+        with pytest.raises(ValidationError):
+            solve_chunks_resilient(
+                X, q, r, k, [(0, q.size)], {}, backend="gpu"
+            )
+
+
+class TestDeadline:
+    def test_raises_within_twice_budget(self, problem, clean_env):
+        """Cooperative enforcement: every chunk sleeps past the budget,
+        and the wait loop's slicing must surface the timeout well before
+        2x the budget."""
+        X, q, r, k, _ = problem
+        budget = 0.25
+        t0 = time.perf_counter()
+        with pytest.raises(KernelTimeoutError) as excinfo:
+            gsknn_data_parallel(
+                X, q, r, k,
+                p=2, backend="threads",
+                deadline=budget,
+                fault_plan=FaultPlan(slow=1.0, slow_seconds=3 * budget),
+            )
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 2 * budget
+        exc = excinfo.value
+        assert exc.budget == budget
+        assert "completed" in exc.partial and "total" in exc.partial
+
+    def test_processes_deadline_reaps_workers_and_unlinks(
+        self, problem, metrics, clean_env
+    ):
+        import multiprocessing
+
+        X, q, r, k, _ = problem
+        before = shm_segments()
+        with pytest.raises(KernelTimeoutError):
+            gsknn_data_parallel(
+                X, q, r, k,
+                p=2, backend="processes",
+                deadline=0.3,
+                fault_plan=FaultPlan(slow=1.0, slow_seconds=5.0),
+            )
+        assert shm_segments() == before
+        # terminated workers must actually disappear, not grind on
+        limit = time.monotonic() + 5.0
+        while multiprocessing.active_children() and time.monotonic() < limit:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+        counters = metrics.snapshot()["counters"]
+        assert counters["resilience.deadline_hits"] >= 1
+
+    def test_generous_deadline_is_harmless(self, problem, clean_env):
+        X, q, r, k, truth = problem
+        got = gsknn_data_parallel(
+            X, q, r, k, p=2, backend="threads", deadline=60.0
+        )
+        assert np.array_equal(got.distances, truth.distances)
+
+
+class TestShmLifecycle:
+    def test_partial_export_failure_leaks_nothing(self, cloud, monkeypatch):
+        """If the 3rd of 4 segment exports dies, the first two (and the
+        failed one) must be unlinked before the error escapes."""
+        import repro.parallel.backends as backends
+
+        real = backends._shm_export
+        calls = {"n": 0}
+
+        def failing(arr):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise OSError("no space left on device")
+            return real(arr)
+
+        monkeypatch.setattr(backends, "_shm_export", failing)
+        before = shm_segments()
+        with pytest.raises(OSError):
+            _SharedOperands(
+                cloud,
+                np.arange(10, dtype=np.intp),
+                np.arange(20, dtype=np.intp),
+                {},
+            )
+        assert shm_segments() == before
+
+    def test_generator_close_unlinks(self, cloud, clean_env):
+        """solve_chunks closes its generator on any exit — the same path
+        a KeyboardInterrupt mid-map takes — and that close must tear
+        down the shared-memory session."""
+        backend = ProcessBackend(p=2)
+        q = np.arange(40, dtype=np.intp)
+        r = np.arange(cloud.shape[0], dtype=np.intp)
+        before = shm_segments()
+        runs = backend._run(cloud, q, r, 4, [(0, 20), (20, 20)], {})
+        next(runs)
+        assert shm_segments() != before  # session is live
+        runs.close()  # simulated interrupt between chunks
+        assert shm_segments() == before
+
+    def test_legacy_crash_env_no_leak(self, cloud, monkeypatch, clean_env):
+        from repro.errors import BackendError
+
+        monkeypatch.setenv("REPRO_BACKEND_TEST_CRASH_AT", "0")
+        before = shm_segments()
+        with pytest.raises(BackendError):
+            gsknn_data_parallel(
+                cloud,
+                np.arange(60),
+                np.arange(cloud.shape[0]),
+                5,
+                p=2,
+                backend="processes",
+            )
+        assert shm_segments() == before
+
+
+class TestNonRetryable:
+    def test_validation_error_propagates_immediately(self, cloud, clean_env):
+        q = np.arange(40, dtype=np.intp)
+        r = np.arange(cloud.shape[0], dtype=np.intp)
+        with pytest.raises(ValidationError):
+            solve_chunks_resilient(
+                cloud, q, r, 4, [(0, 40)], {"variant": 99},
+                backend="serial", p=1,
+            )

@@ -75,6 +75,50 @@ class TestAsIndexArray:
         assert out.size == 3
 
 
+class TestFloatIndexBoundaries:
+    """float64 represents every integer only below 2**53; beyond that
+    the old coerce-and-compare check passed spuriously (a lossy value
+    round-trips to its own lossy self). The guard must reject by
+    magnitude, not by round-trip."""
+
+    def test_exact_range_boundary_rejected(self):
+        # 2**53 is representable but is where exactness ends: 2**53 + 1
+        # silently collapses onto it, so the whole region is rejected
+        with pytest.raises(ValidationError) as excinfo:
+            as_index_array(np.array([2.0**53]), 2**60)
+        assert "2**53" in str(excinfo.value)
+
+    def test_beyond_boundary_rejected(self):
+        with pytest.raises(ValidationError):
+            as_index_array(np.array([2.0**53 + 2.0]), 2**60)
+        with pytest.raises(ValidationError):
+            as_index_array(np.array([1e300]), 2**60)
+
+    def test_just_under_boundary_accepted(self):
+        out = as_index_array(np.array([float(2**53 - 1)]), 2**53)
+        assert out[0] == 2**53 - 1
+
+    def test_float32_boundary_is_2_to_24(self):
+        with pytest.raises(ValidationError) as excinfo:
+            as_index_array(np.array([2.0**24], dtype=np.float32), 2**30)
+        assert "2**24" in str(excinfo.value)
+        out = as_index_array(
+            np.array([2.0**24 - 1], dtype=np.float32), 2**30
+        )
+        assert out[0] == 2**24 - 1
+
+    def test_nan_and_inf_rejected(self):
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(ValidationError) as excinfo:
+                as_index_array(np.array([bad]), 10)
+            assert "non-finite" in str(excinfo.value)
+
+    def test_negative_whole_floats_flow_to_range_check(self):
+        with pytest.raises(ValidationError) as excinfo:
+            as_index_array(np.array([-1.0]), 10)
+        assert "negative" in str(excinfo.value)
+
+
 class TestCheckK:
     def test_valid(self):
         assert check_k(3, 10) == 3

@@ -1,0 +1,155 @@
+"""Streaming lifecycle: churn, tombstones, and the plan-cache contract.
+
+The headline regression here is tombstone resurrection: ``delete()``
+must invalidate the cached kernel plans exactly as ``insert()`` does.
+A stale plan carries gathered reference panels and warm-start neighbor
+lists built *before* the tombstones, so a post-delete ``refresh()``
+served from it could merge deleted ids back into live lists. The
+churn tests assert that no deleted id ever reappears, through any
+interleaving of insert / delete / refresh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.obs.metrics import disable_metrics, enable_metrics
+from repro.trees.streaming import StreamingAllKnn
+
+
+@pytest.fixture
+def stream():
+    return gaussian_mixture(1500, 8, n_clusters=5, seed=42).points
+
+
+@pytest.fixture
+def metrics():
+    registry = enable_metrics()
+    try:
+        yield registry
+    finally:
+        disable_metrics()
+
+
+def assert_no_dead_ids(s: StreamingAllKnn, dead: np.ndarray) -> None:
+    if dead.size == 0:
+        return
+    result = s.neighbors()
+    resurrected = np.isin(result.indices, dead)
+    assert not resurrected.any(), (
+        f"deleted ids reappeared in {int(resurrected.sum())} list slots"
+    )
+
+
+class TestTombstoneRegression:
+    def test_delete_invalidates_plan_cache(self, stream):
+        """delete() must clear cached plans exactly like insert() does —
+        the cache must never outlive a membership change."""
+        s = StreamingAllKnn(8, 4, seed=0, max_bucket=256)
+        s.insert(stream[:300])
+        assert len(s._plans) > 0  # refresh built plans
+        s.delete(np.arange(5))
+        assert len(s._plans) == 0
+
+    def test_no_resurrection_insert_delete_refresh(self, stream):
+        """The acceptance cycle: insert -> delete -> refresh (and more
+        inserts) must never re-surface a deleted id."""
+        s = StreamingAllKnn(8, 5, seed=1, max_bucket=256)
+        s.insert(stream[:400])
+        dead = np.arange(0, 400, 7)
+        s.delete(dead)
+        assert_no_dead_ids(s, dead)
+        for _ in range(3):
+            s.refresh(tables=2)
+            assert_no_dead_ids(s, dead)
+        s.insert(stream[400:550])
+        assert_no_dead_ids(s, dead)
+
+    def test_no_resurrection_across_repeated_cycles(self, stream):
+        """Heavier interleaving: several insert/delete/refresh rounds,
+        tracking the union of everything ever deleted."""
+        rng = np.random.default_rng(3)
+        s = StreamingAllKnn(8, 4, seed=2, max_bucket=256)
+        dead_ever = np.empty(0, dtype=np.intp)
+        cursor = 0
+        for round_i in range(4):
+            batch = stream[cursor : cursor + 250]
+            cursor += 250
+            s.insert(batch)
+            alive = np.flatnonzero(s._alive)
+            victims = rng.choice(alive, size=alive.size // 5, replace=False)
+            s.delete(victims)
+            dead_ever = np.union1d(dead_ever, victims)
+            assert_no_dead_ids(s, dead_ever)
+            s.refresh()
+            assert_no_dead_ids(s, dead_ever)
+
+
+class TestLifecycleEdgeCases:
+    def test_delete_already_deleted_is_idempotent(self, stream):
+        s = StreamingAllKnn(8, 4, seed=4, max_bucket=256)
+        s.insert(stream[:200])
+        victims = np.array([10, 20, 30])
+        s.delete(victims)
+        purged_again = s.delete(victims)  # already tombstoned
+        assert purged_again == 0  # nothing left to purge
+        assert s.n_alive == 197
+        assert_no_dead_ids(s, victims)
+        s.refresh()
+        assert_no_dead_ids(s, victims)
+
+    def test_delete_all_then_insert(self, stream):
+        s = StreamingAllKnn(8, 4, seed=5, max_bucket=256)
+        s.insert(stream[:150])
+        dead = np.arange(150)
+        s.delete(dead)
+        assert s.n_alive == 0
+        assert s.refresh() == 0  # nothing to maintain
+        assert s.recall_against_exact() == 1.0  # vacuously
+        s.insert(stream[150:300])
+        assert s.n_alive == 150
+        assert_no_dead_ids(s, dead)
+        result = s.neighbors()
+        alive = np.arange(150, 300)
+        assert (result.indices[alive] >= 0).mean() > 0.9
+
+    def test_recall_recovers_after_heavy_churn(self, stream):
+        """Recall on the survivors must climb back after deleting a
+        third of the population, given refresh rounds."""
+        s = StreamingAllKnn(8, 5, seed=6, max_bucket=512)
+        s.insert(stream[:600])
+        rng = np.random.default_rng(9)
+        victims = rng.choice(600, size=200, replace=False)
+        s.delete(victims)
+        for _ in range(3):
+            s.refresh()
+        assert s.recall_against_exact() > 0.8
+        assert_no_dead_ids(s, victims)
+
+
+class TestPlanCacheCounters:
+    def test_hit_miss_accounting_across_lifecycle(self, stream, metrics):
+        """refresh() between membership changes hits the cache; any
+        insert or delete invalidates it, forcing misses."""
+        s = StreamingAllKnn(8, 4, seed=7, max_bucket=4096)
+        s.insert(stream[:300])  # whole population -> one bucket, one plan
+
+        def counters():
+            snap = metrics.snapshot()["counters"]
+            return (
+                snap.get("plan.cache_hits", 0),
+                snap.get("plan.cache_misses", 0),
+            )
+
+        hits0, misses0 = counters()
+        assert misses0 >= 1  # the insert's refresh built a plan
+        s.refresh()  # same table object, same bucket -> cache hit
+        hits1, misses1 = counters()
+        assert hits1 > hits0
+        assert misses1 == misses0
+        s.delete(np.array([0]))  # invalidates
+        s.refresh()
+        hits2, misses2 = counters()
+        assert misses2 > misses1  # post-delete refresh had to rebuild
