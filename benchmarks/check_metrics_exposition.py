@@ -1,0 +1,89 @@
+"""Poll a live /metrics endpoint and validate its Prometheus exposition.
+
+Used by the CI ``obs-smoke`` job: a resilient, faulted solve is started
+in the background with ``repro-gsknn stats --serve``, and this script
+polls the endpoint until the ``efficiency.*`` and ``resilience.*``
+metric families appear, then checks that every line of the exposition
+is syntactically valid Prometheus text format.
+
+Usage::
+
+    python benchmarks/check_metrics_exposition.py http://127.0.0.1:9209/metrics \
+        [--timeout SECONDS]
+
+Exit status 0 on success, 1 with a diagnostic on stderr otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+# One exposition line: a comment (# HELP / # TYPE), or
+# name{labels} value [timestamp].  Values may be NaN / +-Inf.
+_LINE = re.compile(
+    r"^(?:"
+    r"# (?:HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^{}]*\})? "
+    r"(?:[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)|NaN|[+-]Inf)"
+    r"(?: [0-9]+)?"
+    r")$"
+)
+
+REQUIRED_SUBSTRINGS = ("efficiency_solves", "resilience_solves")
+REQUIRED_SERIES_PREFIX = "efficiency_model_ratio"
+
+
+def scrape(url: str) -> str | None:
+    try:
+        with urllib.request.urlopen(url, timeout=2) as resp:
+            return resp.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, TimeoutError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("url", help="metrics endpoint, e.g. http://127.0.0.1:9209/metrics")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="seconds to keep polling for the required families")
+    args = parser.parse_args(argv)
+
+    deadline = time.monotonic() + args.timeout
+    text = ""
+    while time.monotonic() < deadline:
+        got = scrape(args.url)
+        if got is not None:
+            text = got
+            if all(s in text for s in REQUIRED_SUBSTRINGS):
+                break
+        time.sleep(0.5)
+    else:
+        missing = [s for s in REQUIRED_SUBSTRINGS if s not in text]
+        print(f"timed out waiting for {missing} at {args.url} "
+              f"(last scrape had {len(text.splitlines())} lines)", file=sys.stderr)
+        return 1
+
+    bad = [ln for ln in text.splitlines() if ln and not _LINE.match(ln)]
+    if bad:
+        print("invalid exposition lines:", file=sys.stderr)
+        for ln in bad[:10]:
+            print(f"  {ln!r}", file=sys.stderr)
+        return 1
+
+    if not any(ln.startswith(REQUIRED_SERIES_PREFIX) for ln in text.splitlines()):
+        print(f"no {REQUIRED_SERIES_PREFIX}* series in exposition", file=sys.stderr)
+        return 1
+
+    families = {ln.split()[2] for ln in text.splitlines() if ln.startswith("# TYPE ")}
+    print(f"scraped {len(text.splitlines())} lines, {len(families)} families; "
+          f"efficiency_* and resilience_* present")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

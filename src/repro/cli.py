@@ -194,9 +194,32 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="run one kernel and print the metrics snapshot"
     )
     add_problem_args(stats)
+    add_backend_args(stats)
+    add_resilience_args(stats)
     stats.add_argument("--kernel", choices=("gsknn", "gemm"), default="gsknn")
     stats.add_argument("--norm", default="l2")
     stats.add_argument("--variant", default="auto")
+    stats.add_argument(
+        "--efficiency",
+        action="store_true",
+        help="print the model-anchored efficiency table "
+        "(achieved vs predicted GFLOP/s per variant/scope)",
+    )
+    stats.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus /metrics endpoint on PORT (0 = ephemeral) "
+        "while the kernel runs",
+    )
+    stats.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=0.0,
+        help="keep the /metrics endpoint up this many seconds after the "
+        "run so an external scraper can collect (needs --serve)",
+    )
     stats.add_argument(
         "--json", action="store_true", help="print the raw snapshot dict"
     )
@@ -401,19 +424,25 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
         print("--plan requires --kernel gsknn", file=sys.stderr)
         return 2
     from .errors import KernelTimeoutError
+    from .obs.context import RequestContext, request_scope
 
     repeat = max(1, int(args.repeat))
     registry = enable_metrics()
     tracer = enable_tracing()
+    # one request id per CLI invocation: every span of the run (driver,
+    # worker, retry rung) carries it, so a --trace-out file is greppable
+    # by request even after merging with other traces
+    ctx = RequestContext.new(tenant="cli")
     try:
-        if args.plan:
-            result, elapsed, warm = _run_plan_kernel(args, repeat)
-        else:
-            result, elapsed = _run_one_kernel(args)
-            warm = []
-            for _ in range(repeat - 1):
-                result, t_rep = _run_one_kernel(args)
-                warm.append(t_rep)
+        with request_scope(ctx):
+            if args.plan:
+                result, elapsed, warm = _run_plan_kernel(args, repeat)
+            else:
+                result, elapsed = _run_one_kernel(args)
+                warm = []
+                for _ in range(repeat - 1):
+                    result, t_rep = _run_one_kernel(args)
+                    warm.append(t_rep)
     except KernelTimeoutError as exc:
         return _print_timeout(exc)
     finally:
@@ -490,10 +519,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         return min(times)
 
     from .errors import KernelTimeoutError
+    from .obs.context import RequestContext, request_scope
 
     try:
-        t_gsknn = best_of(gsknn_runner, "gsknn")
-        t_gemm = best_of(ref_knn, "gemm")
+        with request_scope(RequestContext.new(tenant="cli")):
+            t_gsknn = best_of(gsknn_runner, "gsknn")
+            t_gemm = best_of(ref_knn, "gemm")
     except KernelTimeoutError as exc:
         return _print_timeout(exc)
     finally:
@@ -514,22 +545,92 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_efficiency_table(snapshot: dict) -> None:
+    """Render ``efficiency.*`` series as an achieved-vs-model table."""
+    from .obs.efficiency import efficiency_floor
+    from .obs.metrics import split_key
+
+    rows: dict[tuple[str, str], dict] = {}
+
+    def absorb(key: str, value) -> None:
+        name, labels = split_key(key)
+        if not name.startswith("efficiency."):
+            return
+        slot = rows.setdefault(
+            (labels.get("variant", "?"), labels.get("scope", "?")), {}
+        )
+        slot[name[len("efficiency."):]] = value
+
+    for key, value in snapshot["gauges"].items():
+        absorb(key, value)
+    for key, value in snapshot["counters"].items():
+        absorb(key, value)
+    if not rows:
+        print("efficiency: no solves recorded")
+        return
+
+    def fmt(value, width: int, spec: str) -> str:
+        if value is None:
+            return f"{'-':>{width}}"
+        return f"{value:>{width}{spec}}"
+
+    print(f"efficiency (model-anchored, anomaly floor {efficiency_floor():g}):")
+    print(
+        f"{'variant':>8} {'scope':>7} {'solves':>7} {'achieved':>9} "
+        f"{'model':>8} {'ratio':>6} {'MB moved':>9} {'anom':>5}"
+    )
+    for (variant, scope), slot in sorted(rows.items()):
+        print(
+            f"{variant:>8} {scope:>7} {int(slot.get('solves', 0)):>7} "
+            + fmt(slot.get("achieved_gflops"), 9, ".2f") + " "
+            + fmt(slot.get("model_gflops"), 8, ".2f") + " "
+            + fmt(slot.get("model_ratio"), 6, ".3f") + " "
+            + f"{slot.get('est_bytes_moved', 0) / 1e6:>9.2f} "
+            + f"{int(slot.get('anomalies', 0)):>5}"
+        )
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs.context import RequestContext, request_scope
+    from .obs.exporters import MetricsHTTPServer
+
     registry = enable_metrics()
     tracer = enable_tracing()
+    ctx = RequestContext.new(tenant="cli")
+    server = None
+    if args.serve is not None:
+        server = MetricsHTTPServer(port=args.serve, registry=registry)
+        server.start()
+        print(f"serving metrics at {server.url}")
     try:
-        _, elapsed = _run_one_kernel(args)
+        try:
+            with request_scope(ctx):
+                _, elapsed = _run_one_kernel(args)
+        finally:
+            disable_tracing()
+        absorb_tracer(tracer, registry)
+        snapshot = registry.snapshot()
+        if args.json:
+            print(json.dumps(snapshot, indent=1, sort_keys=True))
+        else:
+            _print_stats_tables(args, snapshot, elapsed)
+        if server is not None and args.serve_seconds > 0:
+            time.sleep(args.serve_seconds)
     finally:
-        disable_tracing()
-    absorb_tracer(tracer, registry)
-    snapshot = registry.snapshot()
-    if args.json:
-        print(json.dumps(snapshot, indent=1, sort_keys=True))
-        return 0
+        if server is not None:
+            server.stop()
+    return 0
+
+
+def _print_stats_tables(
+    args: argparse.Namespace, snapshot: dict, elapsed: float
+) -> None:
     print(
         f"{args.kernel}: m={args.m} n={args.n} d={args.d} k={args.k} "
         f"time={elapsed * 1e3:.1f} ms"
     )
+    if args.efficiency:
+        _print_efficiency_table(snapshot)
     _print_phase_table(snapshot, elapsed)
     if snapshot["counters"]:
         print("counters:")
@@ -551,7 +652,6 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"  {name:<32} count={h['count']} mean={h['mean']:.4g} "
                 f"max={h['max']:.4g}"
             )
-    return 0
 
 
 def _cmd_allknn(args: argparse.Namespace) -> int:
@@ -714,10 +814,16 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         seed=args.seed,
     )
+    from .obs.context import RequestContext
+
     res_kwargs = _resilience_kwargs(args)
     registry = enable_metrics() if res_kwargs else None
     try:
-        report = solver.solve(ds.points, args.k, **res_kwargs)
+        report = solver.solve(
+            ds.points, args.k,
+            request=RequestContext.new(tenant="cli"),
+            **res_kwargs,
+        )
     except KernelTimeoutError as exc:
         return _print_timeout(exc)
     print(

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..model.perf_model import PerformanceModel
+from ..obs import trace as _trace
 from ..parallel.scheduler import ScheduledTask, execute_schedule, lpt_schedule
 from ..validation import as_coordinate_table, check_finite
 from .gsknn import gsknn
@@ -69,6 +70,7 @@ def gsknn_batch(
     variant: int | str = "auto",
     backend: str = "threads",
     plan_reuse: bool = True,
+    request=None,
 ) -> list[KnnResult]:
     """Solve a batch of independent kNN kernels over one coordinate table.
 
@@ -83,12 +85,18 @@ def gsknn_batch(
     repeat a reference set — within this batch or a later one — reuse
     its gathered panels, and every kernel in the batch shares one
     workspace arena pool. Results are identical either way.
+
+    ``request`` (a :class:`~repro.obs.context.RequestContext` or bare
+    request-id string) tags every span and metric the batch produces;
+    without it the ambient request scope (if any) is inherited.
     """
+    from ..obs.context import coerce_request, current_request, request_scope
     from ..parallel.chunking import resolve_workers
 
     p = resolve_workers(p)
     if not problems:
         return []
+    ctx = coerce_request(request) or current_request()
     X = as_coordinate_table(X)
     check_finite(X)
     for prob in problems:
@@ -110,22 +118,24 @@ def gsknn_batch(
             variant=variant, X2=X2,
         )
 
-    if p == 1 or len(problems) == 1:
-        return [solve(prob) for prob in problems]
+    with request_scope(ctx):
+        if p == 1 or len(problems) == 1:
+            return [solve(prob) for prob in problems]
 
-    model = PerformanceModel()
-    tasks = [
-        ScheduledTask(
-            i,
-            model.estimate_kernel_runtime(
-                prob.q_idx.size, prob.r_idx.size, X.shape[1], prob.k
-            ),
-            payload=prob,
-        )
-        for i, prob in enumerate(problems)
-    ]
-    schedule = lpt_schedule(tasks, p)
-    results = execute_schedule(
-        schedule, lambda t: solve(t.payload), backend=backend
-    )
-    return [results[i] for i in range(len(problems))]
+        model = PerformanceModel()
+        tasks = [
+            ScheduledTask(
+                i,
+                model.estimate_kernel_runtime(
+                    prob.q_idx.size, prob.r_idx.size, X.shape[1], prob.k
+                ),
+                payload=prob,
+            )
+            for i, prob in enumerate(problems)
+        ]
+        schedule = lpt_schedule(tasks, p)
+        with _trace.span("batch", problems=len(problems), p=p):
+            results = execute_schedule(
+                schedule, lambda t: solve(t.payload), backend=backend
+            )
+        return [results[i] for i in range(len(problems))]

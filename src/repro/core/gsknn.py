@@ -23,6 +23,7 @@ the kernel (fused with packing), never as a separate caller-side pass.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -195,6 +196,7 @@ def gsknn(
     blocking: str | object | None = None,
     initial: KnnResult | None = None,
     return_stats: bool = False,
+    request=None,
 ) -> KnnResult | tuple[KnnResult, GsknnStats]:
     """Exact k nearest neighbors of ``X[q_idx]`` among ``X[r_idx]``, fused.
 
@@ -243,6 +245,10 @@ def gsknn(
         with ``r_idx``'s id space.
     return_stats:
         Also return a :class:`GsknnStats` with early-discard counters.
+    request:
+        Optional :class:`~repro.obs.context.RequestContext` (or bare
+        request-id string): tags the kernel's spans and metrics with the
+        originating request. Without it any ambient scope is inherited.
 
     Returns
     -------
@@ -299,18 +305,28 @@ def gsknn(
         track_staleness=False,
         validate=False,
     )
-    with _trace.span(
-        "gsknn", variant=int(var), m=m, n=n, d=X.shape[1], k=k
-    ):
-        result = plan._execute_impl(
-            q_idx, k, var, initial, "legacy", NullArena(), stats
-        )
+    from ..obs.context import coerce_request, request_scope
 
-    registry = _get_registry()
-    if registry.enabled:
-        from ..obs.adapters import absorb_gsknn_stats
+    with request_scope(coerce_request(request)):
+        t0 = time.perf_counter()
+        with _trace.span(
+            "gsknn", variant=int(var), m=m, n=n, d=X.shape[1], k=k
+        ):
+            result = plan._execute_impl(
+                q_idx, k, var, initial, "legacy", NullArena(), stats
+            )
 
-        absorb_gsknn_stats(stats, registry)
+        registry = _get_registry()
+        if registry.enabled:
+            from ..obs.adapters import absorb_gsknn_stats
+            from ..obs.efficiency import record_solve_efficiency
+
+            absorb_gsknn_stats(stats, registry)
+            record_solve_efficiency(
+                m, n, X.shape[1], k, int(var),
+                time.perf_counter() - t0,
+                scope="kernel", registry=registry,
+            )
     if return_stats:
         return result, stats
     return result

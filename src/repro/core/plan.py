@@ -40,6 +40,7 @@ is observable as ``plan.build`` / ``plan.execute`` spans and
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 import zlib
 from collections import OrderedDict
@@ -287,6 +288,7 @@ class GsknnPlan:
         with self._lock:
             first = self._executes == 0
             self._executes += 1
+        t0 = time.perf_counter()
         with _trace.span(
             "plan.execute",
             variant=int(var),
@@ -310,8 +312,14 @@ class GsknnPlan:
             if auto_warm:
                 registry.inc("plan.warm_starts")
             from ..obs.adapters import absorb_gsknn_stats
+            from ..obs.efficiency import record_solve_efficiency
 
             absorb_gsknn_stats(stats, registry)
+            record_solve_efficiency(
+                m, self.n, self.d, k, int(var),
+                time.perf_counter() - t0,
+                scope="kernel", registry=registry,
+            )
         if return_stats:
             return result, stats
         return result

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ValidationError
+from ..obs.metrics import get_registry as _get_registry
 
 __all__ = ["CommStats", "AlphaBetaModel", "SimComm"]
 
@@ -99,8 +100,16 @@ class SimComm:
         self._check_rank(dst, "dst")
         self._channels[(src, dst, tag)].append(payload)
         if src != dst:
+            nbytes = _payload_bytes(payload)
             self.stats[src].messages += 1
-            self.stats[src].bytes_sent += _payload_bytes(payload)
+            self.stats[src].bytes_sent += nbytes
+            registry = _get_registry()
+            if registry.enabled:
+                # labeled per source rank: the live per-rank lane the
+                # sharding milestone will watch for stragglers
+                labels = {"rank": src}
+                registry.inc("comm.messages", labels=labels)
+                registry.inc("comm.bytes_sent", nbytes, labels=labels)
 
     def recv(self, dst: int, src: int, tag: str = ""):
         """Pop the oldest pending message on the (src, dst, tag) channel."""

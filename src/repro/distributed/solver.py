@@ -41,6 +41,10 @@ from .comm import AlphaBetaModel, SimComm
 
 __all__ = ["DistributedAllKnn", "DistributedReport"]
 
+#: Chrome-trace tid base for simulated-rank lanes (rank r renders on
+#: lane ``_RANK_LANE + r``, away from any real thread id).
+_RANK_LANE = 1000
+
 
 @dataclass
 class DistributedReport:
@@ -221,6 +225,7 @@ class DistributedAllKnn:
         deadline=None,
         retry=None,
         fault_plan=None,
+        request=None,
     ) -> DistributedReport:
         """Run the simulated distributed solve.
 
@@ -235,7 +240,36 @@ class DistributedAllKnn:
         with backoff — the recovery the paper's outer solver [34]
         assumes at rank level. The final attempt is fault-free, so
         results are unchanged by injection.
+
+        ``request`` (a :class:`~repro.obs.context.RequestContext` or
+        bare request-id string) tags every span and metric of the solve;
+        a context deadline becomes the solve deadline unless one is
+        passed explicitly. Per-rank kernel spans carry a ``lane``
+        attribute, so a Chrome trace shows each simulated rank on its
+        own timeline lane.
         """
+        from ..obs.context import coerce_request, current_request, request_scope
+
+        ctx = coerce_request(request) or current_request()
+        if deadline is None and ctx is not None:
+            deadline = ctx.deadline
+        with request_scope(ctx):
+            with _trace.span(
+                "dist.solve", n_ranks=self.n_ranks, kernel=self.kernel
+            ):
+                return self._solve(
+                    X, k, deadline=deadline, retry=retry, fault_plan=fault_plan
+                )
+
+    def _solve(
+        self,
+        X: np.ndarray,
+        k: int,
+        *,
+        deadline=None,
+        retry=None,
+        fault_plan=None,
+    ) -> DistributedReport:
         from ..resilience import Deadline, FaultPlan, RetryPolicy
 
         X = as_coordinate_table(X)
@@ -266,7 +300,10 @@ class DistributedAllKnn:
         rng = np.random.default_rng(self.seed)
 
         for iteration in range(self.iterations):
-            with _trace.span("tree_build", iteration=iteration):
+            # rank-owned phases carry a ``lane`` attr (an int tid
+            # override) so every simulated rank renders on its own
+            # Chrome-trace lane; 1000+ keeps clear of real thread ids
+            with _trace.span("tree_build", iteration=iteration, lane=_RANK_LANE):
                 tree = RandomizedKDTree(
                     leaf_size=self.leaf_size,
                     seed=int(rng.integers(0, 2**63 - 1)),
@@ -313,7 +350,10 @@ class DistributedAllKnn:
                         )
                     t0 = time.perf_counter()
                     with _trace.span(
-                        "kernel", rank=solver_rank, leaf_size=int(leaf.size)
+                        "kernel",
+                        rank=solver_rank,
+                        leaf_size=int(leaf.size),
+                        lane=_RANK_LANE + solver_rank,
                     ):
                         local = self._run_kernel_resilient(
                             X, leaf, k, X2,

@@ -25,6 +25,26 @@ instrumented kernels pay one attribute read per site until the CLI
 or a test turns them on. See ``docs/OBSERVABILITY.md``.
 """
 
+from .context import (
+    RequestContext,
+    bind_request,
+    coerce_request,
+    current_request,
+    current_request_id,
+    new_request_id,
+    request_scope,
+)
+from .efficiency import (
+    efficiency_floor,
+    record_solve_efficiency,
+    set_efficiency_floor,
+)
+from .exporters import (
+    MetricsHTTPServer,
+    SnapshotWriter,
+    prometheus_text,
+    sanitize_metric_name,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -75,4 +95,18 @@ __all__ = [
     "write_record",
     "load_record",
     "diff_records",
+    "RequestContext",
+    "new_request_id",
+    "current_request",
+    "current_request_id",
+    "request_scope",
+    "bind_request",
+    "coerce_request",
+    "MetricsHTTPServer",
+    "SnapshotWriter",
+    "prometheus_text",
+    "sanitize_metric_name",
+    "efficiency_floor",
+    "set_efficiency_floor",
+    "record_solve_efficiency",
 ]

@@ -1,0 +1,272 @@
+"""Live metric exporters: Prometheus text exposition and JSONL snapshots.
+
+The registry's ``snapshot()`` dict is the single internal view of every
+metric; this module turns it into the two formats operations tooling
+actually consumes:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4): counters as ``<name>_total``, gauges plain,
+  histograms as cumulative ``_bucket{le=...}`` series plus ``_sum`` /
+  ``_count``. Metric names are sanitized (dots become underscores, the
+  repo's ``efficiency.model_ratio`` serves as
+  ``efficiency_model_ratio``) and labeled series — stored internally as
+  ``name{k="v"}`` keys — re-emit their labels natively.
+* :class:`MetricsHTTPServer` — a stdlib ``ThreadingHTTPServer`` on a
+  daemon thread serving ``GET /metrics`` (text exposition),
+  ``/metrics.json`` (the raw snapshot) and ``/healthz``. Bind port 0
+  to let the OS pick (tests do); ``server.port`` reports the real one.
+* :class:`SnapshotWriter` — appends one timestamped snapshot per line
+  to a JSONL file on a fixed period; the greppable flight recorder for
+  runs without a scrape target.
+
+Everything here *reads* snapshots — no exporter ever mutates a metric,
+so scraping concurrently with a solve is always safe (see the
+thread-safety notes in :mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable
+
+from ..errors import ValidationError
+from .metrics import MetricsRegistry, get_registry, split_key
+
+__all__ = [
+    "prometheus_text",
+    "sanitize_metric_name",
+    "MetricsHTTPServer",
+    "SnapshotWriter",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a repo metric name onto the Prometheus grammar.
+
+    Dots (our namespace separator) become underscores; any other
+    illegal character does too; a leading digit gains a ``_`` prefix.
+    """
+    out = _BAD_CHARS.sub("_", name)
+    if not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _fmt(value: float) -> str:
+    """Prometheus float rendering: +Inf/-Inf/NaN spelled out."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _labels_text(labels: dict[str, str], extra: str = "") -> str:
+    parts = [f'{sanitize_metric_name(k)}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(snapshot: dict[str, Any]) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` dict as Prometheus text.
+
+    Families are grouped (one ``# HELP`` / ``# TYPE`` header per base
+    name, every label combination under it) and the original dotted
+    name is preserved in the ``# HELP`` line for traceability.
+    """
+    lines: list[str] = []
+    seen: set[str] = set()
+
+    def _family(raw_base: str, prom: str, kind: str) -> None:
+        if prom in seen:
+            return
+        seen.add(prom)
+        lines.append(f"# HELP {prom} repro metric {raw_base}")
+        lines.append(f"# TYPE {prom} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        base, labels = split_key(key)
+        prom = sanitize_metric_name(base) + "_total"
+        _family(base, prom, "counter")
+        lines.append(f"{prom}{_labels_text(labels)} {_fmt(value)}")
+
+    for key, value in snapshot.get("gauges", {}).items():
+        base, labels = split_key(key)
+        prom = sanitize_metric_name(base)
+        _family(base, prom, "gauge")
+        lines.append(f"{prom}{_labels_text(labels)} {_fmt(value)}")
+
+    for key, h in snapshot.get("histograms", {}).items():
+        base, labels = split_key(key)
+        prom = sanitize_metric_name(base)
+        _family(base, prom, "histogram")
+        cumulative = 0
+        for edge, n in zip(h["edges"], h["buckets"]):
+            cumulative += n
+            le = _labels_text(labels, extra=f'le="{_fmt(float(edge))}"')
+            lines.append(f"{prom}_bucket{le} {cumulative}")
+        # overflow bucket -> the mandatory +Inf series
+        inf = _labels_text(labels, extra='le="+Inf"')
+        lines.append(f"{prom}_bucket{inf} {h['count']}")
+        lines.append(f"{prom}_sum{_labels_text(labels)} {_fmt(float(h['sum']))}")
+        lines.append(f"{prom}_count{_labels_text(labels)} {h['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    # populated per-server via a subclass attribute
+    registry_getter: Callable[[], MetricsRegistry] = staticmethod(get_registry)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = prometheus_text(self.registry_getter().snapshot()).encode()
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = json.dumps(
+                self.registry_getter().snapshot(), sort_keys=True
+            ).encode()
+            ctype = "application/json"
+        elif path == "/healthz":
+            body = b"ok\n"
+            ctype = "text/plain"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        # scrapes every few seconds would otherwise spam stderr
+        return
+
+
+class MetricsHTTPServer:
+    """Serve ``/metrics`` from a daemon thread; start/stop or use as a
+    context manager. ``port=0`` binds an ephemeral port (tests)."""
+
+    def __init__(
+        self,
+        port: int = 9205,
+        *,
+        host: str = "127.0.0.1",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        getter = (lambda: registry) if registry is not None else get_registry
+
+        class Handler(_MetricsHandler):
+            registry_getter = staticmethod(getter)
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+class SnapshotWriter:
+    """Periodically append registry snapshots to a JSONL file.
+
+    Each line is ``{"ts": <unix seconds>, "snapshot": {...}}``. The
+    writer thread is a daemon and flushes a final snapshot on
+    :meth:`stop`, so short runs still leave at least one record.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        period: float = 5.0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValidationError(f"snapshot period must be > 0, got {period}")
+        self.path = Path(path)
+        self.period = float(period)
+        self._registry = registry
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _snap(self) -> dict[str, Any]:
+        registry = self._registry if self._registry is not None else get_registry()
+        return {"ts": time.time(), "snapshot": registry.snapshot()}
+
+    def _write(self, fh: Any) -> None:
+        fh.write(json.dumps(self._snap(), sort_keys=True) + "\n")
+        fh.flush()
+
+    def _run(self) -> None:
+        with self.path.open("a") as fh:
+            while not self._stop.wait(self.period):
+                self._write(fh)
+            self._write(fh)  # final flush on stop
+
+    def start(self) -> "SnapshotWriter":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-jsonl", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=max(5.0, self.period * 2))
+        self._thread = None
+
+    def __enter__(self) -> "SnapshotWriter":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

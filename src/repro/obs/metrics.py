@@ -18,6 +18,25 @@ hot paths pay one attribute read when observability is off.
 edges) because every quantity here — span durations, kernel seconds,
 message bytes — spans orders of magnitude; linear buckets would waste
 resolution at one end.
+
+**Labels**: every accessor takes an optional ``labels=`` dict; labeled
+series are stored under a rendered key ``name{k="v",...}`` (sorted
+keys), which round-trips through :meth:`MetricsRegistry.snapshot` and
+the Prometheus exporter without a separate label store.
+
+**Thread-safety guarantee**: each metric guards its mutations with a
+per-metric lock, the registry guards get-or-create with its own lock,
+and every ``snapshot()`` reads under the same locks — so a snapshot
+taken while backend worker threads are incrementing is *internally
+consistent per metric* (a histogram's ``count`` always equals the sum
+of its buckets) and never torn. Cross-metric consistency is not
+promised: a snapshot may see counter A after an event but counter B
+before it. ``tests/obs/test_metrics_concurrency.py`` hammers this.
+
+Worker processes cannot share a registry; they record into a private
+one and ship ``registry.drain()`` (a plain snapshot dict) back with
+their results, which the parent folds in via
+:meth:`MetricsRegistry.merge_snapshot`.
 """
 
 from __future__ import annotations
@@ -38,7 +57,35 @@ __all__ = [
     "set_registry",
     "enable_metrics",
     "disable_metrics",
+    "render_key",
+    "split_key",
 ]
+
+
+def render_key(name: str, labels: dict[str, Any] | None = None) -> str:
+    """Series key for a (name, labels) pair: ``name{k="v",...}``.
+
+    Sorted label keys make the rendering canonical, so the same label
+    set always maps to the same series.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`render_key`: ``'a{b="c"}'`` -> ``('a', {'b': 'c'})``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, body = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in body[:-1].split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v.strip('"')
+    return name, labels
 
 
 class Counter:
@@ -64,7 +111,16 @@ class Counter:
             self.value += amount
 
     def snapshot(self) -> int | float:
-        return self.value
+        with self._lock:
+            return self.value
+
+    def drain(self) -> int | float:
+        """Atomic read-and-reset: a racing ``inc`` lands either in the
+        returned value or in the next drain, never nowhere."""
+        with self._lock:
+            value = self.value
+            self.value = 0
+            return value
 
 
 class Gauge:
@@ -90,7 +146,8 @@ class Gauge:
             self.value -= amount
 
     def snapshot(self) -> float:
-        return self.value
+        with self._lock:
+            return self.value
 
 
 class Histogram:
@@ -150,26 +207,69 @@ class Histogram:
         """Approximate q-quantile: the upper edge of the covering bucket."""
         if not 0.0 <= q <= 1.0:
             raise ValidationError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
-        seen = 0
-        for i, n in enumerate(self.bucket_counts):
-            seen += n
-            if seen >= target and n:
-                return self.edges[i] if i < len(self.edges) else math.inf
-        return math.inf
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = q * self.count
+            seen = 0
+            for i, n in enumerate(self.bucket_counts):
+                seen += n
+                if seen >= target and n:
+                    return self.edges[i] if i < len(self.edges) else math.inf
+            return math.inf
 
     def snapshot(self) -> dict[str, Any]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self._min if self.count else 0.0,
-            "max": self._max if self.count else 0.0,
-            "edges": list(self.edges),
-            "buckets": list(self.bucket_counts),
-        }
+        # Read under the lock so count/sum/buckets are mutually
+        # consistent even while worker threads are observing.
+        with self._lock:
+            count = self.count
+            total = self.total
+            return {
+                "count": count,
+                "sum": total,
+                "mean": total / count if count else 0.0,
+                "min": self._min if count else 0.0,
+                "max": self._max if count else 0.0,
+                "edges": list(self.edges),
+                "buckets": list(self.bucket_counts),
+            }
+
+    def drain(self) -> dict[str, Any]:
+        """Atomic snapshot-and-reset (see :meth:`Counter.drain`)."""
+        with self._lock:
+            count = self.count
+            total = self.total
+            snap = {
+                "count": count,
+                "sum": total,
+                "mean": total / count if count else 0.0,
+                "min": self._min if count else 0.0,
+                "max": self._max if count else 0.0,
+                "edges": list(self.edges),
+                "buckets": list(self.bucket_counts),
+            }
+            self.bucket_counts = [0] * len(self.bucket_counts)
+            self.count = 0
+            self.total = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+            return snap
+
+    def merge_snapshot(self, snap: dict[str, Any]) -> "Histogram":
+        """Fold a :meth:`snapshot` dict in (the cross-process merge path)."""
+        if list(snap["edges"]) != self.edges:
+            raise ValidationError(
+                f"histogram {self.name!r}: cannot merge differing bucket edges"
+            )
+        with self._lock:
+            for i, n in enumerate(snap["buckets"]):
+                self.bucket_counts[i] += n
+            if snap["count"]:
+                self.count += snap["count"]
+                self.total += snap["sum"]
+                self._min = min(self._min, snap["min"])
+                self._max = max(self._max, snap["max"])
+        return self
 
     def merge(self, other: "Histogram") -> "Histogram":
         if self.edges != other.edges:
@@ -203,37 +303,57 @@ class MetricsRegistry:
 
     # -- get-or-create ----------------------------------------------------
 
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, labels: dict[str, Any] | None = None
+    ) -> Counter:
+        key = render_key(name, labels)
         with self._lock:
-            metric = self._counters.get(name)
+            metric = self._counters.get(key)
             if metric is None:
-                metric = self._counters[name] = Counter(name)
+                metric = self._counters[key] = Counter(key)
             return metric
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, labels: dict[str, Any] | None = None) -> Gauge:
+        key = render_key(name, labels)
         with self._lock:
-            metric = self._gauges.get(name)
+            metric = self._gauges.get(key)
             if metric is None:
-                metric = self._gauges[name] = Gauge(name)
+                metric = self._gauges[key] = Gauge(key)
             return metric
 
-    def histogram(self, name: str, **kwargs: Any) -> Histogram:
+    def histogram(
+        self, name: str, labels: dict[str, Any] | None = None, **kwargs: Any
+    ) -> Histogram:
+        key = render_key(name, labels)
         with self._lock:
-            metric = self._histograms.get(name)
+            metric = self._histograms.get(key)
             if metric is None:
-                metric = self._histograms[name] = Histogram(name, **kwargs)
+                metric = self._histograms[key] = Histogram(key, **kwargs)
             return metric
 
     # -- bulk operations --------------------------------------------------
 
-    def inc(self, name: str, amount: int | float = 1) -> None:
-        self.counter(name).inc(amount)
+    def inc(
+        self,
+        name: str,
+        amount: int | float = 1,
+        labels: dict[str, Any] | None = None,
+    ) -> None:
+        self.counter(name, labels).inc(amount)
 
-    def set(self, name: str, value: float) -> None:
-        self.gauge(name).set(value)
+    def set(
+        self, name: str, value: float, labels: dict[str, Any] | None = None
+    ) -> None:
+        self.gauge(name, labels).set(value)
 
-    def observe(self, name: str, value: float, **kwargs: Any) -> None:
-        self.histogram(name, **kwargs).observe(value)
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: dict[str, Any] | None = None,
+        **kwargs: Any,
+    ) -> None:
+        self.histogram(name, labels, **kwargs).observe(value)
 
     def inc_many(self, items: Iterable[tuple[str, int | float]]) -> None:
         for name, amount in items:
@@ -276,6 +396,62 @@ class MetricsRegistry:
                     mine = clone
             mine.merge(h)
         return self
+
+    def merge_snapshot(self, snap: dict[str, Any] | None) -> "MetricsRegistry":
+        """Fold a plain :meth:`snapshot` dict in — the cross-process path.
+
+        Process workers cannot ship live metric objects, so they ship
+        the snapshot dict (via :meth:`drain`) and the parent replays it
+        here: counters add, gauges last-write, histograms bucket-wise.
+        Keys pass through verbatim, so labeled series stay labeled.
+        """
+        if not snap:
+            return self
+        for key, value in snap.get("counters", {}).items():
+            self.counter(key).inc(value)
+        for key, value in snap.get("gauges", {}).items():
+            self.gauge(key).set(value)
+        for key, h_snap in snap.get("histograms", {}).items():
+            mine = self.histogram(key)
+            if mine.count == 0 and mine.edges != list(h_snap["edges"]):
+                with self._lock:
+                    clone = Histogram(key)
+                    clone.edges = list(h_snap["edges"])
+                    clone.bucket_counts = [0] * len(h_snap["buckets"])
+                    self._histograms[key] = clone
+                    mine = clone
+            mine.merge_snapshot(h_snap)
+        return self
+
+    def drain(self) -> dict[str, Any]:
+        """Snapshot-and-reset — what a worker ships after each chunk.
+
+        Metric objects stay registered and reset *in place* under their
+        own locks, so a handle another thread obtained before the drain
+        keeps working: its update lands in the next shipment instead of
+        on an orphaned object. Counters at zero and empty histograms are
+        omitted (nothing to ship); gauges report their current value and
+        are not reset (last-write-wins has no meaningful zero).
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        out_counters: dict[str, int | float] = {}
+        for key, c in counters:
+            value = c.drain()
+            if value:
+                out_counters[key] = value
+        out_histograms: dict[str, Any] = {}
+        for key, h in histograms:
+            snap = h.drain()
+            if snap["count"]:
+                out_histograms[key] = snap
+        return {
+            "counters": out_counters,
+            "gauges": {key: g.snapshot() for key, g in gauges},
+            "histograms": out_histograms,
+        }
 
     def clear(self) -> None:
         with self._lock:

@@ -13,6 +13,22 @@ attributes, cheap enough to leave compiled into the hot paths:
   parent)`` plus user attributes, appended under a lock so concurrent
   kernel threads can share one tracer.
 
+Cross-process traces: span ids embed the recording pid (``pid << 32 |
+counter``) so buffers merged from process-pool workers can never
+collide with the parent's ids. Workers serialize their buffer with
+:meth:`Tracer.export_payload` and ship it back alongside chunk results;
+the caller folds it in with :meth:`Tracer.adopt_payload`, which
+re-anchors timestamps onto the local epoch (``perf_counter`` is
+CLOCK_MONOTONIC on Linux, shared across processes) and re-parents
+worker roots under the driver span — one Chrome trace, every worker on
+its own pid lane.
+
+Spans opened but never closed (a worker crashed mid-chunk, an export
+taken from inside a live solve) are not lost and never raise: exports
+emit them as *incomplete* events flagged ``"incomplete": true``, and
+:meth:`Tracer.aggregate` skips them rather than counting a duration
+that never finished.
+
 Exports:
 
 * :meth:`Tracer.export_chrome` — the ``chrome://tracing`` / Perfetto
@@ -26,11 +42,14 @@ A process-global tracer (:func:`get_tracer`) is what the instrumented
 kernels use; :func:`enable_tracing` / :func:`disable_tracing` flip it.
 Sampling: ``Tracer(sample_every=N)`` records only every Nth span, so a
 benchmark loop can stay instrumented without tracing every iteration.
+When a :class:`~repro.obs.context.RequestContext` is active, every
+recorded span automatically carries a ``request_id`` attribute.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -38,6 +57,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ..errors import ValidationError
+from .context import current_request_id
 
 __all__ = [
     "Span",
@@ -48,6 +68,11 @@ __all__ = [
     "disable_tracing",
     "span",
 ]
+
+#: Span ids are ``pid << _PID_SHIFT | per-process counter`` — globally
+#: unique across every process that ever contributes to one merged trace.
+_PID_SHIFT = 32
+_COUNTER_MASK = (1 << _PID_SHIFT) - 1
 
 
 @dataclass(frozen=True)
@@ -62,6 +87,8 @@ class Span:
     thread: int
     depth: int
     attrs: dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
+    incomplete: bool = False  # opened but never closed (crash, live export)
 
     @property
     def end(self) -> float:
@@ -77,21 +104,36 @@ class Span:
             "dur": self.duration,
             "tid": self.thread,
             "depth": self.depth,
+            "pid": self.pid,
         }
         if self.attrs:
             event["attrs"] = self.attrs
+        if self.incomplete:
+            event["incomplete"] = True
         return event
 
     def to_chrome_event(self) -> dict[str, Any]:
-        """Chrome trace "complete" event (microsecond timestamps)."""
+        """Chrome trace "complete" event (microsecond timestamps).
+
+        The recording process becomes the pid lane; a ``lane`` attr (an
+        int — used for simulated ranks) overrides the tid lane so
+        logically-parallel actors inside one thread separate visually.
+        """
+        args = dict(self.attrs)
+        tid = self.thread
+        lane = args.get("lane")
+        if isinstance(lane, int):
+            tid = lane
+        if self.incomplete:
+            args["incomplete"] = True
         return {
             "name": self.name,
             "ph": "X",
             "ts": self.start * 1e6,
             "dur": self.duration * 1e6,
-            "pid": 0,
-            "tid": self.thread,
-            "args": dict(self.attrs),
+            "pid": self.pid,
+            "tid": tid,
+            "args": args,
         }
 
 
@@ -113,21 +155,36 @@ _NULL_SPAN = _NullSpan()
 class _LiveSpan:
     """An open span; closing it appends a :class:`Span` to the tracer."""
 
-    __slots__ = ("_tracer", "name", "attrs", "_start", "_id", "_parent", "_depth")
+    __slots__ = (
+        "_tracer", "name", "attrs", "_start", "_id", "_parent", "_depth",
+        "_forced_parent",
+    )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict[str, Any],
+        forced_parent: int | None = None,
+    ) -> None:
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
+        self._forced_parent = forced_parent
 
     def __enter__(self) -> "_LiveSpan":
         tracer = self._tracer
         stack = tracer._stack()
-        self._parent = stack[-1] if stack else -1
+        if stack:
+            self._parent = stack[-1]
+        elif self._forced_parent is not None:
+            self._parent = self._forced_parent
+        else:
+            self._parent = -1
         self._depth = len(stack)
-        self._id = tracer._next_id()
-        stack.append(self._id)
         self._start = tracer.clock()
+        self._id = tracer._open_span(self)
+        stack.append(self._id)
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -146,6 +203,7 @@ class _LiveSpan:
                 thread=threading.get_ident() & 0xFFFF,
                 depth=self._depth,
                 attrs=self.attrs,
+                pid=tracer.pid,
             )
         )
 
@@ -159,6 +217,7 @@ class Tracer:
         enabled: bool = False,
         sample_every: int = 1,
         clock=time.perf_counter,
+        pid: int | None = None,
     ) -> None:
         if sample_every < 1:
             raise ValidationError(
@@ -168,7 +227,10 @@ class Tracer:
         self.sample_every = int(sample_every)
         self.clock = clock
         self.epoch = clock()
+        self.pid = os.getpid() if pid is None else int(pid)
+        self._explicit_pid = pid is not None
         self._spans: list[Span] = []
+        self._open: dict[int, _LiveSpan] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
         self._counter = 0
@@ -190,7 +252,31 @@ class Tracer:
             self._sample_tick += 1
             if self._sample_tick % self.sample_every:
                 return _NULL_SPAN
+        rid = current_request_id()
+        if rid is not None and "request_id" not in attrs:
+            attrs["request_id"] = rid
         return _LiveSpan(self, name, attrs)
+
+    def span_under(self, parent_id: int | None, name: str, **attrs: Any):
+        """A span explicitly parented under ``parent_id``.
+
+        Thread-pool workers record on the shared tracer but on their own
+        per-thread stacks, so their first span would otherwise become a
+        root; the submitting thread passes its current span id here to
+        keep the tree connected. A ``None`` parent degrades to a plain
+        :meth:`span`.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        rid = current_request_id()
+        if rid is not None and "request_id" not in attrs:
+            attrs["request_id"] = rid
+        return _LiveSpan(self, name, attrs, forced_parent=parent_id)
+
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span on *this* thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     def _stack(self) -> list[int]:
         stack = getattr(self._local, "stack", None)
@@ -199,13 +285,28 @@ class Tracer:
             self._local.stack = stack
         return stack
 
+    def _open_span(self, live: _LiveSpan) -> int:
+        """Allocate a globally-unique id and register the open span."""
+        with self._lock:
+            pid = os.getpid()
+            if pid != self.pid and not self._explicit_pid:
+                # Forked child inherited this tracer: adopt the new pid
+                # so ids minted here never collide with the parent's.
+                self.pid = pid
+            self._counter += 1
+            sid = (self.pid << _PID_SHIFT) | (self._counter & _COUNTER_MASK)
+            self._open[sid] = live
+            return sid
+
     def _next_id(self) -> int:
+        """Allocate a globally-unique span id (pid-prefixed counter)."""
         with self._lock:
             self._counter += 1
-            return self._counter
+            return (self.pid << _PID_SHIFT) | (self._counter & _COUNTER_MASK)
 
     def _record(self, span: Span) -> None:
         with self._lock:
+            self._open.pop(span.span_id, None)
             self._spans.append(span)
 
     def enable(self) -> None:
@@ -217,6 +318,7 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
+            self._open.clear()
             self._counter = 0
         self.epoch = self.clock()
 
@@ -227,6 +329,31 @@ class Tracer:
         """Completed spans, in completion order (children before parents)."""
         with self._lock:
             return list(self._spans)
+
+    def open_spans(self) -> list[Span]:
+        """Spans opened but not yet (or never) closed, as incomplete
+        :class:`Span` snapshots with duration measured up to *now*."""
+        now = self.clock()
+        with self._lock:
+            live = list(self._open.items())
+        out = []
+        for sid, ls in live:
+            start = getattr(ls, "_start", now)
+            out.append(
+                Span(
+                    span_id=sid,
+                    parent_id=getattr(ls, "_parent", -1),
+                    name=ls.name,
+                    start=start - self.epoch,
+                    duration=max(now - start, 0.0),
+                    thread=0,
+                    depth=getattr(ls, "_depth", 0),
+                    attrs=dict(ls.attrs),
+                    pid=self.pid,
+                    incomplete=True,
+                )
+            )
+        return out
 
     def __len__(self) -> int:
         with self._lock:
@@ -240,9 +367,11 @@ class Tracer:
 
         ``self_seconds`` excludes time covered by the span's own children
         — the phase-breakdown view (summing self times over a tree equals
-        the root's wall clock, so the table's rows add up).
+        the root's wall clock, so the table's rows add up). Incomplete
+        spans (opened, never closed) are skipped: their durations never
+        finished, so counting them would inflate the table.
         """
-        spans = self.spans
+        spans = [s for s in self.spans if not s.incomplete]
         child_time: dict[int, float] = {}
         for s in spans:
             if s.parent_id != -1:
@@ -267,12 +396,98 @@ class Tracer:
     def children_of(self, span_id: int) -> list[Span]:
         return [s for s in self.spans if s.parent_id == span_id]
 
+    # -- cross-process shipping -------------------------------------------
+
+    def export_payload(self, *, clear: bool = True) -> dict[str, Any] | None:
+        """Serialize this tracer's buffer for shipping to another process.
+
+        Returns ``None`` when there is nothing to ship. Completed spans
+        and still-open spans (flagged incomplete) are both included, so
+        a worker that dies between chunks still accounts for the span it
+        was inside. ``epoch`` rides along so the receiver can re-anchor
+        timestamps onto its own clock origin.
+        """
+        incomplete = self.open_spans()
+        with self._lock:
+            done = list(self._spans)
+            if clear:
+                self._spans.clear()
+        if not done and not incomplete:
+            return None
+        return {
+            "pid": self.pid,
+            "epoch": self.epoch,
+            "events": [s.to_event() for s in done + incomplete],
+        }
+
+    def adopt_payload(
+        self, payload: dict[str, Any] | None, *, parent_id: int | None = None
+    ) -> int:
+        """Fold a worker's :meth:`export_payload` into this tracer.
+
+        * timestamps shift by the epoch delta (both clocks are
+          CLOCK_MONOTONIC, so worker spans land at their true position
+          on the caller's timeline);
+        * worker roots (``parent == -1``) re-parent under ``parent_id``
+          (the driver span), connecting the merged tree;
+        * ids are pid-prefixed so collisions cannot happen by
+          construction; as defense-in-depth any incoming id that *does*
+          collide with an already-recorded one is remapped to a fresh
+          local id (parent links inside the payload follow the remap).
+
+        Returns the number of spans adopted.
+        """
+        if not payload:
+            return 0
+        events = payload.get("events") or []
+        if not events:
+            return 0
+        offset = float(payload.get("epoch", self.epoch)) - self.epoch
+        default_pid = int(payload.get("pid", 0))
+        with self._lock:
+            existing = {s.span_id for s in self._spans}
+        remap: dict[int, int] = {}
+        for e in events:
+            if e["id"] in existing:
+                remap[e["id"]] = self._next_id()
+        adopted = []
+        for e in events:
+            parent = e.get("parent", -1)
+            parent = remap.get(parent, parent)
+            if parent == -1 and parent_id is not None:
+                parent = parent_id
+            adopted.append(
+                Span(
+                    span_id=remap.get(e["id"], e["id"]),
+                    parent_id=parent,
+                    name=e["name"],
+                    start=float(e["ts"]) + offset,
+                    duration=float(e["dur"]),
+                    thread=int(e.get("tid", 0)),
+                    depth=int(e.get("depth", 0)) + (parent_id is not None),
+                    attrs=e.get("attrs") or {},
+                    pid=int(e.get("pid", default_pid)),
+                    incomplete=bool(e.get("incomplete", False)),
+                )
+            )
+        with self._lock:
+            self._spans.extend(adopted)
+        return len(adopted)
+
     # -- export -----------------------------------------------------------
 
-    def to_chrome(self) -> dict[str, Any]:
-        """The ``chrome://tracing`` JSON object (load in Perfetto too)."""
+    def to_chrome(self, *, include_incomplete: bool = True) -> dict[str, Any]:
+        """The ``chrome://tracing`` JSON object (load in Perfetto too).
+
+        Open spans are emitted as incomplete events (never an error): a
+        trace taken after a worker crash still shows where the crash
+        happened.
+        """
+        spans = self.spans
+        if include_incomplete:
+            spans = spans + self.open_spans()
         return {
-            "traceEvents": [s.to_chrome_event() for s in self.spans],
+            "traceEvents": [s.to_chrome_event() for s in spans],
             "displayTimeUnit": "ms",
             "otherData": {"producer": "repro-gsknn", "format_version": 1},
         }
@@ -288,6 +503,8 @@ class Tracer:
         path = Path(path)
         with path.open("w") as fh:
             for s in self.spans:
+                fh.write(json.dumps(s.to_event(), sort_keys=True) + "\n")
+            for s in self.open_spans():
                 fh.write(json.dumps(s.to_event(), sort_keys=True) + "\n")
         return path
 

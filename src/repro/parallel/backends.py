@@ -48,7 +48,16 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from ..errors import BackendError, ValidationError
-from ..obs.metrics import get_registry as _get_registry
+from ..obs.context import (
+    RequestContext,
+    bind_request,
+    current_request,
+    request_scope,
+)
+from ..obs.metrics import MetricsRegistry, get_registry as _get_registry
+from ..obs.metrics import set_registry as _set_registry
+from ..obs.trace import Tracer, get_tracer as _get_tracer
+from ..obs.trace import set_tracer as _set_tracer
 
 __all__ = [
     "ExecutionBackend",
@@ -85,6 +94,93 @@ def _plan_for(X, r_idx, kernel_kwargs):
     from ..core.plan import GsknnPlan
 
     return GsknnPlan(X, r_idx, **kernel_kwargs)
+
+
+# -- cross-process observability propagation ---------------------------------
+#
+# Process workers cannot share the parent's tracer, registry, or
+# ContextVars. The parent captures its observability state as a small
+# picklable spec, ships it through the pool initializer, and each worker
+# installs *fresh* local equivalents (also neutralizing any enabled
+# tracer/registry a fork-started worker inherited — recording into the
+# parent's buffers from the wrong pid would corrupt the trace). After
+# each chunk the worker drains its buffers into a payload that rides
+# back with the chunk result; the parent re-parents the spans under its
+# own driver span and folds the metric deltas in.
+
+
+def _obs_spec() -> dict[str, Any] | None:
+    """Picklable snapshot of the caller's observability state, or ``None``."""
+    tracer = _get_tracer()
+    registry = _get_registry()
+    ctx = current_request()
+    if not tracer.enabled and not registry.enabled and ctx is None:
+        return None
+    return {
+        "trace": tracer.enabled,
+        "sample_every": tracer.sample_every,
+        "metrics": registry.enabled,
+        "request_id": ctx.request_id if ctx is not None else None,
+        "tenant": ctx.tenant if ctx is not None else None,
+    }
+
+
+def _install_worker_obs(spec: dict[str, Any] | None) -> None:
+    """Install fresh per-worker tracer/registry/request state.
+
+    Runs in the worker via the pool initializer. Always replaces the
+    globals — even with no spec — so fork-inherited enabled instruments
+    never record on the parent's behalf.
+    """
+    if spec is None:
+        _set_tracer(Tracer())
+        _set_registry(MetricsRegistry())
+        bind_request(None)
+        return
+    _set_tracer(
+        Tracer(enabled=spec["trace"], sample_every=spec.get("sample_every", 1))
+    )
+    _set_registry(MetricsRegistry(enabled=spec["metrics"]))
+    if spec.get("request_id"):
+        bind_request(
+            RequestContext(
+                request_id=spec["request_id"],
+                tenant=spec.get("tenant") or "default",
+            )
+        )
+    else:
+        bind_request(None)
+
+
+def _drain_worker_obs() -> dict[str, Any] | None:
+    """The worker-side span/metric deltas accumulated since last drain."""
+    payload: dict[str, Any] = {}
+    tracer = _get_tracer()
+    if tracer.enabled:
+        spans = tracer.export_payload()
+        if spans:
+            payload["spans"] = spans
+    registry = _get_registry()
+    if registry.enabled:
+        payload["metrics"] = registry.drain()
+    return payload or None
+
+
+def _absorb_worker_obs(
+    payload: dict[str, Any] | None, parent_id: int | None
+) -> None:
+    """Caller side: fold a worker's shipped payload into the live
+    tracer/registry, re-parenting worker roots under ``parent_id``."""
+    if not payload:
+        return
+    spans = payload.get("spans")
+    if spans:
+        _get_tracer().adopt_payload(spans, parent_id=parent_id)
+    metrics = payload.get("metrics")
+    if metrics:
+        registry = _get_registry()
+        if registry.enabled:
+            registry.merge_snapshot(metrics)
 
 
 def _solve_chunk(
@@ -200,13 +296,23 @@ class ThreadBackend(ExecutionBackend):
         # one shared plan: concurrent executes each borrow a private
         # arena from its pool, so reuse never races
         plan = _plan_for(X, r_idx, kernel_kwargs)
+        # pool threads inherit neither the request ContextVar nor the
+        # caller's span stack: capture both at submission time
+        ctx = current_request()
+        tracer = _get_tracer()
+        parent_id = tracer.current_span_id()
+
+        def run_one(c):
+            with request_scope(ctx):
+                with tracer.span_under(
+                    parent_id, "worker.chunk", chunk=c[0], size=c[1]
+                ):
+                    return _solve_chunk(
+                        X, q_idx, r_idx, k, c, kernel_kwargs, plan
+                    )
+
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            yield from pool.map(
-                lambda c: _solve_chunk(
-                    X, q_idx, r_idx, k, c, kernel_kwargs, plan
-                ),
-                chunks,
-            )
+            yield from pool.map(run_one, chunks)
 
     def map(self, fn, items):
         from .chunking import resolve_workers
@@ -214,8 +320,14 @@ class ThreadBackend(ExecutionBackend):
         if not items:
             return []
         workers = resolve_workers(self.p, len(items))
+        ctx = current_request()
+
+        def run_one(item):
+            with request_scope(ctx):
+                return fn(item)
+
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(run_one, items))
 
 
 # -- process backend ---------------------------------------------------------
@@ -355,8 +467,12 @@ def _worker_fault_plan(fault_spec: str | None):
 
 
 def _process_worker_init(
-    specs: dict, kernel_blob: bytes, fault_spec: str | None = None
+    specs: dict,
+    kernel_blob: bytes,
+    fault_spec: str | None = None,
+    obs_spec: dict[str, Any] | None = None,
 ) -> None:
+    _install_worker_obs(obs_spec)
     segments = {}
     arrays = {}
     for key, spec in specs.items():
@@ -377,7 +493,7 @@ def _process_worker_init(
 
 def _process_worker_solve(
     task: tuple[tuple[int, int], int] | tuple[tuple[int, int], int, int]
-) -> tuple[int, np.ndarray, np.ndarray]:
+) -> tuple[int, np.ndarray, np.ndarray, dict[str, Any] | None]:
     chunk, k = task[0], task[1]
     attempt = task[2] if len(task) > 2 else 0
     fault_plan = _WORKER_STATE.get("fault_plan")
@@ -394,15 +510,19 @@ def _process_worker_solve(
         # one plan per shared-memory attach: built on the worker's first
         # chunk, reused for every later chunk this worker executes
         _WORKER_STATE["plan"] = _plan_for(arrays["X"], arrays["r_idx"], kwargs)
-    return _solve_chunk(
-        arrays["X"],
-        arrays["q_idx"],
-        arrays["r_idx"],
-        k,
-        chunk,
-        kwargs,
-        _WORKER_STATE["plan"],
-    )
+    with _get_tracer().span("worker.chunk", chunk=chunk[0], size=chunk[1]):
+        start, dist, idx = _solve_chunk(
+            arrays["X"],
+            arrays["q_idx"],
+            arrays["r_idx"],
+            k,
+            chunk,
+            kwargs,
+            _WORKER_STATE["plan"],
+        )
+    # span/metric deltas ride back with the chunk result; ``None`` when
+    # observability was off (the common path ships nothing extra)
+    return start, dist, idx, _drain_worker_obs()
 
 
 class ProcessBackend(ExecutionBackend):
@@ -442,16 +562,21 @@ class ProcessBackend(ExecutionBackend):
         with _SharedOperands(X, q_idx, r_idx, kernel_kwargs) as ops:
             workers = resolve_workers(self.p, len(chunks))
             ctx = multiprocessing.get_context(self.mp_context)
+            # re-parent shipped worker spans under the caller's current
+            # span (the driver span of this solve)
+            parent_id = _get_tracer().current_span_id()
             try:
                 with ProcessPoolExecutor(
                     max_workers=workers,
                     mp_context=ctx,
                     initializer=_process_worker_init,
-                    initargs=(ops.specs, ops.blob),
+                    initargs=(ops.specs, ops.blob, None, _obs_spec()),
                 ) as pool:
-                    yield from pool.map(
+                    for start, dist, idx, obs in pool.map(
                         _process_worker_solve, [(c, k) for c in chunks]
-                    )
+                    ):
+                        _absorb_worker_obs(obs, parent_id)
+                        yield start, dist, idx
             except BrokenProcessPool as exc:
                 raise BackendError(
                     "processes backend: a worker process died before "

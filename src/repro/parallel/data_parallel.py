@@ -23,6 +23,7 @@ identical across them by construction.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -31,6 +32,10 @@ from ..errors import ValidationError
 from ..core.gsknn import gsknn, _resolve_auto_variant
 from ..core.neighbors import KnnResult, merge_neighbor_lists
 from ..core.norms import Norm
+from ..obs import trace as _trace
+from ..obs.context import coerce_request, current_request, request_scope
+from ..obs.efficiency import record_solve_efficiency
+from ..obs.metrics import get_registry as _get_registry
 from .backends import ExecutionBackend, resolve_backend
 from .chunking import contiguous_chunks, resolve_workers
 
@@ -54,6 +59,7 @@ def gsknn_data_parallel(
     deadline=None,
     retry=None,
     fault_plan=None,
+    request=None,
 ) -> KnnResult:
     """4th-loop (query-side) parallel GSKNN over ``p`` workers.
 
@@ -78,6 +84,15 @@ def gsknn_data_parallel(
     setting ``$REPRO_FAULT_PLAN`` — routes execution through the
     resilient chunk executor; results remain bit-identical because the
     decomposition and variant are unchanged.
+
+    Observability: ``request`` (a
+    :class:`~repro.obs.context.RequestContext` or a bare request-id
+    string) tags every span, metric label, and error this solve
+    produces; without one the ambient scope (if any) is inherited. A
+    context carrying a deadline supplies it when the ``deadline``
+    argument is omitted. When the metrics registry is enabled the solve
+    also records model-anchored efficiency (achieved vs. predicted
+    GFLOP/s) under ``efficiency.*``.
     """
     from ..resilience import Deadline, FaultPlan, solve_chunks_resilient
 
@@ -88,16 +103,18 @@ def gsknn_data_parallel(
         )
     q_idx = np.asarray(q_idx, dtype=np.intp)
     r_idx = np.asarray(r_idx, dtype=np.intp)
+    d = np.asarray(X).shape[1]
     # Resolve "auto"/"model" on the FULL problem: a model-driven choice
     # made per chunk could differ from the serial kernel's.
-    var = _resolve_auto_variant(
-        variant, q_idx.size, r_idx.size, np.asarray(X).shape[1], k
-    )
+    var = _resolve_auto_variant(variant, q_idx.size, r_idx.size, d, k)
     kernel_kwargs = dict(
         norm=norm, variant=int(var), block_m=block_m, block_n=block_n,
     )
     if X2 is not None:
         kernel_kwargs["X2"] = X2
+    ctx = coerce_request(request) or current_request()
+    if deadline is None and ctx is not None:
+        deadline = ctx.deadline
     deadline = Deadline.coerce(deadline)
     fault_plan = FaultPlan.coerce(fault_plan)
     if fault_plan is None:
@@ -105,22 +122,45 @@ def gsknn_data_parallel(
     resilient = (
         deadline is not None or retry is not None or fault_plan is not None
     )
-    if not resilient and (p == 1 or q_idx.size <= p):
-        return gsknn(X, q_idx, r_idx, k, **kernel_kwargs)
+    with request_scope(ctx):
+        if not resilient and (p == 1 or q_idx.size <= p):
+            return gsknn(X, q_idx, r_idx, k, **kernel_kwargs)
 
-    chunks = contiguous_chunks(q_idx.size, max(p * chunks_per_worker, 1))
-    engine = resolve_backend(backend, p)
-    if resilient:
-        return solve_chunks_resilient(
-            X, q_idx, r_idx, k, chunks, kernel_kwargs,
+        chunks = contiguous_chunks(q_idx.size, max(p * chunks_per_worker, 1))
+        engine = resolve_backend(backend, p)
+        t0 = time.perf_counter()
+        # the driver span every worker-side span re-parents under
+        with _trace.span(
+            "solve",
             backend=engine.name,
             p=engine.p,
-            retry=retry,
-            deadline=deadline,
-            fault_plan=fault_plan,
-            mp_context=getattr(engine, "mp_context", None),
-        )
-    return engine.solve_chunks(X, q_idx, r_idx, k, chunks, kernel_kwargs)
+            m=int(q_idx.size),
+            n=int(r_idx.size),
+            k=int(k),
+            variant=int(var),
+        ):
+            if resilient:
+                result = solve_chunks_resilient(
+                    X, q_idx, r_idx, k, chunks, kernel_kwargs,
+                    backend=engine.name,
+                    p=engine.p,
+                    retry=retry,
+                    deadline=deadline,
+                    fault_plan=fault_plan,
+                    mp_context=getattr(engine, "mp_context", None),
+                )
+            else:
+                result = engine.solve_chunks(
+                    X, q_idx, r_idx, k, chunks, kernel_kwargs
+                )
+        registry = _get_registry()
+        if registry.enabled:
+            record_solve_efficiency(
+                q_idx.size, r_idx.size, d, k, var,
+                time.perf_counter() - t0,
+                scope="solve", registry=registry,
+            )
+        return result
 
 
 def gsknn_reference_parallel(

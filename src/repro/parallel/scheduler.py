@@ -189,9 +189,15 @@ def execute_schedule(
                 retry.sleep(attempt, deadline)
         raise AssertionError("unreachable")  # pragma: no cover
 
+    # lanes run in pool threads with their own span stacks; capture the
+    # caller's open span so each lane's "worker" span stays parented
+    # under the driver instead of becoming a disconnected root
+    tracer = _trace.get_tracer()
+    schedule_span_id = tracer.current_span_id()
+
     def worker(tasks: list[ScheduledTask]) -> list[tuple[int, Any]]:
         out: list[tuple[int, Any]] = []
-        with _trace.span("worker", tasks=len(tasks)):
+        with tracer.span_under(schedule_span_id, "worker", tasks=len(tasks)):
             for t in tasks:
                 if registry.enabled:
                     t0 = time.perf_counter()

@@ -111,11 +111,22 @@ class Deadline:
 
     def raise_expired(self, site: str = "", **partial: Any) -> None:
         """Unconditionally raise the expiry error (wait loops that
-        already observed a timeout call this directly)."""
+        already observed a timeout call this directly).
+
+        When a :class:`~repro.obs.context.RequestContext` is active its
+        request id rides on the exception's partial metadata (and labels
+        the ``resilience.deadline_hits`` counter), so a timeout surfaced
+        to a caller is attributable to the request that overran."""
+        from ..obs.context import current_request
+
         elapsed = self.elapsed()
+        ctx = current_request()
+        if ctx is not None:
+            partial.setdefault("request_id", ctx.request_id)
         registry = _get_registry()
         if registry.enabled:
-            registry.inc("resilience.deadline_hits")
+            labels = {"tenant": ctx.tenant} if ctx is not None else None
+            registry.inc("resilience.deadline_hits", labels=labels)
         where = f" at {site}" if site else ""
         detail = ""
         if partial:

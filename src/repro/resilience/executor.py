@@ -225,10 +225,18 @@ def _run_serial_rung(
         retry.sleep(attempt_round, deadline)
 
 
-def _drain_futures(futures, ledger, deadline, registry, site):
+def _drain_futures(futures, ledger, deadline, registry, site, parent_id=None):
     """Collect results from ``futures`` ({future: start}) under the
-    deadline; returns True if the pool broke (processes only)."""
+    deadline; returns True if the pool broke (processes only).
+
+    Process-worker results carry a fourth element — the worker's
+    span/metric payload — which is folded into the caller's tracer and
+    registry here, re-parented under ``parent_id`` (the enclosing
+    ``resilience.rung`` span).
+    """
     from concurrent.futures.process import BrokenProcessPool
+
+    from ..parallel.backends import _absorb_worker_obs
 
     broken = False
     not_done = set(futures)
@@ -248,7 +256,12 @@ def _drain_futures(futures, ledger, deadline, registry, site):
         for future in done:
             start = futures[future]
             try:
-                s, d, i = future.result()
+                res = future.result()
+                if len(res) == 4:
+                    s, d, i, obs = res
+                    _absorb_worker_obs(obs, parent_id)
+                else:
+                    s, d, i = res
             except BrokenProcessPool:
                 broken = True
                 _note_retry(registry, ledger, start)
@@ -267,13 +280,26 @@ def _run_threads_rung(
     from ..parallel.backends import _plan_for, _solve_chunk
     from ..parallel.chunking import resolve_workers
 
+    from ..obs.context import current_request, request_scope
+
     registry = _get_registry()
     plan = _plan_for(X, r_idx, kernel_kwargs)
+    # pool threads inherit neither the request ContextVar nor the span
+    # stack (the open resilience.rung span): capture both here
+    ctx = current_request()
+    tracer = _trace.get_tracer()
+    parent_id = tracer.current_span_id()
 
     def solve_one(chunk: tuple[int, int], attempt: int):
-        if fault_plan is not None:
-            fault_plan.apply("chunk", chunk[0], attempt)
-        return _solve_chunk(X, q_idx, r_idx, k, chunk, kernel_kwargs, plan)
+        with request_scope(ctx):
+            if fault_plan is not None:
+                fault_plan.apply("chunk", chunk[0], attempt)
+            with tracer.span_under(
+                parent_id, "worker.chunk", chunk=chunk[0], size=chunk[1]
+            ):
+                return _solve_chunk(
+                    X, q_idx, r_idx, k, chunk, kernel_kwargs, plan
+                )
 
     pool = ThreadPoolExecutor(
         max_workers=resolve_workers(p, len(ledger.pending))
@@ -304,6 +330,7 @@ def _run_processes_rung(
     from concurrent.futures import ProcessPoolExecutor
 
     from ..parallel.backends import (
+        _obs_spec,
         _process_worker_init,
         _process_worker_solve,
         _SharedOperands,
@@ -316,6 +343,9 @@ def _run_processes_rung(
         mp_context = "fork" if "fork" in methods else "spawn"
     ctx = multiprocessing.get_context(mp_context)
     fault_spec = fault_plan.spec() if fault_plan is not None else None
+    obs_spec = _obs_spec()
+    # worker spans re-parent under the open resilience.rung span
+    parent_id = _trace.get_tracer().current_span_id()
 
     with _SharedOperands(X, q_idx, r_idx, kernel_kwargs) as ops:
         pool = None
@@ -325,7 +355,7 @@ def _run_processes_rung(
                 max_workers=resolve_workers(p, len(ledger.pending)),
                 mp_context=ctx,
                 initializer=_process_worker_init,
-                initargs=(ops.specs, ops.blob, fault_spec),
+                initargs=(ops.specs, ops.blob, fault_spec, obs_spec),
             )
 
         try:
@@ -345,7 +375,7 @@ def _run_processes_rung(
                 }
                 broken = _drain_futures(
                     futures, ledger, deadline, registry,
-                    "processes chunk wait",
+                    "processes chunk wait", parent_id,
                 )
                 if broken:
                     # the executor marks itself unusable after a worker

@@ -27,6 +27,8 @@ import numpy as np
 from ..core.neighbors import KnnResult, merge_neighbor_lists_fast
 from ..core.norm_cache import cached_squared_norms
 from ..errors import ValidationError
+from ..obs import trace as _trace
+from ..obs.context import coerce_request, current_request, request_scope
 from ..validation import as_coordinate_table, check_finite
 from .lsh import LSHSolver
 
@@ -99,10 +101,13 @@ class StreamingAllKnn:
 
     # -- updates ---------------------------------------------------------------
 
-    def insert(self, batch: np.ndarray) -> int:
+    def insert(self, batch: np.ndarray, *, request=None) -> int:
         """Ingest a batch of new points and refresh affected lists.
 
-        Returns the number of bucket kernels solved.
+        Returns the number of bucket kernels solved. ``request`` (a
+        :class:`~repro.obs.context.RequestContext` or bare request-id
+        string) tags the spans and metrics of this update, including
+        the bucket kernels of the triggered refresh.
         """
         batch = as_coordinate_table(batch, name="batch")
         check_finite(batch, name="batch")
@@ -110,26 +115,30 @@ class StreamingAllKnn:
             raise ValidationError(
                 f"batch dimension {batch.shape[1]} != stream dimension {self.dim}"
             )
-        n_new = batch.shape[0]
-        self._points = np.vstack([self._points, batch])
-        # the old table object is gone; drop plans built against it so
-        # the cache never pins dead coordinate arrays in memory
-        self._plans.clear()
-        self._distances = np.vstack(
-            [self._distances, np.full((n_new, self.k), np.inf)]
-        )
-        self._indices = np.vstack(
-            [self._indices, np.full((n_new, self.k), -1, dtype=np.intp)]
-        )
-        self._alive = np.concatenate(
-            [self._alive, np.ones(n_new, dtype=bool)]
-        )
-        self._batches_ingested += 1
-        if self.n_alive < 2:
-            return 0
-        return self.refresh()
+        ctx = coerce_request(request) or current_request()
+        with request_scope(ctx), _trace.span(
+            "stream.insert", batch=int(batch.shape[0])
+        ):
+            n_new = batch.shape[0]
+            self._points = np.vstack([self._points, batch])
+            # the old table object is gone; drop plans built against it so
+            # the cache never pins dead coordinate arrays in memory
+            self._plans.clear()
+            self._distances = np.vstack(
+                [self._distances, np.full((n_new, self.k), np.inf)]
+            )
+            self._indices = np.vstack(
+                [self._indices, np.full((n_new, self.k), -1, dtype=np.intp)]
+            )
+            self._alive = np.concatenate(
+                [self._alive, np.ones(n_new, dtype=bool)]
+            )
+            self._batches_ingested += 1
+            if self.n_alive < 2:
+                return 0
+            return self.refresh()
 
-    def delete(self, ids: np.ndarray) -> int:
+    def delete(self, ids: np.ndarray, *, request=None) -> int:
         """Remove points from the structure.
 
         Deleted points keep their row slots (ids stay stable — the
@@ -147,6 +156,11 @@ class StreamingAllKnn:
             raise ValidationError(
                 f"delete ids out of range for {self.n_points} points"
             )
+        ctx = coerce_request(request) or current_request()
+        with request_scope(ctx), _trace.span("stream.delete", ids=int(ids.size)):
+            return self._delete(ids)
+
+    def _delete(self, ids: np.ndarray) -> int:
         self._alive[ids] = False
         # Cached plans were built before the tombstones: their gathered
         # reference panels and warm-start lists still contain the deleted
@@ -174,7 +188,7 @@ class StreamingAllKnn:
     def n_alive(self) -> int:
         return int(self._alive.sum())
 
-    def refresh(self, tables: int | None = None) -> int:
+    def refresh(self, tables: int | None = None, *, request=None) -> int:
         """Run one maintenance round over the current table.
 
         Callable independently of insertion (e.g. to trade background
@@ -185,6 +199,11 @@ class StreamingAllKnn:
         tables = self.tables_per_batch if tables is None else int(tables)
         if tables < 1:
             raise ValidationError("tables must be >= 1")
+        ctx = coerce_request(request) or current_request()
+        with request_scope(ctx), _trace.span("stream.refresh", tables=tables):
+            return self._refresh(tables)
+
+    def _refresh(self, tables: int) -> int:
         alive_ids = np.flatnonzero(self._alive)
         # Identity-keyed cache: refresh() rounds between inserts reuse
         # the same table object, so only the first round pays the O(N d)

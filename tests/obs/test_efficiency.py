@@ -1,0 +1,176 @@
+"""Model-anchored efficiency accounting: ratios, anomalies, labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.efficiency import (
+    efficiency_floor,
+    record_solve_efficiency,
+    set_efficiency_floor,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.gflops import knn_flops
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+@pytest.fixture
+def default_floor():
+    set_efficiency_floor(0.05)
+    try:
+        yield
+    finally:
+        set_efficiency_floor(None)
+
+
+LABELS = '{scope="kernel",variant="var1"}'
+
+
+class TestRecord:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        rec = record_solve_efficiency(
+            256, 256, 16, 8, 1, 0.01, registry=registry
+        )
+        assert rec is None
+        assert registry.snapshot()["counters"] == {}
+
+    def test_achieved_gflops_matches_flops_convention(
+        self, registry, default_floor
+    ):
+        seconds = 0.01
+        rec = record_solve_efficiency(
+            256, 256, 16, 8, 1, seconds, registry=registry
+        )
+        expected = knn_flops(256, 256, 16) / seconds / 1e9
+        assert rec["achieved_gflops"] == pytest.approx(expected)
+        assert rec["model_gflops"] > 0
+        assert rec["model_ratio"] == pytest.approx(
+            rec["achieved_gflops"] / rec["model_gflops"]
+        )
+        assert rec["est_bytes_moved"] > 0
+
+    def test_emits_labeled_series(self, registry, default_floor):
+        record_solve_efficiency(256, 256, 16, 8, 1, 0.01, registry=registry)
+        snap = registry.snapshot()
+        assert snap["counters"][f"efficiency.solves{LABELS}"] == 1
+        for gauge in (
+            "efficiency.achieved_gflops",
+            "efficiency.model_gflops",
+            "efficiency.model_ratio",
+        ):
+            assert f"{gauge}{LABELS}" in snap["gauges"]
+        assert f"efficiency.model_ratio.dist{LABELS}" in snap["histograms"]
+
+    def test_scope_label(self, registry, default_floor):
+        record_solve_efficiency(
+            64, 64, 8, 4, 1, 0.01, scope="solve", registry=registry
+        )
+        snap = registry.snapshot()
+        assert (
+            'efficiency.solves{scope="solve",variant="var1"}'
+            in snap["counters"]
+        )
+
+    def test_unmeasurable_on_zero_seconds(self, registry, default_floor):
+        rec = record_solve_efficiency(64, 64, 8, 4, 1, 0.0, registry=registry)
+        assert rec is None
+        snap = registry.snapshot()
+        assert snap["counters"]["efficiency.unmeasurable"] == 1
+        assert not any(
+            key.startswith("efficiency.solves") for key in snap["counters"]
+        )
+
+    def test_unanchored_when_model_has_no_kernel(
+        self, registry, default_floor
+    ):
+        # variant 99 has no perf-model calibration: the achieved rate is
+        # still recorded, just without a model ratio
+        import math
+
+        rec = record_solve_efficiency(64, 64, 8, 4, 99, 0.01, registry=registry)
+        assert rec is not None
+        assert rec["achieved_gflops"] > 0
+        assert math.isnan(rec["model_gflops"])
+        assert math.isnan(rec["model_ratio"])
+        snap = registry.snapshot()
+        keys = list(snap["gauges"])
+        assert any(k.startswith("efficiency.achieved_gflops{") for k in keys)
+        assert not any(k.startswith("efficiency.model_ratio") for k in keys)
+
+
+class TestAnomalies:
+    def test_ratio_below_floor_counts_anomaly(self, registry):
+        set_efficiency_floor(1e9)  # everything is anomalous under this floor
+        try:
+            rec = record_solve_efficiency(
+                256, 256, 16, 8, 1, 0.01, registry=registry
+            )
+            assert rec["anomaly"] == 1.0
+            snap = registry.snapshot()
+            assert snap["counters"][f"efficiency.anomalies{LABELS}"] == 1
+        finally:
+            set_efficiency_floor(None)
+
+    def test_healthy_ratio_is_not_anomalous(self, registry):
+        set_efficiency_floor(0.0)
+        try:
+            rec = record_solve_efficiency(
+                256, 256, 16, 8, 1, 0.01, registry=registry
+            )
+            assert rec["anomaly"] == 0.0
+            snap = registry.snapshot()
+            assert not any(
+                key.startswith("efficiency.anomalies")
+                for key in snap["counters"]
+            )
+        finally:
+            set_efficiency_floor(None)
+
+
+class TestFloor:
+    def test_default_floor(self, default_floor):
+        assert efficiency_floor() == pytest.approx(0.05)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EFFICIENCY_FLOOR", "0.25")
+        set_efficiency_floor(None)  # re-read the environment
+        try:
+            assert efficiency_floor() == pytest.approx(0.25)
+        finally:
+            monkeypatch.delenv("REPRO_EFFICIENCY_FLOOR")
+            set_efficiency_floor(None)
+
+    def test_set_floor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EFFICIENCY_FLOOR", "0.25")
+        set_efficiency_floor(0.5)
+        try:
+            assert efficiency_floor() == pytest.approx(0.5)
+        finally:
+            set_efficiency_floor(None)
+
+
+class TestEndToEnd:
+    def test_gsknn_records_kernel_efficiency(self, default_floor):
+        import numpy as np
+
+        from repro.core.gsknn import gsknn
+        from repro.obs.metrics import disable_metrics, enable_metrics
+
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((128, 8))
+        registry = enable_metrics()
+        try:
+            gsknn(X, np.arange(64), np.arange(128), 4)
+            snap = registry.snapshot()
+        finally:
+            disable_metrics()
+        solves = [
+            key for key in snap["counters"]
+            if key.startswith("efficiency.solves")
+        ]
+        assert solves, f"no efficiency.solves in {sorted(snap['counters'])}"

@@ -1,0 +1,186 @@
+"""Exporters: Prometheus text exposition, /metrics HTTP, JSONL snapshots."""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.exporters import (
+    MetricsHTTPServer,
+    SnapshotWriter,
+    prometheus_text,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import MetricsRegistry
+
+# one exposition line: name{labels} value  (labels optional)
+_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"  # label set
+    r" (\+Inf|-Inf|NaN|[0-9eE.+-]+)$"  # value
+)
+
+
+def assert_valid_exposition(text: str) -> None:
+    """Every non-comment line must match the Prometheus text grammar."""
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _LINE.match(line), f"bad exposition line: {line!r}"
+
+
+def filled_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(enabled=True)
+    registry.inc("efficiency.solves", labels={"variant": "var1", "scope": "kernel"})
+    registry.set(
+        "efficiency.model_ratio", 0.42,
+        labels={"variant": "var1", "scope": "kernel"},
+    )
+    registry.inc("resilience.retries", 3)
+    registry.observe("phase.gsknn", 0.012)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("efficiency.model_ratio") == (
+            "efficiency_model_ratio"
+        )
+
+    def test_leading_digit_gets_prefix(self):
+        assert sanitize_metric_name("9lives")[0] == "_"
+
+
+class TestPrometheusText:
+    def test_valid_exposition(self):
+        text = prometheus_text(filled_registry().snapshot())
+        assert_valid_exposition(text)
+
+    def test_counter_gets_total_suffix(self):
+        text = prometheus_text(filled_registry().snapshot())
+        assert (
+            'efficiency_solves_total{scope="kernel",variant="var1"} 1' in text
+        )
+        assert "# TYPE efficiency_solves_total counter" in text
+
+    def test_gauge_series(self):
+        text = prometheus_text(filled_registry().snapshot())
+        assert (
+            'efficiency_model_ratio{scope="kernel",variant="var1"} 0.42'
+            in text
+        )
+        assert "# TYPE efficiency_model_ratio gauge" in text
+
+    def test_histogram_cumulative_and_inf(self):
+        text = prometheus_text(filled_registry().snapshot())
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("phase_gsknn_bucket")
+        ]
+        assert buckets, text
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert buckets[-1].rsplit(" ", 1)[0].endswith('le="+Inf"}')
+        assert "phase_gsknn_sum" in text
+        assert "phase_gsknn_count" in text
+
+    def test_help_preserves_dotted_name(self):
+        text = prometheus_text(filled_registry().snapshot())
+        assert "# HELP efficiency_model_ratio repro metric efficiency.model_ratio" in text
+
+    def test_empty_snapshot(self):
+        text = prometheus_text(MetricsRegistry(enabled=True).snapshot())
+        assert text == "\n"
+
+
+class TestHTTPServer:
+    def test_scrape_metrics(self):
+        registry = filled_registry()
+        with MetricsHTTPServer(port=0, registry=registry) as server:
+            body = urllib.request.urlopen(server.url, timeout=5).read().decode()
+        assert_valid_exposition(body)
+        assert "efficiency_model_ratio" in body
+        assert "resilience_retries_total" in body
+
+    def test_scrapes_are_live(self):
+        registry = filled_registry()
+        with MetricsHTTPServer(port=0, registry=registry) as server:
+            base = f"http://127.0.0.1:{server.port}"
+            before = urllib.request.urlopen(
+                f"{base}/metrics", timeout=5
+            ).read().decode()
+            registry.inc("resilience.retries", 7)
+            after = urllib.request.urlopen(
+                f"{base}/metrics", timeout=5
+            ).read().decode()
+        assert "resilience_retries_total 3" in before
+        assert "resilience_retries_total 10" in after
+
+    def test_json_endpoint(self):
+        registry = filled_registry()
+        with MetricsHTTPServer(port=0, registry=registry) as server:
+            raw = urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/metrics.json", timeout=5
+            ).read()
+        snap = json.loads(raw)
+        assert snap["counters"]["resilience.retries"] == 3
+
+    def test_healthz(self):
+        with MetricsHTTPServer(port=0, registry=filled_registry()) as server:
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/healthz", timeout=5
+            ).read()
+        assert body == b"ok\n"
+
+    def test_unknown_path_404(self):
+        with MetricsHTTPServer(port=0, registry=filled_registry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/nope", timeout=5
+                )
+        assert err.value.code == 404
+
+    def test_stop_releases_port(self):
+        server = MetricsHTTPServer(port=0, registry=filled_registry())
+        server.start()
+        port = server.port
+        server.stop()
+        with pytest.raises((urllib.error.URLError, OSError)):
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=1)
+
+
+class TestSnapshotWriter:
+    def test_writes_periodic_lines(self, tmp_path):
+        registry = filled_registry()
+        path = tmp_path / "snaps.jsonl"
+        with SnapshotWriter(path, period=0.05, registry=registry):
+            time.sleep(0.18)
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines() if line
+        ]
+        assert len(lines) >= 2  # periodic writes plus the final flush
+        for rec in lines:
+            assert rec["ts"] > 0
+            assert rec["snapshot"]["counters"]["resilience.retries"] == 3
+
+    def test_final_flush_on_stop(self, tmp_path):
+        registry = filled_registry()
+        path = tmp_path / "snaps.jsonl"
+        writer = SnapshotWriter(path, period=60.0, registry=registry)
+        writer.start()
+        registry.inc("late.counter")
+        writer.stop()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines() if line
+        ]
+        assert lines, "stop() must flush at least one snapshot"
+        assert lines[-1]["snapshot"]["counters"]["late.counter"] == 1

@@ -1,0 +1,174 @@
+"""Hammer tests: MetricsRegistry under concurrent mutation.
+
+The registry's contract (see ``repro.obs.metrics`` module docstring) is
+per-metric internal consistency: totals are exact, and any snapshot
+taken mid-hammer is self-consistent (histogram count == bucket sum ==
+what the sum field accounts for). There is no cross-metric atomicity
+promise, and these tests don't assert one.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+N_THREADS = 8
+N_OPS = 2000
+
+
+def hammer(fn, n_threads: int = N_THREADS):
+    """Run ``fn(worker_index)`` on N threads, starting as one pack."""
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def run(i: int) -> None:
+        try:
+            barrier.wait()
+            fn(i)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestCounters:
+    def test_exact_total_under_contention(self):
+        registry = MetricsRegistry(enabled=True)
+
+        def work(_i):
+            for _ in range(N_OPS):
+                registry.inc("hammer.hits")
+
+        hammer(work)
+        assert registry.snapshot()["counters"]["hammer.hits"] == (
+            N_THREADS * N_OPS
+        )
+
+    def test_labeled_counters_do_not_cross_talk(self):
+        registry = MetricsRegistry(enabled=True)
+
+        def work(i):
+            labels = {"worker": i % 2}
+            for _ in range(N_OPS):
+                registry.inc("hammer.labeled", labels=labels)
+
+        hammer(work)
+        counters = registry.snapshot()["counters"]
+        assert counters['hammer.labeled{worker="0"}'] == N_THREADS // 2 * N_OPS
+        assert counters['hammer.labeled{worker="1"}'] == N_THREADS // 2 * N_OPS
+
+    def test_float_increments_accumulate(self):
+        registry = MetricsRegistry(enabled=True)
+
+        def work(_i):
+            for _ in range(N_OPS):
+                registry.inc("hammer.bytes", 0.5)
+
+        hammer(work)
+        total = registry.snapshot()["counters"]["hammer.bytes"]
+        assert total == pytest.approx(N_THREADS * N_OPS * 0.5)
+
+
+class TestHistograms:
+    def test_exact_count_and_sum(self):
+        registry = MetricsRegistry(enabled=True)
+
+        def work(i):
+            for j in range(N_OPS):
+                registry.observe("hammer.hist", (i + 1) * 1e-6 * (j % 7 + 1))
+
+        hammer(work)
+        snap = registry.snapshot()["histograms"]["hammer.hist"]
+        assert snap["count"] == N_THREADS * N_OPS
+        assert sum(snap["buckets"]) == snap["count"]
+
+    def test_midflight_snapshots_are_self_consistent(self):
+        registry = MetricsRegistry(enabled=True)
+        stop = threading.Event()
+        bad: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                snap = registry.snapshot()["histograms"].get("hammer.live")
+                if snap is None:
+                    continue
+                if sum(snap["buckets"]) != snap["count"]:
+                    bad.append(
+                        f"buckets {sum(snap['buckets'])} != count {snap['count']}"
+                    )
+                if snap["count"] and not snap["min"] <= snap["mean"] <= snap["max"]:
+                    bad.append("mean outside [min, max]")
+
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        try:
+            def work(_i):
+                for j in range(N_OPS):
+                    registry.observe("hammer.live", 1e-6 * (j % 13 + 1))
+
+            hammer(work)
+        finally:
+            stop.set()
+            watcher.join()
+        assert not bad, bad[:5]
+        snap = registry.snapshot()["histograms"]["hammer.live"]
+        assert snap["count"] == N_THREADS * N_OPS
+
+
+class TestDrain:
+    def test_drain_during_hammer_conserves_total(self):
+        # workers keep incrementing while a collector repeatedly drains
+        # (the worker-to-parent shipping path): nothing may be lost or
+        # double-counted across drains plus the final snapshot
+        registry = MetricsRegistry(enabled=True)
+        drained: list[float] = []
+        stop = threading.Event()
+
+        def collector():
+            while not stop.is_set():
+                snap = registry.drain()
+                drained.append(
+                    snap["counters"].get("hammer.drain", 0)
+                )
+
+        watcher = threading.Thread(target=collector)
+        watcher.start()
+        try:
+            def work(_i):
+                for _ in range(N_OPS):
+                    registry.inc("hammer.drain")
+
+            hammer(work)
+        finally:
+            stop.set()
+            watcher.join()
+        leftover = registry.snapshot()["counters"].get("hammer.drain", 0)
+        assert sum(drained) + leftover == N_THREADS * N_OPS
+
+
+class TestMergeSnapshot:
+    def test_concurrent_merges_accumulate_exactly(self):
+        # parent absorbing many worker snapshots from pool threads at once
+        worker_registry = MetricsRegistry(enabled=True)
+        worker_registry.inc("merged.count", 3)
+        worker_registry.observe("merged.hist", 0.004)
+        snap = worker_registry.snapshot()
+
+        parent = MetricsRegistry(enabled=True)
+
+        def work(_i):
+            for _ in range(50):
+                parent.merge_snapshot(snap)
+
+        hammer(work)
+        got = parent.snapshot()
+        assert got["counters"]["merged.count"] == N_THREADS * 50 * 3
+        assert got["histograms"]["merged.hist"]["count"] == N_THREADS * 50

@@ -245,6 +245,7 @@ class TestExports:
         doc = tracer.to_chrome()
         for event in doc["traceEvents"]:
             event["tid"] = 0  # thread ids are host-specific
+            event["pid"] = 0  # so is the recording process id
         golden = json.loads(GOLDEN.read_text())
         assert doc == golden
 
@@ -270,7 +271,10 @@ class TestExports:
         assert len(tracer) == 0
         with tracer.span("fresh"):
             pass
-        assert tracer.spans[0].span_id == 1
+        # counter restarts at 1; the pid prefix keeps ids globally unique
+        sid = tracer.spans[0].span_id
+        assert sid & 0xFFFFFFFF == 1
+        assert sid >> 32 == tracer.pid
 
 
 class TestGlobals:
