@@ -9,7 +9,12 @@ is syntactically valid Prometheus text format.
 Usage::
 
     python benchmarks/check_metrics_exposition.py http://127.0.0.1:9209/metrics \
-        [--timeout SECONDS]
+        [--timeout SECONDS] [--require SUBSTRING ...]
+
+``--require`` (repeatable) replaces the default required families — the
+``serve-smoke`` job uses it to wait for the ``serve_*`` serving series
+instead of the kernel-run ones (the model-anchored series check is
+skipped too, since a serving run need not produce efficiency series).
 
 Exit status 0 on success, 1 with a diagnostic on stderr otherwise.
 """
@@ -51,19 +56,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("url", help="metrics endpoint, e.g. http://127.0.0.1:9209/metrics")
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="seconds to keep polling for the required families")
+    parser.add_argument("--require", action="append", default=None,
+                        metavar="SUBSTRING",
+                        help="required metric-name substring (repeatable); "
+                        "replaces the default kernel-run families")
     args = parser.parse_args(argv)
 
+    required = tuple(args.require) if args.require else REQUIRED_SUBSTRINGS
     deadline = time.monotonic() + args.timeout
     text = ""
     while time.monotonic() < deadline:
         got = scrape(args.url)
         if got is not None:
             text = got
-            if all(s in text for s in REQUIRED_SUBSTRINGS):
+            if all(s in text for s in required):
                 break
         time.sleep(0.5)
     else:
-        missing = [s for s in REQUIRED_SUBSTRINGS if s not in text]
+        missing = [s for s in required if s not in text]
         print(f"timed out waiting for {missing} at {args.url} "
               f"(last scrape had {len(text.splitlines())} lines)", file=sys.stderr)
         return 1
@@ -75,13 +85,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {ln!r}", file=sys.stderr)
         return 1
 
-    if not any(ln.startswith(REQUIRED_SERIES_PREFIX) for ln in text.splitlines()):
+    if args.require is None and not any(
+        ln.startswith(REQUIRED_SERIES_PREFIX) for ln in text.splitlines()
+    ):
         print(f"no {REQUIRED_SERIES_PREFIX}* series in exposition", file=sys.stderr)
         return 1
 
     families = {ln.split()[2] for ln in text.splitlines() if ln.startswith("# TYPE ")}
     print(f"scraped {len(text.splitlines())} lines, {len(families)} families; "
-          f"efficiency_* and resilience_* present")
+          f"required series present: {', '.join(required)}")
     return 0
 
 

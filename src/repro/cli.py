@@ -27,7 +27,14 @@ phase table.
 * ``model`` — print the performance model's prediction (and the
   Var#1/Var#6 threshold) for a problem size;
 * ``trace`` — run the cache-trace simulator and print DRAM traffic per
-  kernel (``--json`` for machine-readable output).
+  kernel (``--json`` for machine-readable output);
+* ``serve`` — start the micro-batching query service
+  (:mod:`repro.serve`) over a synthetic table and drive it with the
+  built-in multi-tenant closed-loop traffic generator; ``--tenants`` /
+  ``--weights`` shape the load, ``--slo-ms`` sets per-request
+  deadlines, ``--fault-plan`` injects window-level faults, and
+  ``--metrics-port`` exposes the live ``serve.*`` series on
+  ``/metrics`` while the run is up.
 """
 
 from __future__ import annotations
@@ -278,6 +285,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="with --budget: search but do not persist the winner",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="micro-batching query service under built-in closed-loop load",
+    )
+    serve.add_argument("-N", type=int, default=4096, help="reference rows")
+    serve.add_argument("-d", type=int, default=32, help="dimension")
+    serve.add_argument("-k", type=int, default=8, help="neighbors per query")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--rows", type=int, default=4, help="query rows per request"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=8, help="closed-loop client threads"
+    )
+    serve.add_argument(
+        "--duration-seconds", type=float, default=5.0, help="load duration"
+    )
+    serve.add_argument(
+        "--tenants",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="client counts per tenant, e.g. 'search=4,batch=2,ads=2' "
+        "(must sum to --clients; default: all on one tenant)",
+    )
+    serve.add_argument(
+        "--weights",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="weighted-round-robin dequeue weights, e.g. 'search=4,ads=1'",
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--max-queue-depth", type=int, default=256)
+    serve.add_argument(
+        "--policy",
+        choices=("model", "fixed"),
+        default="model",
+        help="'model' closes windows when the performance model says "
+        "batching stops paying; 'fixed' always waits the full window",
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline; expired-in-queue requests fail fast",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection at window granularity "
+        "(also read from $REPRO_FAULT_PLAN)",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus /metrics endpoint on PORT (0 = ephemeral) "
+        "for the duration of the run",
+    )
+    serve.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=0.0,
+        help="keep /metrics up this many seconds after the load finishes "
+        "(needs --metrics-port)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
     )
 
     dist = sub.add_parser(
@@ -799,6 +882,117 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kv_int_spec(text: str, flag: str) -> dict[str, int]:
+    """Parse ``name=count,name=count`` specs (--tenants / --weights)."""
+    out: dict[str, int] = {}
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        key, sep, value = part.partition("=")
+        try:
+            if not sep:
+                raise ValueError("missing '='")
+            out[key.strip()] = int(value)
+        except ValueError as exc:
+            print(
+                f"error: bad {flag} entry {part!r}: {exc}", file=sys.stderr
+            )
+            raise SystemExit(2) from None
+    return out
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .data import uniform_hypercube
+    from .errors import ValidationError
+    from .obs.exporters import MetricsHTTPServer
+    from .serve import KnnQueryService, ServeConfig, run_closed_loop
+
+    registry = enable_metrics()
+    tenants = (
+        _parse_kv_int_spec(args.tenants, "--tenants") if args.tenants else None
+    )
+    weights = (
+        _parse_kv_int_spec(args.weights, "--weights") if args.weights else {}
+    )
+    ds = uniform_hypercube(args.N, args.d, seed=args.seed)
+    try:
+        config = ServeConfig(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue_depth=args.max_queue_depth,
+            slo_ms=args.slo_ms,
+            tenant_weights=weights,
+            policy=args.policy,
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = None
+    if args.metrics_port is not None:
+        server = MetricsHTTPServer(port=args.metrics_port, registry=registry)
+        server.start()
+        # stderr: with --json, stdout must stay one parseable document
+        print(f"serving metrics at {server.url}", file=sys.stderr)
+    try:
+        with KnnQueryService(
+            ds.points, config, fault_plan=args.fault_plan
+        ) as svc:
+            try:
+                report = run_closed_loop(
+                    svc,
+                    clients=args.clients,
+                    duration_seconds=args.duration_seconds,
+                    k=args.k,
+                    rows=args.rows,
+                    tenants=tenants,
+                    seed=args.seed,
+                )
+            except ValidationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            service_stats = svc.stats()
+        summary = report.summary()
+        if args.json:
+            summary["service"] = {
+                k: round(v, 6) if isinstance(v, float) else v
+                for k, v in service_stats.items()
+            }
+            print(json.dumps(summary, indent=1, sort_keys=True))
+        else:
+            print(
+                f"serve: N={args.N} d={args.d} k={args.k} rows={args.rows} "
+                f"clients={args.clients} duration={args.duration_seconds}s "
+                f"policy={args.policy}"
+            )
+            print(
+                f"  completed {summary['completed']} "
+                f"({summary['throughput_rps']} rps)  "
+                f"shed {summary['shed']}  expired {summary['expired']}  "
+                f"failed {summary['failed']}"
+            )
+            print(
+                f"  latency ms: p50={summary['latency_p50_ms']:.2f} "
+                f"p95={summary['latency_p95_ms']:.2f} "
+                f"p99={summary['latency_p99_ms']:.2f}"
+            )
+            print(
+                f"  windows {service_stats['windows']}  "
+                f"solves {service_stats['solve_calls']}  "
+                f"coalescing {service_stats['coalescing_ratio']:.1f}x  "
+                f"occupancy ~{service_stats['occupancy_ewma']:.1f}"
+            )
+            if len(summary["per_tenant"]) > 1:
+                goodput = "  ".join(
+                    f"{name}={t['completed']}"
+                    for name, t in summary["per_tenant"].items()
+                )
+                print(f"  per-tenant goodput: {goodput}")
+        if server is not None and args.serve_seconds > 0:
+            time.sleep(args.serve_seconds)
+    finally:
+        if server is not None:
+            server.stop()
+    return 0
+
+
 def _cmd_distributed(args: argparse.Namespace) -> int:
     from .data import embedded_gaussian
     from .distributed import DistributedAllKnn
@@ -851,6 +1045,7 @@ _COMMANDS = {
     "model": _cmd_model,
     "trace": _cmd_trace,
     "tune": _cmd_tune,
+    "serve": _cmd_serve,
     "distributed": _cmd_distributed,
 }
 

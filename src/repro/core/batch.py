@@ -23,7 +23,12 @@ from .neighbors import KnnResult
 from .norm_cache import cached_squared_norms
 from .norms import Norm
 
-__all__ = ["KnnProblem", "gsknn_batch"]
+__all__ = ["KnnProblem", "gsknn_batch", "reset_plan_cache"]
+
+#: Backends gsknn_batch can schedule onto. ``processes`` is rejected by
+#: the schedule executor (arbitrary closures break its zero-copy
+#: contract), so it is rejected here too — early, with a clear message.
+_ALLOWED_BACKENDS = ("threads", "serial")
 
 #: Shared across batches: a later call over the same table and reference
 #: sets reuses the earlier call's plans (panels + arenas). Lazy so the
@@ -40,6 +45,59 @@ def _get_plan_cache():
     return _PLAN_CACHE
 
 
+def reset_plan_cache() -> None:
+    """Drop the module-global plan cache (test isolation / memory reclaim).
+
+    Callers that passed their own ``plan_cache=`` to :func:`gsknn_batch`
+    are unaffected — this only clears the default shared cache.
+    """
+    global _PLAN_CACHE
+    if _PLAN_CACHE is not None:
+        _PLAN_CACHE.clear()
+    _PLAN_CACHE = None
+
+
+def _as_problem_indices(idx: np.ndarray, name: str) -> np.ndarray:
+    """Coerce a problem index array to ``intp`` without silent truncation.
+
+    The table size is unknown at :class:`KnnProblem` construction (the
+    upper bound is checked by :func:`gsknn_batch` against the actual
+    table), but everything size-independent is enforced here: 1-D,
+    non-empty, non-negative, and integer-valued — float arrays are
+    accepted only when every value is a whole number inside the dtype's
+    exact-integer range, mirroring
+    :func:`repro.validation.as_index_array`.
+    """
+    arr = np.asarray(idx)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty 1-D")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise ValidationError(
+                f"{name} must be an integer index array, got dtype {arr.dtype}"
+            )
+        if not np.isfinite(arr).all():
+            raise ValidationError(
+                f"{name} contains non-finite values; cannot be coerced to "
+                "integer indices"
+            )
+        exact_bound = 2.0 ** (np.finfo(arr.dtype).nmant + 1)
+        if np.abs(arr).max() >= exact_bound:
+            raise ValidationError(
+                f"{name} has float magnitude beyond {arr.dtype}'s exact "
+                "integer range; pass an integer dtype array instead"
+            )
+        if not np.all(arr == np.trunc(arr)):
+            raise ValidationError(
+                f"{name} contains non-integral float values; indices must "
+                "be whole numbers"
+            )
+    out = np.ascontiguousarray(arr, dtype=np.intp)
+    if out.min() < 0:
+        raise ValidationError(f"{name} contains negative indices")
+    return out
+
+
 @dataclass(frozen=True)
 class KnnProblem:
     """One kernel invocation of a batch: indices into the shared table."""
@@ -49,10 +107,8 @@ class KnnProblem:
     k: int
 
     def __post_init__(self) -> None:
-        q = np.asarray(self.q_idx, dtype=np.intp)
-        r = np.asarray(self.r_idx, dtype=np.intp)
-        if q.ndim != 1 or r.ndim != 1 or q.size == 0 or r.size == 0:
-            raise ValidationError("q_idx and r_idx must be non-empty 1-D")
+        q = _as_problem_indices(self.q_idx, "q_idx")
+        r = _as_problem_indices(self.r_idx, "r_idx")
         if not 1 <= self.k <= r.size:
             raise ValidationError(
                 f"k={self.k} out of range for {r.size} references"
@@ -70,6 +126,7 @@ def gsknn_batch(
     variant: int | str = "auto",
     backend: str = "threads",
     plan_reuse: bool = True,
+    plan_cache=None,
     request=None,
 ) -> list[KnnResult]:
     """Solve a batch of independent kNN kernels over one coordinate table.
@@ -86,6 +143,12 @@ def gsknn_batch(
     its gathered panels, and every kernel in the batch shares one
     workspace arena pool. Results are identical either way.
 
+    ``plan_cache`` injects a caller-owned
+    :class:`~repro.core.plan.PlanCache` so long-lived callers (the
+    serving front-end) control cache sizing and lifetime; the default is
+    the module-shared cache (reset with :func:`reset_plan_cache`).
+    Ignored when ``plan_reuse`` is off.
+
     ``request`` (a :class:`~repro.obs.context.RequestContext` or bare
     request-id string) tags every span and metric the batch produces;
     without it the ambient request scope (if any) is inherited.
@@ -93,6 +156,12 @@ def gsknn_batch(
     from ..obs.context import coerce_request, current_request, request_scope
     from ..parallel.chunking import resolve_workers
 
+    if isinstance(backend, str) and backend not in _ALLOWED_BACKENDS:
+        raise ValidationError(
+            f"backend must be one of {_ALLOWED_BACKENDS}, got {backend!r} "
+            "(the processes backend's zero-copy contract does not cover "
+            "batch problems)"
+        )
     p = resolve_workers(p)
     if not problems:
         return []
@@ -105,7 +174,10 @@ def gsknn_batch(
 
     norm_obj = norm
     X2 = cached_squared_norms(X)
-    plans = _get_plan_cache() if plan_reuse else None
+    if plan_reuse:
+        plans = plan_cache if plan_cache is not None else _get_plan_cache()
+    else:
+        plans = None
 
     def solve(prob: KnnProblem) -> KnnResult:
         if plans is not None:

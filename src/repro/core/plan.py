@@ -324,6 +324,88 @@ class GsknnPlan:
             return result, stats
         return result
 
+    def execute_rows(
+        self,
+        Q: np.ndarray,
+        k: int,
+        *,
+        variant: int | str | Variant | None = None,
+        select: str = "masked",
+        return_stats: bool = False,
+        validate: bool = True,
+    ) -> KnnResult | tuple[KnnResult, GsknnStats]:
+        """Solve ``k`` nearest neighbors of *literal query rows* ``Q``.
+
+        The serving front-end's path for requests that carry query
+        coordinates instead of table indices (the production shape: the
+        query embedding is usually not a row of the reference table).
+        Everything the plan amortizes — cached reference panels, the
+        norm side table, blocking and variant resolution, the workspace
+        arena — is reused; only the query gather is replaced by the
+        caller-provided ``(m, d)`` rows. No warm-start: row identity is
+        not tracked across calls.
+        """
+        if select not in ("masked", "legacy"):
+            raise ValidationError(
+                f"select must be 'masked' or 'legacy', got {select!r}"
+            )
+        Q = np.ascontiguousarray(np.asarray(Q), dtype=np.float64)
+        if validate:
+            if Q.ndim != 2 or Q.shape[1] != self.d:
+                raise ValidationError(
+                    f"Q must be 2-D with {self.d} columns to match the "
+                    f"plan's table, got shape {Q.shape}"
+                )
+            if Q.shape[0] == 0:
+                raise ValidationError("Q must have at least one query row")
+            check_finite(Q, name="Q")
+            k = check_k(k, self.r_idx.size)
+        registry = _get_registry()
+        if self._track_staleness:
+            self._maybe_rebuild(registry)
+        m = Q.shape[0]
+        var = self._resolve_variant(m, k, variant)
+        stats = GsknnStats(variant=var, m=m, n=self.n, d=self.d)
+        with self._lock:
+            first = self._executes == 0
+            self._executes += 1
+        t0 = time.perf_counter()
+        with _trace.span(
+            "plan.execute",
+            variant=int(var),
+            m=m,
+            n=self.n,
+            d=self.d,
+            k=k,
+            warm=False,
+            rows=True,
+        ):
+            with self.arena_pool.borrow() as arena:
+                if self.norm.is_l2 or self.norm.is_cosine:
+                    Q2 = squared_norms(Q)
+                else:
+                    Q2 = None
+                result = self._dispatch(
+                    Q, Q2, k, var, None, select, arena, stats
+                )
+        if registry.enabled:
+            registry.inc("plan.executes")
+            registry.inc("plan.row_executes")
+            if not first:
+                registry.inc("plan.reuse_hits")
+            from ..obs.adapters import absorb_gsknn_stats
+            from ..obs.efficiency import record_solve_efficiency
+
+            absorb_gsknn_stats(stats, registry)
+            record_solve_efficiency(
+                m, self.n, self.d, k, int(var),
+                time.perf_counter() - t0,
+                scope="kernel", registry=registry,
+            )
+        if return_stats:
+            return result, stats
+        return result
+
     def _execute_impl(
         self,
         q_idx: np.ndarray,

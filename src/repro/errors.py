@@ -90,6 +90,42 @@ class KernelTimeoutError(ReproError, TimeoutError):
         self.partial = dict(partial) if partial else {}
 
 
+class OverloadError(ReproError, RuntimeError):
+    """The serving front-end shed a request at admission.
+
+    Raised by :meth:`repro.serve.KnnQueryService.submit` when the
+    admission queue is at its configured bound: accepting more work
+    would only grow queue delay past every SLO (congestion collapse),
+    so the service rejects *explicitly* and tells the caller when to
+    come back. Shed requests never enter the queue — nothing is
+    silently dropped.
+
+    Attributes
+    ----------
+    retry_after:
+        Estimated seconds until the queue has drained enough to accept
+        again (from the measured batch service rate); ``None`` when the
+        service has no estimate yet.
+    queue_depth:
+        The queue depth observed at rejection.
+    tenant:
+        The tenant whose request was shed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        queue_depth: int | None = None,
+        tenant: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
+        self.tenant = tenant
+
+
 class InjectedFault(ReproError, RuntimeError):
     """A failure deliberately injected by a :class:`repro.resilience.FaultPlan`.
 

@@ -1,0 +1,35 @@
+"""Online serving front-end: admission-controlled micro-batching.
+
+Concurrent small kNN queries against one shared reference table are
+coalesced into fused batched solves (see :mod:`repro.serve.service` for
+the full design). Public surface::
+
+    from repro.serve import KnnQueryService, ServeConfig
+
+    with KnnQueryService(X, ServeConfig(max_wait_ms=2.0)) as svc:
+        handle = svc.submit([3, 17], k=8, tenant="search")
+        neighbors = handle.result()
+
+Shed requests raise :class:`repro.errors.OverloadError` (with a
+``retry_after`` estimate); deadline expiry raises
+:class:`repro.errors.KernelTimeoutError` from ``handle.result()``.
+"""
+
+from .config import ServeConfig
+from .loadgen import LoadReport, TenantStats, run_closed_loop
+from .policy import ArrivalEstimator, CoalescingPolicy
+from .queueing import FairQueue, PendingRequest
+from .service import KnnQueryService, ServeHandle
+
+__all__ = [
+    "ServeConfig",
+    "KnnQueryService",
+    "ServeHandle",
+    "CoalescingPolicy",
+    "ArrivalEstimator",
+    "FairQueue",
+    "PendingRequest",
+    "LoadReport",
+    "TenantStats",
+    "run_closed_loop",
+]

@@ -1,0 +1,139 @@
+"""Serving-layer configuration: one validated knob surface.
+
+Every policy the front-end applies — how long a coalescing window may
+stay open, how many requests fuse into one solve, when admission starts
+shedding, what the default per-request SLO is, how tenants are weighted
+against each other — lives here, so a deployment is one dataclass
+instead of a constellation of keyword arguments. Validation happens at
+construction: a service never starts with an incoherent config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of a :class:`~repro.serve.service.KnnQueryService`.
+
+    Attributes
+    ----------
+    max_batch:
+        Most requests one fused solve may serve. The coalescing window
+        closes as soon as this many are in hand.
+    max_batch_rows:
+        Cap on total query *rows* per fused solve (requests carry
+        multi-row ``q_idx``); protects the kernel from a pathological
+        window where a few huge requests build an enormous fused panel.
+    max_wait_ms:
+        Hard upper bound on how long the first request of a window may
+        wait for company before the batch is dispatched. The
+        model-informed policy may close the window earlier; it can
+        never hold it open longer.
+    max_queue_depth:
+        Admission bound: total requests queued (not yet dispatched)
+        across all tenants. At the bound, :meth:`submit` sheds with
+        :class:`~repro.errors.OverloadError` instead of queueing into
+        collapse.
+    slo_ms:
+        Default per-request deadline in milliseconds, applied when the
+        caller does not pass one. ``None`` means no default (requests
+        without an explicit deadline are unbounded).
+    tenant_weights:
+        Weighted-round-robin dequeue weights; a tenant absent from the
+        map gets :attr:`default_weight`. Weights are relative shares of
+        each coalescing window, not hard quotas — an idle tenant's
+        share flows to the busy ones.
+    default_weight:
+        Weight for tenants not named in :attr:`tenant_weights`.
+    p, backend:
+        Worker count and execution backend for the fused
+        :func:`~repro.core.batch.gsknn_batch` solve (``"threads"`` or
+        ``"serial"``). One core serves well with the defaults; the
+        threads backend overlaps distinct-``k`` groups on bigger hosts.
+    plan_cache_size:
+        Entries in the service-owned :class:`~repro.core.plan.PlanCache`
+        (distinct reference sets the server keeps warm).
+    policy:
+        ``"model"`` grows the coalescing window only while the
+        :class:`~repro.model.PerformanceModel` predicts batching still
+        pays (see :mod:`repro.serve.policy`); ``"fixed"`` always waits
+        the full ``max_wait_ms`` unless ``max_batch`` fills first.
+    drain_on_stop:
+        Whether :meth:`~repro.serve.service.KnnQueryService.stop`
+        finishes queued requests (default) or fails them.
+    """
+
+    max_batch: int = 64
+    max_batch_rows: int = 8192
+    max_wait_ms: float = 2.0
+    max_queue_depth: int = 256
+    slo_ms: float | None = None
+    tenant_weights: dict[str, int] = field(default_factory=dict)
+    default_weight: int = 1
+    p: int = 1
+    backend: str = "serial"
+    plan_cache_size: int = 8
+    policy: str = "model"
+    drain_on_stop: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValidationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_batch_rows < 1:
+            raise ValidationError(
+                f"max_batch_rows must be >= 1, got {self.max_batch_rows}"
+            )
+        if self.max_wait_ms < 0:
+            raise ValidationError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_queue_depth < 1:
+            raise ValidationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.slo_ms is not None and not self.slo_ms > 0:
+            raise ValidationError(
+                f"slo_ms must be > 0 (or None), got {self.slo_ms}"
+            )
+        if self.default_weight < 1:
+            raise ValidationError(
+                f"default_weight must be >= 1, got {self.default_weight}"
+            )
+        for tenant, weight in self.tenant_weights.items():
+            if int(weight) < 1:
+                raise ValidationError(
+                    f"tenant {tenant!r}: weight must be >= 1, got {weight}"
+                )
+        if self.backend not in ("threads", "serial"):
+            raise ValidationError(
+                f"backend must be 'threads' or 'serial', got {self.backend!r}"
+            )
+        if self.p < 1:
+            raise ValidationError(f"p must be >= 1, got {self.p}")
+        if self.plan_cache_size < 1:
+            raise ValidationError(
+                f"plan_cache_size must be >= 1, got {self.plan_cache_size}"
+            )
+        if self.policy not in ("model", "fixed"):
+            raise ValidationError(
+                f"policy must be 'model' or 'fixed', got {self.policy!r}"
+            )
+
+    def weight_of(self, tenant: str) -> int:
+        return int(self.tenant_weights.get(tenant, self.default_weight))
+
+    @property
+    def max_wait_seconds(self) -> float:
+        return self.max_wait_ms / 1e3
+
+    @property
+    def slo_seconds(self) -> float | None:
+        return None if self.slo_ms is None else self.slo_ms / 1e3

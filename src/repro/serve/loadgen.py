@@ -1,0 +1,201 @@
+"""Closed-loop traffic generation against a :class:`KnnQueryService`.
+
+Shared by the ``repro-gsknn serve`` CLI and ``bench_serving.py``: a set
+of client threads, each submitting one request, waiting for its result,
+and immediately submitting the next (closed loop — offered load adapts
+to service rate, so the system is driven at its sustainable throughput
+instead of into an unbounded queue). Shed requests back off for the
+service's ``retry_after`` estimate; per-tenant tallies make fairness
+checkable from the report alone.
+
+Determinism: each client gets its own seeded RNG (``seed + index``), so
+a report is reproducible for a fixed host speed modulo scheduling
+jitter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import KernelTimeoutError, OverloadError, ValidationError
+
+__all__ = ["LoadReport", "TenantStats", "run_closed_loop"]
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant tallies of one load run."""
+
+    tenant: str
+    sent: int = 0
+    completed: int = 0
+    shed: int = 0
+    expired: int = 0
+    failed: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def goodput(self) -> int:
+        return self.completed
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one closed-loop run."""
+
+    wall_seconds: float
+    clients: int
+    per_tenant: dict[str, TenantStats]
+
+    @property
+    def sent(self) -> int:
+        return sum(t.sent for t in self.per_tenant.values())
+
+    @property
+    def completed(self) -> int:
+        return sum(t.completed for t in self.per_tenant.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(t.shed for t in self.per_tenant.values())
+
+    @property
+    def expired(self) -> int:
+        return sum(t.expired for t in self.per_tenant.values())
+
+    @property
+    def failed(self) -> int:
+        return sum(t.failed for t in self.per_tenant.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    def latencies(self) -> np.ndarray:
+        """All completed-request latencies in seconds, unsorted."""
+        chunks = [t.latencies for t in self.per_tenant.values() if t.latencies]
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate([np.asarray(c) for c in chunks])
+
+    def percentile(self, q: float) -> float:
+        lat = self.latencies()
+        return float(np.percentile(lat, q)) if lat.size else 0.0
+
+    def summary(self) -> dict:
+        """JSON-able digest (the bench's and CLI's shared shape)."""
+        return {
+            "wall_seconds": round(self.wall_seconds, 4),
+            "clients": self.clients,
+            "sent": self.sent,
+            "completed": self.completed,
+            "shed": self.shed,
+            "expired": self.expired,
+            "failed": self.failed,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency_p50_ms": round(self.percentile(50) * 1e3, 4),
+            "latency_p95_ms": round(self.percentile(95) * 1e3, 4),
+            "latency_p99_ms": round(self.percentile(99) * 1e3, 4),
+            "per_tenant": {
+                name: {
+                    "sent": t.sent,
+                    "completed": t.completed,
+                    "shed": t.shed,
+                    "expired": t.expired,
+                    "failed": t.failed,
+                }
+                for name, t in sorted(self.per_tenant.items())
+            },
+        }
+
+
+def run_closed_loop(
+    service,
+    *,
+    clients: int = 8,
+    duration_seconds: float = 5.0,
+    k: int = 8,
+    rows: int = 4,
+    tenants: dict[str, int] | None = None,
+    deadline: float | None = None,
+    seed: int = 0,
+    shed_backoff_seconds: float = 2e-3,
+    result_timeout: float = 30.0,
+) -> LoadReport:
+    """Drive ``service`` with ``clients`` closed-loop clients.
+
+    ``tenants`` maps tenant name to its client count (values must sum
+    to ``clients``); default is all clients on ``"default"``.
+    ``deadline`` is a per-request budget in seconds (the SLO); shed
+    requests sleep the service's ``retry_after`` (or
+    ``shed_backoff_seconds``) before retrying, like a well-behaved
+    client.
+    """
+    if clients < 1:
+        raise ValidationError(f"clients must be >= 1, got {clients}")
+    if tenants is None:
+        tenants = {"default": clients}
+    if sum(tenants.values()) != clients:
+        raise ValidationError(
+            f"tenant client counts {tenants} must sum to clients={clients}"
+        )
+    n_table = service.X.shape[0]
+    assignments: list[str] = []
+    for tenant, count in tenants.items():
+        assignments.extend([tenant] * count)
+    stats = {tenant: TenantStats(tenant) for tenant in tenants}
+    stats_lock = threading.Lock()
+    stop_at = time.perf_counter() + duration_seconds
+
+    def client_loop(index: int) -> None:
+        rng = np.random.default_rng(seed + index)
+        tenant = assignments[index]
+        mine = stats[tenant]
+        while time.perf_counter() < stop_at:
+            q_idx = rng.integers(0, n_table, size=rows)
+            t0 = time.perf_counter()
+            try:
+                handle = service.submit(
+                    q_idx, k, tenant=tenant, deadline=deadline
+                )
+                with stats_lock:
+                    mine.sent += 1
+                handle.result(timeout=result_timeout)
+            except OverloadError as exc:
+                with stats_lock:
+                    mine.shed += 1
+                pause = exc.retry_after
+                time.sleep(
+                    pause if pause is not None else shed_backoff_seconds
+                )
+                continue
+            except KernelTimeoutError:
+                with stats_lock:
+                    mine.expired += 1
+                continue
+            except Exception:
+                with stats_lock:
+                    mine.failed += 1
+                continue
+            latency = time.perf_counter() - t0
+            with stats_lock:
+                mine.completed += 1
+                mine.latencies.append(latency)
+
+    threads = [
+        threading.Thread(
+            target=client_loop, args=(i,), name=f"loadgen-{i}", daemon=True
+        )
+        for i in range(clients)
+    ]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(duration_seconds + result_timeout)
+    wall = time.perf_counter() - t_start
+    return LoadReport(wall_seconds=wall, clients=clients, per_tenant=stats)

@@ -1,0 +1,176 @@
+"""Pending-request bookkeeping: per-tenant queues with fair dequeue.
+
+The admission queue is the one shared structure between client threads
+(many, calling ``submit``) and the dispatcher (one, draining windows),
+so it is deliberately dumb: plain deques under one lock, no internal
+condition variable (the service owns the wakeup signalling), and a
+weighted-round-robin ``take`` that is the entire fairness mechanism.
+
+WRR rather than a single FIFO because a single FIFO lets one chatty
+tenant occupy every slot of every coalescing window: whoever submits
+fastest is served exclusively, and everyone else's goodput goes to
+zero. Round-robin over tenant queues — each tenant taking up to
+``weight`` requests per cycle — bounds any tenant's share of a window
+to roughly ``weight / total_active_weight`` while letting an idle
+tenant's share flow to the busy ones (work-conserving: a window never
+leaves with fewer requests than it could carry).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["PendingRequest", "FairQueue"]
+
+
+@dataclass
+class PendingRequest:
+    """One submitted query, queued between ``submit`` and its fused solve.
+
+    ``ctx`` carries the request id, tenant, and (optional) deadline —
+    the same :class:`~repro.obs.context.RequestContext` that tags every
+    span and metric the request's share of the solve produces. Exactly
+    one of ``q_idx`` (table indices) or ``Q`` (literal query rows) is
+    set; the two kinds fuse into separate solves of the same window.
+    """
+
+    ctx: Any
+    k: int
+    future: Any
+    q_idx: np.ndarray | None = None
+    Q: np.ndarray | None = None
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def tenant(self) -> str:
+        return self.ctx.tenant
+
+    @property
+    def is_rows(self) -> bool:
+        return self.Q is not None
+
+    @property
+    def rows(self) -> int:
+        if self.Q is not None:
+            return int(self.Q.shape[0])
+        return int(self.q_idx.size)
+
+    def queue_wait(self) -> float:
+        return time.perf_counter() - self.enqueued_at
+
+
+class FairQueue:
+    """Per-tenant FIFO queues with weighted-round-robin batch dequeue.
+
+    Thread-safe; all methods take the internal lock. The round-robin
+    cursor persists across ``take`` calls so fairness holds across
+    windows, not just within one: the tenant after the last one served
+    starts the next cycle.
+    """
+
+    def __init__(self, weight_of: Callable[[str], int]) -> None:
+        self._weight_of = weight_of
+        self._lock = threading.Lock()
+        self._queues: "OrderedDict[str, deque[PendingRequest]]" = OrderedDict()
+        self._depth = 0
+        self._cursor = 0  # index into the tenant ordering, persists
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def depth(self) -> int:
+        return len(self)
+
+    def push(self, req: PendingRequest) -> int:
+        """Append; returns the new total depth. Admission (the bound
+        check) is the service's job — the queue never rejects."""
+        with self._lock:
+            queue = self._queues.get(req.tenant)
+            if queue is None:
+                queue = self._queues[req.tenant] = deque()
+            queue.append(req)
+            self._depth += 1
+            return self._depth
+
+    def take(self, max_items: int, max_rows: int) -> list[PendingRequest]:
+        """Dequeue up to ``max_items`` requests / ``max_rows`` query rows,
+        weighted-round-robin across tenants.
+
+        Each cycle visits every tenant (starting at the persistent
+        cursor) and takes up to ``weight(tenant)`` of its queued
+        requests; cycles repeat until the caps are hit or every queue is
+        empty. A request whose ``rows`` would cross ``max_rows`` stays
+        queued for the next window — unless the batch is still empty, in
+        which case it is taken alone (an oversized request must not
+        deadlock at the head of its queue).
+        """
+        out: list[PendingRequest] = []
+        rows = 0
+        with self._lock:
+            while self._depth and len(out) < max_items:
+                tenants = list(self._queues.keys())
+                took_any = False
+                for i in range(len(tenants)):
+                    tenant = tenants[(self._cursor + i) % len(tenants)]
+                    queue = self._queues[tenant]
+                    budget = self._weight_of(tenant)
+                    while budget and queue and len(out) < max_items:
+                        req = queue[0]
+                        if out and rows + req.rows > max_rows:
+                            # window is full by rows; leave for the next
+                            self._cursor = (self._cursor + i) % len(tenants)
+                            return out
+                        queue.popleft()
+                        self._depth -= 1
+                        out.append(req)
+                        rows += req.rows
+                        budget -= 1
+                        took_any = True
+                        if rows >= max_rows or len(out) >= max_items:
+                            # resume the rotation *after* this tenant
+                            # next window — returning with the cursor
+                            # parked here would let whoever fills a
+                            # whole window (e.g. max_items=1) be served
+                            # exclusively until its queue empties
+                            self._cursor = (self._cursor + i + 1) % len(
+                                tenants
+                            )
+                            return out
+                self._cursor = (self._cursor + len(tenants)) % max(
+                    len(tenants), 1
+                )
+                if not took_any:
+                    break
+            # drop tenants whose queues emptied, so the rotation stays
+            # proportional to *active* tenants
+            for tenant in [t for t, q in self._queues.items() if not q]:
+                del self._queues[tenant]
+            if self._cursor and self._queues:
+                self._cursor %= len(self._queues)
+            elif not self._queues:
+                self._cursor = 0
+        return out
+
+    def drain_all(self) -> list[PendingRequest]:
+        """Remove and return everything (service shutdown path)."""
+        with self._lock:
+            out: list[PendingRequest] = []
+            for queue in self._queues.values():
+                out.extend(queue)
+                queue.clear()
+            self._queues.clear()
+            self._depth = 0
+            self._cursor = 0
+            return out
+
+    def depths_by_tenant(self) -> dict[str, int]:
+        with self._lock:
+            return {t: len(q) for t, q in self._queues.items() if q}

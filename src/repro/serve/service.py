@@ -1,0 +1,592 @@
+"""Micro-batching query service: coalesce concurrent kNN queries into
+fused batched solves.
+
+An online serving workload inverts the shapes this repo's kernels were
+tuned on: instead of one big ``(m, n, k)`` solve, thousands of tiny
+independent requests — a handful of query rows each — arrive
+concurrently against one shared reference table. Solving each alone
+pays the kernel's fixed costs (dispatch, plan lookup, panel streaming,
+the small-GEMM efficiency cliff of §2.3) once *per request*;
+:class:`KnnQueryService` pays them once per *window* by fusing every
+in-flight request into one batched solve and demultiplexing per-request
+slices of the result.
+
+The moving parts, each in its own module:
+
+* admission — a bounded queue; at the bound :meth:`submit` sheds with
+  :class:`~repro.errors.OverloadError` carrying a measured
+  ``retry_after`` instead of queueing into collapse;
+* fairness — :class:`~repro.serve.queueing.FairQueue` dequeues
+  weighted-round-robin across tenants, so one chatty tenant cannot
+  starve the rest out of every coalescing window;
+* the window policy — :class:`~repro.serve.policy.CoalescingPolicy`
+  keeps a window open only while the §2.6 performance model predicts
+  the marginal amortization gain beats the expected wait for the next
+  arrival (``policy="fixed"`` reverts to dumb time/size windows);
+* SLOs — each request carries a :class:`~repro.resilience.Deadline`
+  through its :class:`~repro.obs.context.RequestContext`; requests that
+  expire while queued fail fast (the budget is already lost — burning
+  kernel time on them only hurts everyone behind);
+* solves — index requests fuse through
+  :func:`~repro.core.batch.gsknn_batch` (one
+  :class:`~repro.core.batch.KnnProblem` per distinct ``k``) against a
+  service-owned :class:`~repro.core.plan.PlanCache`, so reference
+  panels stay packed across windows; literal-row requests fuse through
+  :meth:`~repro.core.plan.GsknnPlan.execute_rows` on plans from the
+  same cache;
+* faults — an active :class:`~repro.resilience.FaultPlan` (e.g. from
+  ``$REPRO_FAULT_PLAN``) injects at window granularity and the solve
+  retries with fresh dice, so one faulted window degrades one window's
+  latency instead of failing its requests.
+
+Everything observable flows through the ordinary metrics registry under
+the ``serve.*`` namespace (latency quantiles, queue depth, occupancy,
+coalescing ratio, shed/SLO counters) — the existing ``/metrics``
+exporter serves them with zero extra wiring.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.batch import KnnProblem, gsknn_batch
+from ..core.neighbors import KnnResult
+from ..core.norm_cache import cached_squared_norms
+from ..core.plan import PlanCache
+from ..errors import (
+    BackendError,
+    InjectedFault,
+    KernelTimeoutError,
+    OverloadError,
+    ValidationError,
+)
+from ..model.perf_model import PerformanceModel
+from ..obs.context import RequestContext, request_scope
+from ..obs.metrics import get_registry as _get_registry
+from ..resilience import Deadline, FaultPlan
+from ..validation import as_coordinate_table, as_index_array, check_finite, check_k
+from .config import ServeConfig
+from .policy import CoalescingPolicy
+from .queueing import FairQueue, PendingRequest
+
+__all__ = ["KnnQueryService", "ServeHandle"]
+
+#: Bucket layout for serving-latency histograms: finer than the default
+#: power-of-two edges so p99 gauges resolve to ~±40% at the
+#: sub-millisecond latencies micro-batching produces.
+_LATENCY_BUCKETS = dict(start=1e-5, factor=1.4, count=45)
+
+#: Attempts per window solve when a fault plan is active (attempt 0 plus
+#: retries with fresh deterministic dice — converges for any rate < 1).
+_WINDOW_ATTEMPTS = 3
+
+
+@dataclass
+class ServeHandle:
+    """Caller's side of one submitted request.
+
+    ``result()`` blocks until the fused solve that carried the request
+    completes, returning the per-request :class:`KnnResult` slice;
+    failures (deadline expiry, solve errors, shutdown) re-raise here.
+    """
+
+    request_id: str
+    tenant: str
+    future: Any
+
+    def result(self, timeout: float | None = None) -> KnnResult:
+        return self.future.result(timeout)
+
+    def exception(self, timeout: float | None = None):
+        return self.future.exception(timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class KnnQueryService:
+    """Admission-controlled micro-batching front-end over one table.
+
+    Parameters
+    ----------
+    X:
+        The shared ``(n, d)`` reference table every request queries.
+    config:
+        A :class:`~repro.serve.config.ServeConfig`; default tunables
+        otherwise.
+    norm, variant:
+        Forwarded to the fused solves (same semantics as
+        :func:`~repro.core.gsknn.gsknn`).
+    model:
+        :class:`~repro.model.PerformanceModel` for the coalescing
+        policy; default paper-constants model otherwise.
+    fault_plan:
+        Explicit :class:`~repro.resilience.FaultPlan` (or spec string);
+        default is ``FaultPlan.from_env()`` like the other driver entry
+        points.
+
+    Use as a context manager (or call :meth:`start`/:meth:`stop`)::
+
+        with KnnQueryService(X, config) as svc:
+            handle = svc.submit([3, 17], k=8, tenant="search")
+            result = handle.result()
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        config: ServeConfig | None = None,
+        *,
+        norm: str | float = "l2",
+        variant: int | str = "auto",
+        model: PerformanceModel | None = None,
+        fault_plan: FaultPlan | str | None = None,
+    ) -> None:
+        self.X = as_coordinate_table(X)
+        check_finite(self.X)
+        self.config = config if config is not None else ServeConfig()
+        self._norm = norm
+        self._variant = variant
+        self._r_all = np.arange(self.X.shape[0], dtype=np.intp)
+        self._plans = PlanCache(max_plans=self.config.plan_cache_size)
+        self._policy = CoalescingPolicy(
+            model,
+            n_refs=self.X.shape[0],
+            d=self.X.shape[1],
+            fixed=self.config.policy == "fixed",
+        )
+        plan = FaultPlan.coerce(fault_plan)
+        if plan is None:
+            plan = FaultPlan.from_env()
+        self._fault_plan = plan if plan is not None and plan.active else None
+        self._queue = FairQueue(self.config.weight_of)
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._running = False
+        self._stopping = False
+        # Running tallies for retry_after estimation and the
+        # coalescing-ratio gauge (mutated only under self._cond or by
+        # the single dispatcher).
+        self._windows = 0
+        self._window_seq = 0
+        self._solve_calls = 0
+        self._completed = 0
+        self._shed = 0
+        self._batch_seconds_ewma = 0.0
+        self._occupancy_ewma = 1.0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "KnnQueryService":
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+            self._stopping = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the dispatcher; drain or fail queued requests per config."""
+        with self._cond:
+            if not self._running:
+                return
+            self._stopping = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        with self._cond:
+            self._running = False
+
+    def __enter__(self) -> "KnnQueryService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running and not self._stopping
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self,
+        q_idx: Any,
+        k: int,
+        *,
+        tenant: str = "default",
+        deadline: Deadline | float | None = None,
+    ) -> ServeHandle:
+        """Submit a query by table indices; returns immediately.
+
+        ``q_idx`` is one index or an array of them (one result row
+        each); ``deadline`` a :class:`Deadline` or budget-seconds float,
+        defaulting to the config's ``slo_ms``. Raises
+        :class:`~repro.errors.OverloadError` when shed at admission and
+        :class:`~repro.errors.ValidationError` on malformed input —
+        both synchronously, before anything is queued.
+        """
+        q_idx = np.atleast_1d(np.asarray(q_idx))
+        q_idx = as_index_array(q_idx, self.X.shape[0], name="q_idx")
+        k = check_k(k, self.X.shape[0])
+        return self._admit(q_idx=q_idx, Q=None, k=k, tenant=tenant,
+                           deadline=deadline)
+
+    def submit_rows(
+        self,
+        Q: np.ndarray,
+        k: int,
+        *,
+        tenant: str = "default",
+        deadline: Deadline | float | None = None,
+    ) -> ServeHandle:
+        """Submit literal query coordinates (the out-of-table shape).
+
+        ``Q`` is ``(rows, d)`` (a single ``(d,)`` row is promoted);
+        solved via :meth:`~repro.core.plan.GsknnPlan.execute_rows`
+        against the same cached plans as index requests.
+        """
+        Q = np.ascontiguousarray(np.atleast_2d(np.asarray(Q)), dtype=np.float64)
+        if Q.ndim != 2 or Q.shape[1] != self.X.shape[1]:
+            raise ValidationError(
+                f"Q must be ({self.X.shape[1]},) or (rows, {self.X.shape[1]}) "
+                f"to match the table, got shape {Q.shape}"
+            )
+        check_finite(Q, name="Q")
+        k = check_k(k, self.X.shape[0])
+        return self._admit(q_idx=None, Q=Q, k=k, tenant=tenant,
+                           deadline=deadline)
+
+    def _admit(
+        self,
+        *,
+        q_idx: np.ndarray | None,
+        Q: np.ndarray | None,
+        k: int,
+        tenant: str,
+        deadline: Deadline | float | None,
+    ) -> ServeHandle:
+        from concurrent.futures import Future
+
+        registry = _get_registry()
+        dl = Deadline.coerce(deadline)
+        if dl is None and self.config.slo_seconds is not None:
+            dl = Deadline(self.config.slo_seconds)
+        ctx = RequestContext.new(tenant=tenant, deadline=dl)
+        req = PendingRequest(ctx=ctx, k=k, future=Future(), q_idx=q_idx, Q=Q)
+        with self._cond:
+            if not self._running or self._stopping:
+                raise OverloadError(
+                    "service is not accepting requests (not started or "
+                    "stopping)",
+                    tenant=tenant,
+                )
+            depth = len(self._queue)
+            if depth >= self.config.max_queue_depth:
+                self._shed += 1
+                retry_after = self._estimate_drain_seconds(depth)
+                if registry.enabled:
+                    registry.inc("serve.shed", labels={"tenant": tenant})
+                raise OverloadError(
+                    f"admission queue full ({depth} queued, bound "
+                    f"{self.config.max_queue_depth}); retry after "
+                    f"{retry_after if retry_after is not None else '?'}s",
+                    retry_after=retry_after,
+                    queue_depth=depth,
+                    tenant=tenant,
+                )
+            depth = self._queue.push(req)
+            self._policy.note_request(req.rows)
+            self._cond.notify()
+        if registry.enabled:
+            registry.inc("serve.requests", labels={"tenant": tenant})
+            registry.gauge("serve.queue_depth").set(depth)
+        return ServeHandle(
+            request_id=ctx.request_id, tenant=tenant, future=req.future
+        )
+
+    def _estimate_drain_seconds(self, depth: int) -> float | None:
+        """Expected seconds to drain ``depth`` queued requests, from the
+        measured service rate; ``None`` before the first window."""
+        if self._windows == 0 or self._batch_seconds_ewma <= 0:
+            return None
+        per_request = self._batch_seconds_ewma / max(self._occupancy_ewma, 1.0)
+        return round(max(depth * per_request, 1e-3), 4)
+
+    # -- dispatcher -------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while len(self._queue) == 0 and not self._stopping:
+                    self._cond.wait(0.05)
+            if len(self._queue) == 0:
+                if self._stopping:
+                    return
+                continue
+            if self._stopping and not self.config.drain_on_stop:
+                for req in self._queue.drain_all():
+                    req.future.set_exception(
+                        OverloadError(
+                            "service stopped before this request was served",
+                            tenant=req.tenant,
+                        )
+                    )
+                return
+            batch = self._collect_window()
+            if batch:
+                self._execute_window(batch)
+
+    def _collect_window(self) -> list[PendingRequest]:
+        """Hold the window open per policy, then take one WRR batch."""
+        cfg = self.config
+        close_at = time.perf_counter() + cfg.max_wait_seconds
+        while not self._stopping:
+            depth = len(self._queue)
+            if depth >= cfg.max_batch:
+                break
+            now = time.perf_counter()
+            if now >= close_at:
+                break
+            if not self._policy.should_wait(max(depth, 1)):
+                break
+            with self._cond:
+                if len(self._queue) == depth:
+                    self._cond.wait(min(close_at - now, 5e-4))
+        if self._stopping and not cfg.drain_on_stop:
+            # leave everything queued: the dispatch loop fails the
+            # stragglers explicitly instead of racing stop() into one
+            # last solve
+            return []
+        return self._queue.take(cfg.max_batch, cfg.max_batch_rows)
+
+    def _execute_window(self, batch: list[PendingRequest]) -> None:
+        registry = _get_registry()
+        t0 = time.perf_counter()
+        self._window_seq += 1
+        live: list[PendingRequest] = []
+        for req in batch:
+            if self._expire_queued(req, registry):
+                continue
+            if registry.enabled:
+                registry.observe(
+                    "serve.queue_wait_seconds", req.queue_wait(),
+                    **_LATENCY_BUCKETS,
+                )
+            live.append(req)
+        if not live:
+            self._finish_window(registry, t0, live, 0)
+            return
+
+        idx_groups: dict[int, list[PendingRequest]] = {}
+        row_groups: dict[int, list[PendingRequest]] = {}
+        for req in live:
+            target = row_groups if req.is_rows else idx_groups
+            target.setdefault(req.k, []).append(req)
+
+        batch_ctx = RequestContext.new(tenant="serve.batch")
+        solve_calls = 0
+        if idx_groups:
+            ks = sorted(idx_groups)
+            problems = [
+                KnnProblem(
+                    np.concatenate([r.q_idx for r in idx_groups[k]]),
+                    self._r_all,
+                    k,
+                )
+                for k in ks
+            ]
+            solve_calls += len(problems)
+            try:
+                results = self._solve_with_faults(
+                    lambda: gsknn_batch(
+                        self.X,
+                        problems,
+                        p=self.config.p,
+                        norm=self._norm,
+                        variant=self._variant,
+                        backend=self.config.backend,
+                        plan_cache=self._plans,
+                        request=batch_ctx,
+                    ),
+                    registry,
+                )
+            except Exception as exc:
+                self._fail_members(
+                    [r for k in ks for r in idx_groups[k]], exc, registry
+                )
+            else:
+                for k, result in zip(ks, results):
+                    self._demux(idx_groups[k], result, registry)
+        for k in sorted(row_groups):
+            members = row_groups[k]
+            Q_cat = (
+                members[0].Q
+                if len(members) == 1
+                else np.vstack([r.Q for r in members])
+            )
+            solve_calls += 1
+            try:
+                plan = self._plans.get(
+                    self.X, self._r_all, norm=self._norm,
+                    variant=self._variant, X2=cached_squared_norms(self.X),
+                )
+                with request_scope(batch_ctx):
+                    result = self._solve_with_faults(
+                        lambda: plan.execute_rows(Q_cat, k, validate=False),
+                        registry,
+                    )
+            except Exception as exc:
+                self._fail_members(members, exc, registry)
+            else:
+                self._demux(members, result, registry)
+        self._finish_window(registry, t0, live, solve_calls)
+
+    def _solve_with_faults(self, solve, registry):
+        """Run one fused solve, injecting/absorbing planned faults.
+
+        Window-granular injection: the whole window retries with fresh
+        deterministic dice, so a faulted window costs its requests one
+        solve's latency, never their results.
+        """
+        plan = self._fault_plan
+        if plan is None:
+            return solve()
+        last: Exception | None = None
+        for attempt in range(_WINDOW_ATTEMPTS):
+            try:
+                plan.apply("serve.window", self._window_seq, attempt)
+                return solve()
+            except (InjectedFault, MemoryError, BackendError) as exc:
+                last = exc
+                if registry.enabled:
+                    registry.inc("serve.window_retries")
+        assert last is not None
+        raise last
+
+    def _expire_queued(self, req: PendingRequest, registry) -> bool:
+        """Fail-fast a request whose deadline died in the queue."""
+        dl = req.ctx.deadline
+        if dl is None or not dl.expired():
+            return False
+        with request_scope(req.ctx):
+            try:
+                dl.raise_expired(
+                    "serve.queue", queue_wait=round(req.queue_wait(), 6)
+                )
+            except KernelTimeoutError as exc:
+                req.future.set_exception(exc)
+        if registry.enabled:
+            labels = {"tenant": req.tenant}
+            registry.inc("serve.expired_in_queue", labels=labels)
+            registry.inc("serve.slo_misses", labels=labels)
+        return True
+
+    def _fail_members(
+        self, members: list[PendingRequest], exc: Exception, registry
+    ) -> None:
+        for req in members:
+            req.future.set_exception(exc)
+        if registry.enabled:
+            registry.inc("serve.batch_failures")
+            for req in members:
+                registry.inc("serve.failed", labels={"tenant": req.tenant})
+
+    def _demux(
+        self, members: list[PendingRequest], result: KnnResult, registry
+    ) -> None:
+        """Slice the fused result back into per-request results."""
+        offset = 0
+        for req in members:
+            rows = req.rows
+            piece = KnnResult(
+                result.distances[offset : offset + rows],
+                result.indices[offset : offset + rows],
+            )
+            offset += rows
+            latency = time.perf_counter() - req.enqueued_at
+            req.future.set_result(piece)
+            self._completed += 1
+            if registry.enabled:
+                labels = {"tenant": req.tenant}
+                registry.inc("serve.completed", labels=labels)
+                registry.observe(
+                    "serve.latency_seconds", latency, **_LATENCY_BUCKETS
+                )
+                dl = req.ctx.deadline
+                if dl is not None and dl.expired():
+                    # Result still delivered — the budget died during
+                    # the solve, not the queue — but the SLO was missed.
+                    registry.inc("serve.slo_misses", labels=labels)
+
+    def _finish_window(
+        self, registry, t0: float, live: list[PendingRequest], solve_calls: int
+    ) -> None:
+        service_seconds = time.perf_counter() - t0
+        self._windows += 1
+        self._solve_calls += solve_calls
+        if live:
+            if self._batch_seconds_ewma == 0.0:
+                self._batch_seconds_ewma = service_seconds
+            else:
+                self._batch_seconds_ewma += 0.2 * (
+                    service_seconds - self._batch_seconds_ewma
+                )
+            self._occupancy_ewma += 0.2 * (len(live) - self._occupancy_ewma)
+        if not registry.enabled:
+            return
+        registry.inc("serve.windows")
+        if solve_calls:
+            registry.inc("serve.solves", solve_calls)
+        if live:
+            registry.observe("serve.batch_occupancy", len(live))
+            registry.observe(
+                "serve.batch_rows", sum(r.rows for r in live)
+            )
+            registry.observe(
+                "serve.batch_service_seconds", service_seconds,
+                **_LATENCY_BUCKETS,
+            )
+        registry.gauge("serve.queue_depth").set(len(self._queue))
+        if self._solve_calls:
+            registry.gauge("serve.coalescing_ratio").set(
+                round(self._completed / self._solve_calls, 4)
+            )
+        hist = registry.histogram("serve.latency_seconds", **_LATENCY_BUCKETS)
+        if hist.count:
+            for q, name in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                registry.gauge(f"serve.latency_{name}").set(hist.quantile(q))
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Registry-independent snapshot of service accounting."""
+        with self._cond:
+            return {
+                "queue_depth": len(self._queue),
+                "windows": self._windows,
+                "solve_calls": self._solve_calls,
+                "completed": self._completed,
+                "shed": self._shed,
+                "coalescing_ratio": (
+                    self._completed / self._solve_calls
+                    if self._solve_calls
+                    else 0.0
+                ),
+                "batch_seconds_ewma": self._batch_seconds_ewma,
+                "occupancy_ewma": self._occupancy_ewma,
+            }

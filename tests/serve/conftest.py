@@ -1,0 +1,30 @@
+"""Fixtures for the serving-layer suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import FAULT_PLAN_ENV
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_fault_plan(monkeypatch):
+    """Serving tests pin fault behavior explicitly via ``fault_plan=``;
+    an ambient ``$REPRO_FAULT_PLAN`` (the CI fault matrix) must not
+    leak into services that expect clean solves."""
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+
+
+@pytest.fixture
+def table(rng) -> np.ndarray:
+    return rng.random((256, 12))
+
+
+@pytest.fixture
+def metrics():
+    from repro.obs.metrics import disable_metrics, enable_metrics
+
+    registry = enable_metrics()
+    yield registry
+    disable_metrics()

@@ -1,0 +1,122 @@
+"""The model-informed coalescing policy and its arrival estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import ArrivalEstimator, CoalescingPolicy
+
+
+class TestArrivalEstimator:
+    def test_ewma_tracks_injected_clock(self):
+        est = ArrivalEstimator(alpha=0.5, initial=1.0)
+        t = 0.0
+        for _ in range(30):
+            est.note_arrival(t)
+            t += 0.01
+        # EWMA converges onto the true 10 ms inter-arrival gap
+        assert est.interval == pytest.approx(0.01, rel=0.05)
+        assert est.rate == pytest.approx(100.0, rel=0.05)
+
+    def test_first_arrival_sets_no_gap(self):
+        est = ArrivalEstimator(initial=5.0)
+        est.note_arrival(1.0)
+        assert est.interval == 5.0  # one sample is not a gap
+
+    def test_slowdown_raises_interval(self):
+        est = ArrivalEstimator(alpha=0.5, initial=0.001)
+        est.note_arrival(0.0)
+        est.note_arrival(1.0)  # traffic stalled for a second
+        assert est.interval > 0.1
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValidationError):
+            ArrivalEstimator(alpha=0.0)
+        with pytest.raises(ValidationError):
+            ArrivalEstimator(alpha=1.5)
+
+
+class TestCoalescingPolicy:
+    def _policy(self, **kwargs) -> CoalescingPolicy:
+        kwargs.setdefault("n_refs", 4096)
+        kwargs.setdefault("d", 32)
+        return CoalescingPolicy(**kwargs)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            self._policy(n_refs=0)
+        with pytest.raises(ValidationError):
+            self._policy(d=0)
+        with pytest.raises(ValidationError):
+            self._policy(typical_rows=0)
+        with pytest.raises(ValidationError):
+            self._policy(patience=0.0)
+
+    def test_gain_positive_and_diminishing(self):
+        """Amortization gain is positive (batching always spreads the
+        fixed cost thinner) and shrinks as the window grows — the
+        marginal value of the 33rd request is far below the 2nd's."""
+        policy = self._policy()
+        gains = [policy.amortization_gain(b) for b in (1, 2, 4, 8, 16, 32)]
+        assert all(g > 0 for g in gains)
+        assert gains == sorted(gains, reverse=True)
+        assert gains[0] > 10 * gains[-1]
+
+    def test_waits_under_fast_arrivals_not_under_slow(self):
+        policy = self._policy()
+        # fast traffic: next arrival expected in 50 us -> keep waiting
+        t = 0.0
+        for _ in range(50):
+            policy.note_request(rows=4, now=t)
+            t += 50e-6
+        assert policy.should_wait(batched=1)
+        # traffic stalls: expected wait now ~1 s, gain can't pay for it
+        for _ in range(10):
+            policy.note_request(rows=4, now=t)
+            t += 1.0
+        assert not policy.should_wait(batched=1)
+
+    def test_big_windows_stop_paying(self):
+        """Even under fast arrivals the diminishing gain eventually drops
+        below the expected wait, closing the window before max_batch."""
+        policy = self._policy()
+        t = 0.0
+        for _ in range(50):
+            policy.note_request(rows=4, now=t)
+            t += 200e-6
+        assert policy.should_wait(batched=1)
+        assert not policy.should_wait(batched=4096)
+
+    def test_fixed_mode_always_waits(self):
+        policy = self._policy(fixed=True)
+        t = 0.0
+        for _ in range(5):
+            policy.note_request(rows=4, now=t)
+            t += 10.0  # glacial traffic
+        assert policy.should_wait(batched=1)
+        assert policy.should_wait(batched=10_000)
+
+    def test_patience_biases_the_decision(self):
+        """Same traffic, higher patience -> less willing to wait."""
+        t_arrivals = [i * 1e-3 for i in range(50)]
+
+        def decided(patience: float) -> bool:
+            policy = self._policy(patience=patience)
+            for t in t_arrivals:
+                policy.note_request(rows=4, now=t)
+            return policy.should_wait(batched=2)
+
+        assert decided(0.01) and not decided(100.0)
+
+    def test_rows_ewma_refines_typical_shape(self):
+        policy = self._policy(typical_rows=1)
+        for _ in range(50):
+            policy.note_request(rows=16, now=None)
+        assert policy._rows_ewma == pytest.approx(16.0, rel=0.05)
+
+    def test_predicted_solve_seconds_monotone_in_rows(self):
+        policy = self._policy()
+        small = policy.predicted_solve_seconds(4, 8)
+        big = policy.predicted_solve_seconds(4096, 8)
+        assert 0 < small < big

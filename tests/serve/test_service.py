@@ -1,0 +1,228 @@
+"""Correctness and lifecycle of :class:`repro.serve.KnnQueryService`."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.gsknn import gsknn
+from repro.errors import (
+    KernelTimeoutError,
+    OverloadError,
+    ValidationError,
+)
+from repro.serve import KnnQueryService, ServeConfig
+
+
+def _direct(table, q_idx, k):
+    return gsknn(table, np.asarray(q_idx), np.arange(table.shape[0]), k)
+
+
+class TestCorrectness:
+    def test_fused_results_match_direct_solves(self, table, rng):
+        """Many concurrent requests, mixed k and tenants: every demuxed
+        slice must equal the stand-alone kernel's answer."""
+        queries = [
+            rng.integers(0, table.shape[0], size=int(rng.integers(1, 6)))
+            for _ in range(40)
+        ]
+        ks = [int(rng.integers(1, 9)) for _ in queries]
+        with KnnQueryService(table, ServeConfig(max_wait_ms=2.0)) as svc:
+            handles = [
+                svc.submit(q, k, tenant=f"t{i % 3}")
+                for i, (q, k) in enumerate(zip(queries, ks))
+            ]
+            results = [h.result(timeout=30) for h in handles]
+        for q, k, got in zip(queries, ks, results):
+            want = _direct(table, q, k)
+            np.testing.assert_array_equal(got.indices, want.indices)
+            np.testing.assert_allclose(
+                got.distances, want.distances, atol=1e-12
+            )
+
+    def test_scalar_index_promoted(self, table):
+        with KnnQueryService(table) as svc:
+            got = svc.submit(7, 3).result(timeout=30)
+        want = _direct(table, [7], 3)
+        np.testing.assert_array_equal(got.indices, want.indices)
+
+    def test_row_requests_match_direct(self, table, rng):
+        """Literal-coordinate requests solve against the same table."""
+        Q = rng.random((3, table.shape[1]))
+        with KnnQueryService(table) as svc:
+            got = svc.submit_rows(Q, 4).result(timeout=30)
+        # reference: append the rows to a copy of the table and query them
+        X2 = np.vstack([table, Q])
+        want = gsknn(
+            X2,
+            np.arange(table.shape[0], table.shape[0] + 3),
+            np.arange(table.shape[0]),
+            4,
+        )
+        np.testing.assert_array_equal(got.indices, want.indices)
+        np.testing.assert_allclose(got.distances, want.distances, atol=1e-12)
+
+    def test_single_row_promoted(self, table, rng):
+        q = rng.random(table.shape[1])
+        with KnnQueryService(table) as svc:
+            got = svc.submit_rows(q, 2).result(timeout=30)
+        assert got.distances.shape == (1, 2)
+
+    def test_mixed_index_and_row_requests_in_one_window(self, table, rng):
+        with KnnQueryService(table, ServeConfig(max_wait_ms=5.0)) as svc:
+            hi = svc.submit([1, 2], 3)
+            hr = svc.submit_rows(rng.random((2, table.shape[1])), 3)
+            ri, rr = hi.result(timeout=30), hr.result(timeout=30)
+        assert ri.m == 2 and rr.m == 2
+        want = _direct(table, [1, 2], 3)
+        np.testing.assert_array_equal(ri.indices, want.indices)
+
+    def test_handle_metadata(self, table):
+        with KnnQueryService(table) as svc:
+            handle = svc.submit([0], 1, tenant="alpha")
+            handle.result(timeout=30)
+        assert handle.tenant == "alpha"
+        assert handle.request_id.startswith("req-")
+        assert handle.done()
+        assert handle.exception() is None
+
+
+class TestValidation:
+    def test_bad_indices_rejected_synchronously(self, table):
+        with KnnQueryService(table) as svc:
+            with pytest.raises(ValidationError):
+                svc.submit([table.shape[0] + 5], 2)
+            with pytest.raises(ValidationError):
+                svc.submit([0], 0)
+            with pytest.raises(ValidationError):
+                svc.submit([0], table.shape[0] + 1)
+
+    def test_bad_rows_rejected(self, table, rng):
+        with KnnQueryService(table) as svc:
+            with pytest.raises(ValidationError):
+                svc.submit_rows(rng.random((2, table.shape[1] + 1)), 2)
+            with pytest.raises(ValidationError):
+                svc.submit_rows(
+                    np.full((1, table.shape[1]), np.nan), 2
+                )
+
+    def test_table_validated_at_construction(self):
+        with pytest.raises(ValidationError):
+            KnnQueryService(np.full((4, 2), np.inf))
+
+
+class TestLifecycle:
+    def test_submit_before_start_sheds(self, table):
+        svc = KnnQueryService(table)
+        with pytest.raises(OverloadError, match="not accepting"):
+            svc.submit([0], 1)
+
+    def test_submit_after_stop_sheds(self, table):
+        svc = KnnQueryService(table).start()
+        svc.stop()
+        with pytest.raises(OverloadError, match="not accepting"):
+            svc.submit([0], 1)
+
+    def test_drain_on_stop_completes_queued(self, table):
+        svc = KnnQueryService(
+            table, ServeConfig(max_wait_ms=50.0, policy="fixed")
+        ).start()
+        handles = [svc.submit([i], 2) for i in range(10)]
+        svc.stop()  # closes the open window immediately and drains
+        for h in handles:
+            assert h.result(timeout=30).m == 1
+
+    def test_no_drain_fails_queued_explicitly(self, table):
+        svc = KnnQueryService(
+            table,
+            ServeConfig(max_wait_ms=200.0, policy="fixed", drain_on_stop=False),
+        ).start()
+        handles = [svc.submit([i], 2) for i in range(5)]
+        svc.stop()
+        outcomes = []
+        for h in handles:
+            try:
+                h.result(timeout=30)
+                outcomes.append("ok")
+            except OverloadError:
+                outcomes.append("failed")
+        # nothing may hang or vanish: every future resolved one way
+        assert len(outcomes) == 5 and "failed" in outcomes
+
+    def test_restart_after_stop(self, table):
+        svc = KnnQueryService(table)
+        with svc:
+            svc.submit([0], 1).result(timeout=30)
+        svc.start()
+        try:
+            assert svc.submit([1], 1).result(timeout=30).m == 1
+        finally:
+            svc.stop()
+
+
+class TestSLO:
+    def test_expired_in_queue_fails_fast(self, table):
+        """A request whose deadline dies while queued raises
+        KernelTimeoutError instead of burning kernel time."""
+        config = ServeConfig(max_wait_ms=150.0, policy="fixed", max_batch=64)
+        with KnnQueryService(table, config) as svc:
+            # the window stays open 150 ms; this budget dies in-queue
+            handle = svc.submit([0], 2, deadline=1e-3)
+            with pytest.raises(KernelTimeoutError, match="serve.queue"):
+                handle.result(timeout=30)
+
+    def test_default_slo_from_config(self, table):
+        config = ServeConfig(
+            max_wait_ms=150.0, policy="fixed", slo_ms=1.0
+        )
+        with KnnQueryService(table, config) as svc:
+            handle = svc.submit([0], 2)  # no explicit deadline
+            with pytest.raises(KernelTimeoutError):
+                handle.result(timeout=30)
+
+    def test_generous_deadline_completes(self, table):
+        with KnnQueryService(table) as svc:
+            res = svc.submit([0, 1], 2, deadline=30.0).result(timeout=30)
+        assert res.m == 2
+
+    def test_slo_metrics_flow(self, table, metrics):
+        config = ServeConfig(max_wait_ms=120.0, policy="fixed")
+        with KnnQueryService(table, config) as svc:
+            handle = svc.submit([0], 2, tenant="late", deadline=1e-3)
+            with pytest.raises(KernelTimeoutError):
+                handle.result(timeout=30)
+        counters = metrics.snapshot()["counters"]
+        assert counters.get('serve.expired_in_queue{tenant="late"}') == 1
+        assert counters.get('serve.slo_misses{tenant="late"}') == 1
+        # the deadline layer's own counter carries the tenant too
+        assert counters.get('resilience.deadline_hits{tenant="late"}') == 1
+
+
+class TestConcurrentSubmitters:
+    def test_many_threads_submit_safely(self, table):
+        errors: list[Exception] = []
+        results: list[int] = []
+        with KnnQueryService(table, ServeConfig(max_queue_depth=4096)) as svc:
+            def worker(base):
+                try:
+                    handles = [
+                        svc.submit([(base + j) % table.shape[0]], 2)
+                        for j in range(20)
+                    ]
+                    for h in handles:
+                        results.append(h.result(timeout=30).m)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i * 31,))
+                for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+        assert not errors
+        assert len(results) == 120 and all(m == 1 for m in results)
