@@ -1,0 +1,196 @@
+"""The approximate tier's recall/latency pareto frontier.
+
+The exact fused kernel answers a 256-query batch against n reference
+points in O(n d) per query; the graph tier (NN-descent index + beam
+search through the same fused evaluation) answers the same batch in
+a number of fused hops that does not grow with n. This benchmark
+measures both at the acceptance scale (n = 65536, d = 16, k = 10,
+m = 256 by default) and records one row per beam operating point:
+recall@10 against the exact answers, wall-clock per batch, and the
+end-to-end speedup over the exact solve.
+
+The build cost is reported separately (``build.seconds``) — it
+amortizes over every query the index ever serves and is *not* charged
+to the per-batch speedup (the planner charges it when asked to via
+``include_build=True``).
+
+Environment knobs::
+
+    REPRO_APPROX_BENCH_N=4096   # shrink for local smoke runs
+    REPRO_APPROX_BENCH_M=256    # query batch size
+
+The committed baseline (``benchmarks/baselines/BENCH_approx_pareto.json``)
+was recorded at the full acceptance scale; the CI ``approx-smoke`` job
+reruns the same experiment at the default (acceptance) scale and gates
+the record against the baseline via ``compare_runs.py --threshold 0.75``
+(the loose threshold absorbs the host-class difference, not a lost
+sub-linear win).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.approx import build_graph_index, beam_search
+from repro.core.neighbors import KnnResult
+from repro.core.plan import GsknnPlan
+from repro.trees.evaluation import recall_at
+
+from .conftest import run_report, best_time
+
+N = int(os.environ.get("REPRO_APPROX_BENCH_N", "65536"))
+M = int(os.environ.get("REPRO_APPROX_BENCH_M", "256"))
+D = 16
+K = 10
+
+#: (ef, expand, max_hops) — the frontier from fast/loose to slow/tight.
+POINTS = [
+    (24, 3, 3),
+    (32, 4, 3),
+    (24, 3, 4),
+    (48, 4, 4),
+]
+
+#: Build parameters matched to the acceptance scale; at smoke sizes the
+#: same settings simply converge earlier.
+BUILD_KWARGS = dict(
+    k_build=32,
+    seed=0,
+    init_trees=3,
+    leaf_size=1024,
+    rounds=10,
+    n_entry_points=max(64, N // 64),
+)
+
+
+def _problem():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((N, D))
+    Q = X[rng.choice(N, size=M, replace=False)] + 0.1 * rng.standard_normal(
+        (M, D)
+    )
+    return X, Q
+
+
+def _exact_batch(X, Q):
+    plan = GsknnPlan(X, np.arange(X.shape[0]))
+    seconds = best_time(lambda: plan.execute_rows(Q, K, validate=False), repeats=3)
+    truth = plan.execute_rows(Q, K, validate=False)
+    return truth, seconds
+
+
+def test_approx_pareto(benchmark, report):
+    def _run():
+        X, Q = _problem()
+        rep = report(
+            "approx_pareto",
+            f"Approximate tier pareto (n={N}, d={D}, k={K}, m={M})\n"
+            f"{'point':>22} {'batch_ms':>10} {'recall@10':>10} "
+            f"{'speedup':>8}",
+        )
+        rep.problem(n=N, d=D, k=K, m=M, **{
+            key: val for key, val in BUILD_KWARGS.items() if key != "seed"
+        })
+
+        truth, exact_seconds = _exact_batch(X, Q)
+        rep.row(
+            f"{'exact gsknn':>22} {exact_seconds * 1e3:>10.2f} "
+            f"{'1.0000':>10} {'1.00':>8}"
+        )
+        rep.metric("exact.batch_seconds", exact_seconds)
+
+        t0 = time.perf_counter()
+        index = build_graph_index(X, **BUILD_KWARGS)
+        build_seconds = time.perf_counter() - t0
+        rep.row(
+            f"  graph build: {build_seconds:.1f}s "
+            f"(k_build={BUILD_KWARGS['k_build']}, "
+            f"rounds={index.build_report.rounds}, "
+            f"converged={index.build_report.converged})"
+        )
+        rep.metric("build.seconds", build_seconds)
+
+        best_speedup = 0.0
+        for ef, expand, max_hops in POINTS:
+            run = lambda: beam_search(
+                index, Q, K, ef=ef, expand=expand, max_hops=max_hops,
+                validate=False,
+            )
+            seconds = best_time(run, repeats=3)
+            result = run()
+            rec = recall_at(
+                result,
+                KnnResult(truth.distances[:, :K], truth.indices[:, :K]),
+                K,
+            )
+            speedup = exact_seconds / seconds
+            best_speedup = max(best_speedup, speedup)
+            label = f"ef={ef}/ex={expand}/mh={max_hops}"
+            rep.row(
+                f"{label:>22} {seconds * 1e3:>10.2f} {rec:>10.4f} "
+                f"{speedup:>8.2f}"
+            )
+            tag = f"ef{ef}.ex{expand}.mh{max_hops}"
+            rep.metric(f"{tag}.recall_at_10", rec)
+            rep.metric(f"{tag}.batch_seconds", seconds)
+            rep.metric(f"{tag}.speedup", speedup)
+            rep.data_row(
+                ef=ef, expand=expand, max_hops=max_hops,
+                batch_seconds=seconds, recall_at_10=rec, speedup=speedup,
+            )
+        rep.metric("best.speedup", best_speedup)
+
+    run_report(benchmark, _run)
+
+
+class TestParetoShape:
+    """Cheap structural checks — run at whatever N is configured."""
+
+    def test_frontier_meets_recall_floor(self):
+        rng = np.random.default_rng(0)
+        n = min(N, 4096)
+        X = rng.standard_normal((n, D))
+        Q = X[:64] + 0.05 * rng.standard_normal((64, D))
+        plan = GsknnPlan(X, np.arange(X.shape[0]))
+        truth = plan.execute_rows(Q, K, validate=False)
+        index = build_graph_index(X, k_build=32, seed=0)
+        for ef, expand, max_hops in POINTS:
+            result = beam_search(
+                index, Q, K, ef=ef, expand=expand, max_hops=max_hops,
+                validate=False,
+            )
+            rec = recall_at(
+                result,
+                KnnResult(truth.distances[:, :K], truth.indices[:, :K]),
+                K,
+            )
+            assert rec >= 0.9, f"ef={ef} recall {rec:.4f} below floor"
+
+    def test_wider_points_never_cheaper_recall(self):
+        """The frontier must be a frontier: the widest configured point
+        reaches at least the recall of the narrowest."""
+        rng = np.random.default_rng(1)
+        n = min(N, 4096)
+        X = rng.standard_normal((n, D))
+        Q = X[:64]
+        plan = GsknnPlan(X, np.arange(X.shape[0]))
+        truth = plan.execute_rows(Q, K, validate=False)
+        index = build_graph_index(X, k_build=32, seed=0)
+
+        def rec_of(ef, expand, max_hops):
+            result = beam_search(
+                index, Q, K, ef=ef, expand=expand, max_hops=max_hops,
+                validate=False,
+            )
+            return recall_at(
+                result,
+                KnnResult(truth.distances[:, :K], truth.indices[:, :K]),
+                K,
+            )
+
+        narrow = rec_of(*POINTS[0])
+        wide = rec_of(*POINTS[-1])
+        assert wide >= narrow - 1e-9

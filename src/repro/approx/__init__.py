@@ -1,0 +1,52 @@
+"""The approximate search tier: graph index, beam search, query planner.
+
+Exact brute force pays O(n d) per query no matter how large the
+reference set grows; this package is the sub-linear tier on top of the
+same fused blocked distance evaluation the exact kernel uses:
+
+* :mod:`~repro.approx.nndescent` — NN-descent k-NN graph construction,
+  initialized from randomized KD-tree leaf solves and refined with
+  blocked batched candidate evaluation;
+* :mod:`~repro.approx.search` — batched greedy beam search over the
+  built graph (one fused evaluation per hop), with optional exact
+  re-rank of the final pool;
+* :mod:`~repro.approx.planner` — the recall-aware
+  :class:`~repro.approx.planner.QueryPlanner` choosing exact vs tree vs
+  LSH vs graph from measured, host-fingerprinted calibration curves
+  (persisted next to ``tuning.json``), falling back to exact whenever a
+  measurement is missing;
+* :mod:`~repro.approx.blockeval` — the shared blocked norm-trick
+  evaluation primitive.
+
+See ``docs/APPROX.md`` for the recall contract and policy.
+"""
+
+from .blockeval import candidate_distances, pairwise_sq_distances
+from .nndescent import GraphBuildReport, GraphIndex, build_graph_index
+from .planner import (
+    OperatingPoint,
+    PlanDecision,
+    PlannerCalibration,
+    QueryPlanner,
+    calibrate_planner,
+)
+from .search import SearchStats, beam_search
+from .store import default_planner_path, load_calibration, save_calibration
+
+__all__ = [
+    "candidate_distances",
+    "pairwise_sq_distances",
+    "GraphBuildReport",
+    "GraphIndex",
+    "build_graph_index",
+    "OperatingPoint",
+    "PlanDecision",
+    "PlannerCalibration",
+    "QueryPlanner",
+    "calibrate_planner",
+    "SearchStats",
+    "beam_search",
+    "default_planner_path",
+    "load_calibration",
+    "save_calibration",
+]

@@ -1,0 +1,129 @@
+"""Persisted planner calibration: schema-versioned, fingerprint-keyed.
+
+The recall-aware planner's measured operating points (recall + seconds
+per method knob) are only valid on the host that measured them, exactly
+like the autotuner's block sizes — so this file mirrors
+:mod:`repro.tune.store` precisely: a ``planner.json`` living **next to
+``tuning.json``** (same directory, same ``$REPRO_TUNE_CACHE``
+redirection; ``$REPRO_PLANNER_CACHE`` overrides the file directly),
+entries keyed by the same host fingerprint, atomic writes, and a loader
+that returns ``None`` — never a wrong entry, never an exception — for a
+missing/corrupt/future-schema file or a fingerprint mismatch. The
+planner's contract on ``None`` is the fallback ladder: silently choose
+exact.
+
+File shape (``planner.json``)::
+
+    {
+      "schema_version": 1,
+      "hosts": {
+        "<fingerprint key>": {
+          "fingerprint": {...},
+          "calibration": {... PlannerCalibration fields ...},
+          "created_unix": 1754500000.0
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import ValidationError
+from ..tune.store import default_cache_path, fingerprint_key, host_fingerprint
+
+__all__ = [
+    "PLANNER_SCHEMA_VERSION",
+    "default_planner_path",
+    "save_calibration",
+    "load_calibration",
+]
+
+PLANNER_SCHEMA_VERSION = 1
+
+_CACHE_ENV = "REPRO_PLANNER_CACHE"
+
+
+def default_planner_path() -> Path:
+    env = os.environ.get(_CACHE_ENV)
+    if env:
+        return Path(env)
+    # alongside tuning.json, including when $REPRO_TUNE_CACHE moved it
+    return default_cache_path().with_name("planner.json")
+
+
+def _load_file(path: Path) -> dict[str, Any]:
+    """Read the cache file; anything unusable degrades to empty."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {"schema_version": PLANNER_SCHEMA_VERSION, "hosts": {}}
+    if (
+        not isinstance(doc, dict)
+        or not isinstance(doc.get("hosts"), dict)
+        or not isinstance(doc.get("schema_version"), int)
+        or doc["schema_version"] > PLANNER_SCHEMA_VERSION
+        or doc["schema_version"] < 1
+    ):
+        return {"schema_version": PLANNER_SCHEMA_VERSION, "hosts": {}}
+    return doc
+
+
+def save_calibration(
+    calibration: "PlannerCalibration",
+    *,
+    cache_path: str | Path | None = None,
+) -> Path:
+    """Persist under this host's fingerprint; other hosts' entries kept."""
+    from .planner import PlannerCalibration
+
+    if not isinstance(calibration, PlannerCalibration):
+        raise ValidationError(
+            f"expected a PlannerCalibration, got {type(calibration).__name__}"
+        )
+    path = (
+        Path(cache_path) if cache_path is not None else default_planner_path()
+    )
+    doc = _load_file(path) if path.exists() else {
+        "schema_version": PLANNER_SCHEMA_VERSION,
+        "hosts": {},
+    }
+    fp = host_fingerprint()
+    doc["schema_version"] = PLANNER_SCHEMA_VERSION
+    doc["hosts"][fingerprint_key(fp)] = {
+        "fingerprint": fp,
+        "calibration": calibration.to_dict(),
+        "created_unix": time.time(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_calibration(
+    cache_path: str | Path | None = None,
+) -> "PlannerCalibration | None":
+    """This host's calibration, or ``None`` (the fallback-ladder signal)."""
+    from .planner import PlannerCalibration
+
+    path = (
+        Path(cache_path) if cache_path is not None else default_planner_path()
+    )
+    if not path.exists():
+        return None
+    entry = _load_file(path)["hosts"].get(fingerprint_key())
+    if not isinstance(entry, dict) or not isinstance(
+        entry.get("calibration"), dict
+    ):
+        return None
+    try:
+        return PlannerCalibration.from_dict(entry["calibration"])
+    except (KeyError, TypeError, ValueError, ValidationError):
+        return None

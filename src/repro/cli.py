@@ -21,6 +21,11 @@ phase table.
 * ``stats`` — run one kernel with full observability on and print the
   metrics-registry snapshot (``--json`` for the raw dict);
 * ``allknn`` — run the approximate all-NN solver and report recall;
+  ``--method graph`` answers with an NN-descent build, ``--method
+  auto`` lets the recall-aware planner choose per ``--recall-target``;
+* ``approx`` — the approximate tier directly: ``approx build`` grows
+  an NN-descent graph index (optionally saved to ``.npz``), ``approx
+  query`` beam-searches a saved index and reports recall;
 * ``tune`` — print the variant decision table, or with ``--budget
   {small,medium,large}`` run the persistent per-host autotuner and
   save the winner to the tuning cache;
@@ -182,6 +187,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a chrome://tracing JSON of the run to PATH",
     )
+    kern.add_argument(
+        "--recall-target",
+        type=float,
+        default=None,
+        metavar="R",
+        help="let the recall-aware planner route the solve through the "
+        "approximate graph tier when calibration says it is cheaper "
+        "(build charged too); default exact",
+    )
     add_resilience_args(kern)
 
     comp = sub.add_parser("compare", help="GSKNN vs GEMM approach")
@@ -235,13 +249,70 @@ def build_parser() -> argparse.ArgumentParser:
     aknn.add_argument("-N", type=int, default=8192)
     aknn.add_argument("-d", type=int, default=32)
     aknn.add_argument("-k", type=int, default=16)
-    aknn.add_argument("--method", choices=("rkdtree", "lsh"), default="rkdtree")
+    aknn.add_argument(
+        "--method",
+        choices=("rkdtree", "rptree", "lsh", "graph", "auto"),
+        default="rkdtree",
+    )
     aknn.add_argument("--kernel", choices=("gsknn", "gemm"), default="gsknn")
     aknn.add_argument("--leaf-size", type=int, default=512)
     aknn.add_argument("--iterations", type=int, default=8)
     aknn.add_argument("--seed", type=int, default=0)
     aknn.add_argument(
+        "--recall-target",
+        type=float,
+        default=None,
+        metavar="R",
+        help="with --method auto: the recall the planner must meet "
+        "(None or >= 0.999 means exact)",
+    )
+    aknn.add_argument(
         "--evaluate", action="store_true", help="also compute exact recall"
+    )
+
+    approx = sub.add_parser(
+        "approx", help="approximate tier: graph index build / beam query"
+    )
+    asub = approx.add_subparsers(dest="approx_command", required=True)
+    ab = asub.add_parser(
+        "build", help="NN-descent graph index over synthetic data"
+    )
+    ab.add_argument("-N", type=int, default=8192)
+    ab.add_argument("-d", type=int, default=16)
+    ab.add_argument("--k-build", type=int, default=16)
+    ab.add_argument("--rounds", type=int, default=8)
+    ab.add_argument("--seed", type=int, default=0)
+    ab.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="save the index (.npz; self-contained, coordinates embedded)",
+    )
+    ab.add_argument(
+        "--evaluate",
+        action="store_true",
+        help="also track the build's recall vs exact per round",
+    )
+    aq = asub.add_parser(
+        "query", help="beam-search a saved index with sampled table rows"
+    )
+    aq.add_argument("--index", type=str, required=True, metavar="PATH")
+    aq.add_argument(
+        "-m", type=int, default=256, help="queries (sampled table rows)"
+    )
+    aq.add_argument("-k", type=int, default=10)
+    aq.add_argument("--ef", type=int, default=None, help="beam pool width")
+    aq.add_argument("--expand", type=int, default=4)
+    aq.add_argument("--max-hops", type=int, default=None)
+    aq.add_argument(
+        "--no-rerank",
+        action="store_true",
+        help="skip the exact float64 re-rank of the final pool",
+    )
+    aq.add_argument("--seed", type=int, default=0)
+    aq.add_argument(
+        "--evaluate", action="store_true", help="recall vs brute force"
     )
 
     model = sub.add_parser("model", help="performance-model prediction")
@@ -358,6 +429,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="keep /metrics up this many seconds after the load finishes "
         "(needs --metrics-port)",
+    )
+    serve.add_argument(
+        "--recall-target",
+        type=float,
+        default=None,
+        metavar="R",
+        help="build a graph index over the table before serving and tag "
+        "every generated request with this recall target (the planner "
+        "still decides exact-vs-graph per request)",
     )
     serve.add_argument(
         "--json", action="store_true", help="print the summary as JSON"
@@ -502,10 +582,75 @@ def _run_plan_kernel(args: argparse.Namespace, repeat: int):
     return result, cold, warm
 
 
+def _cmd_kernel_approx(args: argparse.Namespace) -> int:
+    """``kernel --recall-target R``: planner-routed solve.
+
+    Consults the per-host calibration with the build cost charged
+    (one-shot workload); a graph decision builds the index and beam
+    searches, anything else (including every fallback) runs the exact
+    kernel exactly as without the flag.
+    """
+    from .approx import QueryPlanner, beam_search, build_graph_index
+    from .data import uniform_hypercube
+
+    planner = QueryPlanner()
+    decision = planner.plan(
+        args.n, args.d, args.k, args.recall_target,
+        workload="query", m_queries=args.m, include_build=True,
+    )
+    fb = " [fallback]" if decision.fallback else ""
+    print(f"planner: {decision.method} ({decision.reason}){fb}")
+    if decision.method != "graph":
+        result, elapsed = _run_one_kernel(args)
+        print(
+            f"gsknn: m={args.m} n={args.n} d={args.d} k={args.k} "
+            f"time={elapsed * 1e3:.1f} ms "
+            f"gflops={gflops(args.m, args.n, args.d, elapsed):.2f}"
+        )
+        print(f"first query neighbors: {result.indices[0][: min(args.k, 8)]}")
+        return 0
+    ds = uniform_hypercube(max(args.m, args.n), args.d, seed=args.seed)
+    t0 = time.perf_counter()
+    index = build_graph_index(
+        ds.points[: args.n],
+        k_build=max(args.k, 16),
+        seed=args.seed,
+    )
+    build_seconds = time.perf_counter() - t0
+    Q = ds.points[: args.m]
+    params = decision.params
+    mh = params.get("max_hops")
+    t0 = time.perf_counter()
+    result = beam_search(
+        index,
+        Q,
+        args.k,
+        ef=params.get("ef"),
+        expand=int(params.get("expand", 4)),
+        max_hops=None if mh is None else int(mh),
+    )
+    elapsed = time.perf_counter() - t0
+    print(
+        f"graph: m={args.m} n={args.n} d={args.d} k={args.k} "
+        f"build={build_seconds:.2f}s query={elapsed * 1e3:.1f} ms "
+        f"(expected recall {decision.expected_recall:.3f})"
+    )
+    print(f"first query neighbors: {result.indices[0][: min(args.k, 8)]}")
+    return 0
+
+
 def _cmd_kernel(args: argparse.Namespace) -> int:
     if args.plan and args.kernel != "gsknn":
         print("--plan requires --kernel gsknn", file=sys.stderr)
         return 2
+    if args.recall_target is not None:
+        if args.kernel != "gsknn" or args.plan:
+            print(
+                "--recall-target requires --kernel gsknn without --plan",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_kernel_approx(args)
     from .errors import KernelTimeoutError
     from .obs.context import RequestContext, request_scope
 
@@ -755,15 +900,110 @@ def _cmd_allknn(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         seed=args.seed,
         truth=truth,
+        recall_target=args.recall_target,
     )
+    label = args.method
+    if report.method_used and report.method_used != args.method:
+        label = f"{args.method}->{report.method_used}"
     print(
-        f"{args.method}+{args.kernel}: N={args.N} d={args.d} k={args.k} "
+        f"{label}+{args.kernel}: N={args.N} d={args.d} k={args.k} "
         f"iters={report.iterations} total={report.total_seconds:.2f}s "
         f"kernel={report.kernel_seconds:.2f}s "
         f"({report.kernel_fraction:.0%} in kernel)"
     )
+    if report.decision is not None:
+        fb = " [fallback]" if report.decision.fallback else ""
+        print(f"  planner: {report.decision.reason}{fb}")
     if truth is not None:
         print(f"final recall: {recall(report.result, truth):.4f}")
+    return 0
+
+
+def _cmd_approx(args: argparse.Namespace) -> int:
+    return {
+        "build": _cmd_approx_build,
+        "query": _cmd_approx_query,
+    }[args.approx_command](args)
+
+
+def _cmd_approx_build(args: argparse.Namespace) -> int:
+    from .approx import build_graph_index
+    from .data import embedded_gaussian
+    from .trees import exact_all_knn
+
+    ds = embedded_gaussian(
+        args.N, args.d, intrinsic_dim=min(10, args.d), seed=args.seed
+    )
+    truth = None
+    if args.evaluate:
+        truth = exact_all_knn(ds.points, min(args.k_build, args.N - 1))
+    index = build_graph_index(
+        ds.points,
+        k_build=args.k_build,
+        rounds=args.rounds,
+        seed=args.seed,
+        truth=truth,
+    )
+    rep = index.build_report
+    print(
+        f"graph: N={args.N} d={args.d} k_build={args.k_build} "
+        f"rounds={rep.rounds} converged={rep.converged}"
+    )
+    print(
+        f"  init {rep.init_seconds:.2f}s + refine {rep.refine_seconds:.2f}s "
+        f"= {rep.total_seconds:.2f}s "
+        f"({rep.candidate_evals} candidate evals, "
+        f"{index.entry_points.size} entry points, "
+        f"adjacency width {index.adjacency.shape[1]})"
+    )
+    if rep.recall_curve:
+        print(f"  build recall: {rep.recall_curve[-1]:.4f}")
+    if args.out:
+        path = index.save(args.out)
+        print(f"  saved to {path}")
+    return 0
+
+
+def _cmd_approx_query(args: argparse.Namespace) -> int:
+    from .approx import GraphIndex, beam_search
+    from .core.gsknn import gsknn
+    from .core.neighbors import recall
+
+    try:
+        index = GraphIndex.load(args.index)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: cannot load index {args.index}: {exc}", file=sys.stderr)
+        return 2
+    n = index.X.shape[0]
+    rng = np.random.default_rng(args.seed)
+    q = np.sort(rng.choice(n, size=min(args.m, n), replace=False))
+    Q = index.X[q]
+    t0 = time.perf_counter()
+    result, stats = beam_search(
+        index,
+        Q,
+        args.k,
+        ef=args.ef,
+        expand=args.expand,
+        max_hops=args.max_hops,
+        rerank=not args.no_rerank,
+        return_stats=True,
+    )
+    elapsed = time.perf_counter() - t0
+    per_query_us = elapsed / max(q.size, 1) * 1e6
+    print(
+        f"beam: m={q.size} k={args.k} ef={args.ef or 'auto'} "
+        f"expand={args.expand} rerank={not args.no_rerank} "
+        f"time={elapsed * 1e3:.1f} ms ({per_query_us:.0f} us/query)"
+    )
+    print(
+        f"  hops={stats.hops} candidate_evals={stats.candidate_evals} "
+        f"entry_evals={stats.entry_evals} "
+        f"rerank_fraction={stats.rerank_fraction:.3f}"
+    )
+    if args.evaluate:
+        truth = gsknn(index.X, q, np.arange(n, dtype=np.intp), args.k)
+        print(f"recall@{args.k}: {recall(result, truth):.4f}")
     return 0
 
 
@@ -931,9 +1171,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.start()
         # stderr: with --json, stdout must stay one parseable document
         print(f"serving metrics at {server.url}", file=sys.stderr)
+    graph_index = None
+    if args.recall_target is not None:
+        from .approx import build_graph_index
+
+        t0 = time.perf_counter()
+        graph_index = build_graph_index(
+            ds.points, k_build=max(args.k, 16), seed=args.seed
+        )
+        print(
+            f"graph index built in {time.perf_counter() - t0:.1f}s "
+            f"(k_build={graph_index.k_build})",
+            file=sys.stderr,
+        )
     try:
         with KnnQueryService(
-            ds.points, config, fault_plan=args.fault_plan
+            ds.points, config, fault_plan=args.fault_plan,
+            graph_index=graph_index,
         ) as svc:
             try:
                 report = run_closed_loop(
@@ -944,6 +1198,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     rows=args.rows,
                     tenants=tenants,
                     seed=args.seed,
+                    recall_target=args.recall_target,
                 )
             except ValidationError as exc:
                 print(f"error: {exc}", file=sys.stderr)
@@ -985,6 +1240,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     for name, t in summary["per_tenant"].items()
                 )
                 print(f"  per-tenant goodput: {goodput}")
+            if args.recall_target is not None:
+                snap = registry.snapshot()
+                achieved = snap["gauges"].get("approx.achieved_recall")
+                approx_reqs = sum(
+                    v
+                    for name, v in snap["counters"].items()
+                    if name.startswith("serve.approx_requests")
+                )
+                print(
+                    f"  approx: {approx_reqs} requests routed, sampled "
+                    f"recall "
+                    + (f"{achieved:.4f}" if achieved is not None else "n/a")
+                )
         if server is not None and args.serve_seconds > 0:
             time.sleep(args.serve_seconds)
     finally:
@@ -1042,6 +1310,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "stats": _cmd_stats,
     "allknn": _cmd_allknn,
+    "approx": _cmd_approx,
     "model": _cmd_model,
     "trace": _cmd_trace,
     "tune": _cmd_tune,

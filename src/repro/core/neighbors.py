@@ -21,6 +21,8 @@ __all__ = [
     "KnnResult",
     "merge_neighbor_lists",
     "merge_neighbor_lists_fast",
+    "merge_topk",
+    "intersection_counts",
     "recall",
 ]
 
@@ -141,26 +143,35 @@ def merge_neighbor_lists(a: KnnResult, b: KnnResult) -> KnnResult:
     return KnnResult(out_dist, out_idx)
 
 
-def merge_neighbor_lists_fast(a: KnnResult, b: KnnResult) -> KnnResult:
-    """Vectorized dedup-merge — the hot path of the iterative solvers.
+def merge_topk(
+    dist_a: np.ndarray,
+    idx_a: np.ndarray,
+    dist_b: np.ndarray,
+    idx_b: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise dedup-merge of two candidate lists into their top ``k``.
 
-    Semantics match :func:`merge_neighbor_lists` whenever duplicate ids
-    carry equal distances (always true when both lists come from exact
-    kernels over the same coordinate table, the solvers' case): rows are
-    merged, each id kept once, the k smallest survive.
+    The width-general core of :func:`merge_neighbor_lists_fast`: the two
+    lists must agree on row count but may have different widths (the
+    approximate tier merges a ``(m, k)`` pool with a ``(m, L)`` batch of
+    freshly evaluated candidates, L != k). Assumes duplicate ids carry
+    equal distances (true whenever both sides were computed exactly over
+    the same coordinate table). ``-1`` marks empty slots; rows shorter
+    than ``k`` distinct candidates pad with ``(+inf, -1)``.
 
     Strategy: concatenate, sort each row by id so duplicates are
     adjacent, blank repeats (id == previous and not the -1 sentinel) to
     +inf, then top-k by distance.
     """
-    if a.distances.shape != b.distances.shape:
+    if dist_a.shape[0] != dist_b.shape[0]:
         raise ValidationError(
-            f"cannot merge neighbor lists of shapes {a.distances.shape} "
-            f"and {b.distances.shape}"
+            f"cannot merge candidate lists with {dist_a.shape[0]} and "
+            f"{dist_b.shape[0]} rows"
         )
-    m, k = a.distances.shape
-    cat_dist = np.concatenate([a.distances, b.distances], axis=1)
-    cat_idx = np.concatenate([a.indices, b.indices], axis=1)
+    cat_dist = np.concatenate([dist_a, dist_b], axis=1)
+    cat_idx = np.concatenate([idx_a, idx_b], axis=1)
+    m, width = cat_dist.shape
     rows = np.arange(m)[:, None]
 
     by_id = np.argsort(cat_idx, axis=1, kind="stable")
@@ -172,13 +183,68 @@ def merge_neighbor_lists_fast(a: KnnResult, b: KnnResult) -> KnnResult:
     # -1 sentinels must never beat real candidates
     dist_sorted = np.where(id_sorted < 0, np.inf, dist_sorted)
 
-    part = np.argpartition(dist_sorted, k - 1, axis=1)[:, :k]
-    top_dist = dist_sorted[rows, part]
-    top_idx = id_sorted[rows, part]
+    if k < width:
+        part = np.argpartition(dist_sorted, k - 1, axis=1)[:, :k]
+        top_dist = dist_sorted[rows, part]
+        top_idx = id_sorted[rows, part]
+    else:
+        top_dist, top_idx = dist_sorted, id_sorted
     order = np.argsort(top_dist, axis=1, kind="stable")
     out_dist = top_dist[rows, order]
     out_idx = np.where(np.isinf(out_dist), -1, top_idx[rows, order])
+    if k > width:
+        pad = k - width
+        out_dist = np.pad(out_dist, ((0, 0), (0, pad)), constant_values=np.inf)
+        out_idx = np.pad(out_idx, ((0, 0), (0, pad)), constant_values=-1)
+    return out_dist, out_idx
+
+
+def merge_neighbor_lists_fast(a: KnnResult, b: KnnResult) -> KnnResult:
+    """Vectorized dedup-merge — the hot path of the iterative solvers.
+
+    Semantics match :func:`merge_neighbor_lists` whenever duplicate ids
+    carry equal distances (always true when both lists come from exact
+    kernels over the same coordinate table, the solvers' case): rows are
+    merged, each id kept once, the k smallest survive. See
+    :func:`merge_topk` for the underlying algorithm.
+    """
+    if a.distances.shape != b.distances.shape:
+        raise ValidationError(
+            f"cannot merge neighbor lists of shapes {a.distances.shape} "
+            f"and {b.distances.shape}"
+        )
+    out_dist, out_idx = merge_topk(
+        a.distances, a.indices, b.distances, b.indices, a.k
+    )
     return KnnResult(out_dist, out_idx)
+
+
+def intersection_counts(want: np.ndarray, got: np.ndarray) -> np.ndarray:
+    """Per-row ``|set(want[i]) & set(got[i])|`` for two 2-D id arrays.
+
+    Set semantics: duplicates within a row collapse, and any shared
+    value — including the ``-1`` sentinel — counts once. Vectorized by
+    offsetting each row's ids into a disjoint range so one global
+    membership test answers every row at once.
+    """
+    if want.ndim != 2 or got.ndim != 2 or want.shape[0] != got.shape[0]:
+        raise ValidationError(
+            f"want {want.shape} and got {got.shape} must be 2-D with "
+            "equal row counts"
+        )
+    m = want.shape[0]
+    if m == 0 or want.shape[1] == 0 or got.shape[1] == 0:
+        return np.zeros(m, dtype=np.int64)
+    lo = int(min(want.min(), got.min()))
+    span = int(max(want.max(), got.max())) - lo + 1
+    base = np.arange(m, dtype=np.int64)[:, None] * span
+    w = want.astype(np.int64) - lo + base
+    g = got.astype(np.int64) - lo + base
+    sw = np.sort(w, axis=1)
+    dup = np.zeros(sw.shape, dtype=bool)
+    dup[:, 1:] = sw[:, 1:] == sw[:, :-1]
+    hits = np.isin(sw, g) & ~dup
+    return hits.sum(axis=1, dtype=np.int64)
 
 
 def recall(candidate: KnnResult, truth: KnnResult) -> float:
@@ -192,10 +258,6 @@ def recall(candidate: KnnResult, truth: KnnResult) -> float:
             "candidate and truth must have identical shapes, got "
             f"{candidate.indices.shape} and {truth.indices.shape}"
         )
-    hits = 0
     m, k = truth.indices.shape
-    for i in range(m):
-        hits += len(
-            set(truth.indices[i].tolist()) & set(candidate.indices[i].tolist())
-        )
+    hits = int(intersection_counts(truth.indices, candidate.indices).sum())
     return hits / (m * k)

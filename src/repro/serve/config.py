@@ -67,6 +67,22 @@ class ServeConfig:
     drain_on_stop:
         Whether :meth:`~repro.serve.service.KnnQueryService.stop`
         finishes queued requests (default) or fails them.
+    default_recall_target:
+        Recall target applied to requests that do not pass one.
+        ``None`` (the default) means requests without an explicit
+        target are always solved exactly — approximate serving is
+        strictly opt-in.
+    approx_ef, approx_expand:
+        Beam-search pool width and per-hop expansion used for
+        approximate windows when the planner's calibrated operating
+        point does not dictate its own (e.g. an injected planner with
+        bare decisions).
+    recall_sample_every:
+        Every Nth approximate window, a few of its rows are re-solved
+        exactly and the measured recall published on the
+        ``approx.achieved_recall`` gauge — a running spot-check that
+        the calibrated recall still holds in production. ``0``
+        disables sampling.
     """
 
     max_batch: int = 64
@@ -81,6 +97,10 @@ class ServeConfig:
     plan_cache_size: int = 8
     policy: str = "model"
     drain_on_stop: bool = True
+    default_recall_target: float | None = None
+    approx_ef: int = 32
+    approx_expand: int = 4
+    recall_sample_every: int = 32
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -125,6 +145,26 @@ class ServeConfig:
         if self.policy not in ("model", "fixed"):
             raise ValidationError(
                 f"policy must be 'model' or 'fixed', got {self.policy!r}"
+            )
+        if self.default_recall_target is not None and not (
+            0.0 < self.default_recall_target <= 1.0
+        ):
+            raise ValidationError(
+                "default_recall_target must be in (0, 1] or None, got "
+                f"{self.default_recall_target}"
+            )
+        if self.approx_ef < 1:
+            raise ValidationError(
+                f"approx_ef must be >= 1, got {self.approx_ef}"
+            )
+        if self.approx_expand < 1:
+            raise ValidationError(
+                f"approx_expand must be >= 1, got {self.approx_expand}"
+            )
+        if self.recall_sample_every < 0:
+            raise ValidationError(
+                "recall_sample_every must be >= 0 (0 disables), got "
+                f"{self.recall_sample_every}"
             )
 
     def weight_of(self, tenant: str) -> int:

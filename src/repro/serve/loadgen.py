@@ -125,6 +125,7 @@ def run_closed_loop(
     seed: int = 0,
     shed_backoff_seconds: float = 2e-3,
     result_timeout: float = 30.0,
+    recall_target: float | None = None,
 ) -> LoadReport:
     """Drive ``service`` with ``clients`` closed-loop clients.
 
@@ -133,7 +134,8 @@ def run_closed_loop(
     ``deadline`` is a per-request budget in seconds (the SLO); shed
     requests sleep the service's ``retry_after`` (or
     ``shed_backoff_seconds``) before retrying, like a well-behaved
-    client.
+    client. ``recall_target`` rides on every request (opting into the
+    service's approximate tier when one is mounted).
     """
     if clients < 1:
         raise ValidationError(f"clients must be >= 1, got {clients}")
@@ -160,7 +162,8 @@ def run_closed_loop(
             t0 = time.perf_counter()
             try:
                 handle = service.submit(
-                    q_idx, k, tenant=tenant, deadline=deadline
+                    q_idx, k, tenant=tenant, deadline=deadline,
+                    recall_target=recall_target,
                 )
                 with stats_lock:
                     mine.sent += 1

@@ -45,6 +45,10 @@ class PendingRequest:
     future: Any
     q_idx: np.ndarray | None = None
     Q: np.ndarray | None = None
+    #: the request's recall target (None = exact) and, when the planner
+    #: routed it to the graph tier, the PlanDecision that did so
+    recall_target: float | None = None
+    decision: Any = None
     enqueued_at: float = field(default_factory=time.perf_counter)
 
     @property
@@ -54,6 +58,10 @@ class PendingRequest:
     @property
     def is_rows(self) -> bool:
         return self.Q is not None
+
+    @property
+    def is_approx(self) -> bool:
+        return self.decision is not None and self.decision.method == "graph"
 
     @property
     def rows(self) -> int:

@@ -129,6 +129,18 @@ class KnnQueryService:
         Explicit :class:`~repro.resilience.FaultPlan` (or spec string);
         default is ``FaultPlan.from_env()`` like the other driver entry
         points.
+    graph_index:
+        A :class:`~repro.approx.nndescent.GraphIndex` built over ``X``.
+        When set, requests carrying a ``recall_target`` may be routed
+        (by the planner, per calibrated cost) through beam search on
+        the graph instead of the exact fused solve. Requests without a
+        target always solve exactly.
+    planner:
+        The :class:`~repro.approx.planner.QueryPlanner` deciding
+        exact-vs-graph per request; default loads the persisted
+        per-host calibration. With no calibration every request falls
+        back to exact — approximate serving degrades silently, it
+        never errors.
 
     Use as a context manager (or call :meth:`start`/:meth:`stop`)::
 
@@ -146,10 +158,20 @@ class KnnQueryService:
         variant: int | str = "auto",
         model: PerformanceModel | None = None,
         fault_plan: FaultPlan | str | None = None,
+        graph_index: Any = None,
+        planner: Any = None,
     ) -> None:
         self.X = as_coordinate_table(X)
         check_finite(self.X)
         self.config = config if config is not None else ServeConfig()
+        if graph_index is not None and graph_index.X.shape != self.X.shape:
+            raise ValidationError(
+                f"graph_index was built over a {graph_index.X.shape} table "
+                f"but the service serves {self.X.shape}"
+            )
+        self._graph = graph_index
+        self._planner = planner
+        self._approx_windows = 0
         self._norm = norm
         self._variant = variant
         self._r_all = np.arange(self.X.shape[0], dtype=np.intp)
@@ -230,12 +252,16 @@ class KnnQueryService:
         *,
         tenant: str = "default",
         deadline: Deadline | float | None = None,
+        recall_target: float | None = None,
     ) -> ServeHandle:
         """Submit a query by table indices; returns immediately.
 
         ``q_idx`` is one index or an array of them (one result row
         each); ``deadline`` a :class:`Deadline` or budget-seconds float,
-        defaulting to the config's ``slo_ms``. Raises
+        defaulting to the config's ``slo_ms``; ``recall_target`` opts
+        the request into the approximate tier (see ``graph_index`` on
+        the constructor), defaulting to the config's
+        ``default_recall_target`` — i.e. exact. Raises
         :class:`~repro.errors.OverloadError` when shed at admission and
         :class:`~repro.errors.ValidationError` on malformed input —
         both synchronously, before anything is queued.
@@ -244,7 +270,7 @@ class KnnQueryService:
         q_idx = as_index_array(q_idx, self.X.shape[0], name="q_idx")
         k = check_k(k, self.X.shape[0])
         return self._admit(q_idx=q_idx, Q=None, k=k, tenant=tenant,
-                           deadline=deadline)
+                           deadline=deadline, recall_target=recall_target)
 
     def submit_rows(
         self,
@@ -253,6 +279,7 @@ class KnnQueryService:
         *,
         tenant: str = "default",
         deadline: Deadline | float | None = None,
+        recall_target: float | None = None,
     ) -> ServeHandle:
         """Submit literal query coordinates (the out-of-table shape).
 
@@ -269,7 +296,31 @@ class KnnQueryService:
         check_finite(Q, name="Q")
         k = check_k(k, self.X.shape[0])
         return self._admit(q_idx=None, Q=Q, k=k, tenant=tenant,
-                           deadline=deadline)
+                           deadline=deadline, recall_target=recall_target)
+
+    def _plan_request(self, k: int, rows: int, recall_target: float | None):
+        """Exact-vs-graph decision for one request; None means exact.
+
+        Only consulted when a graph index is mounted and the request
+        carries a target; the planner's ladder (no calibration, regime
+        mismatch, infeasible target) lands on exact, so the worst case
+        here is always the correct answer, never an error.
+        """
+        if (
+            self._graph is None
+            or recall_target is None
+            or self._norm != "l2"
+            or k > self._graph.k_build
+        ):
+            return None
+        if self._planner is None:
+            from ..approx.planner import QueryPlanner
+
+            self._planner = QueryPlanner()
+        return self._planner.plan(
+            self.X.shape[0], self.X.shape[1], k, recall_target,
+            workload="query", m_queries=rows,
+        )
 
     def _admit(
         self,
@@ -279,6 +330,7 @@ class KnnQueryService:
         k: int,
         tenant: str,
         deadline: Deadline | float | None,
+        recall_target: float | None = None,
     ) -> ServeHandle:
         from concurrent.futures import Future
 
@@ -286,8 +338,19 @@ class KnnQueryService:
         dl = Deadline.coerce(deadline)
         if dl is None and self.config.slo_seconds is not None:
             dl = Deadline(self.config.slo_seconds)
+        if recall_target is None:
+            recall_target = self.config.default_recall_target
+        elif not 0.0 < recall_target <= 1.0:
+            raise ValidationError(
+                f"recall_target must be in (0, 1], got {recall_target}"
+            )
         ctx = RequestContext.new(tenant=tenant, deadline=dl)
-        req = PendingRequest(ctx=ctx, k=k, future=Future(), q_idx=q_idx, Q=Q)
+        rows = Q.shape[0] if Q is not None else q_idx.size
+        decision = self._plan_request(k, int(rows), recall_target)
+        req = PendingRequest(
+            ctx=ctx, k=k, future=Future(), q_idx=q_idx, Q=Q,
+            recall_target=recall_target, decision=decision,
+        )
         with self._cond:
             if not self._running or self._stopping:
                 raise OverloadError(
@@ -314,6 +377,10 @@ class KnnQueryService:
             self._cond.notify()
         if registry.enabled:
             registry.inc("serve.requests", labels={"tenant": tenant})
+            if req.is_approx:
+                registry.inc(
+                    "serve.approx_requests", labels={"tenant": tenant}
+                )
             registry.gauge("serve.queue_depth").set(depth)
         return ServeHandle(
             request_id=ctx.request_id, tenant=tenant, future=req.future
@@ -394,7 +461,21 @@ class KnnQueryService:
 
         idx_groups: dict[int, list[PendingRequest]] = {}
         row_groups: dict[int, list[PendingRequest]] = {}
+        # approx requests fuse per beam shape: one beam_search call per
+        # distinct (k, ef, expand, max_hops) in the window
+        approx_groups: dict[tuple, list[PendingRequest]] = {}
         for req in live:
+            if req.is_approx:
+                p = req.decision.params
+                mh = p.get("max_hops")
+                key = (
+                    req.k,
+                    max(int(p.get("ef", self.config.approx_ef)), req.k),
+                    int(p.get("expand", self.config.approx_expand)),
+                    -1 if mh is None else int(mh),
+                )
+                approx_groups.setdefault(key, []).append(req)
+                continue
             target = row_groups if req.is_rows else idx_groups
             target.setdefault(req.k, []).append(req)
 
@@ -454,7 +535,58 @@ class KnnQueryService:
                 self._fail_members(members, exc, registry)
             else:
                 self._demux(members, result, registry)
+        for key in sorted(approx_groups):
+            k, ef, expand, mh = key
+            members = approx_groups[key]
+            Q_cat = np.vstack(
+                [(r.Q if r.is_rows else self.X[r.q_idx]) for r in members]
+            )
+            solve_calls += 1
+            try:
+                from ..approx.search import beam_search
+
+                with request_scope(batch_ctx):
+                    result = self._solve_with_faults(
+                        lambda: beam_search(
+                            self._graph, Q_cat, k,
+                            ef=ef, expand=expand,
+                            max_hops=None if mh < 0 else mh,
+                            validate=False,
+                        ),
+                        registry,
+                    )
+            except Exception as exc:
+                self._fail_members(members, exc, registry)
+            else:
+                self._demux(members, result, registry)
+                self._maybe_sample_recall(Q_cat, k, result, registry)
         self._finish_window(registry, t0, live, solve_calls)
+
+    def _maybe_sample_recall(
+        self, Q_cat: np.ndarray, k: int, approx: KnnResult, registry
+    ) -> None:
+        """Every Nth approximate window, re-solve a few of its rows
+        exactly and publish the measured recall — a production
+        spot-check that the calibrated operating point still holds."""
+        every = self.config.recall_sample_every
+        seq = self._approx_windows
+        self._approx_windows += 1
+        if every == 0 or seq % every != 0 or not registry.enabled:
+            return
+        rows = min(8, Q_cat.shape[0])
+        Qs = np.ascontiguousarray(Q_cat[:rows])
+        plan = self._plans.get(
+            self.X, self._r_all, norm=self._norm,
+            variant=self._variant, X2=cached_squared_norms(self.X),
+        )
+        exact = plan.execute_rows(Qs, k, validate=False)
+        from ..core.neighbors import recall as _recall
+
+        achieved = _recall(
+            KnnResult(approx.distances[:rows], approx.indices[:rows]), exact
+        )
+        registry.gauge("approx.achieved_recall").set(round(achieved, 4))
+        registry.inc("approx.recall_samples")
 
     def _solve_with_faults(self, solve, registry):
         """Run one fused solve, injecting/absorbing planned faults.

@@ -43,6 +43,12 @@ class AllKnnReport:
     group_count: int = 0
     mean_group_size: float = 0.0
     recall_curve: list[float] = field(default_factory=list)
+    #: which solver actually ran — matters for ``method="auto"``, where
+    #: the planner's choice (or its exact fallback) is invisible in the
+    #: arguments
+    method_used: str = ""
+    #: the planner decision behind ``method="auto"`` runs, else None
+    decision: object | None = None
 
     @property
     def kernel_fraction(self) -> float:
@@ -185,6 +191,40 @@ def exact_all_knn(
     return KnnResult(dist, idx)
 
 
+def _graph_all_knn(
+    X: np.ndarray,
+    k: int,
+    *,
+    seed: int | None,
+    truth: KnnResult | None,
+    graph_kwargs: dict,
+    decision: object | None = None,
+) -> AllKnnReport:
+    """All-NN by NN-descent: the built graph's kNN lists are the answer.
+
+    The build's tree initialization runs its leaf solves through the
+    fused kernel, so ``kernel_seconds`` reports that stage; refinement
+    rounds are blocked candidate GEMMs accounted in ``total_seconds``.
+    """
+    from ..approx.nndescent import build_graph_index
+
+    kwargs = dict(graph_kwargs)
+    kwargs["k_build"] = max(int(kwargs.get("k_build", max(k, 16))), k)
+    kwargs.setdefault("seed", 0 if seed is None else int(seed))
+    index = build_graph_index(X, truth=truth, **kwargs)
+    rep = index.build_report
+    return AllKnnReport(
+        result=index.as_result(k),
+        iterations=rep.rounds,
+        kernel_seconds=rep.init_seconds,
+        total_seconds=rep.total_seconds,
+        converged=rep.converged,
+        recall_curve=list(rep.recall_curve),
+        method_used="graph",
+        decision=decision,
+    )
+
+
 def all_nearest_neighbors(
     X: np.ndarray,
     k: int,
@@ -200,6 +240,9 @@ def all_nearest_neighbors(
     lsh: LSHSolver | None = None,
     n_workers: int = 1,
     plan_reuse: "bool | PlanCache" = True,
+    recall_target: float | None = None,
+    planner: "object | None" = None,
+    graph_kwargs: dict | None = None,
 ) -> AllKnnReport:
     """Approximate all-nearest-neighbors via iterated random groupings.
 
@@ -207,8 +250,12 @@ def all_nearest_neighbors(
     ----------
     method:
         ``"rkdtree"`` (randomized KD-trees, the Table 1 solver),
-        ``"rptree"`` (random projection trees, the paper's ref [6]) or
-        ``"lsh"`` (random-projection hashing).
+        ``"rptree"`` (random projection trees, the paper's ref [6]),
+        ``"lsh"`` (random-projection hashing), ``"graph"`` (NN-descent
+        graph construction — the index's kNN lists *are* the all-NN
+        answer) or ``"auto"`` (let the recall-aware
+        :class:`~repro.approx.planner.QueryPlanner` pick; see
+        ``recall_target``).
     kernel:
         ``"gsknn"`` or ``"gemm"`` — which kNN kernel solves each group.
     leaf_size:
@@ -238,11 +285,79 @@ def all_nearest_neighbors(
         solves: repeated solves over the same table with the same seed
         regrow identical trees, so every leaf group hits its cached
         reference panels and the already-grown workspace arenas.
+    recall_target:
+        Only read by ``method="auto"``: the recall the planner must
+        (predictedly) meet. ``None`` or ``>= 0.999`` means exact.
+    planner:
+        Only read by ``method="auto"``: a pre-built
+        :class:`~repro.approx.planner.QueryPlanner` (tests inject one
+        with a handcrafted calibration). Default constructs one from the
+        persisted per-host calibration; a missing calibration silently
+        falls back to exact.
+    graph_kwargs:
+        Only read by ``method="graph"``/``"auto"``: extra keyword
+        arguments for :func:`~repro.approx.nndescent.build_graph_index`
+        (``k_build`` is clamped up to ``k`` so the lists stay wide
+        enough for the answer).
     """
     X = as_coordinate_table(X)
     check_finite(X)
     n = X.shape[0]
     k = check_k(k, n)
+
+    if method == "auto":
+        from ..approx.planner import QueryPlanner
+
+        qp = planner if planner is not None else QueryPlanner()
+        decision = qp.plan(
+            n, X.shape[1], k, recall_target=recall_target, workload="allknn"
+        )
+        if decision.method == "graph":
+            gk = dict(graph_kwargs or {})
+            if "k_build" not in gk and "k_build" in decision.params:
+                gk["k_build"] = int(decision.params["k_build"])
+            return _graph_all_knn(
+                X, k, seed=seed, truth=truth, graph_kwargs=gk,
+                decision=decision,
+            )
+        if decision.method in ("rkdtree", "rptree", "lsh"):
+            report = all_nearest_neighbors(
+                X,
+                k,
+                method=decision.method,
+                kernel=kernel,
+                leaf_size=int(decision.params.get("leaf_size", leaf_size)),
+                iterations=int(decision.params.get("iterations", iterations)),
+                tol=tol,
+                seed=seed,
+                variant=variant,
+                truth=truth,
+                lsh=lsh,
+                n_workers=n_workers,
+                plan_reuse=plan_reuse,
+            )
+            report.decision = decision
+            return report
+        # "exact" — the planner's choice and every fallback rung alike
+        t0 = time.perf_counter()
+        result = exact_all_knn(X, k, kernel=kernel)
+        total = time.perf_counter() - t0
+        return AllKnnReport(
+            result=result,
+            iterations=1,
+            kernel_seconds=total,
+            total_seconds=total,
+            converged=True,
+            recall_curve=[recall(result, truth)] if truth is not None else [],
+            method_used="exact",
+            decision=decision,
+        )
+
+    if method == "graph":
+        return _graph_all_knn(
+            X, k, seed=seed, truth=truth, graph_kwargs=dict(graph_kwargs or {})
+        )
+
     if iterations < 1:
         raise ValidationError(f"iterations must be >= 1, got {iterations}")
     if leaf_size <= k:
@@ -272,7 +387,8 @@ def all_nearest_neighbors(
         groupings = solver.buckets(X)
     else:
         raise ValidationError(
-            f"method must be 'rkdtree', 'rptree' or 'lsh', got {method!r}"
+            "method must be 'rkdtree', 'rptree', 'lsh', 'graph' or "
+            f"'auto', got {method!r}"
         )
 
     X2 = squared_norms(X)
@@ -345,4 +461,5 @@ def all_nearest_neighbors(
         group_count=group_count,
         mean_group_size=(group_size_total / group_count) if group_count else 0.0,
         recall_curve=recall_curve,
+        method_used=method,
     )

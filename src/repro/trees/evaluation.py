@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.neighbors import KnnResult
+from ..core.neighbors import KnnResult, intersection_counts
 from ..errors import ValidationError
 
 __all__ = ["distance_ratio", "recall_at", "quality_curve"]
@@ -40,19 +40,19 @@ def distance_ratio(candidate: KnnResult, truth: KnnResult) -> float:
     _check_pair(candidate, truth)
     cand = candidate.distances
     true = truth.distances
-    ratios = []
-    for i in range(true.shape[0]):
-        for c, t in zip(cand[i], true[i]):
-            if not np.isfinite(c) or not np.isfinite(t):
-                continue
-            if t == 0.0:
-                ratios.append(1.0 if c == 0.0 else np.nan)
-            else:
-                ratios.append(c / t)
-    clean = [r for r in ratios if np.isfinite(r)]
-    if not clean:
+    # Vectorized equivalent of the per-slot loop: non-finite on either
+    # side is skipped; a zero true distance contributes 1.0 iff the
+    # candidate also found a zero; everything else is the plain ratio
+    # (kept only while finite, matching the loop's final filter).
+    comparable = np.isfinite(cand) & np.isfinite(true)
+    nonzero = comparable & (true != 0.0)
+    ratios = np.full(cand.shape, np.nan, dtype=np.float64)
+    np.divide(cand, true, out=ratios, where=nonzero)
+    ratios[comparable & (true == 0.0) & (cand == 0.0)] = 1.0
+    clean = ratios[np.isfinite(ratios)]
+    if clean.size == 0:
         raise ValidationError("no comparable slots between the results")
-    return float(np.mean(clean))
+    return float(clean.mean())
 
 
 def recall_at(candidate: KnnResult, truth: KnnResult, j: int) -> float:
@@ -60,11 +60,9 @@ def recall_at(candidate: KnnResult, truth: KnnResult, j: int) -> float:
     _check_pair(candidate, truth)
     if not 1 <= j <= truth.k:
         raise ValidationError(f"j must be in [1, {truth.k}], got {j}")
-    hits = 0
-    for i in range(truth.m):
-        want = set(truth.indices[i, :j].tolist())
-        got = set(candidate.indices[i].tolist())
-        hits += len(want & got)
+    hits = int(
+        intersection_counts(truth.indices[:, :j], candidate.indices).sum()
+    )
     return hits / (truth.m * j)
 
 

@@ -45,11 +45,17 @@ class LSHSolver:
         if self.bucket_width is not None and self.bucket_width <= 0:
             raise ValidationError("bucket_width must be positive")
 
-    def _width(self, X: np.ndarray, rng: np.random.Generator) -> float:
+    def _width(self, X: np.ndarray) -> float:
         if self.bucket_width is not None:
             return self.bucket_width
         # Heuristic: a projection of the data spans ~||spread||; aim for
-        # a handful of populated buckets per projection.
+        # a handful of populated buckets per projection. The sampling is
+        # derived directly from the solver seed (its own generator, not
+        # a per-table one), so the width is a pure function of
+        # (X, seed): every table quantizes on the same grid pitch, and
+        # table t's projections no longer depend on how many draws the
+        # width estimate consumed.
+        rng = np.random.default_rng(self.seed)
         sample = X[rng.choice(X.shape[0], size=min(256, X.shape[0]), replace=False)]
         w = rng.normal(size=X.shape[1])
         w /= np.linalg.norm(w)
@@ -62,10 +68,10 @@ class LSHSolver:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] == 0:
             raise ValidationError(f"X must be a non-empty (N, d) array, got {X.shape}")
+        width = self._width(X)
         root = np.random.default_rng(self.seed)
         for _ in range(self.n_tables):
             rng = np.random.default_rng(int(root.integers(0, 2**63 - 1)))
-            width = self._width(X, rng)
             W = rng.normal(size=(X.shape[1], self.n_projections))
             W /= np.linalg.norm(W, axis=0, keepdims=True)
             b = rng.uniform(0, width, size=self.n_projections)

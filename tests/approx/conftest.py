@@ -1,0 +1,38 @@
+"""Fixtures for the approximate-tier suite.
+
+One shared small cloud + exact truth + built graph index per module:
+NN-descent builds are the slow part of these tests, so the index is
+session-scoped and every consumer treats it as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import build_graph_index
+from repro.trees.allknn import exact_all_knn
+
+
+@pytest.fixture(scope="session")
+def cloud() -> np.ndarray:
+    return np.random.default_rng(42).standard_normal((1200, 10))
+
+
+@pytest.fixture(scope="session")
+def cloud_truth(cloud):
+    return exact_all_knn(cloud, 16)
+
+
+@pytest.fixture(scope="session")
+def graph_index(cloud):
+    return build_graph_index(cloud, k_build=16, seed=0)
+
+
+@pytest.fixture
+def metrics():
+    from repro.obs.metrics import disable_metrics, enable_metrics
+
+    registry = enable_metrics()
+    yield registry
+    disable_metrics()

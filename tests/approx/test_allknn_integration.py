@@ -1,0 +1,133 @@
+"""``all_nearest_neighbors(method="graph"/"auto")`` wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import OperatingPoint, PlannerCalibration, QueryPlanner
+from repro.core.neighbors import recall
+from repro.errors import ValidationError
+from repro.trees.allknn import all_nearest_neighbors
+
+
+@pytest.fixture(scope="module")
+def planner():
+    """Handcrafted calibration: the graph build meets 0.9 and is
+    cheaper than exact at large n, while exact wins below the crossover
+    the linear/quadratic scaling implies (model_ratio plays a very slow
+    host, putting the crossover between the two test sizes)."""
+    cal = PlannerCalibration(
+        n=1024,
+        d=10,
+        k=10,
+        m_queries=64,
+        exact_query_seconds=2e-3,
+        model_ratio=300.0,
+        graph_build_seconds=0.2,
+        points=[
+            OperatingPoint(
+                method="graph",
+                workload="allknn",
+                params={"stage": "build", "k_build": 16},
+                recall=0.95,
+                solve_seconds=0.2,
+            )
+        ],
+    )
+    return QueryPlanner(cal)
+
+
+class TestGraphMethod:
+    def test_graph_answers_with_build_lists(self, cloud, cloud_truth):
+        report = all_nearest_neighbors(cloud, 10, method="graph", seed=0)
+        assert report.method_used == "graph"
+        assert report.result.indices.shape == (cloud.shape[0], 10)
+        truth10 = type(cloud_truth)(
+            cloud_truth.distances[:, :10], cloud_truth.indices[:, :10]
+        )
+        assert recall(report.result, truth10) >= 0.9
+
+    def test_graph_kwargs_forwarded(self, cloud):
+        report = all_nearest_neighbors(
+            cloud, 4, method="graph", graph_kwargs={"rounds": 0}
+        )
+        assert report.iterations == 0
+
+    def test_k_build_clamped_to_k(self, cloud):
+        # k above the requested k_build must not break as_result
+        report = all_nearest_neighbors(
+            cloud, 12, method="graph", graph_kwargs={"k_build": 8}
+        )
+        assert report.result.indices.shape[1] == 12
+
+    def test_recall_curve_from_build(self, cloud, cloud_truth):
+        report = all_nearest_neighbors(
+            cloud, 10, method="graph", truth=cloud_truth
+        )
+        assert report.recall_curve
+        assert report.recall_curve[-1] >= 0.9
+
+    def test_determinism(self, cloud):
+        a = all_nearest_neighbors(cloud, 8, method="graph", seed=5)
+        b = all_nearest_neighbors(cloud, 8, method="graph", seed=5)
+        np.testing.assert_array_equal(a.result.indices, b.result.indices)
+        np.testing.assert_array_equal(a.result.distances, b.result.distances)
+
+
+class TestAutoMethod:
+    def test_small_n_picks_exact(self, rng, planner):
+        X = rng.random((128, 10))
+        report = all_nearest_neighbors(
+            X, 10, method="auto", recall_target=0.9, planner=planner
+        )
+        assert report.method_used == "exact"
+        assert report.decision is not None
+        assert not report.decision.fallback
+
+    def test_large_n_picks_graph(self, cloud, planner):
+        # 1200 points: graph build (linear scaling) undercuts exact
+        # (quadratic scaling) with this calibration
+        report = all_nearest_neighbors(
+            cloud, 10, method="auto", recall_target=0.9, planner=planner
+        )
+        assert report.method_used == "graph"
+        assert report.decision.method == "graph"
+        assert report.decision.expected_recall >= 0.9
+
+    def test_no_target_is_exact(self, rng, planner):
+        X = rng.random((200, 10))
+        report = all_nearest_neighbors(X, 5, method="auto", planner=planner)
+        assert report.method_used == "exact"
+
+    def test_no_calibration_fallback(self, rng, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_PLANNER_CACHE", str(tmp_path / "absent.json")
+        )
+        X = rng.random((200, 10))
+        report = all_nearest_neighbors(
+            X, 5, method="auto", recall_target=0.9
+        )
+        assert report.method_used == "exact"
+        assert report.decision.fallback
+        # exact-by-fallback must actually be exact
+        from repro.trees.allknn import exact_all_knn
+
+        truth = exact_all_knn(X, 5)
+        np.testing.assert_array_equal(report.result.indices, truth.indices)
+
+    def test_exact_decision_result_is_exact(self, rng, planner):
+        X = rng.random((128, 10))
+        from repro.trees.allknn import exact_all_knn
+
+        report = all_nearest_neighbors(
+            X, 10, method="auto", recall_target=0.9, planner=planner
+        )
+        truth = exact_all_knn(X, 10)
+        np.testing.assert_array_equal(report.result.indices, truth.indices)
+
+
+class TestValidation:
+    def test_unknown_method_still_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            all_nearest_neighbors(rng.random((64, 4)), 4, method="nope")

@@ -1,0 +1,107 @@
+"""Blocked fused candidate evaluation vs brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import candidate_distances, pairwise_sq_distances
+from repro.errors import ValidationError
+
+
+def _brute(X, Q, C):
+    m, L = C.shape
+    D = np.full((m, L), np.inf)
+    for i in range(m):
+        for j in range(L):
+            c = C[i, j]
+            if c >= 0:
+                D[i, j] = float(((Q[i] - X[c]) ** 2).sum())
+    return D
+
+
+class TestCandidateDistances:
+    def test_matches_brute_force(self, rng):
+        X = rng.random((80, 7))
+        Q = rng.random((13, 7))
+        C = rng.integers(0, 80, size=(13, 9))
+        D = candidate_distances(X, Q, C)
+        np.testing.assert_allclose(D, _brute(X, Q, C), atol=1e-10)
+
+    def test_negative_padding_is_inf(self, rng):
+        X = rng.random((40, 5))
+        Q = rng.random((6, 5))
+        C = rng.integers(-1, 40, size=(6, 8))
+        C[0, :] = -1  # a fully-empty row must not crash
+        D = candidate_distances(X, Q, C)
+        assert np.isinf(D[C < 0]).all()
+        np.testing.assert_allclose(D, _brute(X, Q, C), atol=1e-10)
+
+    def test_blocking_invariant(self, rng):
+        """Tiny block sizes produce the identical matrix (same path)."""
+        X = rng.random((64, 6))
+        Q = rng.random((17, 6))
+        C = rng.integers(0, 64, size=(17, 5))
+        full = candidate_distances(X, Q, C)
+        blocked = candidate_distances(X, Q, C, block=3)
+        np.testing.assert_array_equal(full, blocked)
+
+    def test_float64_in_float64_out(self, rng):
+        X = rng.random((30, 4))
+        Q = rng.random((5, 4))
+        C = rng.integers(0, 30, size=(5, 3))
+        assert candidate_distances(X, Q, C).dtype == np.float64
+
+    def test_float32_hop_path(self, rng):
+        """float32 panels (the beam-search hop layout) come back float32
+        and match the float64 evaluation to single precision."""
+        X = rng.random((50, 6)).astype(np.float32)
+        Q = rng.random((9, 6)).astype(np.float32)
+        C = rng.integers(0, 50, size=(9, 4))
+        D32 = candidate_distances(X, Q, C)
+        assert D32.dtype == np.float32
+        D64 = candidate_distances(
+            X.astype(np.float64), Q.astype(np.float64), C
+        )
+        np.testing.assert_allclose(D32, D64, rtol=1e-4, atol=1e-5)
+
+    def test_precomputed_norms_identical(self, rng):
+        from repro.core.norms import squared_norms
+
+        X = rng.random((40, 5))
+        Q = rng.random((7, 5))
+        C = rng.integers(0, 40, size=(7, 6))
+        a = candidate_distances(X, Q, C)
+        b = candidate_distances(
+            X, Q, C, X2=squared_norms(X), Q2=squared_norms(Q)
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_shape_validation(self, rng):
+        X = rng.random((10, 3))
+        with pytest.raises(ValidationError):
+            candidate_distances(X, rng.random((4, 3)), np.zeros((5, 2), int))
+
+    def test_empty_candidates(self, rng):
+        X = rng.random((10, 3))
+        Q = rng.random((4, 3))
+        D = candidate_distances(X, Q, np.zeros((4, 0), dtype=np.intp))
+        assert D.shape == (4, 0)
+
+
+class TestPairwiseSqDistances:
+    def test_matches_brute_force(self, rng):
+        Q = rng.random((11, 6))
+        R = rng.random((17, 6))
+        D = pairwise_sq_distances(Q, R)
+        expect = ((Q[:, None, :] - R[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(D, expect, atol=1e-10)
+
+    def test_clamped_nonnegative(self, rng):
+        Q = rng.random((30, 4))
+        D = pairwise_sq_distances(Q, Q)
+        assert (D >= 0).all()
+
+    def test_width_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            pairwise_sq_distances(rng.random((3, 4)), rng.random((3, 5)))

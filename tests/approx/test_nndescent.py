@@ -1,0 +1,128 @@
+"""NN-descent graph construction: quality, determinism, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import GraphIndex, build_graph_index
+from repro.core.neighbors import recall
+from repro.errors import ValidationError
+
+
+class TestBuildQuality:
+    def test_build_recall(self, cloud, cloud_truth, graph_index):
+        assert recall(graph_index.as_result(16), cloud_truth) >= 0.95
+
+    def test_lists_are_sorted_and_self_inclusive(self, graph_index):
+        d = graph_index.distances
+        assert (np.diff(d, axis=1) >= 0).all()
+        # nearest neighbor of every point is itself at distance 0
+        n = graph_index.X.shape[0]
+        np.testing.assert_array_equal(
+            graph_index.neighbors[:, 0], np.arange(n)
+        )
+        # norm-trick arithmetic leaves clamped float residue on x vs x
+        assert (d[:, 0] <= 1e-9).all()
+
+    def test_report_attached(self, graph_index):
+        rep = graph_index.build_report
+        assert rep is not None
+        assert rep.rounds >= 0
+        assert rep.total_seconds > 0
+        assert rep.candidate_evals > 0
+
+    def test_truth_records_recall_curve(self, cloud, cloud_truth):
+        index = build_graph_index(
+            cloud, k_build=16, seed=0, rounds=2, truth=cloud_truth
+        )
+        curve = index.build_report.recall_curve
+        assert len(curve) >= 1
+        assert all(0.0 <= r <= 1.0 for r in curve)
+        # refinement never loses ground: the curve is non-decreasing
+        assert all(b >= a - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_adjacency_augmented_wider_than_lists(self, graph_index):
+        """Reverse-edge augmentation: traversal adjacency is a superset
+        of (and wider than) the kNN answer lists."""
+        assert graph_index.adjacency.shape[1] > graph_index.k_build
+        # forward edges all present
+        n, kb = graph_index.neighbors.shape
+        for row in (0, n // 2, n - 1):
+            fwd = set(graph_index.neighbors[row]) - {row}
+            adj = set(graph_index.adjacency[row])
+            assert fwd <= adj
+
+    def test_entry_points_are_valid_rows(self, graph_index):
+        n = graph_index.X.shape[0]
+        ep = graph_index.entry_points
+        assert ep.size > 0
+        assert ((ep >= 0) & (ep < n)).all()
+        assert np.unique(ep).size == ep.size
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, cloud):
+        a = build_graph_index(cloud, k_build=12, seed=3, rounds=3)
+        b = build_graph_index(cloud, k_build=12, seed=3, rounds=3)
+        np.testing.assert_array_equal(a.neighbors, b.neighbors)
+        np.testing.assert_array_equal(a.distances, b.distances)
+        np.testing.assert_array_equal(a.entry_points, b.entry_points)
+        np.testing.assert_array_equal(a.adjacency, b.adjacency)
+
+    def test_different_seed_differs(self, cloud):
+        a = build_graph_index(cloud, k_build=12, seed=3, rounds=1)
+        b = build_graph_index(cloud, k_build=12, seed=4, rounds=1)
+        assert not np.array_equal(a.entry_points, b.entry_points) or not (
+            np.array_equal(a.neighbors, b.neighbors)
+        )
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, graph_index, tmp_path):
+        path = graph_index.save(tmp_path / "idx.npz")
+        loaded = GraphIndex.load(path)
+        np.testing.assert_array_equal(loaded.X, graph_index.X)
+        np.testing.assert_array_equal(loaded.neighbors, graph_index.neighbors)
+        np.testing.assert_array_equal(loaded.distances, graph_index.distances)
+        np.testing.assert_array_equal(
+            loaded.entry_points, graph_index.entry_points
+        )
+        np.testing.assert_array_equal(
+            loaded.adjacency, graph_index.adjacency
+        )
+
+    def test_loaded_index_searches_identically(
+        self, graph_index, tmp_path, cloud
+    ):
+        from repro.approx import beam_search
+
+        loaded = GraphIndex.load(graph_index.save(tmp_path / "idx.npz"))
+        Q = cloud[:32]
+        a = beam_search(graph_index, Q, 8, ef=32)
+        b = beam_search(loaded, Q, 8, ef=32)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+
+class TestValidation:
+    def test_as_result_bounds(self, graph_index):
+        with pytest.raises(ValidationError):
+            graph_index.as_result(graph_index.k_build + 1)
+        with pytest.raises(ValidationError):
+            graph_index.as_result(0)
+
+    def test_as_result_truncates(self, graph_index):
+        res = graph_index.as_result(4)
+        assert res.k == 4
+        np.testing.assert_array_equal(
+            res.indices, graph_index.neighbors[:, :4]
+        )
+
+    def test_k_build_too_large(self, rng):
+        with pytest.raises(ValidationError):
+            build_graph_index(rng.random((10, 3)), k_build=10)
+
+    def test_bad_rounds(self, rng):
+        with pytest.raises(ValidationError):
+            build_graph_index(rng.random((50, 3)), k_build=4, rounds=-1)

@@ -1,0 +1,210 @@
+"""Query planner: the fallback ladder and cost-based selection.
+
+The contract under test: ``plan()`` never raises past input validation,
+and every rung of the ladder — no target, effectively-exact target,
+missing calibration, regime mismatch, infeasible target — lands on
+exact, with fallback rungs counted on ``plan.fallback``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    OperatingPoint,
+    PlannerCalibration,
+    QueryPlanner,
+)
+from repro.errors import ValidationError
+
+
+def make_calibration(**overrides):
+    base = dict(
+        n=4096,
+        d=16,
+        k=10,
+        m_queries=64,
+        exact_query_seconds=0.02,
+        model_ratio=1.0,
+        graph_build_seconds=2.0,
+        points=[
+            OperatingPoint(
+                method="graph",
+                workload="query",
+                params={"ef": 24, "expand": 3, "max_hops": 3},
+                recall=0.95,
+                query_seconds=5e-5,
+            ),
+            OperatingPoint(
+                method="graph",
+                workload="query",
+                params={"ef": 64, "expand": 4, "max_hops": None},
+                recall=0.99,
+                query_seconds=4e-4,
+            ),
+            OperatingPoint(
+                method="graph",
+                workload="allknn",
+                params={"stage": "build", "k_build": 16},
+                recall=0.96,
+                solve_seconds=0.3,
+            ),
+            OperatingPoint(
+                method="rkdtree",
+                workload="allknn",
+                params={"iterations": 6},
+                recall=0.97,
+                solve_seconds=0.6,
+            ),
+        ],
+    )
+    base.update(overrides)
+    return PlannerCalibration(**base)
+
+
+class TestFallbackLadder:
+    def test_no_target_is_exact(self):
+        planner = QueryPlanner(make_calibration())
+        decision = planner.plan(4096, 16, 10, None)
+        assert decision.method == "exact"
+        assert not decision.fallback
+
+    def test_effectively_exact_target(self):
+        planner = QueryPlanner(make_calibration())
+        decision = planner.plan(4096, 16, 10, 0.9995)
+        assert decision.method == "exact"
+        assert not decision.fallback
+
+    def test_no_calibration_falls_back_silently(self, metrics):
+        planner = QueryPlanner(None)
+        decision = planner.plan(4096, 16, 10, 0.9)
+        assert decision.method == "exact"
+        assert decision.fallback
+        assert decision.reason == "no_calibration"
+        counters = metrics.snapshot()["counters"]
+        assert any(
+            name.startswith("plan.fallback") and "no_calibration" in name
+            for name in counters
+        )
+
+    def test_missing_cache_file_means_no_calibration(
+        self, tmp_path, monkeypatch
+    ):
+        """Unknown host / missing file: the constructor itself degrades
+        to None and planning falls back — no exception anywhere."""
+        monkeypatch.setenv(
+            "REPRO_PLANNER_CACHE", str(tmp_path / "absent.json")
+        )
+        planner = QueryPlanner()
+        decision = planner.plan(4096, 16, 10, 0.9)
+        assert decision.method == "exact"
+        assert decision.fallback
+
+    def test_corrupt_cache_file_degrades(self, tmp_path, monkeypatch):
+        path = tmp_path / "planner.json"
+        path.write_text("{ not json")
+        monkeypatch.setenv("REPRO_PLANNER_CACHE", str(path))
+        decision = QueryPlanner().plan(4096, 16, 10, 0.9)
+        assert decision.method == "exact"
+        assert decision.fallback
+
+    def test_dimension_regime_mismatch(self, metrics):
+        planner = QueryPlanner(make_calibration(d=16))
+        decision = planner.plan(4096, 200, 10, 0.9)
+        assert decision.method == "exact"
+        assert decision.fallback
+        assert decision.reason == "regime_mismatch"
+        counters = metrics.snapshot()["counters"]
+        assert any(
+            name.startswith("plan.fallback") and "regime_mismatch" in name
+            for name in counters
+        )
+
+    def test_k_regime_mismatch(self):
+        planner = QueryPlanner(make_calibration(k=10))
+        decision = planner.plan(4096, 16, 64, 0.9)
+        assert decision.method == "exact"
+        assert decision.fallback
+
+    def test_infeasible_target_is_exact_not_fallback(self):
+        """A target above every calibrated point is answered exactly —
+        correct by construction, not a degraded state."""
+        planner = QueryPlanner(make_calibration())
+        decision = planner.plan(100_000, 16, 10, 0.995)
+        assert decision.method == "exact"
+        assert not decision.fallback
+
+    def test_never_raises_on_any_ladder_input(self):
+        planner = QueryPlanner(None)
+        for n, d, k, rt in [
+            (10, 1, 1, 0.5),
+            (10**7, 512, 100, 0.99),
+            (2, 2, 1, 1.0),
+        ]:
+            assert planner.plan(n, d, k, rt).method == "exact"
+
+
+class TestSelection:
+    def test_large_n_picks_graph(self):
+        planner = QueryPlanner(make_calibration())
+        decision = planner.plan(65536, 16, 10, 0.9, workload="query")
+        assert decision.method == "graph"
+        assert decision.expected_recall >= 0.9
+        assert decision.params["ef"] == 24
+
+    def test_small_n_picks_exact(self):
+        planner = QueryPlanner(make_calibration())
+        decision = planner.plan(64, 16, 10, 0.9, workload="query")
+        assert decision.method == "exact"
+        assert not decision.fallback
+
+    def test_higher_target_picks_wider_point(self):
+        planner = QueryPlanner(make_calibration())
+        decision = planner.plan(65536, 16, 10, 0.98, workload="query")
+        assert decision.method == "graph"
+        assert decision.params["ef"] == 64
+
+    def test_allknn_workload_uses_allknn_points(self):
+        planner = QueryPlanner(make_calibration())
+        decision = planner.plan(65536, 16, 10, 0.9, workload="allknn")
+        assert decision.method == "graph"
+        assert decision.params.get("stage") == "build"
+
+    def test_include_build_charges_the_build(self):
+        planner = QueryPlanner(make_calibration())
+        without = planner.plan(
+            65536, 16, 10, 0.9, workload="query", m_queries=1
+        )
+        with_build = planner.plan(
+            65536, 16, 10, 0.9, workload="query", m_queries=1,
+            include_build=True,
+        )
+        # one query never amortizes a multi-second build
+        assert without.method == "graph"
+        assert with_build.method == "exact"
+
+    def test_decision_counter(self, metrics):
+        planner = QueryPlanner(make_calibration())
+        planner.plan(65536, 16, 10, 0.9, workload="query")
+        counters = metrics.snapshot()["counters"]
+        assert any(
+            name.startswith("plan.decisions") and "graph" in name
+            for name in counters
+        )
+
+
+class TestInputValidation:
+    def test_bad_workload(self):
+        with pytest.raises(ValidationError):
+            QueryPlanner(None).plan(10, 2, 1, 0.9, workload="nope")
+
+    def test_bad_target(self):
+        with pytest.raises(ValidationError):
+            QueryPlanner(None).plan(10, 2, 1, 1.5)
+        with pytest.raises(ValidationError):
+            QueryPlanner(None).plan(10, 2, 1, 0.0)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValidationError):
+            QueryPlanner(None).plan(0, 2, 1, 0.9)

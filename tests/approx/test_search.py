@@ -1,0 +1,137 @@
+"""Beam search: recall, determinism, stats, parameter semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import SearchStats, beam_search
+from repro.core.neighbors import KnnResult, recall
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def queries(cloud):
+    # out-of-sample-ish: perturbed table rows
+    rng = np.random.default_rng(7)
+    return cloud[:64] + 0.01 * rng.standard_normal((64, cloud.shape[1]))
+
+
+class TestRecall:
+    def test_in_sample_recall(self, graph_index, cloud, cloud_truth):
+        Q = cloud[:128]
+        result = beam_search(graph_index, Q, 10, ef=32)
+        truth = KnnResult(
+            cloud_truth.distances[:128, :10], cloud_truth.indices[:128, :10]
+        )
+        assert recall(result, truth) >= 0.9
+
+    def test_self_is_found(self, graph_index, cloud):
+        """A query identical to a table row must find that row first."""
+        result = beam_search(graph_index, cloud[:16], 5, ef=32)
+        np.testing.assert_array_equal(result.indices[:, 0], np.arange(16))
+        assert (result.distances[:, 0] == 0).all()
+
+    def test_wider_ef_never_worse(self, graph_index, cloud, cloud_truth):
+        Q = cloud[:128]
+        truth = KnnResult(
+            cloud_truth.distances[:128, :10], cloud_truth.indices[:128, :10]
+        )
+        narrow = recall(beam_search(graph_index, Q, 10, ef=16), truth)
+        wide = recall(beam_search(graph_index, Q, 10, ef=64), truth)
+        assert wide >= narrow - 1e-9
+
+    def test_rows_sorted_ascending(self, graph_index, queries):
+        result = beam_search(graph_index, queries, 8)
+        d = result.distances
+        assert (np.diff(d, axis=1) >= -1e-12).all()
+
+    def test_no_duplicate_ids_per_row(self, graph_index, queries):
+        result = beam_search(graph_index, queries, 8)
+        for row in result.indices:
+            filled = row[row >= 0]
+            assert np.unique(filled).size == filled.size
+
+
+class TestDeterminism:
+    def test_bit_identical_across_calls(self, graph_index, queries):
+        a = beam_search(graph_index, queries, 8, ef=24)
+        b = beam_search(graph_index, queries, 8, ef=24)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+
+class TestRerank:
+    def test_rerank_distances_are_exact_float64(
+        self, graph_index, cloud, queries
+    ):
+        result = beam_search(graph_index, queries, 6, rerank=True)
+        assert result.distances.dtype == np.float64
+        for i in (0, 17, 63):
+            for j in range(6):
+                c = result.indices[i, j]
+                exact = float(((queries[i] - cloud[c]) ** 2).sum())
+                assert result.distances[i, j] == pytest.approx(
+                    exact, abs=1e-12
+                )
+
+    def test_no_rerank_same_ids_float_distances(self, graph_index, queries):
+        """rerank=False keeps the float32 hop metric but must return the
+        same well-formed shape (sorted, deduped, k wide)."""
+        result = beam_search(graph_index, queries, 6, rerank=False)
+        assert result.indices.shape == (queries.shape[0], 6)
+        assert (np.diff(result.distances, axis=1) >= -1e-6).all()
+
+
+class TestStats:
+    def test_stats_accounting(self, graph_index, queries):
+        result, stats = beam_search(
+            graph_index, queries, 8, ef=24, return_stats=True
+        )
+        assert isinstance(stats, SearchStats)
+        assert stats.queries == queries.shape[0]
+        assert stats.hops >= 1
+        assert stats.entry_evals > 0
+        assert stats.candidate_evals > 0
+        assert stats.rerank_evals > 0
+        assert 0.0 < stats.rerank_fraction < 1.0
+        assert stats.total_evals == (
+            stats.entry_evals + stats.candidate_evals + stats.rerank_evals
+        )
+
+    def test_metrics_emitted(self, graph_index, queries, metrics):
+        beam_search(graph_index, queries, 8)
+        snap = metrics.snapshot()
+        assert snap["counters"].get("approx.search.queries") == len(queries)
+        assert any(
+            name.startswith("approx.search") for name in snap["histograms"]
+        )
+
+    def test_max_hops_bounds_work(self, graph_index, queries):
+        _, one = beam_search(
+            graph_index, queries, 8, max_hops=1, return_stats=True
+        )
+        _, many = beam_search(
+            graph_index, queries, 8, max_hops=8, return_stats=True
+        )
+        assert one.hops == 1
+        assert many.candidate_evals >= one.candidate_evals
+
+
+class TestValidation:
+    def test_bad_shapes(self, graph_index):
+        with pytest.raises(ValidationError):
+            beam_search(graph_index, np.ones((3, 2)), 4)  # wrong d
+
+    def test_bad_k(self, graph_index, cloud):
+        with pytest.raises(ValidationError):
+            beam_search(graph_index, cloud[:4], 0)
+
+    def test_ef_below_k_rejected(self, graph_index, cloud):
+        with pytest.raises(ValidationError):
+            beam_search(graph_index, cloud[:4], 8, ef=4)
+
+    def test_single_query_row_promoted(self, graph_index, cloud):
+        result = beam_search(graph_index, cloud[3], 5)
+        assert result.indices.shape == (1, 5)
+        assert result.indices[0, 0] == 3

@@ -1,0 +1,125 @@
+"""Planner calibration persistence: fingerprint keying, degradation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.approx import (
+    OperatingPoint,
+    PlannerCalibration,
+    default_planner_path,
+    load_calibration,
+    save_calibration,
+)
+from repro.approx.store import PLANNER_SCHEMA_VERSION
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def calibration():
+    return PlannerCalibration(
+        n=2048,
+        d=12,
+        k=8,
+        m_queries=32,
+        exact_query_seconds=0.01,
+        model_ratio=1.1,
+        graph_build_seconds=1.5,
+        points=[
+            OperatingPoint(
+                method="graph",
+                workload="query",
+                params={"ef": 32, "expand": 4, "max_hops": None},
+                recall=0.95,
+                query_seconds=1e-4,
+            )
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_save_load(self, calibration, tmp_path):
+        path = tmp_path / "planner.json"
+        save_calibration(calibration, cache_path=path)
+        loaded = load_calibration(path)
+        assert loaded is not None
+        assert loaded.n == calibration.n
+        assert loaded.model_ratio == calibration.model_ratio
+        assert len(loaded.points) == 1
+        point = loaded.points[0]
+        assert point.method == "graph"
+        assert point.params["ef"] == 32
+        assert point.params["max_hops"] is None
+
+    def test_env_override(self, calibration, tmp_path, monkeypatch):
+        path = tmp_path / "elsewhere.json"
+        monkeypatch.setenv("REPRO_PLANNER_CACHE", str(path))
+        assert default_planner_path() == path
+        save_calibration(calibration)
+        assert path.exists()
+        assert load_calibration() is not None
+
+    def test_default_path_beside_tuning_json(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PLANNER_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_TUNE_CACHE", raising=False)
+        assert default_planner_path().name == "planner.json"
+
+    def test_preserves_other_hosts(self, calibration, tmp_path):
+        path = tmp_path / "planner.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": PLANNER_SCHEMA_VERSION,
+                    "hosts": {"other-host": {"calibration": {}}},
+                }
+            )
+        )
+        save_calibration(calibration, cache_path=path)
+        doc = json.loads(path.read_text())
+        assert "other-host" in doc["hosts"]
+        assert len(doc["hosts"]) == 2
+
+
+class TestDegradation:
+    def test_missing_file(self, tmp_path):
+        assert load_calibration(tmp_path / "absent.json") is None
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "planner.json"
+        path.write_text("{ nope")
+        assert load_calibration(path) is None
+
+    def test_future_schema(self, calibration, tmp_path):
+        path = tmp_path / "planner.json"
+        save_calibration(calibration, cache_path=path)
+        doc = json.loads(path.read_text())
+        doc["schema_version"] = PLANNER_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(doc))
+        assert load_calibration(path) is None
+
+    def test_unknown_host(self, tmp_path):
+        path = tmp_path / "planner.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": PLANNER_SCHEMA_VERSION,
+                    "hosts": {"some-other-fingerprint": {"calibration": {}}},
+                }
+            )
+        )
+        assert load_calibration(path) is None
+
+    def test_mangled_calibration_fields(self, calibration, tmp_path):
+        path = tmp_path / "planner.json"
+        save_calibration(calibration, cache_path=path)
+        doc = json.loads(path.read_text())
+        for entry in doc["hosts"].values():
+            del entry["calibration"]["n"]
+        path.write_text(json.dumps(doc))
+        assert load_calibration(path) is None
+
+    def test_save_rejects_non_calibration(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_calibration({"n": 1}, cache_path=tmp_path / "x.json")

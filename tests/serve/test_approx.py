@@ -1,0 +1,176 @@
+"""Approximate serving: per-request recall targets through the service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    OperatingPoint,
+    PlannerCalibration,
+    QueryPlanner,
+    build_graph_index,
+)
+from repro.core.neighbors import KnnResult, recall
+from repro.errors import ValidationError
+from repro.serve import KnnQueryService, ServeConfig
+from repro.trees.allknn import exact_all_knn
+
+
+@pytest.fixture(scope="module")
+def big_table():
+    return np.random.default_rng(9).standard_normal((1024, 8))
+
+
+@pytest.fixture(scope="module")
+def big_truth(big_table):
+    return exact_all_knn(big_table, 10)
+
+
+@pytest.fixture(scope="module")
+def index(big_table):
+    return build_graph_index(big_table, k_build=16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def planner(big_table):
+    cal = PlannerCalibration(
+        n=big_table.shape[0],
+        d=big_table.shape[1],
+        k=10,
+        m_queries=32,
+        exact_query_seconds=0.01,
+        model_ratio=1.0,
+        graph_build_seconds=0.5,
+        points=[
+            OperatingPoint(
+                method="graph",
+                workload="query",
+                params={"ef": 32, "expand": 4, "max_hops": None},
+                recall=0.97,
+                query_seconds=1e-6,
+            )
+        ],
+    )
+    return QueryPlanner(cal)
+
+
+@pytest.fixture
+def svc(big_table, index, planner):
+    config = ServeConfig(max_wait_ms=0.5, recall_sample_every=1)
+    with KnnQueryService(
+        big_table, config, graph_index=index, planner=planner
+    ) as service:
+        yield service
+
+
+class TestRouting:
+    def test_no_target_stays_exact(self, svc, big_truth):
+        result = svc.submit([3, 40], k=10).result(10)
+        np.testing.assert_array_equal(
+            result.indices, big_truth.indices[[3, 40]]
+        )
+
+    def test_target_routes_through_graph(self, svc, big_truth):
+        q = np.arange(64)
+        result = svc.submit(q, k=10, recall_target=0.9).result(10)
+        truth = KnnResult(big_truth.distances[q], big_truth.indices[q])
+        assert recall(result, truth) >= 0.9
+
+    def test_rows_request_routes_too(self, svc, big_table, big_truth):
+        result = svc.submit_rows(
+            big_table[10:20], k=10, recall_target=0.9
+        ).result(10)
+        truth = KnnResult(
+            big_truth.distances[10:20], big_truth.indices[10:20]
+        )
+        assert recall(result, truth) >= 0.9
+
+    def test_mixed_window_demuxes_correctly(self, svc, big_truth):
+        exact_h = svc.submit([7], k=10)
+        approx_h = svc.submit([7], k=10, recall_target=0.9)
+        exact_res = exact_h.result(10)
+        approx_res = approx_h.result(10)
+        np.testing.assert_array_equal(
+            exact_res.indices, big_truth.indices[[7]]
+        )
+        truth = KnnResult(big_truth.distances[[7]], big_truth.indices[[7]])
+        assert recall(approx_res, truth) >= 0.9
+
+    def test_bad_target_rejected_synchronously(self, svc):
+        with pytest.raises(ValidationError):
+            svc.submit([1], k=5, recall_target=1.5)
+
+    def test_effectively_exact_target_solves_exactly(self, svc, big_truth):
+        result = svc.submit([5, 6], k=10, recall_target=0.9999).result(10)
+        np.testing.assert_array_equal(
+            result.indices, big_truth.indices[[5, 6]]
+        )
+
+
+class TestFallbacks:
+    def test_no_calibration_serves_exactly(
+        self, big_table, index, big_truth, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_PLANNER_CACHE", str(tmp_path / "absent.json")
+        )
+        with KnnQueryService(
+            big_table, ServeConfig(max_wait_ms=0.5), graph_index=index
+        ) as service:
+            result = service.submit([2, 3], k=10, recall_target=0.9).result(10)
+        np.testing.assert_array_equal(
+            result.indices, big_truth.indices[[2, 3]]
+        )
+
+    def test_no_index_serves_exactly(self, big_table, big_truth, planner):
+        with KnnQueryService(
+            big_table, ServeConfig(max_wait_ms=0.5), planner=planner
+        ) as service:
+            result = service.submit([2, 3], k=10, recall_target=0.9).result(10)
+        np.testing.assert_array_equal(
+            result.indices, big_truth.indices[[2, 3]]
+        )
+
+    def test_k_beyond_graph_width_serves_exactly(self, svc, big_table):
+        # k > k_build cannot come from the graph's lists: exact path
+        result = svc.submit([1], k=32, recall_target=0.9).result(10)
+        truth = exact_all_knn(big_table, 32)
+        np.testing.assert_array_equal(result.indices, truth.indices[[1]])
+
+    def test_mismatched_table_rejected(self, big_table, index):
+        with pytest.raises(ValidationError):
+            KnnQueryService(big_table[:100], graph_index=index)
+
+
+class TestObservability:
+    def test_approx_metrics(self, big_table, index, planner, metrics):
+        config = ServeConfig(max_wait_ms=0.5, recall_sample_every=1)
+        with KnnQueryService(
+            big_table, config, graph_index=index, planner=planner
+        ) as service:
+            service.submit(np.arange(32), k=10, recall_target=0.9).result(10)
+        snap = metrics.snapshot()
+        assert any(
+            name.startswith("serve.approx_requests")
+            for name in snap["counters"]
+        )
+        achieved = snap["gauges"].get("approx.achieved_recall")
+        assert achieved is not None
+        assert achieved >= 0.9
+
+    def test_default_recall_target_from_config(
+        self, big_table, index, planner, metrics
+    ):
+        config = ServeConfig(
+            max_wait_ms=0.5, default_recall_target=0.9, recall_sample_every=0
+        )
+        with KnnQueryService(
+            big_table, config, graph_index=index, planner=planner
+        ) as service:
+            service.submit([4], k=10).result(10)
+        snap = metrics.snapshot()
+        assert any(
+            name.startswith("serve.approx_requests")
+            for name in snap["counters"]
+        )

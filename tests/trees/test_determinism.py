@@ -1,0 +1,95 @@
+"""Seeded determinism across the randomized index structures.
+
+Contract: the same seed reproduces bit-identical structures — LSH
+bucket contents, forest leaf partitions, and the approximate solves
+built on top of them. Different seeds must actually diversify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trees.lsh import LSHSolver
+from repro.trees.rkdtree import RandomizedKDForest
+from repro.trees.allknn import all_nearest_neighbors
+
+
+@pytest.fixture(scope="module")
+def X():
+    return np.random.default_rng(7).standard_normal((400, 6))
+
+
+def _materialize_buckets(solver, X):
+    return [
+        [np.asarray(g) for g in table] for table in solver.buckets(X)
+    ]
+
+
+class TestLshDeterminism:
+    def test_same_seed_bit_identical_buckets(self, X):
+        a = _materialize_buckets(LSHSolver(seed=3), X)
+        b = _materialize_buckets(LSHSolver(seed=3), X)
+        assert len(a) == len(b)
+        for ta, tb in zip(a, b):
+            assert len(ta) == len(tb)
+            for ga, gb in zip(ta, tb):
+                np.testing.assert_array_equal(ga, gb)
+
+    def test_different_seed_differs(self, X):
+        a = _materialize_buckets(LSHSolver(seed=3), X)
+        b = _materialize_buckets(LSHSolver(seed=4), X)
+        flat_a = [tuple(g.tolist()) for t in a for g in t]
+        flat_b = [tuple(g.tolist()) for t in b for g in t]
+        assert flat_a != flat_b
+
+    def test_width_derives_from_solver_seed(self, X):
+        # the auto bucket width must be a pure function of (X, seed)
+        w1 = LSHSolver(seed=11)._width(X)
+        w2 = LSHSolver(seed=11)._width(X)
+        w3 = LSHSolver(seed=12)._width(X)
+        assert w1 == w2
+        assert w1 != w3
+
+    def test_width_ignores_global_rng_state(self, X):
+        w1 = LSHSolver(seed=11)._width(X)
+        np.random.seed(0)
+        np.random.random(1000)
+        w2 = LSHSolver(seed=11)._width(X)
+        assert w1 == w2
+
+
+class TestForestDeterminism:
+    def test_same_seed_bit_identical_leaves(self, X):
+        fa = RandomizedKDForest(leaf_size=32, n_trees=4, seed=5)
+        fb = RandomizedKDForest(leaf_size=32, n_trees=4, seed=5)
+        trees_a = [tree.leaves for tree in fa.trees(X)]
+        trees_b = [tree.leaves for tree in fb.trees(X)]
+        assert len(trees_a) == len(trees_b) == 4
+        for la, lb in zip(trees_a, trees_b):
+            assert len(la) == len(lb)
+            for leaf_a, leaf_b in zip(la, lb):
+                np.testing.assert_array_equal(leaf_a, leaf_b)
+
+    def test_different_seed_differs(self, X):
+        fa = RandomizedKDForest(leaf_size=32, n_trees=1, seed=5)
+        fb = RandomizedKDForest(leaf_size=32, n_trees=1, seed=6)
+        la = [leaf.tolist() for t in fa.trees(X) for leaf in t.leaves]
+        lb = [leaf.tolist() for t in fb.trees(X) for leaf in t.leaves]
+        assert la != lb
+
+    def test_trees_within_forest_differ(self, X):
+        forest = RandomizedKDForest(leaf_size=32, n_trees=2, seed=5)
+        t1, t2 = (tree.leaves for tree in forest.trees(X))
+        assert [l.tolist() for l in t1] != [l.tolist() for l in t2]
+
+
+class TestSolveDeterminism:
+    @pytest.mark.parametrize("method", ["rkdtree", "lsh", "graph"])
+    def test_same_seed_same_answers(self, X, method):
+        a = all_nearest_neighbors(X, 8, method=method, seed=13)
+        b = all_nearest_neighbors(X, 8, method=method, seed=13)
+        np.testing.assert_array_equal(a.result.indices, b.result.indices)
+        np.testing.assert_array_equal(
+            a.result.distances, b.result.distances
+        )

@@ -72,6 +72,103 @@ class TestRecallAt:
         assert values == sorted(values, reverse=True)
 
 
+def _distance_ratio_loop(cand: KnnResult, truth: KnnResult) -> float:
+    """Scalar reference for the vectorized distance_ratio."""
+    ratios = []
+    for i in range(truth.m):
+        for s in range(truth.k):
+            c, t = cand.distances[i, s], truth.distances[i, s]
+            if not (np.isfinite(c) and np.isfinite(t)):
+                continue
+            if t == 0.0:
+                if c == 0.0:
+                    ratios.append(1.0)
+                continue
+            r = c / t
+            if np.isfinite(r):
+                ratios.append(r)
+    if not ratios:
+        raise ValidationError("no comparable slots")
+    return float(np.mean(ratios))
+
+
+def _recall_at_loop(cand: KnnResult, truth: KnnResult, j: int) -> float:
+    hits = 0
+    for i in range(truth.m):
+        want = set(truth.indices[i, :j].tolist())
+        got = set(cand.indices[i].tolist())
+        hits += len(want & got)
+    return hits / (truth.m * j)
+
+
+class TestVectorizedAgainstLoop:
+    """Property tests: the vectorized metrics match a scalar loop."""
+
+    hypothesis = pytest.importorskip("hypothesis")
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    def _make_pair(seed, m, k, with_infs):
+        rng = np.random.default_rng(seed)
+        true = np.sort(rng.random((m, k)), axis=1)
+        cand = np.sort(true + rng.random((m, k)) * 0.5, axis=1)
+        true_idx = np.argsort(rng.random((m, 4 * k)), axis=1)[:, :k]
+        cand_idx = np.argsort(rng.random((m, 4 * k)), axis=1)[:, :k]
+        if with_infs:
+            mask = rng.random((m, k)) < 0.3
+            cand = np.where(mask, np.inf, cand)
+            cand_idx = np.where(mask, -1, cand_idx)
+        # sprinkle exact zeros (self-matches) into the first slot
+        zero_rows = rng.random(m) < 0.5
+        true[zero_rows, 0] = 0.0
+        cand[zero_rows & (rng.random(m) < 0.5), 0] = 0.0
+        return (
+            KnnResult(cand, cand_idx.astype(np.intp)),
+            KnnResult(true, true_idx.astype(np.intp)),
+        )
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        m=st.integers(1, 12),
+        k=st.integers(1, 9),
+        with_infs=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distance_ratio_matches_loop(self, seed, m, k, with_infs):
+        cand, truth = self._make_pair(seed, m, k, with_infs)
+        try:
+            expected = _distance_ratio_loop(cand, truth)
+        except ValidationError:
+            with pytest.raises(ValidationError):
+                distance_ratio(cand, truth)
+            return
+        assert distance_ratio(cand, truth) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        m=st.integers(1, 12),
+        k=st.integers(1, 9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recall_at_matches_loop(self, seed, m, k):
+        cand, truth = self._make_pair(seed, m, k, False)
+        for j in range(1, k + 1):
+            assert recall_at(cand, truth, j) == pytest.approx(
+                _recall_at_loop(cand, truth, j)
+            )
+
+    @given(seed=st.integers(0, 2**32 - 1), m=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_candidate_is_perfect(self, seed, m):
+        _, truth = self._make_pair(seed, m, 6, False)
+        assert distance_ratio(truth, truth) == pytest.approx(1.0)
+        assert recall_at(truth, truth, 6) == 1.0
+
+
 class TestQualityCurve:
     def test_default_js_cover_k(self):
         truth = _res([[1.0] * 6], [list(range(6))])
