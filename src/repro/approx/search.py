@@ -21,8 +21,12 @@ and sort widths without touching the answer's precision. Per-query
 dedup sorts: candidates are filtered to never-scored ids before the
 fused evaluation, so pools fold with a cheap partition+sort instead of
 a full-width id argsort, and no id is ever evaluated twice for the
-same query. (The bitmaps are ``m x n`` bytes — fine for serving-sized
-batches; chunk very large query sets at the caller.)
+same query. The bitmaps are one byte per (query, reference) pair, so
+:func:`beam_search` internally splits large query sets into row blocks
+sized to a fixed state budget (``chunk_rows`` overrides): peak bitmap
+memory is O(chunk x n) however many queries arrive, the per-block
+results concatenate losslessly (queries never interact), and the
+returned :class:`SearchStats` aggregates all blocks.
 
 The ``rerank`` pass is TPU-KNN's approximate-then-rerank split: the
 final pool is re-scored **exactly in float64** in one fused evaluation
@@ -47,6 +51,11 @@ from .blockeval import _PANEL_ELEMENTS, candidate_distances
 from .nndescent import GraphIndex
 
 __all__ = ["SearchStats", "beam_search"]
+
+#: Default cap on per-call visited/expanded bitmap memory. The state
+#: array is one byte per (query row, reference id), so query batches
+#: are processed in blocks of ``_STATE_BUDGET_BYTES // (n + 1)`` rows.
+_STATE_BUDGET_BYTES = 64 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -123,6 +132,168 @@ def _pool_topk(
     )
 
 
+def _search_block(
+    index: GraphIndex,
+    Q: np.ndarray,
+    k: int,
+    ef: int,
+    expand: int,
+    max_hops: int,
+    rerank: bool,
+) -> tuple[np.ndarray, np.ndarray, int, int, int, int]:
+    """One bounded block of queries through the full seed/hop/select
+    pipeline. Returns ``(out_d, out_i, hops, entry_evals,
+    candidate_evals, rerank_evals)``; blocks are independent (queries
+    never interact), so callers concatenate results losslessly."""
+    n = index.n
+    m = Q.shape[0]
+    X17, N33 = index.hop_arrays()
+    Q32 = np.ascontiguousarray(Q, dtype=np.float32)
+    Q2_32 = squared_norms(Q32)
+    Q17 = np.concatenate(
+        [Q32, np.full((m, 1), -0.5, dtype=np.float32)], axis=1
+    )
+    sent = np.int32(n)  # the sentinel id (see GraphIndex.hop_arrays)
+
+    # --- seed every pool from the index's fixed entry points: one
+    # sgemm against the cached fused panel (norm column folded in)
+    E32, XE17 = index.entry_arrays()
+    D0 = Q2_32[:, None] - 2.0 * (Q17 @ XE17.T)
+    entry_evals = m * E32.size
+    pool_d, pool_i = _pool_topk(
+        D0, np.broadcast_to(E32, (m, E32.size)), ef
+    )
+    np.maximum(pool_d, 0.0, out=pool_d)
+    if pool_d.shape[1] < ef:
+        pad = ef - pool_d.shape[1]
+        pool_d = np.concatenate(
+            [pool_d, np.full((m, pad), np.inf, dtype=pool_d.dtype)],
+            axis=1,
+        )
+        pool_i = np.concatenate(
+            [pool_i, np.full((m, pad), sent, dtype=np.int32)],
+            axis=1,
+        )
+
+    # one byte of state per (query, reference id): 0 = untouched,
+    # 1 = scored (never score twice), 3 = scored + adjacency
+    # fetched (a pool slot is frontier until then). Only pool ids
+    # are marked at seed time — rejected entry points can in
+    # principle be re-scored by a hop, which is cheaper than
+    # scattering the whole entry panel into the bitmap. Width n+1:
+    # the sentinel column absorbs padding reads and writes.
+    state = np.zeros((m, n + 1), dtype=np.uint8)
+    rows = np.arange(m)
+    pf = pool_i.ravel()
+    pok = pf != sent
+    prr = np.repeat(rows, pool_i.shape[1])
+    state[prr[pok], pf[pok]] = 1
+    hops = 0
+    candidate_evals = 0
+    done = np.zeros(m, dtype=bool)
+    width = N33.shape[1]
+    rep_expand = np.repeat(rows, expand)
+    rep_cols = np.repeat(rows, expand * width)
+    for hop in range(max_hops):
+        frontier = np.isfinite(pool_d) & (
+            state[rows[:, None], pool_i] < 2
+        )
+        has_frontier = frontier.any(axis=1)
+        # the classic ef-search stop: once a query's pool is full
+        # and its nearest unexpanded candidate is farther than its
+        # worst pool entry, expanding cannot improve the pool
+        first_col = np.argmax(frontier, axis=1)
+        nearest_frontier = np.where(
+            has_frontier, pool_d[rows, first_col], np.inf
+        )
+        done |= ~has_frontier | (nearest_frontier > pool_d[:, ef - 1])
+        active = np.flatnonzero(~done)
+        if active.size == 0:
+            break
+        hops = hop + 1
+        # while every query is live (the common case in the short
+        # latency-tuned hop budgets), skip the row-subset copies
+        full = active.size == m
+        f_act = frontier if full else frontier[active]
+        # pools are sorted ascending, so a stable sort of the
+        # not-frontier mask lists each row's nearest unexpanded
+        # slots first
+        cols = np.argsort(~f_act, axis=1, kind="stable")[:, :expand]
+        chosen_ok = np.take_along_axis(f_act, cols, axis=1)
+        hubs = np.take_along_axis(
+            pool_i if full else pool_i[active], cols, axis=1
+        )
+        hubs = np.where(chosen_ok, hubs, sent)
+        act_rep = rep_expand if full else np.repeat(active, expand)
+        hub_flat = hubs.ravel()
+        hub_ok = hub_flat != sent
+        state[act_rep[hub_ok], hub_flat[hub_ok]] = 3
+        # sentinel hubs gather the sentinel's self-adjacency, so no
+        # masking: padding propagates through the gather untouched
+        C = N33[hubs].reshape(active.size, -1)
+        # drop every candidate this query has already scored
+        seen = state[(rows if full else active)[:, None], C] != 0
+        C = np.where(seen, sent, C)
+        c_flat = C.ravel()
+        c_ok = c_flat != sent
+        evals = int(c_ok.sum())
+        candidate_evals += evals
+        arep = rep_cols if full else np.repeat(active, C.shape[1])
+        state[arep[c_ok], c_flat[c_ok]] = 1
+        with _trace.span(
+            "approx.search.hop",
+            hop=hop,
+            active=int(active.size),
+            candidates=evals,
+        ):
+            D = _hop_distances(
+                X17,
+                Q17 if full else Q17[active],
+                Q2_32 if full else Q2_32[active],
+                C,
+            )
+            new_d, new_i = _pool_topk(
+                np.concatenate(
+                    [pool_d if full else pool_d[active], D], axis=1
+                ),
+                np.concatenate(
+                    [pool_i if full else pool_i[active], C], axis=1
+                ),
+                ef,
+            )
+        if full:
+            pool_d, pool_i = new_d, new_i
+        else:
+            pool_d[active] = new_d
+            pool_i[active] = new_i
+
+    # --- select the answer from the pool
+    rerank_evals = 0
+    pool_ip = np.where(pool_i == sent, -1, pool_i).astype(np.intp)
+    if rerank:
+        rerank_evals = int((pool_ip >= 0).sum())
+        X2 = index.squared_norms()
+        Q2 = squared_norms(Q)
+        D = candidate_distances(index.X, Q, pool_ip, X2=X2, Q2=Q2)
+        out_d, out_i = merge_topk(
+            D,
+            pool_ip,
+            np.full((m, 1), np.inf),
+            np.full((m, 1), -1, dtype=np.intp),
+            k,
+        )
+    else:
+        # merge_topk against an empty list = dedup + truncate
+        out_d, out_i = merge_topk(
+            pool_d.astype(np.float64),
+            pool_ip,
+            np.full((m, 1), np.inf),
+            np.full((m, 1), -1, dtype=np.intp),
+            k,
+        )
+    return out_d, out_i, hops, entry_evals, candidate_evals, rerank_evals
+
+
 def beam_search(
     index: GraphIndex,
     Q: np.ndarray,
@@ -134,6 +305,7 @@ def beam_search(
     rerank: bool = True,
     validate: bool = True,
     return_stats: bool = False,
+    chunk_rows: int | None = None,
 ) -> KnnResult | tuple[KnnResult, SearchStats]:
     """Approximate k nearest neighbors of query rows ``Q`` via the graph.
 
@@ -153,6 +325,11 @@ def beam_search(
     rerank:
         Re-score the final pool exactly in one fused pass before
         selecting the top k (see module docstring).
+    chunk_rows:
+        Query rows searched per block (each block's visited bitmap is
+        ``chunk_rows x (n + 1)`` bytes). Default: sized so the bitmap
+        stays within a fixed ~64 MiB budget. Blocks are independent, so
+        the answer is identical at any chunking.
     """
     Q = np.atleast_2d(np.asarray(Q))
     if validate:
@@ -177,156 +354,39 @@ def beam_search(
         max_hops = max(8, int(2 * np.log2(max(n, 2))))
     if max_hops < 0:
         raise ValidationError(f"max_hops must be >= 0, got {max_hops}")
+    if chunk_rows is None:
+        chunk_rows = max(1, _STATE_BUDGET_BYTES // (n + 1))
+    elif chunk_rows < 1:
+        raise ValidationError(f"chunk_rows must be >= 1, got {chunk_rows}")
 
     m = Q.shape[0]
     registry = _get_registry()
-    X17, N33 = index.hop_arrays()
-    Q32 = np.ascontiguousarray(Q, dtype=np.float32)
-    Q2_32 = squared_norms(Q32)
-    Q17 = np.concatenate(
-        [Q32, np.full((m, 1), -0.5, dtype=np.float32)], axis=1
-    )
-    sent = np.int32(n)  # the sentinel id (see GraphIndex.hop_arrays)
-
+    n_blocks = -(-m // chunk_rows) if m else 1
     with _trace.span(
-        "approx.search", queries=m, k=k, ef=ef, expand=expand
+        "approx.search", queries=m, k=k, ef=ef, expand=expand,
+        blocks=n_blocks,
     ):
-        # --- seed every pool from the index's fixed entry points: one
-        # sgemm against the cached fused panel (norm column folded in)
-        E32, XE17 = index.entry_arrays()
-        D0 = Q2_32[:, None] - 2.0 * (Q17 @ XE17.T)
-        entry_evals = m * E32.size
-        pool_d, pool_i = _pool_topk(
-            D0, np.broadcast_to(E32, (m, E32.size)), ef
-        )
-        np.maximum(pool_d, 0.0, out=pool_d)
-        if pool_d.shape[1] < ef:
-            pad = ef - pool_d.shape[1]
-            pool_d = np.concatenate(
-                [pool_d, np.full((m, pad), np.inf, dtype=pool_d.dtype)],
-                axis=1,
-            )
-            pool_i = np.concatenate(
-                [pool_i, np.full((m, pad), sent, dtype=np.int32)],
-                axis=1,
-            )
-
-        # one byte of state per (query, reference id): 0 = untouched,
-        # 1 = scored (never score twice), 3 = scored + adjacency
-        # fetched (a pool slot is frontier until then). Only pool ids
-        # are marked at seed time — rejected entry points can in
-        # principle be re-scored by a hop, which is cheaper than
-        # scattering the whole entry panel into the bitmap. Width n+1:
-        # the sentinel column absorbs padding reads and writes.
-        state = np.zeros((m, n + 1), dtype=np.uint8)
-        rows = np.arange(m)
-        pf = pool_i.ravel()
-        pok = pf != sent
-        prr = np.repeat(rows, pool_i.shape[1])
-        state[prr[pok], pf[pok]] = 1
         hops = 0
-        candidate_evals = 0
-        done = np.zeros(m, dtype=bool)
-        width = N33.shape[1]
-        rep_expand = np.repeat(rows, expand)
-        rep_cols = np.repeat(rows, expand * width)
-        for hop in range(max_hops):
-            frontier = np.isfinite(pool_d) & (
-                state[rows[:, None], pool_i] < 2
-            )
-            has_frontier = frontier.any(axis=1)
-            # the classic ef-search stop: once a query's pool is full
-            # and its nearest unexpanded candidate is farther than its
-            # worst pool entry, expanding cannot improve the pool
-            first_col = np.argmax(frontier, axis=1)
-            nearest_frontier = np.where(
-                has_frontier, pool_d[rows, first_col], np.inf
-            )
-            done |= ~has_frontier | (nearest_frontier > pool_d[:, ef - 1])
-            active = np.flatnonzero(~done)
-            if active.size == 0:
-                break
-            hops = hop + 1
-            # while every query is live (the common case in the short
-            # latency-tuned hop budgets), skip the row-subset copies
-            full = active.size == m
-            f_act = frontier if full else frontier[active]
-            # pools are sorted ascending, so a stable sort of the
-            # not-frontier mask lists each row's nearest unexpanded
-            # slots first
-            cols = np.argsort(~f_act, axis=1, kind="stable")[:, :expand]
-            chosen_ok = np.take_along_axis(f_act, cols, axis=1)
-            hubs = np.take_along_axis(
-                pool_i if full else pool_i[active], cols, axis=1
-            )
-            hubs = np.where(chosen_ok, hubs, sent)
-            act_rep = rep_expand if full else np.repeat(active, expand)
-            hub_flat = hubs.ravel()
-            hub_ok = hub_flat != sent
-            state[act_rep[hub_ok], hub_flat[hub_ok]] = 3
-            # sentinel hubs gather the sentinel's self-adjacency, so no
-            # masking: padding propagates through the gather untouched
-            C = N33[hubs].reshape(active.size, -1)
-            # drop every candidate this query has already scored
-            seen = state[(rows if full else active)[:, None], C] != 0
-            C = np.where(seen, sent, C)
-            c_flat = C.ravel()
-            c_ok = c_flat != sent
-            evals = int(c_ok.sum())
-            candidate_evals += evals
-            arep = rep_cols if full else np.repeat(active, C.shape[1])
-            state[arep[c_ok], c_flat[c_ok]] = 1
-            with _trace.span(
-                "approx.search.hop",
-                hop=hop,
-                active=int(active.size),
-                candidates=evals,
-            ):
-                D = _hop_distances(
-                    X17,
-                    Q17 if full else Q17[active],
-                    Q2_32 if full else Q2_32[active],
-                    C,
+        entry_evals = candidate_evals = rerank_evals = 0
+        parts_d: list[np.ndarray] = []
+        parts_i: list[np.ndarray] = []
+        for lo in range(0, max(m, 1), chunk_rows):
+            block_d, block_i, b_hops, b_entry, b_cand, b_rerank = (
+                _search_block(
+                    index, Q[lo : lo + chunk_rows], k, ef, expand,
+                    max_hops, rerank,
                 )
-                new_d, new_i = _pool_topk(
-                    np.concatenate(
-                        [pool_d if full else pool_d[active], D], axis=1
-                    ),
-                    np.concatenate(
-                        [pool_i if full else pool_i[active], C], axis=1
-                    ),
-                    ef,
-                )
-            if full:
-                pool_d, pool_i = new_d, new_i
-            else:
-                pool_d[active] = new_d
-                pool_i[active] = new_i
-
-        # --- select the answer from the pool
-        rerank_evals = 0
-        pool_ip = np.where(pool_i == sent, -1, pool_i).astype(np.intp)
-        if rerank:
-            rerank_evals = int((pool_ip >= 0).sum())
-            X2 = index.squared_norms()
-            Q2 = squared_norms(Q)
-            D = candidate_distances(index.X, Q, pool_ip, X2=X2, Q2=Q2)
-            out_d, out_i = merge_topk(
-                D,
-                pool_ip,
-                np.full((m, 1), np.inf),
-                np.full((m, 1), -1, dtype=np.intp),
-                k,
             )
-        else:
-            # merge_topk against an empty list = dedup + truncate
-            out_d, out_i = merge_topk(
-                pool_d.astype(np.float64),
-                pool_ip,
-                np.full((m, 1), np.inf),
-                np.full((m, 1), -1, dtype=np.intp),
-                k,
-            )
+            parts_d.append(block_d)
+            parts_i.append(block_i)
+            # evals sum across blocks; hops is the longest chain any
+            # query walked, which max preserves
+            hops = max(hops, b_hops)
+            entry_evals += b_entry
+            candidate_evals += b_cand
+            rerank_evals += b_rerank
+        out_d = parts_d[0] if len(parts_d) == 1 else np.concatenate(parts_d)
+        out_i = parts_i[0] if len(parts_i) == 1 else np.concatenate(parts_i)
 
         stats = SearchStats(
             queries=m,

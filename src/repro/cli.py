@@ -23,9 +23,14 @@ phase table.
 * ``allknn`` — run the approximate all-NN solver and report recall;
   ``--method graph`` answers with an NN-descent build, ``--method
   auto`` lets the recall-aware planner choose per ``--recall-target``;
+  ``--shards S`` instead solves exactly through the scatter/gather
+  shard router (real worker processes; see ``docs/DISTRIBUTED.md``)
+  and ``--evaluate`` asserts bit-identity to the single-process solve;
 * ``approx`` — the approximate tier directly: ``approx build`` grows
   an NN-descent graph index (optionally saved to ``.npz``), ``approx
-  query`` beam-searches a saved index and reports recall;
+  query`` beam-searches a saved index and reports recall, ``approx
+  calibrate`` measures this host's recall/latency operating points and
+  persists them for the recall-aware planner;
 * ``tune`` — print the variant decision table, or with ``--budget
   {small,medium,large}`` run the persistent per-host autotuner and
   save the winner to the tuning cache;
@@ -37,9 +42,13 @@ phase table.
   (:mod:`repro.serve`) over a synthetic table and drive it with the
   built-in multi-tenant closed-loop traffic generator; ``--tenants`` /
   ``--weights`` shape the load, ``--slo-ms`` sets per-request
-  deadlines, ``--fault-plan`` injects window-level faults, and
+  deadlines, ``--fault-plan`` injects window-level faults,
   ``--metrics-port`` exposes the live ``serve.*`` series on
-  ``/metrics`` while the run is up.
+  ``/metrics`` while the run is up, and ``--shards S`` scatter/gathers
+  every exact window across S shard worker processes;
+* ``distributed`` — the multi-rank all-NN projection;
+  ``--transport process`` backs each rank's leaf solves with a real
+  long-lived worker process instead of the in-process simulation.
 """
 
 from __future__ import annotations
@@ -269,6 +278,22 @@ def build_parser() -> argparse.ArgumentParser:
     aknn.add_argument(
         "--evaluate", action="store_true", help="also compute exact recall"
     )
+    aknn.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="S",
+        help="solve exactly through the scatter/gather shard router with "
+        "S worker processes instead of an approximate method "
+        "(--evaluate then asserts bit-identity to one in-process solve)",
+    )
+    aknn.add_argument(
+        "--shard-transport",
+        choices=("process", "local"),
+        default="process",
+        help="with --shards: worker processes over shared memory, or the "
+        "in-process deterministic twin",
+    )
 
     approx = sub.add_parser(
         "approx", help="approximate tier: graph index build / beam query"
@@ -313,6 +338,38 @@ def build_parser() -> argparse.ArgumentParser:
     aq.add_argument("--seed", type=int, default=0)
     aq.add_argument(
         "--evaluate", action="store_true", help="recall vs brute force"
+    )
+    ac = asub.add_parser(
+        "calibrate",
+        help="measure recall/latency operating points on this host and "
+        "persist them for the recall-aware planner",
+    )
+    ac.add_argument("-N", type=int, default=4096)
+    ac.add_argument("-d", type=int, default=16)
+    ac.add_argument("-k", type=int, default=10)
+    ac.add_argument("--seed", type=int, default=0)
+    ac.add_argument(
+        "--sample-queries", type=int, default=128,
+        help="rows sampled for recall measurement",
+    )
+    ac.add_argument(
+        "--repeats", type=int, default=2, help="timing repeats per knob"
+    )
+    ac.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="planner cache file (default $REPRO_PLANNER_CACHE or "
+        "planner.json next to the tuning cache)",
+    )
+    ac.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="measure and print but do not persist the calibration",
+    )
+    ac.add_argument(
+        "--json", action="store_true", help="print the calibration as JSON"
     )
 
     model = sub.add_parser("model", help="performance-model prediction")
@@ -440,6 +497,21 @@ def build_parser() -> argparse.ArgumentParser:
         "still decides exact-vs-graph per request)",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="S",
+        help="scatter/gather every exact window across S shard worker "
+        "processes (bit-identical to the in-process solve; 0 = off)",
+    )
+    serve.add_argument(
+        "--shard-transport",
+        choices=("process", "local"),
+        default="process",
+        help="with --shards: worker processes over shared memory, or the "
+        "in-process deterministic twin",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="print the summary as JSON"
     )
 
@@ -454,6 +526,14 @@ def build_parser() -> argparse.ArgumentParser:
     dist.add_argument("--iterations", type=int, default=2)
     dist.add_argument("--kernel", choices=("gsknn", "gemm"), default="gsknn")
     dist.add_argument("--seed", type=int, default=0)
+    dist.add_argument(
+        "--transport",
+        choices=("sim", "process"),
+        default="sim",
+        help="'sim' runs ranks in-process with modelled communication; "
+        "'process' backs each rank's leaf solves with a long-lived "
+        "worker process (gsknn only; results are bit-identical)",
+    )
     add_resilience_args(dist)
 
     return parser
@@ -890,6 +970,8 @@ def _cmd_allknn(args: argparse.Namespace) -> int:
     ds = embedded_gaussian(
         args.N, args.d, intrinsic_dim=min(10, args.d), seed=args.seed
     )
+    if args.shards:
+        return _cmd_allknn_sharded(args, ds.points)
     truth = exact_all_knn(ds.points, args.k) if args.evaluate else None
     report = all_nearest_neighbors(
         ds.points,
@@ -919,10 +1001,54 @@ def _cmd_allknn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_allknn_sharded(args: argparse.Namespace, X: np.ndarray) -> int:
+    """``allknn --shards S``: exact all-NN through the shard router."""
+    from .shard import ShardedAllKnn
+
+    q = np.arange(args.N, dtype=np.intp)
+    with ShardedAllKnn(
+        X, args.shards, transport=args.shard_transport
+    ) as router:
+        t0 = time.perf_counter()
+        result = router.solve(q, args.k)
+        elapsed = time.perf_counter() - t0
+        sizes = router.stats()["shard_sizes"]
+        print(
+            f"sharded gsknn [{args.shard_transport} x{args.shards}]: "
+            f"N={args.N} d={args.d} k={args.k} "
+            f"time={elapsed * 1e3:.1f} ms "
+            f"gflops={gflops(args.N, args.N, args.d, elapsed):.2f}"
+        )
+        print(
+            f"  shard rows: {sizes} "
+            f"(panel width {router.stats()['panel_width']})"
+        )
+        if args.evaluate:
+            t0 = time.perf_counter()
+            single = router.solve_reference(q, args.k)
+            t_single = time.perf_counter() - t0
+            identical = np.array_equal(
+                result.indices, single.indices
+            ) and np.array_equal(result.distances, single.distances)
+            print(
+                f"  single-process: {t_single * 1e3:.1f} ms  "
+                f"bit-identical: {identical}"
+            )
+            if not identical:
+                print(
+                    "error: sharded result diverged from the "
+                    "single-process solve",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
 def _cmd_approx(args: argparse.Namespace) -> int:
     return {
         "build": _cmd_approx_build,
         "query": _cmd_approx_query,
+        "calibrate": _cmd_approx_calibrate,
     }[args.approx_command](args)
 
 
@@ -1004,6 +1130,60 @@ def _cmd_approx_query(args: argparse.Namespace) -> int:
     if args.evaluate:
         truth = gsknn(index.X, q, np.arange(n, dtype=np.intp), args.k)
         print(f"recall@{args.k}: {recall(result, truth):.4f}")
+    return 0
+
+
+def _cmd_approx_calibrate(args: argparse.Namespace) -> int:
+    """``approx calibrate``: measure and persist planner operating points."""
+    from .approx.planner import calibrate_planner
+    from .approx.store import default_planner_path
+    from .data import embedded_gaussian
+
+    ds = embedded_gaussian(
+        args.N, args.d, intrinsic_dim=min(10, args.d), seed=args.seed
+    )
+    t0 = time.perf_counter()
+    cal = calibrate_planner(
+        ds.points,
+        args.k,
+        seed=args.seed,
+        sample_queries=args.sample_queries,
+        repeats=args.repeats,
+        save=not args.dry_run,
+        cache_path=args.cache,
+    )
+    elapsed = time.perf_counter() - t0
+    if args.json:
+        print(json.dumps(cal.to_dict(), indent=1, sort_keys=True))
+        return 0
+    print(
+        f"calibrated N={cal.n} d={cal.d} k={cal.k} "
+        f"({cal.m_queries} sampled queries) in {elapsed:.1f}s"
+    )
+    print(
+        f"  exact: {cal.exact_query_seconds * 1e6:.0f} us/query "
+        f"(model ratio {cal.model_ratio:.2f}), graph build "
+        f"{cal.graph_build_seconds:.2f}s"
+    )
+    print(f"{'method':>9} {'workload':>9} {'recall':>7} {'cost':>12}  params")
+    for p in cal.points:
+        cost = (
+            f"{p.query_seconds * 1e6:>9.0f} us/q"
+            if p.workload == "query"
+            else f"{p.solve_seconds:>10.2f} s"
+        )
+        params = " ".join(f"{k}={v}" for k, v in p.params.items())
+        print(
+            f"{p.method:>9} {p.workload:>9} {p.recall:>7.4f} {cost}  {params}"
+        )
+    if args.dry_run:
+        print("  dry run: calibration NOT persisted")
+    else:
+        path = args.cache if args.cache else default_planner_path()
+        print(
+            f"  persisted to {path} (QueryPlanner and --method auto / "
+            "--recall-target pick it up on this host)"
+        )
     return 0
 
 
@@ -1161,6 +1341,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             slo_ms=args.slo_ms,
             tenant_weights=weights,
             policy=args.policy,
+            shards=args.shards,
+            shard_transport=args.shard_transport,
         )
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1216,6 +1398,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"serve: N={args.N} d={args.d} k={args.k} rows={args.rows} "
                 f"clients={args.clients} duration={args.duration_seconds}s "
                 f"policy={args.policy}"
+                + (
+                    f" shards={args.shards}[{args.shard_transport}]"
+                    if args.shards
+                    else ""
+                )
             )
             print(
                 f"  completed {summary['completed']} "
@@ -1269,13 +1456,18 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     ds = embedded_gaussian(
         args.N, args.d, intrinsic_dim=min(10, args.d), seed=args.seed
     )
-    solver = DistributedAllKnn(
-        args.ranks,
-        leaf_size=args.leaf_size,
-        iterations=args.iterations,
-        kernel=args.kernel,
-        seed=args.seed,
-    )
+    try:
+        solver = DistributedAllKnn(
+            args.ranks,
+            leaf_size=args.leaf_size,
+            iterations=args.iterations,
+            kernel=args.kernel,
+            seed=args.seed,
+            transport=args.transport,
+        )
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     from .obs.context import RequestContext
 
     res_kwargs = _resilience_kwargs(args)
@@ -1288,8 +1480,13 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
         )
     except KernelTimeoutError as exc:
         return _print_timeout(exc)
+    ranks_label = (
+        "simulated ranks"
+        if args.transport == "sim"
+        else "process-backed ranks"
+    )
     print(
-        f"{args.kernel} on {args.ranks} simulated ranks: "
+        f"{args.kernel} on {args.ranks} {ranks_label}: "
         f"N={args.N} d={args.d} k={args.k}"
     )
     print(

@@ -18,6 +18,15 @@ Everything computes for real in one process, so results are bit-exact
 against the shared-memory solver; the *projection* combines the
 busiest rank's measured kernel seconds with the alpha-beta-priced
 communication to estimate multi-node wall clock.
+
+The rank execution substrate is pluggable (``transport=``): ``"sim"``
+keeps the historical in-process ranks over :class:`SimComm`, while
+``"process"`` places each rank's leaf kernels in a **real, long-lived
+worker process** (the shard transport of :mod:`repro.shard.transport`,
+shared-memory table, per-worker :class:`~repro.core.plan.PlanCache`
+kept warm across leaves and iterations). Both produce bit-identical
+results; SimComm still prices the communication volume in either mode.
+See docs/DISTRIBUTED.md.
 """
 
 from __future__ import annotations
@@ -86,6 +95,7 @@ class DistributedAllKnn:
         seed: int | None = 0,
         backend: str = "serial",
         workers_per_rank: int = 1,
+        transport: str = "sim",
     ) -> None:
         if n_ranks < 1:
             raise ValidationError(f"need n_ranks >= 1, got {n_ranks}")
@@ -107,6 +117,15 @@ class DistributedAllKnn:
             raise ValidationError(
                 f"workers_per_rank must be >= 1, got {workers_per_rank}"
             )
+        if transport not in ("sim", "process"):
+            raise ValidationError(
+                f"transport must be 'sim' or 'process', got {transport!r}"
+            )
+        if transport == "process" and kernel != "gsknn":
+            raise ValidationError(
+                "the process transport runs the fused gsknn kernel in "
+                "shard workers; kernel='gemm' requires transport='sim'"
+            )
         self.n_ranks = int(n_ranks)
         self.leaf_size = int(leaf_size)
         self.iterations = int(iterations)
@@ -118,6 +137,11 @@ class DistributedAllKnn:
         #: node-level §2.5 scheme nested under the rank-level one)
         self.backend = backend
         self.workers_per_rank = int(workers_per_rank)
+        #: "sim" = in-process ranks over SimComm (historical behavior);
+        #: "process" = per-rank leaf kernels in long-lived worker
+        #: processes over shared memory (bit-identical results)
+        self.transport = transport
+        self._rank_workers = None
         # Per-leaf kernels on the serial path run through cached plans:
         # every leaf of a solve shares one workspace arena pool, and a
         # leaf that recurs across iterations reuses its gathered panels.
@@ -150,10 +174,22 @@ class DistributedAllKnn:
         return [[t.payload for t in rank] for rank in schedule.assignments]
 
     def _run_kernel(
-        self, X: np.ndarray, group: np.ndarray, k: int, X2: np.ndarray
+        self,
+        X: np.ndarray,
+        group: np.ndarray,
+        k: int,
+        X2: np.ndarray,
+        rank: int | None = None,
+        deadline=None,
     ) -> KnnResult:
         k_eff = min(k, group.size)
-        if self.kernel == "gsknn":
+        if (
+            self._rank_workers is not None
+            and rank is not None
+            and self.kernel == "gsknn"
+        ):
+            res = self._run_kernel_remote(group, k_eff, rank, deadline)
+        elif self.kernel == "gsknn":
             if self.backend != "serial" and self.workers_per_rank > 1:
                 from ..parallel.data_parallel import gsknn_data_parallel
 
@@ -174,6 +210,46 @@ class DistributedAllKnn:
             np.pad(res.indices, ((0, 0), (0, pad)), constant_values=-1),
         )
 
+    def _run_kernel_remote(
+        self, group: np.ndarray, k_eff: int, rank: int, deadline
+    ) -> KnnResult:
+        """One leaf kernel on rank ``rank``'s long-lived worker process.
+
+        The worker holds the table via shared memory and a warm
+        :class:`~repro.core.plan.PlanCache`, so a leaf recurring across
+        iterations reuses its packed panels just like the sim path. A
+        dead worker is restarted and the leaf re-raises as a
+        :class:`~repro.errors.BackendError` so the caller's rank-level
+        retry (or its fault-free last attempt, run locally) recovers.
+        """
+        from ..errors import BackendError
+        from ..parallel.backends import _absorb_worker_obs
+
+        future = self._rank_workers.submit(
+            rank, ("group", group, group, k_eff)
+        )
+        try:
+            out = future.result(
+                timeout=None if deadline is None else deadline.timeout()
+            )
+        except TimeoutError:
+            future.cancel()
+            if deadline is not None:
+                deadline.raise_expired("rank kernel", rank=rank)
+            raise
+        except Exception as exc:
+            try:
+                self._rank_workers.restart(rank)
+            except Exception:  # pragma: no cover - restart best-effort
+                pass
+            raise BackendError(
+                f"rank {rank} worker failed solving a leaf of "
+                f"{group.size} points"
+            ) from exc
+        dist, idx, obs = out
+        _absorb_worker_obs(obs, _trace.get_tracer().current_span_id())
+        return KnnResult(dist, idx)
+
     def _run_kernel_resilient(
         self,
         X: np.ndarray,
@@ -185,6 +261,7 @@ class DistributedAllKnn:
         deadline=None,
         retry=None,
         fault_plan=None,
+        rank: int | None = None,
     ) -> KnnResult:
         """Per-leaf kernel with rank-level retry and fault injection.
 
@@ -197,16 +274,29 @@ class DistributedAllKnn:
         from ..resilience import is_retryable
 
         if retry is None and fault_plan is None:
-            return self._run_kernel(X, group, k, X2)
+            try:
+                return self._run_kernel(X, group, k, X2, rank, deadline)
+            except Exception as exc:
+                if self._rank_workers is None or not is_retryable(exc):
+                    raise
+                # a dead rank worker without a retry policy still
+                # recovers: re-solve this leaf in-parent, bit-identically
+                return self._run_kernel(X, group, k, X2, None, deadline)
         attempts = retry.max_attempts if retry is not None else 1
         registry = _get_registry()
         for attempt in range(attempts):
             try:
                 if fault_plan is not None and attempt < attempts - 1:
                     fault_plan.apply("rank", key, attempt)
-                return self._run_kernel(X, group, k, X2)
+                return self._run_kernel(X, group, k, X2, rank, deadline)
             except Exception as exc:
-                if attempt == attempts - 1 or not is_retryable(exc):
+                if not is_retryable(exc):
+                    raise
+                if attempt == attempts - 1:
+                    if self._rank_workers is not None and rank is not None:
+                        # rank worker unrecoverable after its retries:
+                        # fault-free in-parent serial fallback
+                        return self._run_kernel(X, group, k, X2, None, deadline)
                     raise
                 if registry.enabled:
                     registry.inc("resilience.retries")
@@ -291,6 +381,50 @@ class DistributedAllKnn:
         model = PerformanceModel()
         home = self._home_rank(n)
         X2 = cached_squared_norms(X)
+        if self.transport == "process":
+            from ..shard.transport import ProcessTransport, ShardWorld
+
+            workers = ProcessTransport()
+            # group-only world: the rank workers attach the table but own
+            # no partition — every leaf arrives as an explicit group task
+            # served from the worker's warm PlanCache
+            workers.start(
+                ShardWorld(
+                    X=X,
+                    X2=X2,
+                    local_ids=[
+                        np.empty(0, dtype=np.intp)
+                        for _ in range(self.n_ranks)
+                    ],
+                    epoch=0,
+                )
+            )
+            self._rank_workers = workers
+        try:
+            return self._solve_inner(
+                X, k, n, d, comm, model, home, X2,
+                deadline=deadline, retry=retry, fault_plan=fault_plan,
+            )
+        finally:
+            if self._rank_workers is not None:
+                self._rank_workers.close()
+                self._rank_workers = None
+
+    def _solve_inner(
+        self,
+        X: np.ndarray,
+        k: int,
+        n: int,
+        d: int,
+        comm: SimComm,
+        model: PerformanceModel,
+        home: np.ndarray,
+        X2: np.ndarray,
+        *,
+        deadline=None,
+        retry=None,
+        fault_plan=None,
+    ) -> DistributedReport:
         current = KnnResult(
             np.full((n, k), np.inf), np.full((n, k), -1, dtype=np.intp)
         )
@@ -361,6 +495,7 @@ class DistributedAllKnn:
                             deadline=deadline,
                             retry=retry,
                             fault_plan=fault_plan,
+                            rank=solver_rank,
                         )
                     elapsed = time.perf_counter() - t0
                     rank_kernel_seconds[solver_rank] += elapsed

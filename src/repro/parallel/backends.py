@@ -66,6 +66,8 @@ __all__ = [
     "ProcessBackend",
     "resolve_backend",
     "BACKENDS",
+    "shm_export",
+    "shm_attach",
 ]
 
 #: Legacy environment hook: a worker whose chunk start matches this
@@ -440,6 +442,14 @@ def _shm_attach(spec):
     name, shape, dtype = spec
     shm = shared_memory.SharedMemory(name=name)
     return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+# Public aliases: the shard transport (src/repro/shard/) builds its
+# long-lived worker processes on the same zero-copy segment protocol the
+# per-solve ProcessBackend uses, so the export/attach pair is part of the
+# module's supported surface, not an implementation detail.
+shm_export = _shm_export
+shm_attach = _shm_attach
 
 
 def _worker_fault_plan(fault_spec: str | None):

@@ -28,7 +28,7 @@ from .bitonic import (
 )
 from .counters import SelectionStats
 from .heap import BinaryMaxHeap, DHeap, heap_select_smallest
-from .mergeselect import merge_select
+from .mergeselect import merge_partial_topk, merge_select
 from .quickselect import quickselect_smallest
 from .vectorized import ArenaNeighborLists, BatchedNeighborLists, merge_block
 
@@ -38,6 +38,7 @@ __all__ = [
     "DHeap",
     "heap_select_smallest",
     "quickselect_smallest",
+    "merge_partial_topk",
     "merge_select",
     "ArenaNeighborLists",
     "BatchedNeighborLists",

@@ -83,6 +83,17 @@ class ServeConfig:
         ``approx.achieved_recall`` gauge — a running spot-check that
         the calibrated recall still holds in production. ``0``
         disables sampling.
+    shards:
+        ``0`` (default) keeps the single-process fused solve. ``>= 1``
+        puts the reference table behind a
+        :class:`~repro.shard.router.ShardedAllKnn` with that many
+        shards: every coalesced exact window (index and row requests
+        alike) is scatter/gathered across the shard workers,
+        bit-identical to the unsharded solve. Approximate windows stay
+        on the in-process graph index.
+    shard_transport:
+        ``"process"`` (long-lived worker processes over shared memory)
+        or ``"local"`` (in-process shards; deterministic tests).
     """
 
     max_batch: int = 64
@@ -101,6 +112,8 @@ class ServeConfig:
     approx_ef: int = 32
     approx_expand: int = 4
     recall_sample_every: int = 32
+    shards: int = 0
+    shard_transport: str = "process"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -165,6 +178,15 @@ class ServeConfig:
             raise ValidationError(
                 "recall_sample_every must be >= 0 (0 disables), got "
                 f"{self.recall_sample_every}"
+            )
+        if self.shards < 0:
+            raise ValidationError(
+                f"shards must be >= 0 (0 = unsharded), got {self.shards}"
+            )
+        if self.shard_transport not in ("process", "local"):
+            raise ValidationError(
+                "shard_transport must be 'process' or 'local', got "
+                f"{self.shard_transport!r}"
             )
 
     def weight_of(self, tenant: str) -> int:

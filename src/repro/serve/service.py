@@ -37,7 +37,14 @@ The moving parts, each in its own module:
 * faults — an active :class:`~repro.resilience.FaultPlan` (e.g. from
   ``$REPRO_FAULT_PLAN``) injects at window granularity and the solve
   retries with fresh dice, so one faulted window degrades one window's
-  latency instead of failing its requests.
+  latency instead of failing its requests;
+* sharding — with ``config.shards > 0`` the service mounts a
+  :class:`~repro.shard.router.ShardedAllKnn` over the table and every
+  exact window (index and row groups alike) is scatter/gathered across
+  the shard workers instead of solved in-process. Results are
+  bit-identical to the unsharded solve (see docs/DISTRIBUTED.md);
+  shard-level failures recover inside the router's per-shard ladder
+  without failing the window.
 
 Everything observable flows through the ordinary metrics registry under
 the ``serve.*`` namespace (latency quantiles, queue depth, occupancy,
@@ -186,6 +193,7 @@ class KnnQueryService:
         if plan is None:
             plan = FaultPlan.from_env()
         self._fault_plan = plan if plan is not None and plan.active else None
+        self._sharded = None
         self._queue = FairQueue(self.config.weight_of)
         self._cond = threading.Condition()
         self._thread: threading.Thread | None = None
@@ -205,6 +213,17 @@ class KnnQueryService:
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> "KnnQueryService":
+        if self.config.shards > 0 and self._sharded is None:
+            from ..shard import ShardedAllKnn
+
+            self._sharded = ShardedAllKnn(
+                self.X,
+                self.config.shards,
+                transport=self.config.shard_transport,
+                norm=self._norm,
+                variant=self._variant,
+                fault_plan=self._fault_plan,
+            )
         with self._cond:
             if self._running:
                 return self
@@ -228,6 +247,9 @@ class KnnQueryService:
             self._thread = None
         with self._cond:
             self._running = False
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
 
     def __enter__(self) -> "KnnQueryService":
         return self.start()
@@ -483,29 +505,44 @@ class KnnQueryService:
         solve_calls = 0
         if idx_groups:
             ks = sorted(idx_groups)
-            problems = [
-                KnnProblem(
-                    np.concatenate([r.q_idx for r in idx_groups[k]]),
-                    self._r_all,
-                    k,
-                )
-                for k in ks
-            ]
-            solve_calls += len(problems)
+            solve_calls += len(ks)
             try:
-                results = self._solve_with_faults(
-                    lambda: gsknn_batch(
-                        self.X,
-                        problems,
-                        p=self.config.p,
-                        norm=self._norm,
-                        variant=self._variant,
-                        backend=self.config.backend,
-                        plan_cache=self._plans,
-                        request=batch_ctx,
-                    ),
-                    registry,
-                )
+                if self._sharded is not None:
+                    with request_scope(batch_ctx):
+                        results = [
+                            self._solve_with_faults(
+                                lambda k=k: self._sharded.solve(
+                                    np.concatenate(
+                                        [r.q_idx for r in idx_groups[k]]
+                                    ),
+                                    k,
+                                ),
+                                registry,
+                            )
+                            for k in ks
+                        ]
+                else:
+                    problems = [
+                        KnnProblem(
+                            np.concatenate([r.q_idx for r in idx_groups[k]]),
+                            self._r_all,
+                            k,
+                        )
+                        for k in ks
+                    ]
+                    results = self._solve_with_faults(
+                        lambda: gsknn_batch(
+                            self.X,
+                            problems,
+                            p=self.config.p,
+                            norm=self._norm,
+                            variant=self._variant,
+                            backend=self.config.backend,
+                            plan_cache=self._plans,
+                            request=batch_ctx,
+                        ),
+                        registry,
+                    )
             except Exception as exc:
                 self._fail_members(
                     [r for k in ks for r in idx_groups[k]], exc, registry
@@ -522,15 +559,22 @@ class KnnQueryService:
             )
             solve_calls += 1
             try:
-                plan = self._plans.get(
-                    self.X, self._r_all, norm=self._norm,
-                    variant=self._variant, X2=cached_squared_norms(self.X),
-                )
-                with request_scope(batch_ctx):
-                    result = self._solve_with_faults(
-                        lambda: plan.execute_rows(Q_cat, k, validate=False),
-                        registry,
+                if self._sharded is not None:
+                    with request_scope(batch_ctx):
+                        result = self._solve_with_faults(
+                            lambda: self._sharded.solve_rows(Q_cat, k),
+                            registry,
+                        )
+                else:
+                    plan = self._plans.get(
+                        self.X, self._r_all, norm=self._norm,
+                        variant=self._variant, X2=cached_squared_norms(self.X),
                     )
+                    with request_scope(batch_ctx):
+                        result = self._solve_with_faults(
+                            lambda: plan.execute_rows(Q_cat, k, validate=False),
+                            registry,
+                        )
             except Exception as exc:
                 self._fail_members(members, exc, registry)
             else:
@@ -721,4 +765,7 @@ class KnnQueryService:
                 ),
                 "batch_seconds_ewma": self._batch_seconds_ewma,
                 "occupancy_ewma": self._occupancy_ewma,
+                "shards": (
+                    self._sharded.stats() if self._sharded is not None else None
+                ),
             }

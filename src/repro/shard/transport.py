@@ -1,0 +1,506 @@
+"""Shard transports: how the router reaches a shard's solve engine.
+
+Two implementations of one contract (:class:`ShardTransport`):
+
+* :class:`ProcessTransport` — the production path. One **long-lived**
+  single-worker process per shard (a ``ProcessPoolExecutor`` with
+  ``max_workers=1``, so the worker — and its packed panels — survives
+  across calls; this is deliberately *not* a per-call pool). The
+  reference table and its squared-norm side table live in shared-memory
+  segments exported once and attached by every worker (the zero-copy
+  protocol from :mod:`repro.parallel.backends`); only query ids/rows and
+  the ``(m, k)`` partials cross the process boundary. Each worker holds
+  its own :class:`~repro.core.plan.GsknnPlan` over its partition plus a
+  :class:`~repro.core.plan.PlanCache` for ad-hoc group solves, both
+  invalidated when the membership epoch moves.
+
+* :class:`LocalTransport` — the same contract executed synchronously in
+  the calling process (per-shard plans parent-side). This is the
+  deterministic twin used by tests, the serial rung of the router's
+  fallback ladder, and the moral successor of ``SimComm``'s in-process
+  ranks on the scatter/gather path.
+
+Both return :class:`concurrent.futures.Future`s from ``submit`` so the
+router's scatter/gather loop is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import BackendError, ValidationError
+from ..obs.metrics import get_registry as _get_registry
+from ..obs.trace import get_tracer as _get_tracer
+from ..parallel.backends import (
+    _drain_worker_obs,
+    _install_worker_obs,
+    _obs_spec,
+    shm_attach,
+    shm_export,
+)
+
+__all__ = [
+    "ShardWorld",
+    "ShardTransport",
+    "LocalTransport",
+    "ProcessTransport",
+    "resolve_transport",
+    "TRANSPORTS",
+]
+
+
+@dataclass
+class ShardWorld:
+    """Everything a transport needs to host the shards of one table.
+
+    ``local_ids[s]`` is shard ``s``'s partition (global ids, global
+    order) at ``epoch``; ``kernel_kwargs`` carries the pinned
+    ``norm`` / ``block_m`` / ``block_n`` the bit-identicality contract
+    requires every shard to share with the single-process twin.
+    """
+
+    X: np.ndarray
+    X2: np.ndarray | None
+    local_ids: list[np.ndarray]
+    epoch: int
+    kernel_kwargs: dict[str, Any] = field(default_factory=dict)
+    fault_spec: str | None = None
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.local_ids)
+
+
+class ShardTransport:
+    """Contract: start workers, submit solve tasks, propagate epochs.
+
+    ``submit`` returns a Future resolving to
+    ``(distances, global_indices, obs_payload)``; a dead shard rejects
+    with :class:`BackendError` (or ``BrokenProcessPool``) and is brought
+    back with ``restart``. ``refresh`` must be ordered before any
+    subsequent ``submit`` for the same shard — both transports guarantee
+    that by construction (single worker FIFO / synchronous execution).
+    """
+
+    name = "abstract"
+
+    def start(self, world: ShardWorld) -> None:
+        raise NotImplementedError
+
+    def submit(
+        self, shard: int, task: tuple, *, attempt: int = 0
+    ) -> Future:
+        raise NotImplementedError
+
+    def refresh(self, world: ShardWorld) -> None:
+        """Propagate a new membership epoch (and possibly a new table)."""
+        raise NotImplementedError
+
+    def restart(self, shard: int) -> None:
+        """Recreate a shard's executor after a crash. No-op by default."""
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "ShardTransport":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _solve_task(plan, plan_cache, X, task, kernel_kwargs):
+    """Execute one solve task against a shard's engine.
+
+    Shared verbatim by the in-process transport and the worker process,
+    so both paths run the identical arithmetic. Task forms:
+
+    * ``("idx", q_idx, k, variant)``  — partition solve, table-index queries
+    * ``("rows", Q, k, variant)``     — partition solve, literal query rows
+    * ``("group", q_idx, r_idx, k)``  — ad-hoc group solve (the
+      distributed tree iteration's leaves), via the shard's PlanCache
+
+    ``variant`` is the int the *caller* resolved against the global
+    problem shape — a shard must never re-resolve it locally, where its
+    smaller partition could flip the Var#1/Var#6 decision and perturb
+    distance bits.
+    """
+    kind = task[0]
+    if kind == "group":
+        _, q_idx, r_idx, k = task
+        group_plan = plan_cache.get(X, r_idx, **kernel_kwargs)
+        res = group_plan.execute(q_idx, k, warm_start=False)
+        return res.distances, res.indices
+    if plan is None:
+        raise BackendError("shard has an empty partition; nothing to solve")
+    _, q, k, *rest = task
+    variant = rest[0] if rest else None
+    if kind == "idx":
+        res = plan.execute(q, k, warm_start=False, variant=variant)
+    elif kind == "rows":
+        res = plan.execute_rows(q, k, variant=variant)
+    else:  # pragma: no cover - defended against protocol drift
+        raise ValidationError(f"unknown shard task kind {kind!r}")
+    return res.distances, res.indices
+
+
+def _shard_kwargs(kernel_kwargs: dict[str, Any], X2) -> dict[str, Any]:
+    kwargs = dict(kernel_kwargs)
+    if X2 is not None:
+        kwargs["X2"] = X2
+    return kwargs
+
+
+# -- in-process transport ----------------------------------------------------
+
+
+class LocalTransport(ShardTransport):
+    """Synchronous in-process shards: per-shard plans, no IPC.
+
+    Deterministic and dependency-free — the reference implementation of
+    the contract, the test twin, and the engine the router's serial
+    fallback rung re-solves failed partitions on.
+    """
+
+    name = "local"
+
+    def __init__(self) -> None:
+        self._world: ShardWorld | None = None
+        self._plans: list[Any] = []
+        self._cache = None
+
+    def start(self, world: ShardWorld) -> None:
+        from ..core.plan import PlanCache
+
+        self._world = world
+        self._cache = PlanCache()
+        self._build_plans()
+
+    def _build_plans(self) -> None:
+        from ..core.plan import GsknnPlan
+
+        assert self._world is not None
+        kwargs = _shard_kwargs(self._world.kernel_kwargs, self._world.X2)
+        self._plans = [
+            GsknnPlan(self._world.X, ids, **kwargs) if ids.size else None
+            for ids in self._world.local_ids
+        ]
+
+    def refresh(self, world: ShardWorld) -> None:
+        self._world = world
+        if self._cache is not None:
+            self._cache.clear()
+        self._build_plans()
+
+    def submit(self, shard: int, task: tuple, *, attempt: int = 0) -> Future:
+        assert self._world is not None
+        fut: Future = Future()
+        registry = _get_registry()
+        try:
+            with _get_tracer().span(
+                "shard.solve", shard=shard, transport=self.name
+            ):
+                out = _solve_task(
+                    self._plans[shard],
+                    self._cache,
+                    self._world.X,
+                    task,
+                    _shard_kwargs(
+                        self._world.kernel_kwargs, self._world.X2
+                    ),
+                )
+            if registry.enabled:
+                registry.inc("shard.solves", labels={"shard": str(shard)})
+            fut.set_result((*out, None))
+        except BaseException as exc:  # rejected future, not a raise:
+            fut.set_exception(exc)  # keep submit() non-throwing like a pool
+        return fut
+
+    def close(self) -> None:
+        self._plans = []
+        self._world = None
+        self._cache = None
+
+
+# -- process transport -------------------------------------------------------
+
+# Per-worker module state, set by the pool initializer (one worker per
+# shard pool, so this is effectively per-shard state that lives as long
+# as the shard process does).
+_SHARD_STATE: dict[str, Any] = {}
+
+
+def _shard_worker_init(
+    shard_id: int,
+    specs: dict[str, Any],
+    init_blob: bytes,
+    fault_spec: str | None,
+    obs_spec: dict[str, Any] | None,
+) -> None:
+    from ..core.plan import PlanCache
+    from ..parallel.backends import _worker_fault_plan
+
+    _install_worker_obs(obs_spec)
+    _shard_worker_attach(specs, init_blob)
+    _SHARD_STATE["shard_id"] = int(shard_id)
+    _SHARD_STATE["fault_plan"] = _worker_fault_plan(fault_spec)
+    _SHARD_STATE["cache"] = PlanCache()
+
+
+def _shard_worker_attach(specs: dict[str, Any], init_blob: bytes) -> None:
+    """(Re)attach shared segments and stage a fresh partition plan."""
+    init = pickle.loads(init_blob)
+    old = _SHARD_STATE.pop("segments", {})
+    segments: dict[str, Any] = {}
+    arrays: dict[str, Any] = {}
+    for key, spec in specs.items():
+        if spec is None:
+            arrays[key] = None
+            continue
+        shm, view = shm_attach(spec)
+        segments[key] = shm  # keep the handle alive for the view
+        arrays[key] = view
+    _SHARD_STATE["segments"] = segments
+    _SHARD_STATE["arrays"] = arrays
+    _SHARD_STATE["kernel_kwargs"] = init["kernel_kwargs"]
+    _SHARD_STATE["local_ids"] = init["local_ids"]
+    _SHARD_STATE["epoch"] = init["epoch"]
+    # plan invalidation: the epoch moved (or this is the first attach),
+    # so any packed panels refer to stale membership
+    _SHARD_STATE.pop("plan", None)
+    cache = _SHARD_STATE.get("cache")
+    if cache is not None:
+        cache.clear()
+    for shm in old.values():
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - segment already gone
+            pass
+
+
+def _shard_worker_refresh(specs: dict[str, Any], init_blob: bytes) -> int:
+    """Epoch propagation, run *in* the worker (FIFO-ordered vs solves)."""
+    _shard_worker_attach(specs, init_blob)
+    return _SHARD_STATE["epoch"]
+
+
+def _shard_worker_solve(
+    task: tuple, epoch: int, attempt: int
+) -> tuple[np.ndarray, np.ndarray, dict[str, Any] | None]:
+    if epoch != _SHARD_STATE["epoch"]:
+        raise BackendError(
+            f"shard worker at epoch {_SHARD_STATE['epoch']} received a "
+            f"task for epoch {epoch}"
+        )
+    shard_id = _SHARD_STATE["shard_id"]
+    fault_plan = _SHARD_STATE.get("fault_plan")
+    if fault_plan is not None:
+        # hard_exit: an injected shard crash must be a real process
+        # death so the router exercises BrokenProcessPool recovery
+        fault_plan.apply(
+            "shard", f"{epoch}:{shard_id}", attempt, hard_exit=True
+        )
+    arrays = _SHARD_STATE["arrays"]
+    kwargs = _shard_kwargs(_SHARD_STATE["kernel_kwargs"], arrays.get("X2"))
+    if "plan" not in _SHARD_STATE:
+        from ..core.plan import GsknnPlan
+
+        ids = _SHARD_STATE["local_ids"]
+        _SHARD_STATE["plan"] = (
+            GsknnPlan(arrays["X"], ids, **kwargs) if ids.size else None
+        )
+    with _get_tracer().span(
+        "shard.solve", shard=shard_id, transport="process", epoch=epoch
+    ):
+        dist, idx = _solve_task(
+            _SHARD_STATE["plan"],
+            _SHARD_STATE["cache"],
+            arrays["X"],
+            task,
+            kwargs,
+        )
+    registry = _get_registry()
+    if registry.enabled:
+        registry.inc("shard.solves", labels={"shard": str(shard_id)})
+    return dist, idx, _drain_worker_obs()
+
+
+class ProcessTransport(ShardTransport):
+    """One long-lived single-worker process pool per shard."""
+
+    name = "process"
+
+    def __init__(self, mp_context: str | None = None) -> None:
+        import multiprocessing
+
+        self._ctx = (
+            multiprocessing.get_context(mp_context)
+            if mp_context
+            else multiprocessing.get_context()
+        )
+        self._world: ShardWorld | None = None
+        self._pools: list[ProcessPoolExecutor | None] = []
+        self._segments: list[Any] = []
+        self._specs: dict[str, Any] = {}
+        self._init_blobs: list[bytes] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, world: ShardWorld) -> None:
+        self._world = world
+        self._unlink(self._export_table(world))
+        self._init_blobs = [
+            self._init_blob(world, s) for s in range(world.n_shards)
+        ]
+        self._pools = [None] * world.n_shards
+        for s in range(world.n_shards):
+            self._spawn(s)
+
+    def _export_table(self, world: ShardWorld) -> list:
+        """Export the world's table to fresh segments; returns the
+        superseded ones. The caller unlinks those only once no worker
+        can still need them — a pool created before this export may
+        lazily spawn its first worker from init-args that reference the
+        old segments, so ``refresh`` keeps them alive until every pool
+        has round-tripped the new epoch."""
+        old, self._segments = self._segments, []
+        specs: dict[str, Any] = {}
+        try:
+            for key, arr in (("X", world.X), ("X2", world.X2)):
+                if arr is None:
+                    specs[key] = None
+                    continue
+                shm, spec = shm_export(np.asarray(arr))
+                self._segments.append(shm)
+                specs[key] = spec
+        except BaseException:
+            self._unlink(self._segments)
+            self._segments = old
+            raise
+        self._specs = specs
+        registry = _get_registry()
+        if registry.enabled:
+            registry.inc(
+                "shard.shm_bytes", sum(s.size for s in self._segments)
+            )
+        return old
+
+    @staticmethod
+    def _init_blob(world: ShardWorld, shard: int) -> bytes:
+        return pickle.dumps(
+            {
+                "kernel_kwargs": world.kernel_kwargs,
+                "local_ids": world.local_ids[shard],
+                "epoch": world.epoch,
+            }
+        )
+
+    def _spawn(self, shard: int) -> None:
+        assert self._world is not None
+        self._pools[shard] = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._ctx,
+            initializer=_shard_worker_init,
+            initargs=(
+                shard,
+                self._specs,
+                self._init_blobs[shard],
+                self._world.fault_spec,
+                _obs_spec(),
+            ),
+        )
+
+    def restart(self, shard: int) -> None:
+        pool = self._pools[shard]
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._spawn(shard)
+        registry = _get_registry()
+        if registry.enabled:
+            registry.inc(
+                "shard.worker_restarts", labels={"shard": str(shard)}
+            )
+
+    def refresh(self, world: ShardWorld) -> None:
+        """New epoch: re-export the table if it changed, then push the
+        new partition to every worker (FIFO-ordered before any
+        subsequent solve on that worker)."""
+        assert self._world is not None
+        table_changed = world.X is not self._world.X
+        self._world = world
+        stale: list = []
+        if table_changed:
+            stale = self._export_table(world)
+        self._init_blobs = [
+            self._init_blob(world, s) for s in range(world.n_shards)
+        ]
+        for s, pool in enumerate(self._pools):
+            if pool is None:
+                continue
+            try:
+                pool.submit(
+                    _shard_worker_refresh, self._specs, self._init_blobs[s]
+                ).result()
+            except Exception:
+                # a worker that died before/during the refresh comes
+                # back with the new state baked into its initargs
+                self.restart(s)
+        self._unlink(stale)
+
+    # -- solve ---------------------------------------------------------------
+
+    def submit(self, shard: int, task: tuple, *, attempt: int = 0) -> Future:
+        assert self._world is not None
+        pool = self._pools[shard]
+        if pool is None:  # pragma: no cover - defensive
+            raise BackendError(f"shard {shard} has no worker pool")
+        return pool.submit(
+            _shard_worker_solve, task, self._world.epoch, attempt
+        )
+
+    def close(self) -> None:
+        # wait=True: an interpreter exiting while a pool's management
+        # thread is still tearing down races the executor atexit hook
+        # against the wakeup pipe's close (a spurious "Exception
+        # ignored ... Bad file descriptor" on stderr)
+        pools, self._pools = self._pools, []
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        segments, self._segments = self._segments, []
+        self._unlink(segments)
+        self._world = None
+
+    @staticmethod
+    def _unlink(segments) -> None:
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+TRANSPORTS = {
+    "local": LocalTransport,
+    "process": ProcessTransport,
+}
+
+
+def resolve_transport(transport) -> ShardTransport:
+    """Accept a transport name or instance."""
+    if isinstance(transport, ShardTransport):
+        return transport
+    try:
+        factory = TRANSPORTS[transport]
+    except (KeyError, TypeError):
+        raise ValidationError(
+            f"transport must be one of {sorted(TRANSPORTS)} or a "
+            f"ShardTransport instance, got {transport!r}"
+        ) from None
+    return factory()

@@ -49,6 +49,18 @@ class StreamingAllKnn:
         recall per batch, more kernel work).
     max_bucket:
         Bucket-size cap — the ``m`` of the exact kernels.
+    shards:
+        ``0`` (default) keeps everything in-process. ``>= 1`` mirrors
+        the stream's membership into a
+        :class:`~repro.shard.router.ShardedAllKnn` with that many
+        shards: inserts re-export the table to the owning shard workers
+        and deletes tombstone the rows out of their shards' partitions
+        (both invalidate the affected shards' packed plans), so
+        :meth:`exact_solve` scatter/gathers across real processes —
+        bit-identical to a single-process solve on the same membership,
+        including after arbitrary insert/delete churn.
+    shard_transport:
+        ``"process"`` or ``"local"`` (see :mod:`repro.shard`).
     """
 
     def __init__(
@@ -59,17 +71,29 @@ class StreamingAllKnn:
         tables_per_batch: int = 3,
         max_bucket: int = 1024,
         seed: int | None = 0,
+        shards: int = 0,
+        shard_transport: str = "process",
     ) -> None:
         if dim < 1 or k < 1:
             raise ValidationError(f"need dim >= 1 and k >= 1, got {dim}, {k}")
         if tables_per_batch < 1:
             raise ValidationError("tables_per_batch must be >= 1")
+        if shards < 0:
+            raise ValidationError(f"shards must be >= 0, got {shards}")
+        if shard_transport not in ("process", "local"):
+            raise ValidationError(
+                "shard_transport must be 'process' or 'local', "
+                f"got {shard_transport!r}"
+            )
         self.dim = int(dim)
         self.k = int(k)
         self.tables_per_batch = int(tables_per_batch)
         self.max_bucket = int(max_bucket)
         self._seed = 0 if seed is None else int(seed)
         self._batches_ingested = 0
+        self._shards = int(shards)
+        self._shard_transport = shard_transport
+        self._sharded = None
         # Bucket kernels run through cached plans: repeated refresh()
         # rounds between inserts regenerate the same buckets (the LSH
         # seed is a function of the ingest count), so their gathered
@@ -98,6 +122,59 @@ class StreamingAllKnn:
     def neighbors(self) -> KnnResult:
         """Current neighbor lists for all ingested points."""
         return KnnResult(self._distances.copy(), self._indices.copy())
+
+    # -- shard mirror --------------------------------------------------------
+
+    @property
+    def sharded(self):
+        """The mounted :class:`ShardedAllKnn` mirror, or ``None``."""
+        return self._sharded
+
+    def _build_mirror(self):
+        """(Re)build the shard router over the current membership."""
+        from ..shard import ShardedAllKnn
+
+        router = ShardedAllKnn(
+            self._points, self._shards, transport=self._shard_transport
+        )
+        dead = np.flatnonzero(~self._alive)
+        if dead.size:
+            router.delete(dead)
+        return router
+
+    def close(self) -> None:
+        """Release the shard mirror's worker processes (no-op unsharded)."""
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
+
+    def __enter__(self) -> "StreamingAllKnn":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def exact_solve(self, q_idx, k: int | None = None) -> KnnResult:
+        """Exact top-``k`` of table rows against the alive membership.
+
+        Routed through the shard mirror when one is mounted (each shard
+        solves its partition on a warm plan; partials merge via
+        :func:`~repro.select.mergeselect.merge_partial_topk`), otherwise
+        one in-process fused kernel — the two are bit-identical on the
+        same membership, which the shard tests assert after churn.
+        """
+        k = self.k if k is None else int(k)
+        if self._sharded is not None:
+            return self._sharded.solve(q_idx, k)
+        from ..core.gsknn import gsknn
+
+        return gsknn(
+            self._points,
+            np.asarray(q_idx, dtype=np.intp),
+            np.flatnonzero(self._alive),
+            k,
+            X2=cached_squared_norms(self._points),
+        )
 
     # -- updates ---------------------------------------------------------------
 
@@ -134,6 +211,11 @@ class StreamingAllKnn:
                 [self._alive, np.ones(n_new, dtype=bool)]
             )
             self._batches_ingested += 1
+            if self._shards:
+                if self._sharded is None:
+                    self._sharded = self._build_mirror()
+                else:
+                    self._sharded.insert(batch)
             if self.n_alive < 2:
                 return 0
             return self.refresh()
@@ -161,6 +243,16 @@ class StreamingAllKnn:
             return self._delete(ids)
 
     def _delete(self, ids: np.ndarray) -> int:
+        if self._sharded is not None:
+            live = np.unique(ids[self._alive[ids]])
+            if live.size >= self._sharded.map.n_alive:
+                # wiping the whole live set: a shard router cannot hold
+                # an empty table, so drop it; the next insert rebuilds
+                # the mirror from the surviving membership
+                self._sharded.close()
+                self._sharded = None
+            elif live.size:
+                self._sharded.delete(live)
         self._alive[ids] = False
         # Cached plans were built before the tombstones: their gathered
         # reference panels and warm-start lists still contain the deleted

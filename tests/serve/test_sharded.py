@@ -1,0 +1,75 @@
+"""Serving front-end over a sharded backing solver.
+
+With ``shards > 0`` the service mounts a :class:`ShardedAllKnn` and
+routes every exact window through scatter/gather instead of the
+in-process fused plan. The contract is the same bit-identicality the
+router guarantees: a sharded service returns exactly what the unsharded
+one would, for both index and literal-row requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import KnnQueryService, ServeConfig
+
+
+def _pairwise(table, svc_a, svc_b, queries, ks, rng):
+    got, want = [], []
+    for svc, out in ((svc_a, got), (svc_b, want)):
+        handles = [svc.submit(q, k) for q, k in zip(queries, ks)]
+        out.extend(h.result(timeout=30) for h in handles)
+    return got, want
+
+
+class TestShardedService:
+    @pytest.mark.parametrize("transport", ["local", "process"])
+    def test_index_requests_bit_identical_to_unsharded(
+        self, table, rng, transport
+    ):
+        queries = [
+            rng.integers(0, table.shape[0], size=int(rng.integers(1, 6)))
+            for _ in range(12)
+        ]
+        ks = [int(rng.integers(1, 9)) for _ in queries]
+        sharded_cfg = ServeConfig(
+            max_wait_ms=2.0, shards=3, shard_transport=transport
+        )
+        with KnnQueryService(table, sharded_cfg) as sharded, KnnQueryService(
+            table, ServeConfig(max_wait_ms=2.0)
+        ) as plain:
+            got, want = _pairwise(table, sharded, plain, queries, ks, rng)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g.indices, w.indices)
+            np.testing.assert_array_equal(g.distances, w.distances)
+
+    def test_row_requests_bit_identical_to_unsharded(self, table, rng):
+        Q = rng.random((5, table.shape[1]))
+        cfg = ServeConfig(shards=2, shard_transport="local")
+        with KnnQueryService(table, cfg) as sharded, KnnQueryService(
+            table
+        ) as plain:
+            g = sharded.submit_rows(Q, 6).result(timeout=30)
+            w = plain.submit_rows(Q, 6).result(timeout=30)
+        np.testing.assert_array_equal(g.indices, w.indices)
+        np.testing.assert_array_equal(g.distances, w.distances)
+
+    def test_stats_expose_shard_state(self, table):
+        cfg = ServeConfig(shards=2, shard_transport="local")
+        with KnnQueryService(table, cfg) as svc:
+            svc.submit([0, 1], 3).result(timeout=30)
+            stats = svc.stats()
+        assert stats["shards"]["n_shards"] == 2
+        assert stats["shards"]["transport"] == "local"
+
+    def test_unsharded_stats_have_no_shard_block(self, table):
+        with KnnQueryService(table) as svc:
+            assert svc.stats()["shards"] is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            ServeConfig(shards=-1)
+        with pytest.raises(ValidationError):
+            ServeConfig(shards=2, shard_transport="carrier-pigeon")

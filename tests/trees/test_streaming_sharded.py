@@ -1,0 +1,105 @@
+"""Streaming maintenance with a sharded exact-solve mirror.
+
+With ``shards > 0`` the streaming structure keeps a
+:class:`~repro.shard.ShardedAllKnn` mirror in lock-step with its own
+membership: inserts append to the owning shards, deletes tombstone and
+invalidate per-shard plans. ``exact_solve`` through the mirror must be
+bit-identical to the unsharded single-process solve at every point in
+the churn — that is the streaming leg of the sharding acceptance
+criteria.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.errors import ValidationError
+from repro.resilience.faults import FAULT_PLAN_ENV
+from repro.trees.streaming import StreamingAllKnn
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_fault_plan(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+
+
+@pytest.fixture
+def stream():
+    return gaussian_mixture(700, 8, n_clusters=4, seed=3).points
+
+
+def paired(stream, **shard_kw):
+    """A sharded structure and its unsharded twin fed identically."""
+    sharded = StreamingAllKnn(8, 5, seed=1, **shard_kw)
+    plain = StreamingAllKnn(8, 5, seed=1)
+    return sharded, plain
+
+
+def assert_exact_match(sharded, plain, q_idx, k):
+    got = sharded.exact_solve(q_idx, k)
+    want = plain.exact_solve(q_idx, k)
+    np.testing.assert_array_equal(got.indices, want.indices)
+    np.testing.assert_array_equal(got.distances, want.distances)
+
+
+class TestShardedMirror:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            StreamingAllKnn(4, 3, shards=-1)
+        with pytest.raises(ValidationError):
+            StreamingAllKnn(4, 3, shards=2, shard_transport="bogus")
+
+    def test_mirror_mounted_lazily_on_first_insert(self, stream):
+        s = StreamingAllKnn(8, 5, shards=2, shard_transport="local")
+        assert s.sharded is None
+        s.insert(stream[:200])
+        assert s.sharded is not None
+        assert s.sharded.map.n_alive == 200
+        s.close()
+        assert s.sharded is None
+
+    @pytest.mark.parametrize("transport", ["local", "process"])
+    def test_exact_solve_bit_identical_through_churn(
+        self, stream, transport
+    ):
+        sharded, plain = paired(
+            stream, shards=3, shard_transport=transport
+        )
+        with sharded:
+            for s in (sharded, plain):
+                s.insert(stream[:300])
+            assert_exact_match(sharded, plain, np.arange(0, 300, 7), 5)
+
+            for s in (sharded, plain):
+                s.insert(stream[300:450])
+                s.delete(np.arange(0, 200, 3))
+                s.insert(stream[450:500])
+            assert_exact_match(
+                sharded, plain, np.arange(0, 500, 11), 5
+            )
+
+    def test_deletes_keep_mirror_membership_in_sync(self, stream):
+        s = StreamingAllKnn(8, 4, shards=2, shard_transport="local")
+        with s:
+            s.insert(stream[:256])
+            s.delete(np.arange(0, 100, 2))
+            assert s.sharded.map.n_alive == 206
+            res = s.exact_solve(np.arange(100, 120), 4)
+            assert not np.isin(res.indices, np.arange(0, 100, 2)).any()
+
+    def test_full_wipe_drops_and_rebuilds_mirror(self, stream):
+        """Deleting every live point cannot leave an empty router; the
+        mirror is dropped and rebuilt from scratch on the next insert,
+        and stays bit-identical to the unsharded twin."""
+        sharded, plain = paired(stream, shards=2, shard_transport="local")
+        with sharded:
+            for s in (sharded, plain):
+                s.insert(stream[:128])
+                s.delete(np.arange(128))
+            assert sharded.sharded is None
+            for s in (sharded, plain):
+                s.insert(stream[128:300])
+            assert sharded.sharded is not None
+            assert_exact_match(sharded, plain, np.arange(128, 300, 5), 4)
