@@ -1,0 +1,148 @@
+"""Out-of-core streaming: a table several times the workspace budget.
+
+The memory tier's contract (docs/MEMORY.md) is measured end to end: a
+coordinate table is written to disk in bounded chunks, memory-mapped
+back, and solved under a :class:`~repro.MemoryBudget` a quarter of the
+table's size. Before timing anything the bench asserts the two halves
+of the contract:
+
+* **bit-identity** — the budgeted, panel-streaming solve over the
+  memmap equals the in-RAM fused solve at the same blocking, indices
+  AND distances;
+* **enforcement** — the :func:`repro.perf.memory_checker` harness
+  confirms the measured peak workspace stayed under the budget.
+
+What is then measured:
+
+* **cold** — first budgeted solve (panels streamed, arena buffers
+  grown, table pages faulted in);
+* **warm** — the same budgeted plan re-executed (arena at steady state,
+  pages hot; panels are *still* streamed per tile — that is the tier's
+  steady-state cost);
+* **in-RAM** — the unbudgeted fused solve over the materialized table
+  at the same blocking, for scale.
+
+The gated metrics are ``peak_workspace_bytes`` (byte-exact arena
+accounting; must never creep toward the table size) and
+``outofcore_stream_efficiency`` (in-RAM seconds / warm streamed
+seconds: how much of the fused kernel's throughput survives streaming
+panels from a memmap). Raw wall-clock values are recorded for context.
+
+Results land in ``results/BENCH_outofcore.json``; the CI
+``mem-budget-smoke`` job regenerates them and gates against the
+committed baseline via ``compare_runs.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.gsknn import gsknn
+from repro.core.plan import GsknnPlan
+from repro.data import uniform_hypercube
+from repro.data.loaders import load_dataset, save_dataset
+from repro.perf import memory_checker
+
+from .conftest import SCALE, best_time, run_report
+
+N_REFS = 262144 * SCALE  # 32 MiB of float64 at d=16 — 4x the budget
+D = 16
+K = 10
+M_QUERIES = 1024
+BUDGET = "8MiB"
+BUDGET_BYTES = 8 << 20
+SEED = 31
+
+
+def _bit_identical(a, b) -> bool:
+    return bool(
+        np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.distances, b.distances)
+    )
+
+
+def _run(report_factory) -> None:
+    rep = report_factory(
+        "outofcore",
+        f"out-of-core streaming  n={N_REFS} d={D} k={K} m={M_QUERIES} "
+        f"budget={BUDGET} (table {N_REFS * D * 8 >> 20} MiB)",
+    )
+    rep.problem(
+        n=N_REFS,
+        d=D,
+        k=K,
+        m=M_QUERIES,
+        budget_bytes=BUDGET_BYTES,
+        table_bytes=N_REFS * D * 8,
+    )
+    ds = uniform_hypercube(N_REFS, D, seed=SEED)
+    q_idx = np.arange(M_QUERIES, dtype=np.intp)
+    r_idx = np.arange(N_REFS, dtype=np.intp)
+
+    with tempfile.TemporaryDirectory(prefix="repro-ooc-") as tmp:
+        path = Path(tmp) / "table.npy"
+        save_dataset(ds, path)  # chunked: never materializes a copy
+        mm = load_dataset(path, mmap_mode="r").points
+
+        # the contract first: budgeted memmap solve == in-RAM fused
+        # solve at the same (budget-fitted) blocking, bitwise — and the
+        # measured peak workspace respects the budget
+        with memory_checker(BUDGET) as check:
+            plan = GsknnPlan(mm, r_idx, memory_budget=check.budget)
+            t0 = time.perf_counter()
+            got = plan.execute(q_idx, K)
+            cold = time.perf_counter() - t0
+        check.assert_within()
+        want = gsknn(
+            ds.points, q_idx, r_idx, K,
+            block_m=plan.block_m, block_n=plan.block_n,
+        )
+        assert _bit_identical(got, want), "streamed result diverged"
+        assert plan.streams_panels, "budget too large: panels were cached"
+
+        warm = best_time(lambda: plan.execute(q_idx, K), repeats=3)
+        peak = check.workspace_peak_bytes
+        traced = check.traced_peak_bytes
+        block_m, block_n = plan.block_m, plan.block_n
+        plan.release()
+
+    in_ram = best_time(
+        lambda: gsknn(
+            ds.points, q_idx, r_idx, K, block_m=block_m, block_n=block_n
+        ),
+        repeats=3,
+    )
+
+    efficiency = in_ram / warm
+    rep.metric("peak_workspace_bytes", peak)
+    rep.metric("outofcore_stream_efficiency", efficiency)
+    rep.metric("outofcore_cold_sec", cold)
+    rep.metric("outofcore_warm_sec", warm)
+    rep.metric("in_ram_sec", in_ram)
+    rep.data_row(
+        bit_identical=True,
+        within_budget=True,
+        traced_peak_bytes=traced,
+        budget_bytes=BUDGET_BYTES,
+        block_m=block_m,
+        block_n=block_n,
+    )
+    rep.row(f"{'bit-identical':26s} True")
+    rep.row(
+        f"{'peak workspace':26s} {peak / 2**20:8.2f} MiB "
+        f"of {BUDGET_BYTES / 2**20:.0f} MiB budget   (gated)"
+    )
+    rep.row(f"{'tracemalloc peak':26s} {traced / 2**20:8.2f} MiB")
+    rep.row(f"{'fitted blocks':26s} {block_m} x {block_n}")
+    rep.row(f"{'cold (stream + grow)':26s} {cold * 1e3:8.2f} ms")
+    rep.row(f"{'warm (steady stream)':26s} {warm * 1e3:8.2f} ms")
+    rep.row(f"{'in-RAM same blocks':26s} {in_ram * 1e3:8.2f} ms")
+    rep.row(f"{'stream efficiency':26s} {efficiency:8.2f}x   (gated)")
+
+
+def test_outofcore_report(benchmark, report):
+    run_report(benchmark, lambda: _run(report))

@@ -19,11 +19,13 @@ Quickstart::
 """
 
 from .core.gsknn import gsknn, gsknn_exact_loops
+from .core.membudget import MemoryBudget
 from .core.neighbors import KnnResult, merge_neighbor_lists, recall
 from .core.ref_kernel import ref_knn, ref_knn_timed
 from .errors import (
     ConfigurationError,
     ConvergenceError,
+    MemoryBudgetError,
     ReproError,
     ValidationError,
 )
@@ -39,10 +41,12 @@ __all__ = [
     "merge_neighbor_lists",
     "recall",
     "all_nearest_neighbors",
+    "MemoryBudget",
     "ReproError",
     "ValidationError",
     "ConfigurationError",
     "ConvergenceError",
+    "MemoryBudgetError",
     "__version__",
 ]
 

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any
 
 from ..errors import ValidationError
+from ..ioutil import atomic_write_json
 from ..tune.store import default_cache_path, fingerprint_key, host_fingerprint
 
 __all__ = [
@@ -101,9 +102,7 @@ def save_calibration(
         "created_unix": time.time(),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
-    os.replace(tmp, path)
+    atomic_write_json(path, doc)
     return path
 
 

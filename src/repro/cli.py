@@ -165,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
             default="default",
             help="'tuned' applies this host's persisted autotuner result",
         )
+        p.add_argument(
+            "--memory-budget",
+            type=str,
+            default=None,
+            metavar="BYTES",
+            help="cap the kernel workspace (e.g. '64MiB'); budgeted solves "
+            "stream reference panels and refuse allocations over the cap "
+            "(gsknn only; see docs/MEMORY.md)",
+        )
 
     kern = sub.add_parser("kernel", help="run one kernel on synthetic data")
     add_problem_args(kern)
@@ -512,6 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
         "in-process deterministic twin",
     )
     serve.add_argument(
+        "--memory-budget",
+        type=str,
+        default=None,
+        metavar="BYTES",
+        help="cap the service's fused-solve workspace (e.g. '64MiB'); one "
+        "budget is shared across every window (see docs/MEMORY.md)",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="print the summary as JSON"
     )
 
@@ -573,6 +590,12 @@ def _print_resilience_counters(snapshot: dict) -> None:
         print(f"  {name:<32} {value}")
 
 
+def _print_budget_error(exc) -> int:
+    """Render a MemoryBudgetError cleanly; exit code 4 = budget refused."""
+    print(f"memory budget exceeded: {exc}", file=sys.stderr)
+    return 4
+
+
 def _print_timeout(exc) -> int:
     """Render a KernelTimeoutError cleanly; exit code 3 = deadline hit."""
     budget = f"{exc.budget * 1e3:.0f} ms" if exc.budget else "?"
@@ -606,8 +629,14 @@ def _run_one_kernel(args: argparse.Namespace):
     blocking = None if blocking == "default" else blocking
     kwargs = {"norm": args.norm}
     res_kwargs = _resilience_kwargs(args)
+    membudget = getattr(args, "memory_budget", None)
+    if membudget is not None and args.kernel != "gsknn":
+        print("--memory-budget requires --kernel gsknn", file=sys.stderr)
+        raise SystemExit(2)
     if args.kernel == "gsknn":
         kwargs["variant"] = args.variant
+        if membudget is not None:
+            kwargs["memory_budget"] = membudget
         # resilience flags route through the data-parallel driver even at
         # p=1/serial: that is where the deadline and retry machinery live
         if workers > 1 or backend != "serial" or res_kwargs:
@@ -650,7 +679,8 @@ def _run_plan_kernel(args: argparse.Namespace, repeat: int):
     blocking = None if blocking == "default" else blocking
     t0 = time.perf_counter()
     plan = GsknnPlan(
-        ds.points, r, norm=args.norm, variant=args.variant, blocking=blocking
+        ds.points, r, norm=args.norm, variant=args.variant, blocking=blocking,
+        memory_budget=getattr(args, "memory_budget", None),
     )
     result = plan.execute(q, args.k)
     cold = time.perf_counter() - t0
@@ -731,7 +761,7 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
             )
             return 2
         return _cmd_kernel_approx(args)
-    from .errors import KernelTimeoutError
+    from .errors import KernelTimeoutError, MemoryBudgetError
     from .obs.context import RequestContext, request_scope
 
     repeat = max(1, int(args.repeat))
@@ -753,6 +783,8 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
                     warm.append(t_rep)
     except KernelTimeoutError as exc:
         return _print_timeout(exc)
+    except MemoryBudgetError as exc:
+        return _print_budget_error(exc)
     finally:
         disable_tracing()
     absorb_tracer(tracer, registry)
@@ -800,6 +832,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     blocking = None if args.blocking == "default" else args.blocking
     gsknn_kwargs = {}
     res_kwargs = _resilience_kwargs(args)
+    if args.memory_budget is not None:
+        gsknn_kwargs["memory_budget"] = args.memory_budget
     if workers > 1 or args.backend != "serial" or res_kwargs:
         tuned = _load_tuned_blocks(blocking)
         if tuned is not None:
@@ -811,7 +845,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         label = f"gsknn[{args.backend} p={workers}]"
     else:
         gsknn_runner = lambda X, q, r, k: gsknn(  # noqa: E731
-            X, q, r, k, blocking=blocking
+            X, q, r, k, blocking=blocking, **gsknn_kwargs
         )
         label = "gsknn"
     registry = enable_metrics()
@@ -1343,6 +1377,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             policy=args.policy,
             shards=args.shards,
             shard_transport=args.shard_transport,
+            memory_budget=args.memory_budget,
         )
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)

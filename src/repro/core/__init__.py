@@ -18,6 +18,7 @@ Public surface:
 """
 
 from .gsknn import DEFAULT_VARIANT_SWITCH_K, GsknnStats, gsknn, gsknn_exact_loops
+from .membudget import MemoryBudget, parse_bytes
 from .neighbors import KnnResult, merge_neighbor_lists, recall
 from .norms import Norm, pairwise_block, pairwise_lp, pairwise_sq_l2, resolve_norm
 from .plan import GsknnPlan, PlanCache
@@ -30,6 +31,8 @@ __all__ = [
     "GsknnStats",
     "GsknnPlan",
     "PlanCache",
+    "MemoryBudget",
+    "parse_bytes",
     "DEFAULT_VARIANT_SWITCH_K",
     "KnnResult",
     "merge_neighbor_lists",

@@ -31,6 +31,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from ..errors import ValidationError
+from .membudget import MemoryBudget
 
 __all__ = ["WorkspaceArena", "NullArena", "ArenaPool"]
 
@@ -43,10 +44,29 @@ class WorkspaceArena:
     the elementwise max shape ever requested, so a steady-state workload
     stops allocating after its first pass. Contents are *not* cleared —
     callers own initialization, exactly like ``np.empty``.
+
+    With a :class:`~repro.core.membudget.MemoryBudget` attached, every
+    buffer growth is charged against the budget *before* the allocation
+    happens (a replaced buffer's bytes are returned first — grow-only
+    keys never hold old and new generations at once past the swap), so
+    a budgeted run is refused with
+    :class:`~repro.errors.MemoryBudgetError` instead of driving the
+    host out of memory. ``peak_nbytes`` records the arena's own
+    high-water mark whether or not a budget is attached.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, budget: MemoryBudget | None = None) -> None:
         self._buffers: dict[str, np.ndarray] = {}
+        self.budget = budget
+        self._peak_nbytes = 0
+
+    def _swap(self, key: str, nbytes: int) -> None:
+        """Account for replacing ``key``'s buffer with ``nbytes`` bytes."""
+        old = self._buffers.pop(key, None)
+        if old is not None and self.budget is not None:
+            self.budget.release(old.nbytes)
+        if self.budget is not None:
+            self.budget.reserve(nbytes, site=f"arena:{key}")
 
     def take(
         self,
@@ -70,8 +90,13 @@ class WorkspaceArena:
                 if buf is None or buf.dtype != dtype or buf.ndim != len(shape)
                 else tuple(max(b, s) for b, s in zip(buf.shape, shape))
             )
+            size = 1
+            for s in grown:
+                size *= s
+            self._swap(key, size * dtype.itemsize)
             buf = np.empty(grown, dtype=dtype)
             self._buffers[key] = buf
+            self._peak_nbytes = max(self._peak_nbytes, self.nbytes)
         if buf.shape == shape:
             return buf
         return buf[tuple(slice(0, s) for s in shape)]
@@ -100,8 +125,10 @@ class WorkspaceArena:
         buf = self._buffers.get(key)
         if buf is None or buf.dtype != dtype or buf.ndim != 1 or buf.size < size:
             grown = size if buf is None or buf.ndim != 1 else max(buf.size, size)
+            self._swap(key, grown * dtype.itemsize)
             buf = np.empty(grown, dtype=dtype)
             self._buffers[key] = buf
+            self._peak_nbytes = max(self._peak_nbytes, self.nbytes)
         return buf[:size].reshape(shape)
 
     @property
@@ -109,10 +136,18 @@ class WorkspaceArena:
         """Total bytes currently held across all keys."""
         return sum(buf.nbytes for buf in self._buffers.values())
 
+    @property
+    def peak_nbytes(self) -> int:
+        """High-water mark of :attr:`nbytes` over the arena's lifetime."""
+        return self._peak_nbytes
+
     def __len__(self) -> int:
         return len(self._buffers)
 
     def clear(self) -> None:
+        if self.budget is not None:
+            for buf in self._buffers.values():
+                self.budget.release(buf.nbytes)
         self._buffers.clear()
 
 
@@ -123,6 +158,9 @@ class NullArena:
     seed's exact allocation behavior (nothing retained after the call);
     they get this arena.
     """
+
+    budget = None
+    peak_nbytes = 0
 
     def take(
         self,
@@ -153,15 +191,32 @@ class ArenaPool:
     executions each get their own arena (the pool grows to the peak
     concurrency and then stops allocating); serial repetition always
     reuses the same one.
+
+    Pass ``budget=`` to make every arena the pool creates charge one
+    shared :class:`~repro.core.membudget.MemoryBudget` — the budget is
+    a *pool-wide* cap, so concurrent borrowers compete for the same
+    headroom (their combined footprint is what must fit on the host).
     """
 
     def __init__(
-        self, factory: Callable[[], WorkspaceArena | NullArena] = WorkspaceArena
+        self,
+        factory: Callable[[], WorkspaceArena | NullArena] | None = None,
+        *,
+        budget: MemoryBudget | None = None,
     ) -> None:
+        if factory is None:
+            if budget is not None:
+                factory = lambda: WorkspaceArena(budget=budget)  # noqa: E731
+            else:
+                factory = WorkspaceArena
+        elif budget is not None:
+            raise ValidationError("pass either factory or budget, not both")
+        self.budget = budget
         self._factory = factory
         self._lock = threading.Lock()
         self._free: list[WorkspaceArena | NullArena] = []
         self._created = 0
+        self._all: list[WorkspaceArena | NullArena] = []
 
     @contextmanager
     def borrow(self) -> Iterator[WorkspaceArena | NullArena]:
@@ -171,6 +226,7 @@ class ArenaPool:
             else:
                 arena = self._factory()
                 self._created += 1
+                self._all.append(arena)
         try:
             yield arena
         finally:
@@ -186,6 +242,12 @@ class ArenaPool:
         """Bytes held by *idle* arenas (borrowed ones are not counted)."""
         with self._lock:
             return sum(a.nbytes for a in self._free)
+
+    @property
+    def peak_nbytes(self) -> int:
+        """Summed high-water marks of every arena ever created."""
+        with self._lock:
+            return sum(a.peak_nbytes for a in self._all)
 
 
 def null_arena_pool() -> ArenaPool:

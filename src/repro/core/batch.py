@@ -128,6 +128,7 @@ def gsknn_batch(
     plan_reuse: bool = True,
     plan_cache=None,
     request=None,
+    memory_budget=None,
 ) -> list[KnnResult]:
     """Solve a batch of independent kNN kernels over one coordinate table.
 
@@ -152,7 +153,15 @@ def gsknn_batch(
     ``request`` (a :class:`~repro.obs.context.RequestContext` or bare
     request-id string) tags every span and metric the batch produces;
     without it the ambient request scope (if any) is inherited.
+
+    ``memory_budget`` (a :class:`~repro.MemoryBudget`, byte count, or
+    spec string) caps each problem's kernel workspace: budgeted plans
+    stream reference panels from ``X`` (memmapped tables work
+    unchanged) and charge every workspace buffer against the budget —
+    one shared budget object bounds the whole batch; a byte count or
+    spec is coerced once here so concurrent problems still share it.
     """
+    from .membudget import MemoryBudget
     from ..obs.context import coerce_request, current_request, request_scope
     from ..parallel.chunking import resolve_workers
 
@@ -174,6 +183,7 @@ def gsknn_batch(
 
     norm_obj = norm
     X2 = cached_squared_norms(X)
+    budget = MemoryBudget.coerce(memory_budget)
     if plan_reuse:
         plans = plan_cache if plan_cache is not None else _get_plan_cache()
     else:
@@ -182,12 +192,13 @@ def gsknn_batch(
     def solve(prob: KnnProblem) -> KnnResult:
         if plans is not None:
             plan = plans.get(
-                X, prob.r_idx, norm=norm_obj, variant=variant, X2=X2
+                X, prob.r_idx, norm=norm_obj, variant=variant, X2=X2,
+                memory_budget=budget,
             )
             return plan.execute(prob.q_idx, prob.k)
         return gsknn(
             X, prob.q_idx, prob.r_idx, prob.k, norm=norm_obj,
-            variant=variant, X2=X2,
+            variant=variant, X2=X2, memory_budget=budget,
         )
 
     with request_scope(ctx):

@@ -197,6 +197,7 @@ def gsknn(
     initial: KnnResult | None = None,
     return_stats: bool = False,
     request=None,
+    memory_budget=None,
 ) -> KnnResult | tuple[KnnResult, GsknnStats]:
     """Exact k nearest neighbors of ``X[q_idx]`` among ``X[r_idx]``, fused.
 
@@ -249,6 +250,15 @@ def gsknn(
         Optional :class:`~repro.obs.context.RequestContext` (or bare
         request-id string): tags the kernel's spans and metrics with the
         originating request. Without it any ambient scope is inherited.
+    memory_budget:
+        A :class:`~repro.MemoryBudget`, byte count, or spec string
+        (``"64MiB"``) capping this call's workspace. The call then runs
+        through a budget-charging arena with reference panels streamed
+        per-tile from ``X`` — pass a memmapped table (see
+        ``load_dataset(mmap_mode=...)``) to solve against datasets
+        larger than RAM. Results are bit-identical to the unbudgeted
+        path at the same block sizes; an infeasible combination raises
+        :class:`~repro.errors.MemoryBudgetError` instead of OOMing.
 
     Returns
     -------
@@ -283,7 +293,6 @@ def gsknn(
         )
 
     m, n = q_idx.size, r_idx.size
-    stats = GsknnStats(variant=var, m=m, n=n, d=X.shape[1])
 
     # One-shot calls run through an *ephemeral* plan (lazy import: the
     # plan module imports this one at load time). Panels are gathered
@@ -292,8 +301,10 @@ def gsknn(
     # historical fast path's; the plan layer just owns the loop nest.
     # Callers with repeated queries build a GsknnPlan and keep it.
     from .arena import NullArena
+    from .membudget import MemoryBudget
     from .plan import GsknnPlan
 
+    budget = MemoryBudget.coerce(memory_budget)
     plan = GsknnPlan(
         X,
         r_idx,
@@ -304,7 +315,11 @@ def gsknn(
         cache_panels=False,
         track_staleness=False,
         validate=False,
+        memory_budget=budget,
     )
+    if budget is not None:
+        var = plan._budget_variant(var, m, variant)
+    stats = GsknnStats(variant=var, m=m, n=n, d=X.shape[1])
     from ..obs.context import coerce_request, request_scope
 
     with request_scope(coerce_request(request)):
@@ -312,9 +327,18 @@ def gsknn(
         with _trace.span(
             "gsknn", variant=int(var), m=m, n=n, d=X.shape[1], k=k
         ):
-            result = plan._execute_impl(
-                q_idx, k, var, initial, "legacy", NullArena(), stats
-            )
+            if budget is None:
+                result = plan._execute_impl(
+                    q_idx, k, var, initial, "legacy", NullArena(), stats
+                )
+            else:
+                # Budgeted one-shot: a real (budget-charging) arena and
+                # the masked select — panels stream from X per tile, so
+                # a memmapped table never materializes in RAM.
+                with plan.arena_pool.borrow() as arena:
+                    result = plan._execute_impl(
+                        q_idx, k, var, initial, "masked", arena, stats
+                    )
 
         registry = _get_registry()
         if registry.enabled:

@@ -48,12 +48,13 @@ from collections import OrderedDict
 import numpy as np
 
 from ..config import iter_blocks
-from ..errors import ValidationError
+from ..errors import MemoryBudgetError, ValidationError
 from ..obs import trace as _trace
 from ..obs.metrics import get_registry as _get_registry
 from ..select.vectorized import ArenaNeighborLists, BatchedNeighborLists
 from ..validation import as_coordinate_table, as_index_array, check_finite, check_k
 from .arena import ArenaPool, NullArena
+from .membudget import MemoryBudget
 from .gsknn import (
     GsknnStats,
     _apply_blocking,
@@ -93,6 +94,16 @@ class GsknnPlan:
         Gather the reference panels at construction (default). ``False``
         gathers lazily per block on every execute — the ephemeral
         one-shot configuration, preserving that path's memory profile.
+    memory_budget:
+        A :class:`~repro.core.membudget.MemoryBudget` (or byte count /
+        spec like ``"64MiB"``) capping the plan's workspace. A budgeted
+        plan charges every arena buffer against the cap, *streams*
+        reference panels per-tile from ``X`` (a memmap works unchanged —
+        this is the out-of-core path, one sequential read per pass)
+        whenever caching them whole would eat more than half the
+        budget, and refuses Var#6 when its full scores matrix cannot
+        fit. Streamed and cached executions are bit-identical at equal
+        block sizes. See docs/MEMORY.md.
     track_staleness:
         Fingerprint ``X`` on every execute and rebuild cached panels on
         mismatch (default). The check is O(d); see
@@ -115,6 +126,7 @@ class GsknnPlan:
         cache_panels: bool = True,
         track_staleness: bool = True,
         validate: bool = True,
+        memory_budget: MemoryBudget | int | str | None = None,
     ) -> None:
         if validate:
             X = as_coordinate_table(X)
@@ -144,10 +156,38 @@ class GsknnPlan:
             # the kernel contract: X2 is ignored for non-l2 norms
             X2 = X2 if (self.norm.is_l2 or self.norm.is_cosine) else None
         self.X2 = X2
-        self.arena_pool = arena_pool if arena_pool is not None else ArenaPool()
-        self._cache_panels = bool(cache_panels)
+        self.memory_budget = MemoryBudget.coerce(memory_budget)
+        if arena_pool is None:
+            arena_pool = (
+                ArenaPool(budget=self.memory_budget)
+                if self.memory_budget is not None
+                else ArenaPool()
+            )
+        self.arena_pool = arena_pool
+        cache_panels = bool(cache_panels)
+        if cache_panels and self.memory_budget is not None:
+            # Cache panels whole only when they leave at least half the
+            # budget for tiles/lists; otherwise stream them per-block
+            # from X inside the pass loop (the out-of-core mode — the
+            # fused kernel packs panels once per pass, so streaming
+            # costs one sequential read per pass, nothing hot).
+            needs_norms = self.norm.is_l2 or self.norm.is_cosine
+            panel_nbytes = int(self.r_idx.size) * (
+                self.X.shape[1] + (1 if needs_norms else 0)
+            ) * 8
+            if 2 * panel_nbytes > self.memory_budget.limit_bytes:
+                cache_panels = False
+                registry = _get_registry()
+                if registry.enabled:
+                    registry.inc("budget.panels_streamed")
+        if self.memory_budget is not None:
+            self.block_m, self.block_n = self._fit_blocks(
+                self.block_m, self.block_n
+            )
+        self._cache_panels = cache_panels
         self._track_staleness = bool(track_staleness)
         self._panels: list | None = None
+        self._panels_nbytes = 0
         self._fingerprint: tuple | None = None
         self._variant_memo: dict[tuple[int, int], Variant] = {}
         self._lock = threading.Lock()
@@ -171,6 +211,49 @@ class GsknnPlan:
     def panels_cached(self) -> bool:
         return self._panels is not None
 
+    @property
+    def streams_panels(self) -> bool:
+        """True when reference panels are gathered per-tile per-execute."""
+        return not self._cache_panels
+
+    # -- budget fitting --------------------------------------------------------
+
+    def _fit_blocks(self, block_m: int, block_n: int) -> tuple[int, int]:
+        """Shrink block sizes until one pass's tile state fits the budget.
+
+        The per-pass footprint a block size controls — the distance tile,
+        its survivor mask, and (when streaming) the gathered ``(Rc, R2c)``
+        panel — must fit *half* the budget; the other half is headroom
+        for the O(m) query-side state (gathered rows, neighbor lists)
+        that no block size can shrink. Halves the larger dimension first,
+        never below 64: results stay exact at any block size, only GEMM
+        efficiency trades down. Callers comparing runs bit-for-bit
+        should read the fitted sizes back from ``plan.block_m`` /
+        ``plan.block_n``.
+        """
+        share = self.memory_budget.limit_bytes // 2
+        d = self.X.shape[1]
+
+        def per_pass(bm: int, bn: int) -> int:
+            tile = bm * bn * 9  # float64 tile + bool survivor mask
+            stream = bn * (d + 1) * 8  # gathered Rc + R2c
+            return tile + stream
+
+        fitted_m, fitted_n = int(block_m), int(block_n)
+        while per_pass(fitted_m, fitted_n) > share and (
+            fitted_m > 64 or fitted_n > 64
+        ):
+            if fitted_n >= fitted_m and fitted_n > 64:
+                fitted_n //= 2
+            else:
+                fitted_m //= 2
+        fitted_m, fitted_n = max(fitted_m, 1), max(fitted_n, 1)
+        if (fitted_m, fitted_n) != (block_m, block_n):
+            registry = _get_registry()
+            if registry.enabled:
+                registry.inc("budget.block_autofits")
+        return fitted_m, fitted_n
+
     # -- build / invalidation --------------------------------------------------
 
     def _build(self) -> None:
@@ -180,19 +263,44 @@ class GsknnPlan:
             "plan.build", n=self.n, d=self.d, block_n=self.block_n
         ):
             panels = []
+            panel_nbytes = 0
             for j_c, n_b in iter_blocks(self.n, self.block_n):
                 r_block = self.r_idx[j_c : j_c + n_b]
                 Rc, R2c = _reference_block(self.X, r_block, self.norm, self.X2)
                 panels.append((j_c, n_b, r_block, Rc, R2c))
+                panel_nbytes += Rc.nbytes + (
+                    R2c.nbytes if R2c is not None else 0
+                )
             fingerprint = (
                 array_fingerprint(self.X) if self._track_staleness else None
             )
         with self._lock:
+            if self.memory_budget is not None:
+                if self._panels_nbytes:
+                    self.memory_budget.release(self._panels_nbytes)
+                    self._panels_nbytes = 0
+                self.memory_budget.reserve(panel_nbytes, site="plan.panels")
+                self._panels_nbytes = panel_nbytes
             self._panels = panels
             self._fingerprint = fingerprint
             self._prev = None  # panels changed: the previous result is void
         if registry.enabled:
             registry.inc("plan.builds")
+
+    def release(self) -> None:
+        """Drop cached panels and return their bytes to the budget.
+
+        A released plan stays usable — panels are simply re-gathered
+        per block on later executes. :class:`PlanCache` calls this on
+        eviction so a budgeted plan's charge never outlives its cache
+        entry.
+        """
+        with self._lock:
+            if self.memory_budget is not None and self._panels_nbytes:
+                self.memory_budget.release(self._panels_nbytes)
+                self._panels_nbytes = 0
+            self._panels = None
+            self._prev = None
 
     def _maybe_rebuild(self, registry) -> None:
         """Rebuild cached panels when ``X``'s content fingerprint moved."""
@@ -223,9 +331,48 @@ class GsknnPlan:
             raise ValidationError(
                 f"Var#{int(var)} is not executable: {VARIANT_INFO[var].notes}"
             )
+        if self.memory_budget is not None:
+            var = self._budget_variant(var, m, spec)
         if memo_key is not None:
             self._variant_memo[memo_key] = var
         return var
+
+    def _budget_variant(
+        self, var: Variant, m: int, spec: int | str | Variant
+    ) -> Variant:
+        """Veto Var#6 when its intermediates cannot fit the budget.
+
+        Var#6 materializes the full (m, n) scores matrix plus an
+        equally-sized argpartition index array — ``2 m n 8`` bytes no
+        budget-aware blocking can shrink. An *inferred* choice (spec
+        was ``"auto"``/``"model"``/``"paper"``) is deflected to the
+        blocked Var#1, which computes the same answer in O(block) space;
+        an explicit ``variant=6`` is refused.
+        """
+        if var is not Variant.VAR6:
+            return var
+        var6_nbytes = 2 * m * self.n * 8
+        if var6_nbytes <= self.memory_budget.limit_bytes:
+            return var
+        explicit = not (
+            isinstance(spec, str)
+            and spec.lower() in ("auto", "model", "paper")
+        )
+        if explicit:
+            raise MemoryBudgetError(
+                f"variant 6 needs ~{var6_nbytes} bytes for its "
+                f"(m={m}, n={self.n}) scores matrix, over the "
+                f"{self.memory_budget.limit_bytes}-byte budget; "
+                "use variant 1/5 or raise the budget",
+                limit=self.memory_budget.limit_bytes,
+                requested=var6_nbytes,
+                used=self.memory_budget.used_bytes,
+                site="plan.variant#6",
+            )
+        registry = _get_registry()
+        if registry.enabled:
+            registry.inc("budget.variant_downgrades")
+        return Variant.VAR1
 
     # -- execution -------------------------------------------------------------
 
@@ -468,7 +615,7 @@ class GsknnPlan:
         stats: GsknnStats,
     ) -> KnnResult:
         if var is Variant.VAR6:
-            result = self._run_var6(Q, Q2, k, stats)
+            result = self._run_var6(Q, Q2, k, stats, arena)
             shortcut = False
         else:
             result, shortcut = self._run_blocked(
@@ -479,8 +626,16 @@ class GsknnPlan:
                 result = merge_neighbor_lists_fast(result, initial)
         return result
 
-    def _iter_panels(self):
-        """Yield ``(j_c, n_b, r_block, Rc, R2c)`` — cached or gathered."""
+    def _iter_panels(self, arena=None):
+        """Yield ``(j_c, n_b, r_block, Rc, R2c)`` — cached, gathered, or streamed.
+
+        A budgeted plan with a real arena *streams*: each pass's panels
+        are gathered into two reusable arena buffers (``np.take`` /
+        ``einsum`` with ``out=``), so a memmapped table is read one
+        sequential panel at a time and steady-state executes allocate
+        nothing. The gather math is element-for-element the fancy-index
+        path's, so streamed results stay bit-identical.
+        """
         if self._panels is not None:
             for j_c, n_b, r_block, Rc, R2c in self._panels:
                 with _trace.span(
@@ -489,10 +644,31 @@ class GsknnPlan:
                     pass
                 yield j_c, n_b, r_block, Rc, R2c
             return
+        stream = (
+            self.memory_budget is not None
+            and arena is not None
+            and not isinstance(arena, NullArena)
+        )
+        needs_norms = self.norm.is_l2 or self.norm.is_cosine
         for j_c, n_b in iter_blocks(self.n, self.block_n):
             r_block = self.r_idx[j_c : j_c + n_b]
-            with _trace.span("pack", which="R", rows=n_b, j_c=j_c):
-                Rc, R2c = _reference_block(self.X, r_block, self.norm, self.X2)
+            with _trace.span(
+                "pack", which="R", rows=n_b, j_c=j_c, streamed=stream
+            ):
+                if stream:
+                    Rc = arena.take_c("Rc", (n_b, self.d), np.float64)
+                    np.take(self.X, r_block, axis=0, out=Rc)
+                    if not needs_norms:
+                        R2c = None
+                    elif self.X2 is not None:
+                        R2c = self.X2[r_block]
+                    else:
+                        R2c = arena.take_c("R2c", (n_b,), np.float64)
+                        np.einsum("ij,ij->i", Rc, Rc, out=R2c)
+                else:
+                    Rc, R2c = _reference_block(
+                        self.X, r_block, self.norm, self.X2
+                    )
             yield j_c, n_b, r_block, Rc, R2c
 
     def _run_blocked(
@@ -543,7 +719,7 @@ class GsknnPlan:
             # +inf — updates then always merge.
             lists.row_max[:] = np.inf
 
-        for j_c, n_b, r_block, Rc, R2c in self._iter_panels():  # 6th loop
+        for j_c, n_b, r_block, Rc, R2c in self._iter_panels(arena):  # 6th loop
             for i_c, m_b in iter_blocks(m, self.block_m):  # 4th loop
                 q2c = Q2[i_c : i_c + m_b] if Q2 is not None else None
                 with _trace.span("rank_update", rows=m_b, cols=n_b):
@@ -596,6 +772,7 @@ class GsknnPlan:
         Q2: np.ndarray | None,
         k: int,
         stats: GsknnStats,
+        arena,
     ) -> KnnResult:
         """Var#6: materialize the full ``m x n`` matrix, select at the end."""
         m, n = Q.shape[0], self.n
@@ -614,8 +791,14 @@ class GsknnPlan:
                 C = pairwise_block(Q, Rc, self.norm, Q2, R2c)
             stats.blocks = 1
         else:
-            C = np.empty((m, n), dtype=np.float64)
-            for j_c, n_b, r_block, Rc, R2c in self._iter_panels():
+            if self.memory_budget is not None:
+                # route the scores matrix through the arena so its bytes
+                # are charged (and the variant guard already vetoed any
+                # (m, n) that cannot fit)
+                C = arena.take_c("var6_scores", (m, n), np.float64)
+            else:
+                C = np.empty((m, n), dtype=np.float64)
+            for j_c, n_b, r_block, Rc, R2c in self._iter_panels(arena):
                 with _trace.span("rank_update", rows=m, cols=n_b):
                     C[:, j_c : j_c + n_b] = pairwise_block(
                         Q, Rc, self.norm, Q2, R2c
@@ -743,10 +926,12 @@ class PlanCache:
         block_m: int = 1024,
         block_n: int = 2048,
         blocking: str | object | None = None,
+        memory_budget: MemoryBudget | int | str | None = None,
     ) -> GsknnPlan:
         r = np.asarray(r_idx, dtype=np.intp)
         norm_obj = resolve_norm(norm)
         var_key = variant.lower() if isinstance(variant, str) else int(variant)
+        budget = MemoryBudget.coerce(memory_budget)
         key = (
             id(X),
             np.asarray(X).shape,
@@ -757,6 +942,7 @@ class PlanCache:
             int(block_m),
             int(block_n),
             self._blocking_key(blocking),
+            None if budget is None else budget.limit_bytes,
         )
         registry = _get_registry()
         with self._lock:
@@ -784,8 +970,11 @@ class PlanCache:
             block_m=block_m,
             block_n=block_n,
             blocking=blocking,
-            arena_pool=self._pool,
+            # a budgeted plan gets its own budget-charging pool — the
+            # shared pool's arenas are uncapped by design
+            arena_pool=self._pool if budget is None else None,
             validate=validate,
+            memory_budget=budget,
         )
         with self._lock:
             if len(self._validated_tables) > 256:
@@ -797,11 +986,17 @@ class PlanCache:
             self._validated_tables[table_token] = weakref.ref(plan.X)
         if registry.enabled:
             registry.inc("plan.cache_misses")
+        evicted = []
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)
             while len(self._plans) > self.max_plans:
-                self._plans.popitem(last=False)
+                evicted.append(self._plans.popitem(last=False)[1])
+        for old in evicted:
+            if old.memory_budget is not None:
+                # return the evicted plan's cached-panel bytes to its
+                # budget; the plan itself stays usable (uncached path)
+                old.release()
         return plan
 
     def __len__(self) -> int:
@@ -810,5 +1005,9 @@ class PlanCache:
 
     def clear(self) -> None:
         with self._lock:
+            dropped = list(self._plans.values())
             self._plans.clear()
             self._validated_tables.clear()
+        for old in dropped:
+            if old.memory_budget is not None:
+                old.release()

@@ -1,8 +1,19 @@
 """Persist and reload :class:`~repro.data.synthetic.Dataset` objects.
 
-Datasets are stored as ``.npz`` archives carrying the coordinate table plus
-the generator provenance, so a benchmark run can be re-executed on exactly
-the same points.
+Two on-disk layouts, chosen by the path's suffix:
+
+* ``.npz`` (default) — a compressed archive carrying the coordinate
+  table plus the generator provenance, so a benchmark run can be
+  re-executed on exactly the same points. Compact, but the archive must
+  be decompressed whole on load.
+* ``.npy`` + ``<name>.meta.json`` sidecar — the out-of-core layout. The
+  table is a raw ``.npy`` that :func:`load_dataset` can open with
+  ``mmap_mode=`` so a dataset far larger than RAM is never materialized:
+  kernels read panels through the OS page cache, one sequential pass at
+  a time (see docs/MEMORY.md). :func:`save_dataset` writes it in bounded
+  row chunks through :func:`numpy.lib.format.open_memmap`, so *saving*
+  never materializes the full array either — the source may itself be a
+  memmap of another file.
 """
 
 from __future__ import annotations
@@ -13,46 +24,134 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import ValidationError
+from ..ioutil import atomic_write_json
 from .synthetic import Dataset
 
 __all__ = ["save_dataset", "load_dataset"]
 
+#: Rows copied per step of a chunked ``.npy`` save. At d=16 float64 this
+#: is 8 MiB per chunk — far below any sane memory budget, large enough
+#: that the copy is sequential-I/O bound.
+DEFAULT_CHUNK_ROWS = 65536
 
-def save_dataset(dataset: Dataset, path: str | Path) -> Path:
-    """Write ``dataset`` to ``path`` (``.npz`` appended if missing)."""
+
+def _sidecar_path(path: Path) -> Path:
+    # ``path.stem`` only strips the final ``.npy``, so dotted dataset
+    # names ("run.v1.npy" -> "run.v1.meta.json") survive intact.
+    return path.with_name(path.stem + ".meta.json")
+
+
+def _meta_doc(dataset: Dataset) -> dict:
+    return {
+        "name": dataset.name,
+        "intrinsic_dim": dataset.intrinsic_dim,
+        "params": dataset.params,
+    }
+
+
+def _dataset_from(points: np.ndarray, meta: dict, path: Path) -> Dataset:
+    try:
+        return Dataset(
+            points,
+            name=meta["name"],
+            intrinsic_dim=meta["intrinsic_dim"],
+            params=meta["params"],
+        )
+    except KeyError as exc:
+        raise ValidationError(
+            f"{path} metadata is missing the {exc.args[0]!r} field"
+        ) from exc
+
+
+def save_dataset(
+    dataset: Dataset,
+    path: str | Path,
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> Path:
+    """Write ``dataset`` to ``path``.
+
+    A ``.npy`` suffix selects the memmappable two-file layout (table +
+    JSON sidecar), written ``chunk_rows`` rows at a time so the full
+    array is never resident. Any other suffix gets ``.npz``
+    *appended* — never substituted, so dotted names like ``run.v1``
+    become ``run.v1.npz``, not ``run.npz``.
+    """
     path = Path(path)
+    if chunk_rows < 1:
+        raise ValidationError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    if path.suffix == ".npy":
+        points = dataset.points
+        out = np.lib.format.open_memmap(
+            path, mode="w+", dtype=np.float64, shape=points.shape
+        )
+        try:
+            for start in range(0, points.shape[0], chunk_rows):
+                stop = min(start + chunk_rows, points.shape[0])
+                out[start:stop] = points[start:stop]
+            out.flush()
+        finally:
+            del out
+        atomic_write_json(_sidecar_path(path), _meta_doc(dataset))
+        return path
     if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+        path = path.with_name(path.name + ".npz")
     np.savez_compressed(
         path,
         points=dataset.points,
         meta=np.frombuffer(
-            json.dumps(
-                {
-                    "name": dataset.name,
-                    "intrinsic_dim": dataset.intrinsic_dim,
-                    "params": dataset.params,
-                }
-            ).encode("utf-8"),
+            json.dumps(_meta_doc(dataset)).encode("utf-8"),
             dtype=np.uint8,
         ),
     )
     return path
 
 
-def load_dataset(path: str | Path) -> Dataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
+def load_dataset(path: str | Path, *, mmap_mode: str | None = None) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    ``mmap_mode`` (``"r"`` for the usual read-only mapping) memory-maps
+    a ``.npy`` table instead of reading it: the returned dataset's
+    ``points`` stay disk-backed, so tables larger than RAM load in
+    milliseconds and kernels page panels in on demand. Requesting it
+    for a ``.npz`` archive is an error — compressed archives cannot be
+    mapped; re-save as ``.npy`` first.
+    """
     path = Path(path)
     if not path.exists():
         raise ValidationError(f"dataset file not found: {path}")
+    if path.suffix == ".npy":
+        sidecar = _sidecar_path(path)
+        if not sidecar.exists():
+            raise ValidationError(
+                f"{path} has no metadata sidecar ({sidecar.name}); "
+                "not a repro dataset"
+            )
+        try:
+            meta = json.loads(sidecar.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{sidecar} is not valid JSON: {exc}") from exc
+        points = np.load(path, mmap_mode=mmap_mode)
+        return _dataset_from(points, meta, path)
+    if mmap_mode is not None:
+        raise ValidationError(
+            f"{path} is a compressed .npz archive and cannot be "
+            "memory-mapped; re-save it with save_dataset(ds, '....npy') "
+            "to use mmap_mode"
+        )
     with np.load(path) as archive:
         if "points" not in archive:
             raise ValidationError(f"{path} is not a repro dataset archive")
+        if "meta" not in archive:
+            raise ValidationError(
+                f"{path} has points but no meta record; "
+                "not a repro dataset archive"
+            )
         points = archive["points"]
-        meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
-    return Dataset(
-        points,
-        name=meta["name"],
-        intrinsic_dim=meta["intrinsic_dim"],
-        params=meta["params"],
-    )
+        try:
+            meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValidationError(
+                f"{path} carries a corrupt meta record: {exc}"
+            ) from exc
+    return _dataset_from(points, meta, path)

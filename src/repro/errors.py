@@ -90,6 +90,45 @@ class KernelTimeoutError(ReproError, TimeoutError):
         self.partial = dict(partial) if partial else {}
 
 
+class MemoryBudgetError(ReproError, MemoryError):
+    """A solve would exceed its :class:`repro.MemoryBudget`.
+
+    Raised *before* the offending allocation happens: the budget is
+    checked when a workspace buffer would grow (or when a plan decides
+    a variant's intermediates cannot fit), so a budgeted run fails with
+    a clean library error instead of driving the host into swap or an
+    OOM kill. Subclasses ``MemoryError`` so generic out-of-memory
+    handling keeps working.
+
+    Attributes
+    ----------
+    limit:
+        The configured budget in bytes (``None`` if unknown).
+    requested:
+        Bytes the denied reservation asked for.
+    used:
+        Bytes already reserved against the budget at denial time.
+    site:
+        Where the denial happened (e.g. ``"arena:tile"``,
+        ``"plan variant#6 scores"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit: int | None = None,
+        requested: int | None = None,
+        used: int | None = None,
+        site: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.limit = limit
+        self.requested = requested
+        self.used = used
+        self.site = site
+
+
 class OverloadError(ReproError, RuntimeError):
     """The serving front-end shed a request at admission.
 

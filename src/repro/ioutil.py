@@ -1,0 +1,46 @@
+"""Shared filesystem helpers: crash-safe small-file writes.
+
+Both persisted-config stores (``tune/store.py``, ``approx/store.py``)
+and the dataset sidecar writer need the same idiom — serialize to a
+temporary file beside the destination, then ``os.replace`` so readers
+only ever see a complete document. The historical copies of that idiom
+leaked the ``.tmp`` file when serialization or the rename failed
+mid-write; this single helper owns the cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically replace ``path`` with ``text``.
+
+    The temporary file lives beside the destination (same filesystem, so
+    the ``os.replace`` is atomic) and is unlinked on *any* failure —
+    a crashed write leaves the previous version intact and no ``.tmp``
+    debris behind.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def atomic_write_json(path: str | Path, doc: Any, *, indent: int = 1) -> Path:
+    """Atomically write ``doc`` as sorted-key JSON (trailing newline).
+
+    Serialization happens *before* the temporary file is created, so an
+    unserializable document touches nothing on disk at all.
+    """
+    text = json.dumps(doc, indent=indent, sort_keys=True) + "\n"
+    return atomic_write_text(path, text)

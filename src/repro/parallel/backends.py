@@ -81,7 +81,9 @@ _CRASH_ENV = "REPRO_BACKEND_TEST_CRASH_AT"
 #: kernel_kwargs keys that map one-to-one onto GsknnPlan configuration;
 #: anything else (e.g. initial=, return_stats=) falls back to plain
 #: per-chunk gsknn calls.
-_PLAN_KWARGS = frozenset({"norm", "variant", "X2", "block_m", "block_n", "blocking"})
+_PLAN_KWARGS = frozenset(
+    {"norm", "variant", "X2", "block_m", "block_n", "blocking", "memory_budget"}
+)
 
 
 def _plan_for(X, r_idx, kernel_kwargs):

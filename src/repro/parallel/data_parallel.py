@@ -60,6 +60,7 @@ def gsknn_data_parallel(
     retry=None,
     fault_plan=None,
     request=None,
+    memory_budget=None,
 ) -> KnnResult:
     """4th-loop (query-side) parallel GSKNN over ``p`` workers.
 
@@ -93,7 +94,16 @@ def gsknn_data_parallel(
     argument is omitted. When the metrics registry is enabled the solve
     also records model-anchored efficiency (achieved vs. predicted
     GFLOP/s) under ``efficiency.*``.
+
+    ``memory_budget`` (a :class:`~repro.MemoryBudget`, byte count, or
+    spec string) caps the solve's *total* workspace: the limit is split
+    evenly across the ``p`` workers and threaded into each chunk's
+    kernel call as a plain byte count — picklable, so the processes
+    backend enforces it inside its workers too. Each sub-kernel then
+    streams reference panels under its share (the out-of-core path;
+    pass a memmapped ``X``).
     """
+    from ..core.membudget import MemoryBudget
     from ..resilience import Deadline, FaultPlan, solve_chunks_resilient
 
     p = resolve_workers(p)
@@ -107,9 +117,30 @@ def gsknn_data_parallel(
     # Resolve "auto"/"model" on the FULL problem: a model-driven choice
     # made per chunk could differ from the serial kernel's.
     var = _resolve_auto_variant(variant, q_idx.size, r_idx.size, d, k)
+    budget = MemoryBudget.coerce(memory_budget)
     kernel_kwargs = dict(
         norm=norm, variant=int(var), block_m=block_m, block_n=block_n,
     )
+    if budget is not None:
+        # Forwarded as a raw byte count so it crosses the pickle
+        # boundary to process workers. In-process backends (serial,
+        # threads) share one plan and thus one budget object, so they
+        # get the full limit; process workers each coerce a private
+        # budget, so the limit is split evenly across the p of them.
+        backend_name = (
+            backend.lower()
+            if isinstance(backend, str)
+            else getattr(backend, "name", "threads")
+        )
+        share = budget.limit_bytes // p if backend_name == "processes" else (
+            budget.limit_bytes
+        )
+        if share < 1:
+            raise ValidationError(
+                f"memory budget {budget.limit_bytes} too small to split "
+                f"across {p} workers"
+            )
+        kernel_kwargs["memory_budget"] = share
     if X2 is not None:
         kernel_kwargs["X2"] = X2
     ctx = coerce_request(request) or current_request()

@@ -8,6 +8,7 @@ efficiency conversion.
 
 from .counters import KernelCounters
 from .gflops import knn_flops, gflops, efficiency
+from .memcheck import MemoryReport, memory_checker
 from .roofline import (
     arithmetic_intensity,
     classify,
@@ -20,6 +21,8 @@ __all__ = [
     "PhaseTimer",
     "PhaseBreakdown",
     "KernelCounters",
+    "MemoryReport",
+    "memory_checker",
     "knn_flops",
     "gflops",
     "efficiency",

@@ -1,0 +1,136 @@
+"""Memory-checker harness: measure and assert peak workspace bytes.
+
+The out-of-core tier's contract is falsifiable — "a budgeted run's
+steady-state workspace stays under the budget" — and this module is the
+instrument that falsifies it. :func:`memory_checker` wraps a region of
+code and reports two independent measurements of its peak memory:
+
+* ``workspace_peak_bytes`` — the byte-exact high-water mark of every
+  arena/plan buffer charged against the :class:`~repro.MemoryBudget`
+  (or, without a budget, of the arenas passed explicitly). This is the
+  number the budget *enforces*.
+* ``traced_peak_bytes`` — tracemalloc's process-wide peak allocation
+  delta over the region. This is the number that catches what the
+  budget *misses*: an accidental dense temporary (``X[idx]`` instead of
+  ``np.take(..., out=)``, a forgotten ``np.isfinite(X)`` over the whole
+  table) shows up here even though no arena ever saw it.
+
+Tests assert with :meth:`MemoryReport.assert_within`, which checks the
+workspace peak against the budget exactly and the traced peak against
+``budget + slack`` (tracemalloc sees legitimate O(m·k) result arrays and
+interpreter noise that are out of the budget's scope — see the module
+docstring of :mod:`repro.core.membudget`).
+
+Enabling tracemalloc slows allocation-heavy code noticeably; the
+harness is for tests and benchmarks, not production serving.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import tracemalloc
+from dataclasses import dataclass, field
+
+from ..errors import MemoryBudgetError
+
+__all__ = ["MemoryReport", "memory_checker"]
+
+
+@dataclass
+class MemoryReport:
+    """What one :func:`memory_checker` region measured.
+
+    Populated when the ``with`` block exits; reading the fields inside
+    the block gives the live running values instead.
+    """
+
+    budget: object | None = None
+    arenas: list = field(default_factory=list)
+    traced_peak_bytes: int = 0
+    _trace_base: int = 0
+    _was_tracing: bool = False
+
+    @property
+    def workspace_peak_bytes(self) -> int:
+        """Peak bytes across the budget and any explicitly watched arenas."""
+        peaks = [a.peak_nbytes for a in self.arenas]
+        if self.budget is not None:
+            peaks.append(self.budget.peak_bytes)
+        return max(peaks, default=0)
+
+    def watch(self, arena) -> None:
+        """Also track ``arena`` (a WorkspaceArena/ArenaPool) in the report."""
+        self.arenas.append(arena)
+
+    def assert_within(
+        self, limit_bytes: int | None = None, *, traced_slack_bytes: int = 32 << 20
+    ) -> None:
+        """Assert both peaks respect the limit; raise MemoryBudgetError.
+
+        ``limit_bytes`` defaults to the watched budget's limit. The
+        workspace peak must be <= the limit exactly; the traced peak
+        gets ``traced_slack_bytes`` of headroom for out-of-scope
+        allocations (result arrays, interpreter internals).
+        """
+        if limit_bytes is None:
+            if self.budget is None:
+                raise ValueError(
+                    "assert_within needs limit_bytes when no budget is watched"
+                )
+            limit_bytes = self.budget.limit_bytes
+        workspace = self.workspace_peak_bytes
+        if workspace > limit_bytes:
+            raise MemoryBudgetError(
+                f"peak workspace {workspace} bytes exceeds the "
+                f"{limit_bytes}-byte limit",
+                limit=limit_bytes,
+                used=workspace,
+                site="memcheck.workspace",
+            )
+        allowed = limit_bytes + int(traced_slack_bytes)
+        if self.traced_peak_bytes > allowed:
+            raise MemoryBudgetError(
+                f"tracemalloc peak {self.traced_peak_bytes} bytes exceeds "
+                f"limit {limit_bytes} + slack {int(traced_slack_bytes)} — "
+                "something allocated outside the budgeted workspace",
+                limit=allowed,
+                used=self.traced_peak_bytes,
+                site="memcheck.traced",
+            )
+
+
+@contextlib.contextmanager
+def memory_checker(budget=None):
+    """Measure peak workspace + traced allocation over a ``with`` region.
+
+    ``budget`` is anything :meth:`MemoryBudget.coerce` accepts (a ready
+    budget, a byte count, a ``"64MiB"`` spec, or ``None``). The same
+    coerced budget should be the one threaded into the solves under
+    test — pass ``report.budget`` — so the workspace peak the report
+    sees is the one the kernels charged::
+
+        with memory_checker("64MiB") as report:
+            result = gsknn(Xm, q, r, k, memory_budget=report.budget)
+        report.assert_within()
+
+    tracemalloc is started for the region (and stopped after, unless it
+    was already running); the traced peak is the *delta* above the
+    allocation level at entry, so surrounding test fixtures don't leak
+    into the measurement.
+    """
+    from ..core.membudget import MemoryBudget
+
+    report = MemoryReport(budget=MemoryBudget.coerce(budget))
+    report._was_tracing = tracemalloc.is_tracing()
+    if not report._was_tracing:
+        tracemalloc.start()
+    base, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    report._trace_base = base
+    try:
+        yield report
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        report.traced_peak_bytes = max(0, peak - base)
+        if not report._was_tracing:
+            tracemalloc.stop()

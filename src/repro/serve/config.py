@@ -94,6 +94,14 @@ class ServeConfig:
     shard_transport:
         ``"process"`` (long-lived worker processes over shared memory)
         or ``"local"`` (in-process shards; deterministic tests).
+    memory_budget:
+        Optional cap on fused-solve workspace — a byte count or a spec
+        like ``"64MiB"`` (see :class:`~repro.MemoryBudget`). The
+        service coerces it once and shares the budget object across
+        every window, so the cap bounds the server's steady-state
+        kernel workspace, not each window in isolation. Budgeted plans
+        stream their reference panels, which is what lets a service
+        mount a memmapped table larger than RAM (docs/MEMORY.md).
     """
 
     max_batch: int = 64
@@ -114,6 +122,7 @@ class ServeConfig:
     recall_sample_every: int = 32
     shards: int = 0
     shard_transport: str = "process"
+    memory_budget: int | str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -188,6 +197,10 @@ class ServeConfig:
                 "shard_transport must be 'process' or 'local', got "
                 f"{self.shard_transport!r}"
             )
+        if self.memory_budget is not None:
+            from ..core.membudget import parse_bytes
+
+            parse_bytes(self.memory_budget)  # fail at construction, not dispatch
 
     def weight_of(self, tenant: str) -> int:
         return int(self.tenant_weights.get(tenant, self.default_weight))

@@ -62,6 +62,7 @@ from typing import Any
 import numpy as np
 
 from ..core.batch import KnnProblem, gsknn_batch
+from ..core.membudget import MemoryBudget
 from ..core.neighbors import KnnResult
 from ..core.norm_cache import cached_squared_norms
 from ..core.plan import PlanCache
@@ -182,6 +183,10 @@ class KnnQueryService:
         self._norm = norm
         self._variant = variant
         self._r_all = np.arange(self.X.shape[0], dtype=np.intp)
+        # One budget object for the whole service: every window's plans
+        # and arenas charge against the same cap (ServeConfig validated
+        # the spec at construction, so this coerce cannot fail late).
+        self._budget = MemoryBudget.coerce(self.config.memory_budget)
         self._plans = PlanCache(max_plans=self.config.plan_cache_size)
         self._policy = CoalescingPolicy(
             model,
@@ -540,6 +545,7 @@ class KnnQueryService:
                             backend=self.config.backend,
                             plan_cache=self._plans,
                             request=batch_ctx,
+                            memory_budget=self._budget,
                         ),
                         registry,
                     )
@@ -569,6 +575,7 @@ class KnnQueryService:
                     plan = self._plans.get(
                         self.X, self._r_all, norm=self._norm,
                         variant=self._variant, X2=cached_squared_norms(self.X),
+                        memory_budget=self._budget,
                     )
                     with request_scope(batch_ctx):
                         result = self._solve_with_faults(
@@ -622,6 +629,7 @@ class KnnQueryService:
         plan = self._plans.get(
             self.X, self._r_all, norm=self._norm,
             variant=self._variant, X2=cached_squared_norms(self.X),
+            memory_budget=self._budget,
         )
         exact = plan.execute_rows(Qs, k, validate=False)
         from ..core.neighbors import recall as _recall

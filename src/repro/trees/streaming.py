@@ -49,6 +49,11 @@ class StreamingAllKnn:
         recall per batch, more kernel work).
     max_bucket:
         Bucket-size cap — the ``m`` of the exact kernels.
+    memory_budget:
+        Optional cap (a :class:`~repro.MemoryBudget`, byte count, or
+        spec like ``"64MiB"``) on bucket/exact kernel workspace —
+        budgeted bucket plans stream their panels and charge buffers
+        against the budget (docs/MEMORY.md).
     shards:
         ``0`` (default) keeps everything in-process. ``>= 1`` mirrors
         the stream's membership into a
@@ -73,6 +78,7 @@ class StreamingAllKnn:
         seed: int | None = 0,
         shards: int = 0,
         shard_transport: str = "process",
+        memory_budget=None,
     ) -> None:
         if dim < 1 or k < 1:
             raise ValidationError(f"need dim >= 1 and k >= 1, got {dim}, {k}")
@@ -90,6 +96,9 @@ class StreamingAllKnn:
         self.tables_per_batch = int(tables_per_batch)
         self.max_bucket = int(max_bucket)
         self._seed = 0 if seed is None else int(seed)
+        from ..core.membudget import MemoryBudget
+
+        self._memory_budget = MemoryBudget.coerce(memory_budget)
         self._batches_ingested = 0
         self._shards = int(shards)
         self._shard_transport = shard_transport
@@ -174,6 +183,7 @@ class StreamingAllKnn:
             np.flatnonzero(self._alive),
             k,
             X2=cached_squared_norms(self._points),
+            memory_budget=self._memory_budget,
         )
 
     # -- updates ---------------------------------------------------------------
@@ -320,7 +330,9 @@ class StreamingAllKnn:
 
     def _solve_bucket(self, bucket: np.ndarray, X2: np.ndarray) -> None:
         k_eff = min(self.k, bucket.size)
-        plan = self._plans.get(self._points, bucket, X2=X2)
+        plan = self._plans.get(
+            self._points, bucket, X2=X2, memory_budget=self._memory_budget
+        )
         local = plan.execute(bucket, k_eff)
         if k_eff < self.k:
             pad = self.k - k_eff

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any
 
 from ..errors import ValidationError
+from ..ioutil import atomic_write_json
 
 __all__ = [
     "TUNE_SCHEMA_VERSION",
@@ -180,9 +181,7 @@ def save_tuned_config(
     doc["schema_version"] = TUNE_SCHEMA_VERSION
     doc["hosts"][fingerprint_key(fp)] = entry
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
-    os.replace(tmp, path)
+    atomic_write_json(path, doc)
     return path
 
 

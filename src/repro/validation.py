@@ -116,12 +116,30 @@ def check_k(k: int, n_refs: int) -> int:
     return k
 
 
+#: ``check_finite`` scans arrays above this size in row chunks: the scan
+#: itself must stay out-of-core-safe (``np.isfinite(X)`` materializes a
+#: same-shape boolean — a quarter of a memmapped table's bytes in RAM).
+_FINITE_SCAN_CHUNK_BYTES = 16 << 20
+
+
 def check_finite(X: np.ndarray, *, name: str = "X") -> None:
     """Reject NaN/inf coordinates.
 
     Non-finite coordinates silently corrupt the expanded squared-distance
     form ``|x|^2 + |y|^2 - 2<x,y>`` (NaN poisons whole GEMM panels), so the
-    public kernels reject them up front.
+    public kernels reject them up front. Large (possibly memmapped)
+    tables are scanned in bounded row chunks — same answer, O(chunk)
+    temporary instead of O(N d).
     """
-    if not np.isfinite(X).all():
+    arr = np.asarray(X)
+    if arr.ndim >= 1 and arr.nbytes > _FINITE_SCAN_CHUNK_BYTES:
+        row_bytes = max(1, arr.nbytes // max(1, arr.shape[0]))
+        step = max(1, _FINITE_SCAN_CHUNK_BYTES // row_bytes)
+        for start in range(0, arr.shape[0], step):
+            if not np.isfinite(arr[start : start + step]).all():
+                raise ValidationError(
+                    f"{name} contains non-finite values (NaN or inf)"
+                )
+        return
+    if not np.isfinite(arr).all():
         raise ValidationError(f"{name} contains non-finite values (NaN or inf)")

@@ -1,0 +1,122 @@
+"""Tests for MemoryBudget: spec parsing, coercion, reserve/release accounting."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.membudget import MemoryBudget, parse_bytes
+from repro.errors import MemoryBudgetError, ReproError, ValidationError
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        ("spec", "expected"),
+        [
+            (1024, 1024),
+            (1024.9, 1024),  # ints truncate like int()
+            ("4096", 4096),
+            ("64MiB", 64 << 20),
+            ("64MB", 64 << 20),  # binary on purpose: KB == KiB
+            ("64m", 64 << 20),
+            ("  2 GiB ", 2 << 30),
+            ("1.5k", 1536),
+            ("1tb", 1 << 40),
+            ("512b", 512),
+        ],
+    )
+    def test_accepted(self, spec, expected):
+        assert parse_bytes(spec) == expected
+
+    @pytest.mark.parametrize(
+        "spec", ["", "MiB", "64 qux", "-1", "0", -5, 0, True, "1..5k"]
+    )
+    def test_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            parse_bytes(spec)
+
+
+class TestCoerce:
+    def test_none_passes_through(self):
+        assert MemoryBudget.coerce(None) is None
+
+    def test_ready_budget_is_identity(self):
+        b = MemoryBudget("1MiB")
+        assert MemoryBudget.coerce(b) is b
+
+    def test_spec_and_int(self):
+        assert MemoryBudget.coerce("2MiB").limit_bytes == 2 << 20
+        assert MemoryBudget.coerce(4096).limit_bytes == 4096
+
+
+class TestAccounting:
+    def test_reserve_release_peak(self):
+        b = MemoryBudget(1000)
+        b.reserve(400)
+        b.reserve(500)
+        assert b.used_bytes == 900
+        assert b.remaining_bytes == 100
+        b.release(500)
+        assert b.used_bytes == 400
+        assert b.peak_bytes == 900  # peak survives the release
+
+    def test_denial_raises_with_context(self):
+        b = MemoryBudget(100)
+        b.reserve(60)
+        with pytest.raises(MemoryBudgetError) as info:
+            b.reserve(50, site="arena:tile")
+        exc = info.value
+        assert exc.limit == 100
+        assert exc.requested == 50
+        assert exc.used == 60
+        assert exc.site == "arena:tile"
+        assert "arena:tile" in str(exc)
+        assert b.denials == 1
+        # the failed reservation charged nothing
+        assert b.used_bytes == 60
+
+    def test_would_fit(self):
+        b = MemoryBudget(100)
+        assert b.would_fit(100)
+        b.reserve(1)
+        assert not b.would_fit(100)
+
+    def test_release_clamps_at_zero(self):
+        b = MemoryBudget(100)
+        b.reserve(10)
+        b.release(10_000)
+        assert b.used_bytes == 0
+
+    def test_negative_amounts_rejected(self):
+        b = MemoryBudget(100)
+        with pytest.raises(ValidationError):
+            b.reserve(-1)
+        with pytest.raises(ValidationError):
+            b.release(-1)
+
+    def test_thread_safety_of_reserve(self):
+        # 8 threads x 100 reserve(1) must never exceed the 800 cap and
+        # must account exactly: a racy += would lose updates.
+        b = MemoryBudget(800)
+
+        def work():
+            for _ in range(100):
+                b.reserve(1)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert b.used_bytes == 800
+        assert b.peak_bytes == 800
+
+
+class TestErrorHierarchy:
+    def test_is_repro_and_memory_error(self):
+        # Catchable as the repo's base error AND as the stdlib
+        # MemoryError (callers with generic OOM handling see it).
+        exc = MemoryBudgetError("x", limit=1, requested=2, used=0)
+        assert isinstance(exc, ReproError)
+        assert isinstance(exc, MemoryError)

@@ -35,3 +35,101 @@ def test_not_a_dataset_archive(tmp_path):
     np.savez(path, stuff=np.ones(3))
     with pytest.raises(ValidationError):
         load_dataset(path)
+
+
+def test_archive_with_points_but_no_meta(tmp_path):
+    # regression: used to escape as a bare KeyError from np.load's dict
+    path = tmp_path / "half.npz"
+    np.savez(path, points=np.ones((4, 2)))
+    with pytest.raises(ValidationError, match="no meta"):
+        load_dataset(path)
+
+
+def test_corrupt_meta_record(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(
+        path,
+        points=np.ones((4, 2)),
+        meta=np.frombuffer(b"{not json", dtype=np.uint8),
+    )
+    with pytest.raises(ValidationError, match="corrupt meta"):
+        load_dataset(path)
+
+
+def test_meta_missing_field(tmp_path):
+    import json
+
+    path = tmp_path / "partial.npz"
+    np.savez(
+        path,
+        points=np.ones((4, 2)),
+        meta=np.frombuffer(json.dumps({"name": "x"}).encode(), dtype=np.uint8),
+    )
+    with pytest.raises(ValidationError, match="missing"):
+        load_dataset(path)
+
+
+def test_dotted_name_appends_suffix(tmp_path):
+    # regression: with_suffix would mangle "run.v1" into "run.npz"
+    ds = uniform_hypercube(5, 2)
+    path = save_dataset(ds, tmp_path / "run.v1")
+    assert path.name == "run.v1.npz"
+    loaded = load_dataset(path)
+    np.testing.assert_array_equal(loaded.points, ds.points)
+
+
+def test_npy_round_trip(tmp_path):
+    ds = uniform_hypercube(20, 3, seed=5)
+    path = save_dataset(ds, tmp_path / "cloud.npy")
+    assert path.suffix == ".npy"
+    assert (tmp_path / "cloud.meta.json").exists()
+    loaded = load_dataset(path)
+    np.testing.assert_array_equal(loaded.points, ds.points)
+    assert loaded.name == ds.name
+    assert loaded.params == ds.params
+
+
+def test_npy_dotted_name_sidecar(tmp_path):
+    ds = uniform_hypercube(5, 2)
+    path = save_dataset(ds, tmp_path / "run.v1.npy")
+    assert (tmp_path / "run.v1.meta.json").exists()
+    loaded = load_dataset(path)
+    np.testing.assert_array_equal(loaded.points, ds.points)
+
+
+def test_npy_mmap_round_trip(tmp_path):
+    ds = uniform_hypercube(64, 4, seed=1)
+    path = save_dataset(ds, tmp_path / "big.npy", chunk_rows=7)
+    loaded = load_dataset(path, mmap_mode="r")
+    assert isinstance(loaded.points, np.memmap) or isinstance(
+        getattr(loaded.points, "base", None), np.memmap
+    )
+    np.testing.assert_array_equal(np.asarray(loaded.points), ds.points)
+
+
+def test_npy_missing_sidecar(tmp_path):
+    path = tmp_path / "orphan.npy"
+    np.save(path, np.ones((4, 2)))
+    with pytest.raises(ValidationError, match="sidecar"):
+        load_dataset(path)
+
+
+def test_npy_corrupt_sidecar(tmp_path):
+    ds = uniform_hypercube(5, 2)
+    path = save_dataset(ds, tmp_path / "c.npy")
+    (tmp_path / "c.meta.json").write_text("{nope")
+    with pytest.raises(ValidationError, match="JSON"):
+        load_dataset(path)
+
+
+def test_npz_refuses_mmap_mode(tmp_path):
+    ds = uniform_hypercube(5, 2)
+    path = save_dataset(ds, tmp_path / "z.npz")
+    with pytest.raises(ValidationError, match="memory-mapped"):
+        load_dataset(path, mmap_mode="r")
+
+
+def test_bad_chunk_rows(tmp_path):
+    ds = uniform_hypercube(5, 2)
+    with pytest.raises(ValidationError):
+        save_dataset(ds, tmp_path / "x.npy", chunk_rows=0)

@@ -1,0 +1,90 @@
+"""Tests for the shared atomic-write helpers.
+
+The tune and approx stores used to hand-roll the tmp-then-rename dance
+and leaked the ``.tmp`` file when the write or rename failed; these
+tests pin the shared helper's failure behavior.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_json, atomic_write_text
+
+
+def test_text_round_trip(tmp_path):
+    path = tmp_path / "out.json"
+    atomic_write_text(path, "hello\n")
+    assert path.read_text() == "hello\n"
+    assert list(tmp_path.iterdir()) == [path]  # no .tmp left behind
+
+
+def test_json_round_trip(tmp_path):
+    path = tmp_path / "doc.json"
+    atomic_write_json(path, {"b": 1, "a": [1, 2]})
+    doc = json.loads(path.read_text())
+    assert doc == {"b": 1, "a": [1, 2]}
+    assert path.read_text().endswith("\n")
+
+
+def test_overwrite_is_atomic_replace(tmp_path):
+    path = tmp_path / "doc.json"
+    atomic_write_json(path, {"v": 1})
+    atomic_write_json(path, {"v": 2})
+    assert json.loads(path.read_text()) == {"v": 2}
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_failed_write_leaves_no_tmp_and_keeps_original(tmp_path, monkeypatch):
+    path = tmp_path / "doc.json"
+    path.write_text("original")
+
+    def boom(self, text, **kwargs):
+        # fail mid-write with the partial temp file already on disk
+        with open(self, "w") as fh:
+            fh.write(text[:3])
+        raise OSError("disk full")
+
+    monkeypatch.setattr(type(path), "write_text", boom)
+    with pytest.raises(OSError, match="disk full"):
+        atomic_write_text(path, "replacement text")
+    monkeypatch.undo()
+    assert path.read_text() == "original"  # target untouched
+    assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]  # no .tmp
+
+
+def test_failed_rename_leaves_no_tmp(tmp_path, monkeypatch):
+    path = tmp_path / "doc.json"
+    path.write_text("original")
+
+    def boom(src, dst, **kwargs):
+        raise OSError("cross-device link")
+
+    monkeypatch.setattr(os, "replace", boom)
+    with pytest.raises(OSError, match="cross-device"):
+        atomic_write_text(path, "replacement")
+    monkeypatch.undo()
+    assert path.read_text() == "original"
+    assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+
+def test_unserializable_doc_touches_nothing(tmp_path):
+    path = tmp_path / "doc.json"
+    path.write_text("original")
+    with pytest.raises(TypeError):
+        atomic_write_json(path, {"bad": object()})
+    # serialization happens before any file I/O: no tmp, target intact
+    assert path.read_text() == "original"
+    assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+
+def test_store_modules_use_shared_helper():
+    # the two stores must not regress to private copies of the dance
+    from repro.approx import store as approx_store
+    from repro.tune import store as tune_store
+
+    assert tune_store.atomic_write_json is atomic_write_json
+    assert approx_store.atomic_write_json is atomic_write_json
